@@ -1,0 +1,99 @@
+// Ablation: the §3.3 data pre-placement + XOR-set selection.
+//
+// Compares, for single data-block failures on the simulator:
+//   (a) contiguous placement + rack-minimal selection (no §3.3),
+//   (b) contiguous placement + XOR-set preference (fast decode only),
+//   (c) RPR placement + XOR-set preference (full §3.3).
+//
+// Reported per variant: average repair time, average cross-rack traffic,
+// and the fraction of failure positions that avoided building a decoding
+// matrix. The time effect is deliberately small (decode is ~0.2 s against
+// ~45 s of transfers at 256 MB — the paper says the same; the real payoff
+// shows on the testbed where the matrix decode path is genuinely ~4x
+// slower); the point of §3.3 is that the XOR path is free: no extra
+// traffic, no extra time, and the matrix build disappears.
+#include <cstdio>
+
+#include "bench_support.h"
+
+namespace {
+
+struct VariantStats {
+  double time_avg = 0;
+  double traffic_avg = 0;
+  double no_matrix_rate = 0;
+};
+
+VariantStats sweep(const rpr::repair::RprPlanner& planner,
+                   const rpr::rs::RSCode& code,
+                   const rpr::topology::PlacedStripe& placed,
+                   const rpr::topology::NetworkParams& params) {
+  using namespace rpr;
+  VariantStats out;
+  const auto& cfg = code.config();
+  for (std::size_t f = 0; f < cfg.n; ++f) {
+    repair::RepairProblem problem;
+    problem.code = &code;
+    problem.placement = &placed.placement;
+    problem.block_size = bench::kPaperBlock;
+    problem.failed = {f};
+    problem.choose_default_replacements();
+    const auto planned = planner.plan(problem);
+    const auto sim = repair::simulate(planned.plan, placed.cluster, params);
+    out.time_avg += util::to_sec(sim.total_repair_time);
+    out.traffic_avg += static_cast<double>(sim.cross_rack_bytes) /
+                       static_cast<double>(bench::kPaperBlock);
+    if (!planned.used_decoding_matrix) out.no_matrix_rate += 1.0;
+  }
+  out.time_avg /= static_cast<double>(cfg.n);
+  out.traffic_avg /= static_cast<double>(cfg.n);
+  out.no_matrix_rate /= static_cast<double>(cfg.n);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rpr;
+  const auto params = topology::NetworkParams::simics_like();
+
+  repair::RprOptions no_xor;
+  no_xor.prefer_xor_set = false;
+  const repair::RprPlanner planner_no_xor(no_xor);
+  const repair::RprPlanner planner_xor;
+
+  std::printf("Ablation — §3.3 pre-placement & XOR fast path, single "
+              "data-block failures,\nsimulator, averaged over positions; "
+              "no-matrix = fraction of repairs that skip\nbuilding the "
+              "decoding matrix\n\n");
+
+  util::TextTable t({"code", "time a/b/c (s)", "traffic a/b/c",
+                     "no-matrix a", "no-matrix b", "no-matrix c"});
+  for (const auto cfg : bench::single_failure_configs()) {
+    const rs::RSCode code(cfg);
+    const auto contig = topology::make_placed_stripe(
+        cfg, topology::PlacementPolicy::kContiguous);
+    const auto rprp =
+        topology::make_placed_stripe(cfg, topology::PlacementPolicy::kRpr);
+
+    const auto a = sweep(planner_no_xor, code, contig, params);
+    const auto b = sweep(planner_xor, code, contig, params);
+    const auto c = sweep(planner_xor, code, rprp, params);
+
+    t.add_row({bench::code_name(cfg),
+               util::fmt(a.time_avg, 2) + "/" + util::fmt(b.time_avg, 2) +
+                   "/" + util::fmt(c.time_avg, 2),
+               util::fmt(a.traffic_avg, 1) + "/" +
+                   util::fmt(b.traffic_avg, 1) + "/" +
+                   util::fmt(c.traffic_avg, 1),
+               util::fmt(a.no_matrix_rate * 100, 0) + "%",
+               util::fmt(b.no_matrix_rate * 100, 0) + "%",
+               util::fmt(c.no_matrix_rate * 100, 0) + "%"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("shape check: variants b/c avoid the decoding matrix for "
+              "every data-block failure\nat identical traffic; the time "
+              "delta at 256 MB is the t_wd - t_nd = ~0.19 s the\npaper's "
+              "analysis neglects (and the EC2 testbed magnifies).\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the same series the corresponding paper figure shows,
+// as a fixed-width text table, plus the headline reduction percentages the
+// paper quotes. The EXPERIMENTS.md file records paper-vs-measured values.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "repair/executor_sim.h"
+#include "repair/planner.h"
+#include "rs/rs_code.h"
+#include "topology/placement.h"
+#include "util/combinatorics.h"
+#include "util/table.h"
+
+namespace rpr::bench {
+
+/// The six single-failure configurations of §5.1.1.
+inline std::vector<rs::CodeConfig> single_failure_configs() {
+  return {{4, 2}, {6, 2}, {8, 2}, {6, 3}, {8, 4}, {12, 4}};
+}
+
+/// The (n, k, z) non-worst multi-failure configurations of §5.1.2.
+struct MultiConfig {
+  rs::CodeConfig code;
+  std::size_t z;  ///< number of simultaneous failures
+};
+inline std::vector<MultiConfig> multi_nonworst_configs() {
+  return {{{6, 3}, 2}, {{8, 4}, 2}, {{8, 4}, 3}, {{12, 4}, 2}, {{12, 4}, 3}};
+}
+
+/// Worst-case (z = k) configurations of §5.1.2 with (n+k)/k > 3.
+inline std::vector<MultiConfig> multi_worst_configs() {
+  return {{{6, 2}, 2}, {{8, 2}, 2}, {{12, 4}, 4}};
+}
+
+inline std::string code_name(const rs::CodeConfig& c) {
+  return "(" + std::to_string(c.n) + "," + std::to_string(c.k) + ")";
+}
+inline std::string code_name(const MultiConfig& m) {
+  return "(" + std::to_string(m.code.n) + "," + std::to_string(m.code.k) +
+         "," + std::to_string(m.z) + ")";
+}
+
+/// The paper's Simics setup (§5.1): 1 Gb/s node NICs as the inner-rack
+/// bandwidth, wondershaper-throttled 0.1 Gb/s cross-rack, 256 MB blocks.
+inline constexpr std::uint64_t kPaperBlock = 256ull << 20;
+
+struct SweepStats {
+  double avg = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = 0.0;
+  std::size_t samples = 0;
+
+  void add(double v) {
+    avg = (avg * static_cast<double>(samples) + v) /
+          static_cast<double>(samples + 1);
+    ++samples;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+};
+
+/// One simulated repair: returns {repair seconds, cross-rack blocks}.
+struct RunPoint {
+  double seconds = 0.0;
+  double cross_blocks = 0.0;
+};
+
+inline RunPoint run_one(const repair::Planner& planner,
+                        const rs::RSCode& code,
+                        const topology::PlacedStripe& placed,
+                        const std::vector<std::size_t>& failed,
+                        const topology::NetworkParams& params,
+                        std::uint64_t block = kPaperBlock) {
+  repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = block;
+  problem.failed = failed;
+  problem.choose_default_replacements();
+  const auto planned = planner.plan(problem);
+  const auto sim = repair::simulate(planned.plan, placed.cluster, params);
+  return RunPoint{util::to_sec(sim.total_repair_time),
+                  static_cast<double>(sim.cross_rack_bytes) /
+                      static_cast<double>(block)};
+}
+
+/// Sweeps every single data-block failure position; returns time stats (s)
+/// and traffic stats (blocks).
+struct SingleSweep {
+  SweepStats time;
+  SweepStats traffic;
+};
+inline SingleSweep sweep_single(const repair::Planner& planner,
+                                const rs::RSCode& code,
+                                const topology::PlacedStripe& placed,
+                                const topology::NetworkParams& params) {
+  SingleSweep s;
+  for (std::size_t f = 0; f < code.config().n; ++f) {
+    const auto point = run_one(planner, code, placed, {f}, params);
+    s.time.add(point.seconds);
+    s.traffic.add(point.cross_blocks);
+  }
+  return s;
+}
+
+/// Sweeps failure-position combinations for z simultaneous failures over
+/// all blocks (data and parity), as the paper's "all possible block
+/// locations". `max_patterns` caps the enumeration for expensive backends
+/// (0 = unlimited).
+inline SingleSweep sweep_multi(const repair::Planner& planner,
+                               const rs::RSCode& code,
+                               const topology::PlacedStripe& placed,
+                               std::size_t z,
+                               const topology::NetworkParams& params,
+                               std::size_t max_patterns = 0) {
+  SingleSweep s;
+  std::size_t seen = 0;
+  util::for_each_combination(
+      code.config().total(), z,
+      [&](const std::vector<std::size_t>& failed) {
+        if (max_patterns && seen >= max_patterns) return;
+        ++seen;
+        const auto point = run_one(planner, code, placed, failed, params);
+        s.time.add(point.seconds);
+        s.traffic.add(point.cross_blocks);
+      });
+  return s;
+}
+
+inline std::string pct_reduction(double baseline, double value) {
+  return util::fmt((1.0 - value / baseline) * 100.0, 1) + "%";
+}
+
+}  // namespace rpr::bench

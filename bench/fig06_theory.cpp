@@ -1,0 +1,41 @@
+// Fig. 6: theoretical total repair time, traditional vs RPR worst case,
+// across RS codes, with t_i = 1 ms and t_c = 10 ms (paper §4.1, eqs. 10-13).
+#include <cstdio>
+
+#include "bench_support.h"
+#include "repair/analysis.h"
+
+int main() {
+  using namespace rpr;
+  namespace an = repair::analysis;
+
+  const an::Params p{/*t_i=*/util::kNsPerMs, /*t_c=*/10 * util::kNsPerMs};
+
+  std::printf("Fig. 6 — theoretical repair time (ms), t_i = 1 ms, "
+              "t_c = 10 ms\n");
+  std::printf("traditional: eq. (10) = n * t_c; "
+              "RPR worst case: eq. (13) = (floor(log2 k)+1) t_i + "
+              "(floor(log2 q)+1) t_c\n\n");
+
+  util::TextTable t({"code", "q", "Tra (ms)", "RPR worst (ms)", "reduction"});
+  for (const auto cfg : bench::single_failure_configs()) {
+    const double tra = util::to_ms(an::traditional_time(cfg.n, p));
+    const double rpr_t = util::to_ms(an::rpr_worst_time(cfg.n, cfg.k, p));
+    t.add_row({bench::code_name(cfg), std::to_string(cfg.racks_when_full()),
+               util::fmt(tra, 0), util::fmt(rpr_t, 0),
+               bench::pct_reduction(tra, rpr_t)});
+  }
+  // Extend the trend like the figure does (growing n at fixed k).
+  const std::size_t extra_n[] = {16, 20, 24};
+  for (const std::size_t n : extra_n) {
+    const rs::CodeConfig cfg{n, 4};
+    const double tra = util::to_ms(an::traditional_time(cfg.n, p));
+    const double rpr_t = util::to_ms(an::rpr_worst_time(cfg.n, cfg.k, p));
+    t.add_row({bench::code_name(cfg), std::to_string(cfg.racks_when_full()),
+               util::fmt(tra, 0), util::fmt(rpr_t, 0),
+               bench::pct_reduction(tra, rpr_t)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("shape check: Tra grows linearly in n; RPR grows ~log2(q).\n");
+  return 0;
+}

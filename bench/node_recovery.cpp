@@ -1,0 +1,85 @@
+// Extension bench: whole-node recovery and load balance.
+//
+// The paper's motivation (§1, §2.3): when a storage node dies, every stripe
+// with a block on it needs repair, the recovery point's downlink becomes
+// the bottleneck, and the data center goes load-imbalanced. This bench
+// places many rack-rotated RS(8,4) stripes, kills one node, and repairs all
+// damaged stripes concurrently under each scheme, reporting the fleet
+// makespan and the per-rack cross-rack upload distribution.
+#include <cstdio>
+
+#include "bench_support.h"
+#include "repair/fleet.h"
+
+int main() {
+  using namespace rpr;
+  const rs::CodeConfig cfg{8, 4};
+  const rs::RSCode code(cfg);
+  const auto params = topology::NetworkParams::simics_like();
+
+  const std::size_t stripes = 30;
+  const topology::Cluster cluster(cfg.racks_when_full(), cfg.k, cfg.k);
+
+  // Rack-rotated placements, like consecutive stripes in production.
+  const topology::Placement base =
+      topology::make_placement(cluster, cfg, topology::PlacementPolicy::kRpr);
+  std::vector<topology::Placement> placements;
+  placements.reserve(stripes);
+  for (std::size_t s = 0; s < stripes; ++s) {
+    std::vector<topology::NodeId> nodes(cfg.total());
+    for (std::size_t b = 0; b < cfg.total(); ++b) {
+      const auto node = base.node_of(b);
+      const auto rack = (cluster.rack_of(node) + s) % cluster.racks();
+      nodes[b] = rack * cluster.nodes_per_rack() +
+                 node % cluster.nodes_per_rack();
+    }
+    placements.emplace_back(cluster, cfg, std::move(nodes));
+  }
+
+  // Kill one node; collect the repair problem of every damaged stripe.
+  const topology::NodeId dead = cluster.slot(0, 0);
+  repair::FleetProblem fleet;
+  for (const auto& placement : placements) {
+    for (std::size_t b = 0; b < cfg.total(); ++b) {
+      if (placement.node_of(b) != dead) continue;
+      repair::RepairProblem p;
+      p.code = &code;
+      p.placement = &placement;
+      p.block_size = bench::kPaperBlock;
+      p.failed = {b};
+      p.choose_default_replacements();
+      fleet.stripes.push_back(std::move(p));
+      break;
+    }
+  }
+
+  std::printf("Node recovery — %zu rack-rotated RS(8,4) stripes, node %zu "
+              "fails, %zu stripes\ndamaged, repaired concurrently; 256 MB "
+              "blocks, 10:1 bandwidth\n\n",
+              stripes, dead, fleet.stripes.size());
+
+  util::TextTable t({"scheme", "makespan (s)", "cross GB", "max/mean up",
+                     "max/mean down", "down CV"});
+  double tra_makespan = 0;
+  for (const auto scheme : {repair::Scheme::kTraditional, repair::Scheme::kCar,
+                            repair::Scheme::kRpr}) {
+    const auto planner = repair::make_planner(scheme);
+    const auto out =
+        repair::simulate_fleet(*planner, fleet, cluster, params);
+    if (scheme == repair::Scheme::kTraditional) {
+      tra_makespan = util::to_sec(out.makespan);
+    }
+    t.add_row({planner->name(), util::fmt(util::to_sec(out.makespan), 1),
+               util::fmt(static_cast<double>(out.cross_rack_bytes) / 1e9, 1),
+               util::fmt(out.upload_imbalance, 2),
+               util::fmt(out.download_imbalance, 2),
+               util::fmt(out.download_cv, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("shape check: traditional funnels every download into the "
+              "dead node's rack\n(max/mean down near the rack count); "
+              "rack-aware schemes spread the load and\nfinish the wave "
+              "several times faster (Tra makespan here: %.1f s).\n",
+              tra_makespan);
+  return 0;
+}

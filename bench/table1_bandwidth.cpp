@@ -1,0 +1,46 @@
+// Table 1: inter- and intra-region bandwidths (Mbps), measured through the
+// threaded testbed's paced channels. The configured matrix is the paper's
+// Table 1; the measurement validates that the testbed links actually
+// deliver those rates (within pacing overhead).
+#include <cstdio>
+
+#include "runtime/testbed.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rpr;
+
+  const std::size_t regions = runtime::kRegionCount;
+  runtime::TestbedParams params;
+  params.net = runtime::RegionNet::ec2_table1(regions);
+  params.time_scale = 256.0;  // keep the measurement quick
+  runtime::Testbed bed(topology::Cluster(regions, 1, 0), params);
+
+  std::printf("Table 1 — inter-/intra-region bandwidths (Mbps) measured "
+              "through the testbed\n(configured from the paper's Table 1; "
+              "racks impersonate EC2 regions)\n\n");
+
+  std::vector<std::string> header = {""};
+  for (const auto name : runtime::kRegionNames) header.emplace_back(name);
+  util::TextTable t(std::move(header));
+  const std::uint64_t probe = 64ull << 20;  // 64 MiB probe per pair
+  for (std::size_t i = 0; i < regions; ++i) {
+    std::vector<std::string> row = {std::string(runtime::kRegionNames[i])};
+    for (std::size_t j = 0; j < regions; ++j) {
+      if (j < i) {
+        row.emplace_back("");  // the paper prints the upper triangle
+        continue;
+      }
+      row.push_back(util::fmt(bed.measure_mbps(i, j, probe), 1));
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("configured averages: intra %.2f Mbps, cross %.2f Mbps, "
+              "ratio %.2f\n",
+              params.net.mean_intra_mbps(), params.net.mean_cross_mbps(),
+              params.net.mean_intra_mbps() / params.net.mean_cross_mbps());
+  std::printf("paper:               intra 600.97 Mbps, cross 53.03 Mbps, "
+              "ratio 11.32\n");
+  return 0;
+}

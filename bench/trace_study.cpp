@@ -1,0 +1,61 @@
+// Extension bench: one simulated year of cluster operation.
+//
+// Plays the same exponential failure trace (same seed) against three
+// identical RS(8,4) clusters that differ only in repair scheme, and totals
+// the operator's bill: failures survived, cross-rack repair traffic,
+// aggregate and worst-case repair time, and how often repairs ran on the
+// XOR fast path. This is the fleet-scale framing of the paper's
+// motivation (§1).
+#include <cstdio>
+
+#include "bench_support.h"
+#include "storage/trace.h"
+
+int main() {
+  using namespace rpr;
+
+  const std::size_t objects = 20;
+  storage::TraceParams trace;
+  trace.node_mttf_hours = 24 * 30;     // aggressive MTTF to get a busy year
+  trace.horizon_hours = 24 * 365;
+  trace.seed = 2020;
+
+  std::printf("Trace study — one simulated year, RS(8,4), %zu stripes, node "
+              "MTTF %.0f days,\nidentical failure trace per scheme; repair "
+              "costs from the 10:1 simulator\n\n",
+              objects, trace.node_mttf_hours / 24);
+
+  util::TextTable t({"scheme", "failures", "repairs", "cross GB",
+                     "sum repair (s)", "max repair (s)", "xor-path"});
+  for (const auto scheme : {repair::Scheme::kTraditional, repair::Scheme::kCar,
+                            repair::Scheme::kRpr}) {
+    storage::StorageOptions opts;
+    opts.code = {8, 4};
+    opts.block_size = 1 << 20;  // cost model scales linearly in block size
+    opts.repair_scheme = scheme;
+    opts.policy = topology::PlacementPolicy::kRpr;
+    storage::StorageSystem sys(opts);
+
+    util::Xoshiro256 rng(7);
+    for (std::size_t i = 0; i < objects; ++i) {
+      std::vector<std::uint8_t> obj(opts.code.n * opts.block_size);
+      for (auto& b : obj) b = static_cast<std::uint8_t>(rng());
+      (void)sys.put(obj);
+    }
+
+    const auto out = storage::run_failure_trace(sys, trace);
+    const auto planner = repair::make_planner(scheme);
+    t.add_row({planner->name(), std::to_string(out.failures),
+               std::to_string(out.stripes_repaired),
+               util::fmt(static_cast<double>(out.cross_rack_bytes) / 1e9, 2),
+               util::fmt(util::to_sec(out.total_repair_time), 1),
+               util::fmt(util::to_sec(out.max_repair_time), 2),
+               util::fmt(out.xor_repair_fraction * 100, 0) + "%"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("shape check: same trace, same data — the scheme alone "
+              "changes the yearly bill.\nRPR cuts cross-rack repair bytes "
+              "roughly in half and repairs on the XOR path\nfor most "
+              "single-data-block failures (the dominant failure class).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Data-center lifecycle demo on the StorageSystem: store objects, survive
+// random node failures with degraded reads, repair everything with RPR, and
+// compare the repair bill against the traditional scheme.
+//
+// Usage: ./build/examples/datacenter_sim [objects]
+#include <cstdio>
+#include <cstdlib>
+
+#include "storage/failure.h"
+#include "storage/storage_system.h"
+#include "util/rng.h"
+
+namespace {
+
+std::vector<std::uint8_t> make_object(std::size_t size, std::uint64_t seed) {
+  rpr::util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> v(size);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+struct Bill {
+  std::uint64_t cross_bytes = 0;
+  double total_ms = 0;
+  std::size_t repairs = 0;
+};
+
+Bill run_lifecycle(rpr::repair::Scheme scheme, std::size_t object_count) {
+  using namespace rpr;
+  storage::StorageOptions opts;
+  opts.code = {8, 4};
+  opts.block_size = 64 << 10;
+  opts.repair_scheme = scheme;
+  opts.policy = topology::PlacementPolicy::kRpr;
+  storage::StorageSystem sys(opts);
+
+  std::vector<storage::StripeId> ids;
+  std::vector<std::vector<std::uint8_t>> objects;
+  for (std::size_t i = 0; i < object_count; ++i) {
+    objects.push_back(make_object(8 * opts.block_size, 7000 + i));
+    ids.push_back(sys.put(objects.back()));
+  }
+
+  // Three failure waves, each followed by a full repair pass. Reads stay
+  // correct throughout (degraded reads cover the gap before repair).
+  storage::FailureInjector injector(&sys, /*seed=*/2020);
+  Bill bill;
+  for (int wave = 0; wave < 3; ++wave) {
+    injector.fail_random_nodes(2);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (sys.get(ids[i]) != objects[i]) {
+        std::fprintf(stderr, "degraded read mismatch!\n");
+        std::exit(1);
+      }
+    }
+    for (const auto& report : sys.repair_all()) {
+      bill.cross_bytes += report.cross_rack_bytes;
+      bill.total_ms += util::to_ms(report.simulated_repair_time);
+      ++bill.repairs;
+    }
+  }
+  // Final integrity check after all repairs.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (sys.get(ids[i]) != objects[i]) {
+      std::fprintf(stderr, "post-repair read mismatch!\n");
+      std::exit(1);
+    }
+  }
+  return bill;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t objects =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 24;
+
+  std::printf("RS(8,4) cluster, %zu objects, 3 waves of 2 node failures, "
+              "RPR placement\n\n", objects);
+  std::printf("%-12s %10s %16s %14s\n", "scheme", "repairs", "cross-rack MB",
+              "sim repair ms");
+  for (const auto scheme :
+       {rpr::repair::Scheme::kTraditional, rpr::repair::Scheme::kRpr}) {
+    const auto bill = run_lifecycle(scheme, objects);
+    std::printf("%-12s %10zu %16.2f %14.1f\n",
+                scheme == rpr::repair::Scheme::kTraditional ? "traditional"
+                                                            : "rpr",
+                bill.repairs, static_cast<double>(bill.cross_bytes) / 1e6,
+                bill.total_ms);
+  }
+  std::printf("\nall reads (degraded and repaired) verified bit-exact\n");
+  return 0;
+}

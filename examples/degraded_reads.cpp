@@ -1,0 +1,65 @@
+// Degraded-read cost tour: what a client pays to read a block whose node
+// just died, before any repair has run — and how the placement policy and
+// the rack-aware read path shape that cost.
+//
+// Usage: ./build/examples/degraded_reads
+#include <cstdio>
+
+#include "storage/storage_system.h"
+#include "util/rng.h"
+
+namespace {
+
+std::vector<std::uint8_t> make_object(std::size_t size, std::uint64_t seed) {
+  rpr::util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> v(size);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rpr;
+
+  std::printf("Degraded reads on RS(8,4), 4 MiB blocks, 10:1 bandwidth — "
+              "client in rack 0\nreads data block 1 before repair runs.\n\n");
+  std::printf("%-12s %16s %18s %14s\n", "placement", "healthy (ms)",
+              "degraded (ms)", "penalty");
+
+  for (const auto policy : {topology::PlacementPolicy::kContiguous,
+                            topology::PlacementPolicy::kRpr}) {
+    storage::StorageOptions opts;
+    opts.code = {8, 4};
+    opts.block_size = 4 << 20;
+    opts.policy = policy;
+    storage::StorageSystem sys(opts);
+    const auto obj = make_object(8 * opts.block_size, 1);
+    const auto id = sys.put(obj);
+
+    const auto reader = sys.cluster().spare(0, 0);
+    const auto healthy = sys.degraded_read_cost(id, 1, reader);
+    sys.fail_node(sys.stripe_nodes(id)[1]);
+    const auto degraded = sys.degraded_read_cost(id, 1, reader);
+
+    // Reads must still return correct data while degraded.
+    if (sys.get(id) != obj) {
+      std::fprintf(stderr, "degraded read returned wrong bytes!\n");
+      return 1;
+    }
+
+    const double h = util::to_ms(healthy.total_repair_time);
+    const double d = util::to_ms(degraded.total_repair_time);
+    std::printf("%-12s %16.1f %18.1f %13.1fx\n",
+                policy == topology::PlacementPolicy::kContiguous
+                    ? "contiguous"
+                    : "rpr",
+                h, d, d / h);
+  }
+
+  std::printf("\nThe degraded read rebuilds only the requested block's "
+              "sub-equation, rooted at\nthe client: rack-local partial "
+              "decoding plus the pipelined cross-rack merge,\nexactly the "
+              "repair path with the client as the recovery node.\n");
+  return 0;
+}

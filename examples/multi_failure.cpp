@@ -1,0 +1,86 @@
+// Multi-block failure walkthrough (paper §3.4): three blocks of an RS(8,4)
+// stripe fail at once; RPR builds one repair sub-equation per lost block,
+// every rack contributes one intermediate per sub-equation, and the
+// cross-rack reductions pipeline through the shared ports.
+//
+// Usage: ./build/examples/multi_failure
+#include <cstdio>
+
+#include "repair/executor_data.h"
+#include "repair/executor_sim.h"
+#include "repair/planner.h"
+#include "topology/placement.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace rpr;
+  const rs::CodeConfig cfg{8, 4};
+  const rs::RSCode code(cfg);
+  const auto placed =
+      topology::make_placed_stripe(cfg, topology::PlacementPolicy::kRpr);
+
+  const std::size_t block_size = 1 << 20;
+  std::vector<rs::Block> stripe(cfg.total());
+  util::Xoshiro256 rng(404);
+  for (std::size_t b = 0; b < cfg.n; ++b) {
+    stripe[b].resize(block_size);
+    for (auto& byte : stripe[b]) byte = static_cast<std::uint8_t>(rng());
+  }
+  code.encode_stripe(stripe);
+
+  repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 256ull << 20;  // cost model at the paper's block size
+  problem.failed = {0, 5, 9};         // two data blocks and parity p1
+  problem.choose_default_replacements();
+
+  const auto params = topology::NetworkParams::simics_like();
+
+  std::printf("RS(8,4), failures {d0, d5, p1}, 256 MB blocks, 10:1 "
+              "bandwidth\n\n");
+  std::printf("%-12s %12s %16s %14s %12s\n", "scheme", "time (s)",
+              "cross (blocks)", "inner (blocks)", "matrix?");
+  for (const auto scheme :
+       {repair::Scheme::kTraditional, repair::Scheme::kRpr}) {
+    const auto planner = repair::make_planner(scheme);
+    const auto planned = planner->plan(problem);
+    const auto sim = repair::simulate(planned.plan, placed.cluster, params);
+    std::printf("%-12s %12.2f %16zu %14zu %12s\n", planner->name().c_str(),
+                util::to_sec(sim.total_repair_time), sim.cross_rack_transfers,
+                sim.inner_rack_transfers,
+                planned.used_decoding_matrix ? "yes" : "no");
+
+    // Verify on real (1 MiB) buffers.
+    auto data_problem = problem;
+    data_problem.block_size = block_size;
+    const auto data_planned = planner->plan(data_problem);
+    const auto rebuilt = repair::execute_on_data(
+        data_planned.plan, data_planned.outputs, stripe);
+    for (std::size_t i = 0; i < problem.failed.size(); ++i) {
+      if (rebuilt[i] != stripe[problem.failed[i]]) {
+        std::fprintf(stderr, "reconstruction mismatch for block %zu!\n",
+                     problem.failed[i]);
+        return 1;
+      }
+    }
+  }
+
+  // Show the sub-equations RPR evaluates (paper eq. 8/9).
+  const repair::RprPlanner planner;
+  const auto planned = planner.plan(problem);
+  std::printf("\nRPR repair sub-equations (coefficients over survivors):\n");
+  for (const auto& eq : planned.equations) {
+    std::printf("  block %zu = ", eq.failed_block);
+    bool first = true;
+    for (std::size_t i = 0; i < eq.sources.size(); ++i) {
+      if (eq.coefficients[i] == 0) continue;
+      std::printf("%s%02x*b%zu", first ? "" : " + ", eq.coefficients[i],
+                  eq.sources[i]);
+      first = false;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nall reconstructions verified bit-exact\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Wide-stripe demo: erasure coding beyond GF(2^8)'s 256-block limit with
+// the GF(2^16) codec — archival-tier codes like RS(120, 30).
+//
+// Usage: ./build/examples/wide_stripe
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "rs/wide_code.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace rpr;
+
+  const rs::CodeConfig cfg{120, 30};       // 150 blocks: near the w=8 edge
+  const rs::CodeConfig wide_cfg{300, 60};  // 360 blocks: requires w = 16
+  const std::size_t block_size = 64 << 10;
+
+  for (const auto& c : {cfg, wide_cfg}) {
+    const rs::WideRSCode code(c);
+    std::vector<rs::Block> stripe(c.total());
+    util::Xoshiro256 rng(2026);
+    for (std::size_t b = 0; b < c.n; ++b) {
+      stripe[b].resize(block_size);
+      for (auto& byte : stripe[b]) byte = static_cast<std::uint8_t>(rng());
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    code.encode_stripe(stripe);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Knock out a spread of blocks up to the full fault budget.
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < c.k; ++i) {
+      failed.push_back((i * 7919) % c.total());  // pseudo-scattered
+    }
+    std::sort(failed.begin(), failed.end());
+    failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
+    const auto original = stripe;
+    for (const auto f : failed) stripe[f].assign(block_size, 0);
+
+    const auto t2 = std::chrono::steady_clock::now();
+    if (!code.decode(stripe, failed)) {
+      std::fprintf(stderr, "decode failed!\n");
+      return 1;
+    }
+    const auto t3 = std::chrono::steady_clock::now();
+    if (stripe != original) {
+      std::fprintf(stderr, "round trip mismatch!\n");
+      return 1;
+    }
+
+    const double enc_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double dec_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
+    std::printf("RS(%zu,%zu) over GF(2^16): %zu blocks x %zu KiB — encode "
+                "%.0f ms, decode %zu erasures %.0f ms, bit-exact\n",
+                c.n, c.k, c.total(), block_size >> 10, enc_ms, failed.size(),
+                dec_ms);
+  }
+  std::printf("\nP0 is still the XOR of all data blocks, so the paper's "
+              "pre-placement\noptimization (§3.3) carries over to wide "
+              "stripes unchanged.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// File-based erasure-coded archive.
+//
+// The on-disk counterpart of the in-memory stripe: a file is split into n
+// data blocks (zero-padded), k parity blocks are computed, and every block
+// is stored as its own file next to a plain-text manifest. Losing up to k
+// block files is recoverable. This mirrors the encoder/decoder utilities
+// shipped with Jerasure (the paper's coding substrate) and gives the
+// library a stand-alone, adoptable CLI surface (tools/rpr_archive).
+//
+// Layout of an archive directory:
+//   manifest.rpr      text manifest: code config, sizes, per-block checksum
+//   block_000.rpr ... one file per block (data blocks first, then parity)
+//
+// Integrity: every block carries an FNV-1a 64-bit checksum in the manifest;
+// `verify` reports blocks that are missing or whose bytes do not match, and
+// `repair` rebuilds exactly those from the healthy remainder.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rs/rs_code.h"
+
+namespace rpr::cli {
+
+struct ArchiveManifest {
+  rs::CodeConfig code;
+  std::uint64_t block_size = 0;
+  std::uint64_t file_size = 0;
+  std::string source_name;
+  std::vector<std::uint64_t> checksums;  ///< FNV-1a 64 per block
+
+  [[nodiscard]] std::string serialize() const;
+  static ArchiveManifest parse(const std::string& text);
+};
+
+/// FNV-1a 64-bit checksum (the archive's integrity primitive).
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// Splits `input` into an RS(n, k) archive under `dir` (created if absent).
+/// The block size is ceil(file_size / n), so every file maps to one stripe.
+/// Returns the written manifest.
+ArchiveManifest encode_file(const std::filesystem::path& input,
+                            const std::filesystem::path& dir,
+                            rs::CodeConfig code);
+
+/// Block states as seen on disk.
+enum class BlockHealth { kOk, kMissing, kCorrupt };
+
+struct VerifyReport {
+  ArchiveManifest manifest;
+  std::vector<BlockHealth> blocks;
+
+  [[nodiscard]] std::vector<std::size_t> damaged() const;
+  [[nodiscard]] bool healthy() const { return damaged().empty(); }
+  [[nodiscard]] bool recoverable() const {
+    return damaged().size() <= manifest.code.k;
+  }
+};
+
+/// Checks every block file against the manifest.
+VerifyReport verify_archive(const std::filesystem::path& dir);
+
+/// Rebuilds every missing/corrupt block file in place. Throws
+/// std::runtime_error if more than k blocks are damaged. Returns the
+/// indices that were rebuilt.
+std::vector<std::size_t> repair_archive(const std::filesystem::path& dir);
+
+/// Reassembles the original file to `output`. Damaged data blocks are
+/// decoded on the fly (degraded read); the archive itself is not modified.
+void extract_file(const std::filesystem::path& dir,
+                  const std::filesystem::path& output);
+
+}  // namespace rpr::cli

@@ -1,0 +1,105 @@
+// GF(2^8) scalar arithmetic.
+//
+// This is the finite field underlying Reed-Solomon coding (paper §2.1.2).
+// We use the standard polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same
+// field the Jerasure library (the paper's substrate) and ISA-L use for w = 8.
+//
+// Key property the paper's repair scheme leans on: addition in GF(2^w) is
+// XOR, so any linear combination of blocks can be accumulated piecewise and
+// in any grouping ("partial decoding", eq. 4/9).
+//
+// All tables are generated at compile time; there is no runtime init order
+// to worry about.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rpr::gf {
+
+inline constexpr unsigned kPrimPoly = 0x11D;  // x^8+x^4+x^3+x^2+1
+inline constexpr int kFieldSize = 256;
+inline constexpr int kGroupOrder = 255;  // order of the multiplicative group
+
+namespace detail {
+
+struct Tables {
+  // exp_[i] = g^i for generator g = 2; doubled length so that
+  // mul(a,b) = exp_[log_[a] + log_[b]] needs no modular reduction.
+  std::array<std::uint8_t, 2 * kGroupOrder> exp_{};
+  std::array<std::uint8_t, kFieldSize> log_{};
+  std::array<std::uint8_t, kFieldSize> inv_{};
+};
+
+constexpr Tables make_tables() {
+  Tables t{};
+  unsigned x = 1;
+  for (int i = 0; i < kGroupOrder; ++i) {
+    t.exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.exp_[static_cast<std::size_t>(i + kGroupOrder)] =
+        static_cast<std::uint8_t>(x);
+    t.log_[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100u) x ^= kPrimPoly;
+  }
+  t.log_[0] = 0;  // log(0) is undefined; callers must branch on zero.
+  t.inv_[0] = 0;  // inverse of 0 is undefined; kept 0 defensively.
+  for (int a = 1; a < kFieldSize; ++a) {
+    const int l = kGroupOrder - t.log_[static_cast<std::size_t>(a)];
+    t.inv_[static_cast<std::size_t>(a)] =
+        t.exp_[static_cast<std::size_t>(l % kGroupOrder)];
+  }
+  return t;
+}
+
+inline constexpr Tables kTables = make_tables();
+
+}  // namespace detail
+
+/// a + b and a - b in GF(2^8) are both XOR.
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+  return a ^ b;
+}
+constexpr std::uint8_t sub(std::uint8_t a, std::uint8_t b) noexcept {
+  return a ^ b;
+}
+
+constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables.exp_[static_cast<std::size_t>(
+      detail::kTables.log_[a] + detail::kTables.log_[b])];
+}
+
+/// Multiplicative inverse. Precondition: a != 0.
+constexpr std::uint8_t inv(std::uint8_t a) noexcept {
+  return detail::kTables.inv_[a];
+}
+
+/// a / b. Precondition: b != 0.
+constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept {
+  return mul(a, inv(b));
+}
+
+/// a^e (e >= 0), with 0^0 defined as 1 for Vandermonde construction.
+constexpr std::uint8_t pow(std::uint8_t a, unsigned e) noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned l =
+      (static_cast<unsigned>(detail::kTables.log_[a]) * e) % kGroupOrder;
+  return detail::kTables.exp_[l];
+}
+
+/// Generator element used for the exp/log tables.
+inline constexpr std::uint8_t kGenerator = 2;
+
+/// exp table lookup: g^i, i in [0, 255).
+constexpr std::uint8_t exp(unsigned i) noexcept {
+  return detail::kTables.exp_[i % kGroupOrder];
+}
+
+/// log table lookup. Precondition: a != 0.
+constexpr std::uint8_t log(std::uint8_t a) noexcept {
+  return detail::kTables.log_[a];
+}
+
+}  // namespace rpr::gf

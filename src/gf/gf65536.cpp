@@ -1,0 +1,88 @@
+#include "gf/gf65536.h"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <memory>
+
+namespace rpr::gf16 {
+
+namespace {
+
+struct Tables {
+  // exp_ doubled so mul() needs no modular reduction of the log sum.
+  std::array<std::uint16_t, 2 * kGroupOrder> exp_;
+  std::array<std::uint16_t, 65536> log_;
+  std::array<std::uint16_t, 65536> inv_;
+};
+
+const Tables& tables() {
+  static const std::unique_ptr<Tables> t = [] {
+    auto out = std::make_unique<Tables>();
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < kGroupOrder; ++i) {
+      out->exp_[i] = static_cast<std::uint16_t>(x);
+      out->exp_[i + kGroupOrder] = static_cast<std::uint16_t>(x);
+      out->log_[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x10000u) x ^= kPrimPoly;
+    }
+    out->log_[0] = 0;  // undefined; callers branch on zero
+    out->inv_[0] = 0;
+    for (std::uint32_t a = 1; a < 65536; ++a) {
+      const std::uint32_t l = kGroupOrder - out->log_[a];
+      out->inv_[a] = out->exp_[l % kGroupOrder];
+    }
+    return out;
+  }();
+  return *t;
+}
+
+}  // namespace
+
+std::uint16_t mul(std::uint16_t a, std::uint16_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp_[static_cast<std::size_t>(t.log_[a]) + t.log_[b]];
+}
+
+std::uint16_t inv(std::uint16_t a) noexcept { return tables().inv_[a]; }
+
+std::uint16_t div(std::uint16_t a, std::uint16_t b) noexcept {
+  return mul(a, inv(b));
+}
+
+std::uint16_t pow(std::uint16_t a, unsigned e) noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const std::uint64_t l =
+      (static_cast<std::uint64_t>(t.log_[a]) * e) % kGroupOrder;
+  return t.exp_[l];
+}
+
+void mul_region_add(std::uint16_t c, std::span<std::uint8_t> dst,
+                    std::span<const std::uint8_t> src) {
+  assert(dst.size() == src.size());
+  assert(dst.size() % 2 == 0 && "16-bit elements");
+  if (c == 0) return;
+
+  // Split tables: for x = hi<<8 | lo, c*x = lo_tab[lo] ^ hi_tab[hi].
+  std::array<std::uint16_t, 256> lo_tab;
+  std::array<std::uint16_t, 256> hi_tab;
+  for (unsigned i = 0; i < 256; ++i) {
+    lo_tab[i] = mul(c, static_cast<std::uint16_t>(i));
+    hi_tab[i] = mul(c, static_cast<std::uint16_t>(i << 8));
+  }
+
+  const std::size_t elements = dst.size() / 2;
+  for (std::size_t i = 0; i < elements; ++i) {
+    std::uint16_t d, s;
+    std::memcpy(&d, dst.data() + 2 * i, 2);
+    std::memcpy(&s, src.data() + 2 * i, 2);
+    d = static_cast<std::uint16_t>(d ^ lo_tab[s & 0xFF] ^ hi_tab[s >> 8]);
+    std::memcpy(dst.data() + 2 * i, &d, 2);
+  }
+}
+
+}  // namespace rpr::gf16

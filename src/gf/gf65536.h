@@ -1,0 +1,42 @@
+// GF(2^16) arithmetic — the w = 16 field of Jerasure.
+//
+// The paper's codes all fit in GF(2^8) (n + k <= 256), but the substrate it
+// builds on (Jerasure) also ships w = 16, which production systems use for
+// very wide stripes. This module provides the same field interface as
+// gf256.h so a wide-code RS codec can be layered on later; it is fully
+// tested and benchmarked but not yet wired into RSCode (tracked in
+// DESIGN.md as the natural extension path).
+//
+// Polynomial: x^16 + x^12 + x^3 + x + 1 (0x1100B), Jerasure's default.
+// Tables (log/exp/inverse, ~512 KiB total) are built once on first use via
+// a thread-safe function-local static.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rpr::gf16 {
+
+inline constexpr unsigned kPrimPoly = 0x1100B;
+inline constexpr std::uint32_t kGroupOrder = 65535;
+
+/// a + b == a - b == XOR, as in every GF(2^w).
+constexpr std::uint16_t add(std::uint16_t a, std::uint16_t b) noexcept {
+  return a ^ b;
+}
+
+[[nodiscard]] std::uint16_t mul(std::uint16_t a, std::uint16_t b) noexcept;
+/// Precondition: a != 0.
+[[nodiscard]] std::uint16_t inv(std::uint16_t a) noexcept;
+/// Precondition: b != 0.
+[[nodiscard]] std::uint16_t div(std::uint16_t a, std::uint16_t b) noexcept;
+/// a^e with 0^0 == 1.
+[[nodiscard]] std::uint16_t pow(std::uint16_t a, unsigned e) noexcept;
+
+/// dst ^= c * src over little-endian 16-bit elements. Sizes must match and
+/// be even. Uses per-call 512-entry split product tables (the 16-bit
+/// analogue of the byte kernel in gf_region.h).
+void mul_region_add(std::uint16_t c, std::span<std::uint8_t> dst,
+                    std::span<const std::uint8_t> src);
+
+}  // namespace rpr::gf16

@@ -1,0 +1,127 @@
+#include "gf/gf_region.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "gf/gf256.h"
+
+namespace rpr::gf {
+
+namespace {
+
+// Per-coefficient split tables: for a byte b = hi<<4 | lo,
+//   c * b = lo_table[lo] ^ hi_table[hi]
+// because multiplication distributes over XOR and b = (hi<<4) ^ lo.
+struct SplitTables {
+  std::uint8_t lo[16];
+  std::uint8_t hi[16];
+};
+
+SplitTables make_split(std::uint8_t c) {
+  SplitTables t;
+  for (unsigned i = 0; i < 16; ++i) {
+    t.lo[i] = mul(c, static_cast<std::uint8_t>(i));
+    t.hi[i] = mul(c, static_cast<std::uint8_t>(i << 4));
+  }
+  return t;
+}
+
+// Full 256-entry product table for one coefficient, built from the split
+// tables. One L1-resident lookup per byte; on scalar hardware this is the
+// fastest portable approach.
+struct ProductTable {
+  std::uint8_t p[256];
+};
+
+ProductTable make_product(std::uint8_t c) {
+  const SplitTables s = make_split(c);
+  ProductTable t;
+  for (unsigned b = 0; b < 256; ++b) {
+    t.p[b] = static_cast<std::uint8_t>(s.lo[b & 0xF] ^ s.hi[b >> 4]);
+  }
+  return t;
+}
+
+}  // namespace
+
+void xor_region(std::span<std::uint8_t> dst,
+                std::span<const std::uint8_t> src) {
+  assert(dst.size() == src.size());
+  std::size_t i = 0;
+  const std::size_t n = dst.size();
+  // Word-wide main loop. memcpy keeps this strict-aliasing clean; the
+  // compiler lowers it to plain loads/stores.
+  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
+    std::uint64_t a, b;
+    std::memcpy(&a, dst.data() + i, sizeof(a));
+    std::memcpy(&b, src.data() + i, sizeof(b));
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, sizeof(a));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void mul_region(std::uint8_t c, std::span<std::uint8_t> dst,
+                std::span<const std::uint8_t> src) {
+  assert(dst.size() == src.size());
+  if (c == 0) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  if (c == 1) {
+    if (dst.data() != src.data()) {
+      std::memcpy(dst.data(), src.data(), dst.size());
+    }
+    return;
+  }
+  const ProductTable t = make_product(c);
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = t.p[src[i]];
+}
+
+void mul_region_add(std::uint8_t c, std::span<std::uint8_t> dst,
+                    std::span<const std::uint8_t> src) {
+  assert(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    xor_region(dst, src);
+    return;
+  }
+  mul_region_add_general(c, dst, src);
+}
+
+void mul_region_add_general(std::uint8_t c, std::span<std::uint8_t> dst,
+                            std::span<const std::uint8_t> src) {
+  assert(dst.size() == src.size());
+  if (c == 0) return;
+  const ProductTable t = make_product(c);
+  const std::size_t n = dst.size();
+  std::size_t i = 0;
+  // Unroll by 4 to give the scalar pipeline some ILP between dependent
+  // table loads.
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= t.p[src[i]];
+    dst[i + 1] ^= t.p[src[i + 1]];
+    dst[i + 2] ^= t.p[src[i + 2]];
+    dst[i + 3] ^= t.p[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= t.p[src[i]];
+}
+
+namespace ref {
+
+void xor_region(std::span<std::uint8_t> dst,
+                std::span<const std::uint8_t> src) {
+  assert(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+void mul_region_add(std::uint8_t c, std::span<std::uint8_t> dst,
+                    std::span<const std::uint8_t> src) {
+  assert(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= mul(c, src[i]);
+}
+
+}  // namespace ref
+
+}  // namespace rpr::gf

@@ -1,0 +1,54 @@
+// Bulk (region) operations over GF(2^8) byte buffers.
+//
+// These are the hot kernels of the whole system: encoding, decoding and
+// partial decoding are all of the form  dst ^= c * src  over block-sized
+// buffers. Two paths exist:
+//
+//  * XOR path (`xor_region`): word-wide XOR, used when the coefficient is 1.
+//    This is the fast path that RPR's pre-placement optimization (§3.3)
+//    unlocks: repairing with {all other data blocks, P0} needs only XORs.
+//  * Multiply path (`mul_region_add`): per-coefficient 4-bit split tables
+//    (two 16-entry tables combined into a 256-entry lookup pair), the same
+//    technique vectorized erasure coders use, implemented portably.
+//
+// The measured speed gap between the two paths is what the paper reports as
+// "optimized decoding ~2.5 s vs traditional decoding ~20 s" on EC2; the
+// micro_decode benchmark regenerates that comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rpr::gf {
+
+/// dst ^= src, element-wise. Sizes must match.
+void xor_region(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src);
+
+/// dst = c * src, element-wise (dst and src may alias exactly).
+void mul_region(std::uint8_t c, std::span<std::uint8_t> dst,
+                std::span<const std::uint8_t> src);
+
+/// dst ^= c * src, element-wise. The fundamental encode/decode kernel.
+/// c == 0 is a no-op; c == 1 degenerates to xor_region.
+void mul_region_add(std::uint8_t c, std::span<std::uint8_t> dst,
+                    std::span<const std::uint8_t> src);
+
+/// Same as mul_region_add but always takes the table-lookup path, even for
+/// c == 1 (c == 0 still short-circuits, matching how a generic decoder skips
+/// zero entries of the decoding matrix). This is the cost model of an
+/// *unoptimized* decode function — the "traditional decoding function" whose
+/// ~4x slowdown the paper measures on EC2 (§5.2.1) — and is what the
+/// threaded testbed charges for matrix-path decodes.
+void mul_region_add_general(std::uint8_t c, std::span<std::uint8_t> dst,
+                            std::span<const std::uint8_t> src);
+
+/// Reference (scalar, obviously-correct) versions used by the test suite to
+/// validate the optimized kernels.
+namespace ref {
+void xor_region(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src);
+void mul_region_add(std::uint8_t c, std::span<std::uint8_t> dst,
+                    std::span<const std::uint8_t> src);
+}  // namespace ref
+
+}  // namespace rpr::gf

@@ -1,0 +1,235 @@
+#include "matrix/matrix.h"
+
+#include <cassert>
+
+#include "gf/gf256.h"
+#include "util/combinatorics.h"
+
+namespace rpr::matrix {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows());
+  Matrix out(rows_, rhs.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t l = 0; l < cols_; ++l) {
+      const std::uint8_t a = at(i, l);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < rhs.cols(); ++j) {
+        out.at(i, j) ^= gf::mul(a, rhs.at(l, j));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Matrix::multiply_vec(
+    std::span<const std::uint8_t> v) const {
+  assert(v.size() == cols_);
+  std::vector<std::uint8_t> out(rows_, 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::uint8_t acc = 0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      acc ^= gf::mul(at(i, j), v[j]);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  assert(rows_ == cols_);
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot at or below the diagonal.
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a.at(pivot, j), a.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t p = a.at(col, col);
+    if (p != 1) {
+      const std::uint8_t pinv = gf::inv(p);
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(col, j) = gf::mul(a.at(col, j), pinv);
+        inv.at(col, j) = gf::mul(inv.at(col, j), pinv);
+      }
+    }
+    // Eliminate the column everywhere else (Gauss-Jordan).
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(r, j) ^= gf::mul(f, a.at(col, j));
+        inv.at(r, j) ^= gf::mul(f, inv.at(col, j));
+      }
+    }
+  }
+  return inv;
+}
+
+std::size_t Matrix::rank() const {
+  Matrix a = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (std::size_t j = 0; j < cols_; ++j) {
+        std::swap(a.at(pivot, j), a.at(rank, j));
+      }
+    }
+    const std::uint8_t pinv = gf::inv(a.at(rank, col));
+    for (std::size_t j = 0; j < cols_; ++j) {
+      a.at(rank, j) = gf::mul(a.at(rank, j), pinv);
+    }
+    for (std::size_t r = rank + 1; r < rows_; ++r) {
+      const std::uint8_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        a.at(r, j) ^= gf::mul(f, a.at(rank, j));
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> row_idx) const {
+  Matrix out(row_idx.size(), cols_);
+  for (std::size_t i = 0; i < row_idx.size(); ++i) {
+    assert(row_idx[i] < rows_);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.at(i, j) = at(row_idx[i], j);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// (n+k) x n extended Vandermonde matrix: rows are evaluation vectors
+// [1, x, x^2, ..., x^(n-1)] at n+k-1 distinct field points, plus the
+// "point at infinity" row e_n = [0, ..., 0, 1]. Any n rows are linearly
+// independent, which is exactly the generalized-Reed-Solomon property.
+Matrix extended_vandermonde(std::size_t n, std::size_t k) {
+  Matrix v(n + k, n);
+  for (std::size_t i = 0; i + 1 < n + k; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      v.at(i, j) = gf::pow(x, static_cast<unsigned>(j));
+    }
+  }
+  v.at(n + k - 1, n - 1) = 1;  // point at infinity
+  return v;
+}
+
+// Rescale the columns of C (C <- C * diag(s)) so that the first row becomes
+// all ones. Valid because [I ; C*S] is MDS iff [I ; C] is (right
+// multiplication by an invertible diagonal + row scaling argument), and all
+// entries of an MDS coding matrix are nonzero so s exists.
+void normalize_first_row(Matrix& c) {
+  for (std::size_t j = 0; j < c.cols(); ++j) {
+    const std::uint8_t head = c.at(0, j);
+    assert(head != 0 && "MDS coding matrix cannot contain zeros");
+    if (head == 1) continue;
+    const std::uint8_t s = gf::inv(head);
+    for (std::size_t i = 0; i < c.rows(); ++i) {
+      c.at(i, j) = gf::mul(c.at(i, j), s);
+    }
+  }
+}
+
+}  // namespace
+
+Matrix vandermonde_coding_matrix(std::size_t n, std::size_t k) {
+  assert(n >= 1 && k >= 1);
+  assert(n + k <= 257);
+  const Matrix v = extended_vandermonde(n, k);
+
+  // Systematize: M' = V * (top block)^-1. Right multiplication preserves the
+  // any-n-rows-independent property, and the top block becomes I_n.
+  std::vector<std::size_t> top(n);
+  for (std::size_t i = 0; i < n; ++i) top[i] = i;
+  const auto top_inv = v.select_rows(top).inverted();
+  assert(top_inv.has_value());
+  const Matrix systematic = v.multiply(*top_inv);
+
+  Matrix c(k, n);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      c.at(i, j) = systematic.at(n + i, j);
+    }
+  }
+  normalize_first_row(c);
+  return c;
+}
+
+Matrix cauchy_coding_matrix(std::size_t n, std::size_t k) {
+  assert(n >= 1 && k >= 1);
+  assert(n + k <= 256);
+  // x_i = i (parity side), y_j = k + j (data side): disjoint, so x_i ^ y_j
+  // is never zero and every square submatrix of C is nonsingular (Cauchy).
+  Matrix c(k, n);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto x = static_cast<std::uint8_t>(i);
+      const auto y = static_cast<std::uint8_t>(k + j);
+      c.at(i, j) = gf::inv(static_cast<std::uint8_t>(x ^ y));
+    }
+  }
+  // Row-normalize so the first column is all ones...
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint8_t s = gf::inv(c.at(i, 0));
+    for (std::size_t j = 0; j < n; ++j) c.at(i, j) = gf::mul(c.at(i, j), s);
+  }
+  // ...then column-normalize so the first row is all ones (column 0 already
+  // has c[0][0] == 1, so it is untouched and the first column stays ones).
+  normalize_first_row(c);
+  return c;
+}
+
+Matrix full_generator(const Matrix& coding) {
+  const std::size_t n = coding.cols();
+  const std::size_t k = coding.rows();
+  Matrix g(n + k, n);
+  for (std::size_t i = 0; i < n; ++i) g.at(i, i) = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      g.at(n + i, j) = coding.at(i, j);
+    }
+  }
+  return g;
+}
+
+bool verify_mds(const Matrix& coding) {
+  const std::size_t n = coding.cols();
+  const std::size_t k = coding.rows();
+  const Matrix g = full_generator(coding);
+  bool ok = true;
+  // Selecting exactly n of the n+k rows covers every erasure pattern of up
+  // to k losses.
+  util::for_each_combination(n + k, n,
+                             [&](const std::vector<std::size_t>& rows) {
+                               if (!ok) return;
+                               if (!g.select_rows(rows).invertible()) ok = false;
+                             });
+  return ok;
+}
+
+}  // namespace rpr::matrix

@@ -1,0 +1,103 @@
+// Dense matrices over GF(2^8) and the generator-matrix constructions used by
+// the Reed-Solomon codec.
+//
+// Terminology follows the paper (§2.1.1): an RS(n, k) code has n data blocks
+// and k parity blocks. The full generator ("encoding") matrix is the
+// (n+k) x n matrix [ I_n ; C ] where C is the k x n coding matrix. The code
+// is MDS iff every n x n submatrix formed from n distinct rows of [I ; C] is
+// invertible.
+//
+// Two C constructions are provided:
+//  * `vandermonde_coding_matrix` — the Jerasure-style construction: start
+//    from an (n+k) x n extended Vandermonde matrix (every n rows linearly
+//    independent) and systematize it by multiplying on the right with the
+//    inverse of its top n x n block. Column operations preserve the
+//    any-n-rows-independent property, so the result is MDS.
+//  * `cauchy_coding_matrix` — a Cauchy matrix C[i][j] = 1/(x_i + y_j), with
+//    rows and columns rescaled so that the first row and first column are
+//    all ones. Every square submatrix of a Cauchy matrix is nonsingular, and
+//    row/column scaling preserves that, so the code is MDS.
+//
+// Both constructions are post-processed to guarantee the property that the
+// paper's pre-placement optimization (§3.3, eq. 6) requires: the FIRST
+// PARITY ROW IS ALL ONES, i.e. P0 = D0 ^ D1 ^ ... ^ D(n-1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rpr::matrix {
+
+/// Row-major dense matrix over GF(2^8).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  std::uint8_t& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<std::uint8_t> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Matrix product (this * rhs). Requires cols() == rhs.rows().
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+
+  /// Matrix-vector product.
+  [[nodiscard]] std::vector<std::uint8_t> multiply_vec(
+      std::span<const std::uint8_t> v) const;
+
+  /// Gauss-Jordan inverse; nullopt if singular. Requires square.
+  [[nodiscard]] std::optional<Matrix> inverted() const;
+
+  /// Rank via Gaussian elimination (works on a copy).
+  [[nodiscard]] std::size_t rank() const;
+
+  [[nodiscard]] bool invertible() const { return rank() == rows_ && rows_ == cols_; }
+
+  /// New matrix formed from the given rows of this one, in the given order.
+  [[nodiscard]] Matrix select_rows(std::span<const std::size_t> row_idx) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// k x n coding matrix C via the systematized extended-Vandermonde route.
+/// Guarantees: [I;C] is MDS and C's first row is all ones.
+/// Requires n + k <= 257 (field-size bound of the extended construction).
+[[nodiscard]] Matrix vandermonde_coding_matrix(std::size_t n, std::size_t k);
+
+/// k x n coding matrix C via a doubly-normalized Cauchy matrix.
+/// Guarantees: [I;C] is MDS, C's first row AND first column are all ones.
+/// Requires n + k <= 256.
+[[nodiscard]] Matrix cauchy_coding_matrix(std::size_t n, std::size_t k);
+
+/// Stacks [I_n ; C] into the full (n+k) x n generator matrix.
+[[nodiscard]] Matrix full_generator(const Matrix& coding);
+
+/// Exhaustively verifies the MDS property of a coding matrix: every way of
+/// erasing up to k rows of [I;C] leaves an invertible system. Cost grows
+/// combinatorially; intended for tests with the paper's configurations.
+[[nodiscard]] bool verify_mds(const Matrix& coding);
+
+}  // namespace rpr::matrix

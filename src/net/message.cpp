@@ -1,0 +1,49 @@
+#include "net/message.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rpr::net {
+
+void send_value(Socket& sock, std::uint64_t op_id,
+                std::span<const std::uint8_t> payload, std::size_t pace_chunk,
+                std::uint64_t chunk_delay_ns) {
+  MessageHeader h;
+  h.op_id = op_id;
+  h.payload_len = payload.size();
+  std::uint8_t buf[sizeof(MessageHeader)];
+  std::memcpy(buf, &h, sizeof(h));
+  sock.write_all({buf, sizeof(buf)});
+
+  if (pace_chunk == 0 || chunk_delay_ns == 0) {
+    sock.write_all(payload);
+    return;
+  }
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t len = std::min(pace_chunk, payload.size() - off);
+    sock.write_all(payload.subspan(off, len));
+    off += len;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(chunk_delay_ns));
+  }
+}
+
+ReceivedValue recv_value(Socket& sock, std::uint64_t max_payload) {
+  std::uint8_t buf[sizeof(MessageHeader)];
+  sock.read_exact({buf, sizeof(buf)});
+  MessageHeader h;
+  std::memcpy(&h, buf, sizeof(h));
+  if (h.magic != kMagic) {
+    throw std::runtime_error("recv_value: bad magic");
+  }
+  if (h.payload_len > max_payload) {
+    throw std::runtime_error("recv_value: oversized payload");
+  }
+  ReceivedValue v;
+  v.op_id = h.op_id;
+  v.payload.resize(h.payload_len);
+  sock.read_exact(v.payload);
+  return v;
+}
+
+}  // namespace rpr::net

@@ -1,0 +1,44 @@
+// Wire framing for the networked runtime.
+//
+// One message = one intermediate/raw block value in flight, tagged with the
+// plan op id that produced it so the receiver can satisfy its combines'
+// dependencies. Fixed little-endian header followed by the payload.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace rpr::net {
+
+inline constexpr std::uint32_t kMagic = 0x52505231;  // "RPR1"
+
+struct MessageHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t reserved = 0;
+  std::uint64_t op_id = 0;        ///< plan op that produced the value
+  std::uint64_t payload_len = 0;  ///< bytes following the header
+};
+static_assert(sizeof(MessageHeader) == 24);
+
+/// Sends one value; `pace_chunk` and `chunk_delay_ns` implement sender-side
+/// bandwidth shaping (wondershaper's role in the paper's setup): after each
+/// `pace_chunk` bytes the sender sleeps `chunk_delay_ns`.
+void send_value(Socket& sock, std::uint64_t op_id,
+                std::span<const std::uint8_t> payload,
+                std::size_t pace_chunk = 0, std::uint64_t chunk_delay_ns = 0);
+
+struct ReceivedValue {
+  std::uint64_t op_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Receives exactly one framed value; throws on malformed input.
+[[nodiscard]] ReceivedValue recv_value(Socket& sock,
+                                       std::uint64_t max_payload);
+
+}  // namespace rpr::net

@@ -1,0 +1,125 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace rpr::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::write_all(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ::ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::read_exact(std::span<std::uint8_t> bytes) {
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ::ssize_t n =
+        ::recv(fd_, bytes.data() + got, bytes.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    if (n == 0) {
+      throw std::runtime_error("recv: unexpected EOF");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+Listener::Listener() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sock_ = Socket(fd);
+
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) != 0) {
+    fail("bind");
+  }
+  if (::listen(fd, 64) != 0) fail("listen");
+
+  ::socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<::sockaddr*>(&addr), &len) != 0) {
+    fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    fail("accept");
+  }
+}
+
+Socket connect_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  Socket sock(fd);
+
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    fail("connect");
+  }
+}
+
+}  // namespace rpr::net

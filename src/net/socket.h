@@ -1,0 +1,57 @@
+// Minimal RAII TCP socket layer (loopback-oriented).
+//
+// The paper's real-world evaluation ran repair agents on actual machines
+// talking TCP. This layer provides exactly what the networked runtime
+// needs: listening sockets on ephemeral 127.0.0.1 ports, blocking connects,
+// and exact-length reads/writes, all exception-safe. No external
+// dependencies — plain POSIX sockets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace rpr::net {
+
+/// Owning file-descriptor wrapper; move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Writes the whole buffer or throws std::runtime_error.
+  void write_all(std::span<const std::uint8_t> bytes);
+  /// Reads exactly bytes.size() bytes or throws (EOF included).
+  void read_exact(std::span<std::uint8_t> bytes);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 on an ephemeral port.
+class Listener {
+ public:
+  Listener();  // binds + listens; throws on failure
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Blocks until a peer connects.
+  [[nodiscard]] Socket accept();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to 127.0.0.1:port.
+[[nodiscard]] Socket connect_local(std::uint16_t port);
+
+}  // namespace rpr::net

@@ -1,0 +1,232 @@
+#include "net/tcp_runtime.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "gf/gf256.h"
+#include "gf/gf_region.h"
+#include "matrix/matrix.h"
+#include "net/message.h"
+#include "net/socket.h"
+
+namespace rpr::net {
+
+using repair::OpId;
+using repair::OpKind;
+using repair::PlanOp;
+using repair::RepairPlan;
+using rs::Block;
+
+namespace {
+
+struct ExecState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Block> value;
+  std::vector<bool> done;
+
+  explicit ExecState(std::size_t ops) : value(ops), done(ops, false) {}
+
+  void wait_for(const std::vector<OpId>& ids) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] {
+      for (OpId id : ids) {
+        if (!done[id]) return false;
+      }
+      return true;
+    });
+  }
+
+  Block take_copy(OpId id) {
+    std::unique_lock lock(mu);
+    return value[id];
+  }
+
+  void publish(OpId id, Block b) {
+    {
+      std::unique_lock lock(mu);
+      value[id] = std::move(b);
+      done[id] = true;
+    }
+    cv.notify_all();
+  }
+};
+
+void build_and_invert_matrix(std::size_t dim) {
+  matrix::Matrix m(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      m.at(i, j) = gf::inv(static_cast<std::uint8_t>(i ^ (dim + j)));
+    }
+  }
+  if (!m.inverted().has_value()) {
+    throw std::logic_error("tcp_runtime: decode-matrix inversion failed");
+  }
+}
+
+}  // namespace
+
+TcpRuntime::TcpRuntime(topology::Cluster cluster, TcpRuntimeParams params)
+    : cluster_(cluster), params_(std::move(params)) {
+  if (params_.net.racks() < cluster_.racks()) {
+    throw std::invalid_argument("TcpRuntime: RegionNet smaller than cluster");
+  }
+  if (params_.time_scale <= 0.0 || params_.pace_chunk == 0) {
+    throw std::invalid_argument("TcpRuntime: bad pacing parameters");
+  }
+}
+
+runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
+                                           std::span<const OpId> outputs,
+                                           std::span<const Block> stripe) {
+  repair::validate(plan, cluster_);
+  ExecState state(plan.ops.size());
+
+  // How many socket messages each node will receive, and which node runs
+  // which ops (sends run on the sender).
+  std::vector<std::size_t> expected_msgs(cluster_.total_nodes(), 0);
+  std::vector<std::vector<OpId>> ops_of_node(cluster_.total_nodes());
+  for (OpId id = 0; id < plan.ops.size(); ++id) {
+    const PlanOp& op = plan.ops[id];
+    if (op.kind == OpKind::kSend && op.from != op.node) {
+      ++expected_msgs[op.node];
+      ops_of_node[op.from].push_back(id);
+    } else if (op.kind == OpKind::kSend) {
+      ops_of_node[op.from].push_back(id);
+    } else {
+      ops_of_node[op.node].push_back(id);
+    }
+  }
+
+  // Listeners for every receiving node (ephemeral loopback ports).
+  std::vector<std::unique_ptr<Listener>> listener(cluster_.total_nodes());
+  std::vector<std::uint16_t> port(cluster_.total_nodes(), 0);
+  for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
+    if (expected_msgs[n] == 0) continue;
+    listener[n] = std::make_unique<Listener>();
+    port[n] = listener[n]->port();
+  }
+
+  std::atomic<std::uint64_t> cross_bytes{0};
+  std::atomic<std::uint64_t> inner_bytes{0};
+  const std::uint64_t max_payload = plan.block_size + 4096;
+
+  // One first exception wins; workers bail out afterwards.
+  std::mutex err_mu;
+  std::string first_error;
+  auto record_error = [&](const std::string& what) {
+    std::scoped_lock lock(err_mu);
+    if (first_error.empty()) first_error = what;
+  };
+
+  auto run_op = [&](OpId id) {
+    const PlanOp& op = plan.ops[id];
+    state.wait_for(op.inputs);
+    switch (op.kind) {
+      case OpKind::kRead: {
+        const Block& src = stripe[op.block];
+        Block out(src.size(), 0);
+        gf::mul_region_add(op.coeff, out, src);
+        state.publish(id, std::move(out));
+        break;
+      }
+      case OpKind::kSend: {
+        Block payload = state.take_copy(op.inputs[0]);
+        if (op.from == op.node) {
+          state.publish(id, std::move(payload));
+          break;
+        }
+        const auto rf = cluster_.rack_of(op.from);
+        const auto rt = cluster_.rack_of(op.node);
+        const util::Bandwidth bw = params_.net.between_racks(rf, rt);
+        // Chunked pacing: delay per chunk so the stream averages bw*scale.
+        const double chunk_sec =
+            static_cast<double>(params_.pace_chunk) /
+            (bw.as_bytes_per_sec() * params_.time_scale);
+        const auto delay_ns =
+            static_cast<std::uint64_t>(chunk_sec * 1e9);
+        Socket sock = connect_local(port[op.node]);
+        send_value(sock, id, payload, params_.pace_chunk, delay_ns);
+        (rf == rt ? inner_bytes : cross_bytes) += payload.size();
+        // The receiver's acceptor publishes the value; nothing to do here.
+        break;
+      }
+      case OpKind::kCombine: {
+        if (op.with_matrix_cost) {
+          build_and_invert_matrix(params_.decode_matrix_dim);
+        }
+        Block acc;
+        {
+          const Block first = state.take_copy(op.inputs[0]);
+          acc.assign(first.size(), 0);
+        }
+        for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+          const Block in = state.take_copy(op.inputs[i]);
+          const std::uint8_t c =
+              op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
+          if (op.with_matrix_cost) {
+            gf::mul_region_add_general(c, acc, in);
+          } else {
+            gf::mul_region_add(c, acc, in);
+          }
+        }
+        state.publish(id, std::move(acc));
+        break;
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+
+  // Acceptors: each ingests exactly its expected number of messages.
+  for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
+    if (expected_msgs[n] == 0) continue;
+    threads.emplace_back([&, n] {
+      try {
+        for (std::size_t i = 0; i < expected_msgs[n]; ++i) {
+          Socket peer = listener[n]->accept();
+          ReceivedValue v = recv_value(peer, max_payload);
+          if (v.op_id >= plan.ops.size()) {
+            throw std::runtime_error("tcp_runtime: bogus op id on wire");
+          }
+          state.publish(v.op_id, Block(v.payload.begin(), v.payload.end()));
+        }
+      } catch (const std::exception& e) {
+        record_error(e.what());
+      }
+    });
+  }
+  // Workers.
+  for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
+    if (ops_of_node[n].empty()) continue;
+    threads.emplace_back([&, n] {
+      try {
+        for (OpId id : ops_of_node[n]) run_op(id);
+      } catch (const std::exception& e) {
+        record_error(e.what());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  if (!first_error.empty()) {
+    throw std::runtime_error("TcpRuntime::execute: " + first_error);
+  }
+
+  runtime::TestbedResult result;
+  result.wall_time =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
+  result.cross_rack_bytes = cross_bytes.load();
+  result.inner_rack_bytes = inner_bytes.load();
+  result.outputs.reserve(outputs.size());
+  for (OpId id : outputs) result.outputs.push_back(state.take_copy(id));
+  return result;
+}
+
+}  // namespace rpr::net

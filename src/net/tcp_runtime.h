@@ -1,0 +1,56 @@
+// Networked runtime: executes repair plans over real TCP connections.
+//
+// The closest in-process analogue of the paper's EC2 deployment (§5.2):
+// every storage node is a thread with a listening TCP socket on loopback;
+// block values travel as framed messages through real sockets with
+// sender-side pacing at the configured region bandwidths (wondershaper's
+// role in the paper's setup); partial decoding runs the real GF kernels.
+//
+// Contention model that emerges naturally (and matches the testbed/port
+// simulator): each node's worker sends one value at a time (TX
+// serialization) and its acceptor ingests one connection at a time (RX
+// serialization). Rack uplinks are not separately modeled — loopback has no
+// TOR switch — so this runtime validates *correctness over a real network
+// stack* and coarse timing, while `runtime::Testbed` and `simnet` carry the
+// calibrated cost models.
+#pragma once
+
+#include "repair/plan.h"
+#include "rs/rs_code.h"
+#include "runtime/region_net.h"
+#include "runtime/testbed.h"
+
+namespace rpr::net {
+
+struct TcpRuntimeParams {
+  runtime::RegionNet net = runtime::RegionNet::uniform(
+      1, util::Bandwidth::gbps(10), util::Bandwidth::gbps(1));
+  /// Multiplies all pacing bandwidths (1.0 = real time).
+  double time_scale = 1.0;
+  /// Dimension of the matrix really inverted on the matrix decode path.
+  std::size_t decode_matrix_dim = 8;
+  /// Pacing granularity: sleep after each chunk of this many bytes.
+  std::size_t pace_chunk = 64 << 10;
+};
+
+class TcpRuntime {
+ public:
+  TcpRuntime(topology::Cluster cluster, TcpRuntimeParams params);
+
+  /// Runs the plan with one worker thread (plus one acceptor thread where
+  /// needed) per involved node, moving every inter-node value through a
+  /// real TCP connection. Returns outputs and measured wall time.
+  runtime::TestbedResult execute(const repair::RepairPlan& plan,
+                                 std::span<const repair::OpId> outputs,
+                                 std::span<const rs::Block> stripe);
+
+  [[nodiscard]] const topology::Cluster& cluster() const noexcept {
+    return cluster_;
+  }
+
+ private:
+  topology::Cluster cluster_;
+  TcpRuntimeParams params_;
+};
+
+}  // namespace rpr::net

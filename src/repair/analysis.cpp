@@ -1,0 +1,52 @@
+#include "repair/analysis.h"
+
+#include <cassert>
+
+namespace rpr::repair::analysis {
+
+std::size_t floor_log2(std::size_t x) {
+  assert(x >= 1);
+  std::size_t l = 0;
+  while (x >>= 1) ++l;
+  return l;
+}
+
+std::size_t ceil_log2(std::size_t x) {
+  assert(x >= 1);
+  const std::size_t f = floor_log2(x);
+  return (std::size_t{1} << f) == x ? f : f + 1;
+}
+
+util::SimTime traditional_time(std::size_t n, const Params& p) {
+  return static_cast<util::SimTime>(n) * p.t_c;
+}
+
+util::SimTime inner_time(std::size_t r_max, const Params& p) {
+  return static_cast<util::SimTime>(floor_log2(r_max) + 1) * p.t_i;
+}
+
+util::SimTime cross_time(std::size_t q, const Params& p) {
+  return static_cast<util::SimTime>(floor_log2(q) + 1) * p.t_c;
+}
+
+util::SimTime rpr_worst_time(std::size_t n, std::size_t k, const Params& p) {
+  const std::size_t q = (n + k + k - 1) / k;
+  return inner_time(k, p) + cross_time(q, p);
+}
+
+std::size_t rpr_multi_cross_timesteps(std::size_t q, std::size_t l) {
+  return ceil_log2(q) * l;
+}
+
+std::size_t rpr_multi_traffic_blocks(std::size_t n, std::size_t k,
+                                     std::size_t l) {
+  return (n / k) * l;
+}
+
+double multi_worst_improvement(std::size_t n, std::size_t k) {
+  const std::size_t q = (n + k + k - 1) / k;
+  const double steps = static_cast<double>(rpr_multi_cross_timesteps(q, k));
+  return 1.0 - steps / static_cast<double>(n);
+}
+
+}  // namespace rpr::repair::analysis

@@ -1,0 +1,63 @@
+// Closed-form repair-cost analysis (paper §4).
+//
+// These formulas reproduce the paper's mathematical analysis exactly as
+// printed; the theory bench (Fig. 6) plots them, and tests cross-check the
+// simulator against them on the degenerate topologies where they are exact.
+//
+//   eq. (10)  t_tra        = n * t_c
+//   eq. (11)  T_inner      = (floor(log2 r_max) + 1) * t_i
+//   eq. (12)  T_cross      = (floor(log2 q) + 1) * t_c
+//   eq. (13)  t_rpr(worst) = T_inner + T_cross            (r_i = k per rack)
+//   §4.3.1    multi worst case: ceil(log2 q) * k cross timesteps vs n
+//   §4.3.2    multi worst-case traffic: n intermediate blocks (no change)
+//   §4.3.3    l in [2, k):  ceil(log2 q) * l cross timesteps,
+//             traffic (n/k) * l blocks vs n
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.h"
+
+namespace rpr::repair::analysis {
+
+struct Params {
+  util::SimTime t_i = util::kNsPerMs;       ///< one inner-rack block transfer
+  util::SimTime t_c = 10 * util::kNsPerMs;  ///< one cross-rack block transfer
+};
+
+/// floor(log2 x), x >= 1.
+[[nodiscard]] std::size_t floor_log2(std::size_t x);
+/// ceil(log2 x), x >= 1.
+[[nodiscard]] std::size_t ceil_log2(std::size_t x);
+
+/// eq. (10): traditional single-failure repair time.
+[[nodiscard]] util::SimTime traditional_time(std::size_t n, const Params& p);
+
+/// eq. (11): worst-case inner-rack phase with r_max survivors in a rack.
+[[nodiscard]] util::SimTime inner_time(std::size_t r_max, const Params& p);
+
+/// eq. (12): worst-case cross-rack phase over q racks.
+[[nodiscard]] util::SimTime cross_time(std::size_t q, const Params& p);
+
+/// eq. (13): RPR worst-case single-failure repair time with r_i = k and the
+/// stripe spread over q = ceil((n+k)/k) racks.
+[[nodiscard]] util::SimTime rpr_worst_time(std::size_t n, std::size_t k,
+                                           const Params& p);
+
+/// §4.3.1/§4.3.3: RPR multi-failure cross-rack timestep count for l failures
+/// over q racks (l = k is the worst case).
+[[nodiscard]] std::size_t rpr_multi_cross_timesteps(std::size_t q,
+                                                    std::size_t l);
+
+/// §4.3.3: RPR multi-failure cross-rack traffic in blocks ((n/k) * l),
+/// versus the traditional scheme's n.
+[[nodiscard]] std::size_t rpr_multi_traffic_blocks(std::size_t n,
+                                                   std::size_t k,
+                                                   std::size_t l);
+
+/// §4.3.1: relative repair-time improvement over traditional in the
+/// multi-failure worst case, 1 - ceil(log2 q) * k / n (0 when q <= 3 and
+/// n = ceil(log2 3)*k, i.e. no improvement for storage overhead >= 50%).
+[[nodiscard]] double multi_worst_improvement(std::size_t n, std::size_t k);
+
+}  // namespace rpr::repair::analysis

@@ -1,0 +1,55 @@
+#include "repair/executor_data.h"
+
+#include <stdexcept>
+
+#include "gf/gf_region.h"
+
+namespace rpr::repair {
+
+std::vector<rs::Block> execute_on_data(const RepairPlan& plan,
+                                       std::span<const OpId> outputs,
+                                       std::span<const rs::Block> stripe) {
+  std::vector<rs::Block> value(plan.ops.size());
+
+  for (OpId id = 0; id < plan.ops.size(); ++id) {
+    const PlanOp& op = plan.ops[id];
+    switch (op.kind) {
+      case OpKind::kRead: {
+        if (op.block >= stripe.size()) {
+          throw std::out_of_range("execute_on_data: block out of range");
+        }
+        const rs::Block& src = stripe[op.block];
+        value[id].assign(src.size(), 0);
+        gf::mul_region_add(op.coeff, value[id], src);
+        break;
+      }
+      case OpKind::kSend:
+        // Data-wise a send is the identity; location is a plan-level
+        // concept already checked by validate().
+        value[id] = value[op.inputs[0]];
+        break;
+      case OpKind::kCombine: {
+        const rs::Block& first = value[op.inputs[0]];
+        value[id].assign(first.size(), 0);
+        for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+          const std::uint8_t c =
+              op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
+          gf::mul_region_add(c, value[id], value[op.inputs[i]]);
+        }
+        break;
+      }
+    }
+  }
+
+  std::vector<rs::Block> result;
+  result.reserve(outputs.size());
+  for (OpId id : outputs) {
+    if (id >= plan.ops.size()) {
+      throw std::out_of_range("execute_on_data: bad output op");
+    }
+    result.push_back(value[id]);
+  }
+  return result;
+}
+
+}  // namespace rpr::repair

@@ -1,0 +1,80 @@
+#include "repair/executor_sim.h"
+
+#include <vector>
+
+#include "simnet/fluid.h"
+
+namespace rpr::repair {
+
+namespace {
+
+/// Lowers the plan into any network type exposing the SimNetwork task API.
+template <typename Network>
+simnet::RunResult lower_and_run(const RepairPlan& plan,
+                                const topology::Cluster& cluster,
+                                const topology::NetworkParams& params) {
+  validate(plan, cluster);
+  Network net(cluster, params);
+
+  std::vector<simnet::TaskId> task_of(plan.ops.size());
+  for (OpId id = 0; id < plan.ops.size(); ++id) {
+    const PlanOp& op = plan.ops[id];
+    std::vector<simnet::TaskId> deps;
+    deps.reserve(op.inputs.size());
+    for (OpId in : op.inputs) deps.push_back(task_of[in]);
+
+    switch (op.kind) {
+      case OpKind::kRead:
+        task_of[id] = net.add_compute(op.node, 0, std::move(deps), op.label);
+        break;
+      case OpKind::kSend:
+        task_of[id] = net.add_transfer(op.from, op.node, plan.block_size,
+                                       std::move(deps), op.label);
+        break;
+      case OpKind::kCombine: {
+        // Merging m buffers costs m-1 block passes (each pass is one
+        // xor_region / mul_region_add over the block); a single-input
+        // combine is the planner's "final decode" marker and is charged one
+        // pass at the tagged speed.
+        const std::uint64_t passes =
+            op.inputs.size() >= 2 ? op.inputs.size() - 1 : 1;
+        task_of[id] = net.add_compute(
+            op.node,
+            net.decode_duration(plan.block_size * passes, op.with_matrix_cost),
+            std::move(deps), op.label);
+        break;
+      }
+    }
+  }
+  return net.run();
+}
+
+SimOutcome to_outcome(const simnet::RunResult& r) {
+  SimOutcome out;
+  out.total_repair_time = r.makespan;
+  out.cross_rack_bytes = r.cross_rack_bytes;
+  out.inner_rack_bytes = r.inner_rack_bytes;
+  out.cross_rack_transfers = r.cross_rack_transfers;
+  out.inner_rack_transfers = r.inner_rack_transfers;
+  out.rack_upload_bytes = r.rack_upload_bytes;
+  out.rack_download_bytes = r.rack_download_bytes;
+  return out;
+}
+
+}  // namespace
+
+SimOutcome simulate(const RepairPlan& plan,
+                    const topology::Cluster& cluster,
+                    const topology::NetworkParams& params) {
+  return to_outcome(
+      lower_and_run<simnet::SimNetwork>(plan, cluster, params));
+}
+
+SimOutcome simulate_fluid(const RepairPlan& plan,
+                          const topology::Cluster& cluster,
+                          const topology::NetworkParams& params) {
+  return to_outcome(
+      lower_and_run<simnet::FluidNetwork>(plan, cluster, params));
+}
+
+}  // namespace rpr::repair

@@ -1,0 +1,41 @@
+// SimExecutor: lowers a RepairPlan onto the discrete-event network
+// simulator to obtain the repair's makespan and traffic (the quantities the
+// paper's Figs. 7-11 report).
+#pragma once
+
+#include "repair/plan.h"
+#include "simnet/simnet.h"
+#include "topology/cluster.h"
+
+namespace rpr::repair {
+
+struct SimOutcome {
+  util::SimTime total_repair_time = 0;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t inner_rack_bytes = 0;
+  std::size_t cross_rack_transfers = 0;
+  std::size_t inner_rack_transfers = 0;
+  std::vector<std::uint64_t> rack_upload_bytes;
+  std::vector<std::uint64_t> rack_download_bytes;
+};
+
+/// Runs `plan` on a fresh simulation of `cluster` under `params`.
+///
+/// Lowering rules:
+///  * kRead  -> zero-cost compute at the owning node (leaf scaling is a
+///              streaming table lookup, negligible next to transfers — the
+///              same simplification the paper's analysis makes);
+///  * kSend  -> block transfer over node ports (+ rack ports when crossing);
+///  * kCombine -> compute charged at the XOR-decode or matrix-decode speed.
+[[nodiscard]] SimOutcome simulate(const RepairPlan& plan,
+                                  const topology::Cluster& cluster,
+                                  const topology::NetworkParams& params);
+
+/// Same lowering, but executed under the fluid max-min fair-sharing link
+/// model (simnet::FluidNetwork) instead of store-and-forward ports. Used to
+/// verify that scheme orderings do not depend on the contention model.
+[[nodiscard]] SimOutcome simulate_fluid(const RepairPlan& plan,
+                                        const topology::Cluster& cluster,
+                                        const topology::NetworkParams& params);
+
+}  // namespace rpr::repair

@@ -1,0 +1,83 @@
+#include "repair/fleet.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "simnet/simnet.h"
+
+namespace rpr::repair {
+
+FleetOutcome simulate_fleet(const Planner& planner,
+                            const FleetProblem& problem,
+                            const topology::Cluster& cluster,
+                            const topology::NetworkParams& params) {
+  simnet::SimNetwork net(cluster, params);
+
+  for (const RepairProblem& stripe : problem.stripes) {
+    const PlannedRepair planned = planner.plan(stripe);
+    validate(planned.plan, cluster);
+
+    // Lower this stripe's plan into the shared simulation. Task ids are
+    // local to the plan; no dependencies cross stripes (contention is
+    // purely through ports).
+    std::vector<simnet::TaskId> task_of(planned.plan.ops.size());
+    for (OpId id = 0; id < planned.plan.ops.size(); ++id) {
+      const PlanOp& op = planned.plan.ops[id];
+      std::vector<simnet::TaskId> deps;
+      deps.reserve(op.inputs.size());
+      for (OpId in : op.inputs) deps.push_back(task_of[in]);
+      switch (op.kind) {
+        case OpKind::kRead:
+          task_of[id] = net.add_compute(op.node, 0, std::move(deps));
+          break;
+        case OpKind::kSend:
+          task_of[id] = net.add_transfer(op.from, op.node,
+                                         planned.plan.block_size,
+                                         std::move(deps));
+          break;
+        case OpKind::kCombine: {
+          const std::uint64_t passes =
+              op.inputs.size() >= 2 ? op.inputs.size() - 1 : 1;
+          task_of[id] = net.add_compute(
+              op.node,
+              net.decode_duration(planned.plan.block_size * passes,
+                                  op.with_matrix_cost),
+              std::move(deps));
+          break;
+        }
+      }
+    }
+  }
+
+  const simnet::RunResult r = net.run();
+  FleetOutcome out;
+  out.makespan = r.makespan;
+  out.cross_rack_bytes = r.cross_rack_bytes;
+  out.inner_rack_bytes = r.inner_rack_bytes;
+  out.rack_upload_bytes = r.rack_upload_bytes;
+  out.rack_download_bytes = r.rack_download_bytes;
+
+  const auto stats = [](const std::vector<std::uint64_t>& per_rack,
+                        double& imbalance, double& cv) {
+    double sum = 0.0;
+    double max = 0.0;
+    for (const auto bytes : per_rack) {
+      sum += static_cast<double>(bytes);
+      max = std::max(max, static_cast<double>(bytes));
+    }
+    const double racks = static_cast<double>(per_rack.size());
+    const double mean = racks > 0 ? sum / racks : 0.0;
+    imbalance = mean > 0 ? max / mean : 0.0;
+    double var = 0.0;
+    for (const auto bytes : per_rack) {
+      const double d = static_cast<double>(bytes) - mean;
+      var += d * d;
+    }
+    cv = mean > 0 ? std::sqrt(var / racks) / mean : 0.0;
+  };
+  stats(out.rack_upload_bytes, out.upload_imbalance, out.upload_cv);
+  stats(out.rack_download_bytes, out.download_imbalance, out.download_cv);
+  return out;
+}
+
+}  // namespace rpr::repair

@@ -1,0 +1,56 @@
+// Fleet repair: recovering every stripe touched by a node (or rack)
+// failure, concurrently, on one simulated network.
+//
+// The paper motivates RPR with whole-node recovery (Facebook moves a median
+// of 180 TB/day across TOR switches for recovery, §1) and repeatedly calls
+// out the load imbalance of traditional repair: every selected block of
+// every damaged stripe funnels into one recovery point. This module merges
+// the per-stripe repair plans of many stripes into a single simulation so
+// both effects are measurable:
+//
+//   * makespan of recovering a whole node (stripes contend for ports, so
+//     schemes with fewer serialized transfers finish the fleet sooner);
+//   * per-rack upload distribution (the load-balance metric: traditional
+//     repair concentrates on the recovery rack, rack-aware schemes spread
+//     partial-decode work across racks).
+#pragma once
+
+#include <vector>
+
+#include "repair/executor_sim.h"
+#include "repair/planner.h"
+
+namespace rpr::repair {
+
+struct FleetProblem {
+  /// One repair problem per damaged stripe. All must refer to placements on
+  /// the same cluster.
+  std::vector<RepairProblem> stripes;
+};
+
+struct FleetOutcome {
+  util::SimTime makespan = 0;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t inner_rack_bytes = 0;
+  /// Cross-rack bytes uploaded / downloaded per rack across all repairs.
+  std::vector<std::uint64_t> rack_upload_bytes;
+  std::vector<std::uint64_t> rack_download_bytes;
+  /// Load-balance metrics (racks with zero traffic included): max / mean
+  /// and coefficient of variation, for uploads and downloads. Traditional
+  /// repair concentrates *downloads* on the recovery rack; rack-aware
+  /// schemes spread both directions.
+  double upload_imbalance = 0.0;
+  double upload_cv = 0.0;
+  double download_imbalance = 0.0;
+  double download_cv = 0.0;
+};
+
+/// Plans every stripe with `planner` and runs all plans concurrently on one
+/// simulation of `cluster`. Per-stripe plans share ports, so the simulator
+/// interleaves them exactly as a real recovery wave would.
+[[nodiscard]] FleetOutcome simulate_fleet(const Planner& planner,
+                                          const FleetProblem& problem,
+                                          const topology::Cluster& cluster,
+                                          const topology::NetworkParams& params);
+
+}  // namespace rpr::repair

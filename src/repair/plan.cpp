@@ -1,0 +1,114 @@
+#include "repair/plan.h"
+
+#include <stdexcept>
+
+namespace rpr::repair {
+
+OpId RepairPlan::read(topology::NodeId node, std::size_t block,
+                      std::uint8_t coeff, std::string label) {
+  PlanOp op;
+  op.kind = OpKind::kRead;
+  op.node = node;
+  op.block = block;
+  op.coeff = coeff;
+  op.label = std::move(label);
+  ops.push_back(std::move(op));
+  return ops.size() - 1;
+}
+
+OpId RepairPlan::send(OpId value, topology::NodeId from, topology::NodeId to,
+                      std::string label) {
+  PlanOp op;
+  op.kind = OpKind::kSend;
+  op.from = from;
+  op.node = to;
+  op.inputs = {value};
+  op.label = std::move(label);
+  ops.push_back(std::move(op));
+  return ops.size() - 1;
+}
+
+OpId RepairPlan::combine(topology::NodeId node, std::vector<OpId> inputs,
+                         bool with_matrix_cost, std::string label) {
+  return combine_scaled(node, std::move(inputs), {}, with_matrix_cost,
+                        std::move(label));
+}
+
+OpId RepairPlan::combine_scaled(topology::NodeId node, std::vector<OpId> inputs,
+                                std::vector<std::uint8_t> coeffs,
+                                bool with_matrix_cost, std::string label) {
+  PlanOp op;
+  op.kind = OpKind::kCombine;
+  op.node = node;
+  op.inputs = std::move(inputs);
+  op.input_coeffs = std::move(coeffs);
+  op.with_matrix_cost = with_matrix_cost;
+  op.label = std::move(label);
+  ops.push_back(std::move(op));
+  return ops.size() - 1;
+}
+
+void validate(const RepairPlan& plan, const topology::Cluster& cluster) {
+  for (OpId id = 0; id < plan.ops.size(); ++id) {
+    const PlanOp& op = plan.ops[id];
+    if (op.node >= cluster.total_nodes()) {
+      throw std::logic_error("plan: node out of range");
+    }
+    for (OpId in : op.inputs) {
+      if (in >= id) {
+        throw std::logic_error("plan: inputs must precede uses");
+      }
+    }
+    switch (op.kind) {
+      case OpKind::kRead:
+        if (!op.inputs.empty()) {
+          throw std::logic_error("plan: read takes no inputs");
+        }
+        break;
+      case OpKind::kSend:
+        if (op.inputs.size() != 1) {
+          throw std::logic_error("plan: send takes exactly one input");
+        }
+        if (plan.ops[op.inputs[0]].node != op.from) {
+          throw std::logic_error("plan: send departs from wrong node");
+        }
+        if (op.from >= cluster.total_nodes()) {
+          throw std::logic_error("plan: send source out of range");
+        }
+        break;
+      case OpKind::kCombine:
+        if (op.inputs.empty()) {
+          throw std::logic_error("plan: combine needs inputs");
+        }
+        if (!op.input_coeffs.empty() &&
+            op.input_coeffs.size() != op.inputs.size()) {
+          throw std::logic_error("plan: combine coeffs/inputs size mismatch");
+        }
+        for (OpId in : op.inputs) {
+          if (plan.ops[in].node != op.node) {
+            throw std::logic_error("plan: combine of non-co-located values");
+          }
+        }
+        break;
+    }
+  }
+}
+
+PlanTraffic traffic(const RepairPlan& plan,
+                    const topology::Cluster& cluster) {
+  PlanTraffic t;
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind != OpKind::kSend) continue;
+    if (op.from == op.node) continue;  // local read, free
+    if (cluster.rack_of(op.from) == cluster.rack_of(op.node)) {
+      t.inner_rack_bytes += plan.block_size;
+      ++t.inner_rack_transfers;
+    } else {
+      t.cross_rack_bytes += plan.block_size;
+      ++t.cross_rack_transfers;
+    }
+  }
+  return t;
+}
+
+}  // namespace rpr::repair

@@ -1,0 +1,142 @@
+#include "repair/reduction.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rpr::repair::detail {
+
+Value star_aggregate(RepairPlan& plan, std::vector<Value> values,
+                     topology::NodeId aggregator, bool at_recovery,
+                     double link_cost) {
+  assert(!values.empty());
+  std::vector<OpId> inputs;
+  inputs.reserve(values.size());
+  double ready = 0.0;
+  double arrival = 0.0;  // receives serialize on the aggregator's port
+  for (const Value& v : values) {
+    if (v.node == aggregator) {
+      inputs.push_back(v.op);
+      ready = std::max(ready, v.ready);
+      continue;
+    }
+    const OpId sent = plan.send(v.op, v.node, aggregator);
+    inputs.push_back(sent);
+    arrival = std::max(arrival, v.ready) + link_cost;
+    ready = std::max(ready, arrival);
+  }
+  if (inputs.size() == 1) {
+    return Value{inputs[0], aggregator, ready, at_recovery};
+  }
+  const OpId comb = plan.combine(aggregator, std::move(inputs));
+  return Value{comb, aggregator, ready, at_recovery};
+}
+
+Value pairwise_tree(RepairPlan& plan, std::vector<Value> values,
+                    double link_cost) {
+  assert(!values.empty());
+  while (values.size() > 1) {
+    std::vector<Value> next;
+    next.reserve((values.size() + 1) / 2);
+    std::size_t a = 0;
+    for (; a + 1 < values.size(); a += 2) {
+      const Value& dst = values[a];
+      const Value& src = values[a + 1];
+      const OpId sent = plan.send(src.op, src.node, dst.node);
+      const OpId comb = plan.combine(dst.node, {dst.op, sent});
+      next.push_back(Value{comb, dst.node,
+                           std::max(dst.ready, src.ready) + link_cost,
+                           dst.at_recovery});
+    }
+    if (a < values.size()) next.push_back(values[a]);  // odd one rolls over
+    values = std::move(next);
+  }
+  return values[0];
+}
+
+Value cross_reduce(RepairPlan& plan, std::vector<Value> values,
+                   topology::NodeId replacement,
+                   const topology::Cluster& cluster,
+                   const CrossCostFn& cost) {
+  assert(!values.empty());
+  const auto link_cost = [&](topology::NodeId a, topology::NodeId b) {
+    if (!cost) return kCrossCost;
+    return cost(cluster.rack_of(a), cluster.rack_of(b));
+  };
+
+  // Split off the recovery-resident value (at most one by construction).
+  Value recovery{kNoOp, replacement, 0.0, true};
+  bool have_recovery = false;
+  std::vector<Value> sources;
+  for (Value& v : values) {
+    if (v.at_recovery) {
+      assert(!have_recovery && "at most one recovery-resident intermediate");
+      recovery = v;
+      have_recovery = true;
+    } else {
+      sources.push_back(v);
+    }
+  }
+
+  // Greedy schedule per Algorithm 2, driven by readiness estimates: the
+  // earliest-ready intermediate either ships into the recovery rack (when
+  // its downlink would be free by then — including the degenerate star for
+  // two source racks) or pairs up with the next-ready source so the two
+  // cross-rack transfers overlap (Fig. 5 schedule 2). `recovery_port_free`
+  // tracks the estimated availability of the recovery rack's downlink.
+  double recovery_port_free = 0.0;
+  auto by_ready = [](const Value& x, const Value& y) {
+    return x.ready != y.ready ? x.ready < y.ready : x.node < y.node;
+  };
+  auto send_to_recovery = [&](const Value& s) {
+    const double start = std::max(s.ready, recovery_port_free);
+    const double done = start + link_cost(s.node, replacement);
+    const OpId sent = plan.send(s.op, s.node, replacement);
+    if (have_recovery) {
+      const OpId comb = plan.combine(replacement, {recovery.op, sent});
+      recovery = Value{comb, replacement, done, true};
+    } else {
+      recovery = Value{sent, replacement, done, true};
+      have_recovery = true;
+    }
+    recovery_port_free = done;
+  };
+
+  while (!sources.empty()) {
+    std::sort(sources.begin(), sources.end(), by_ready);
+    const Value s = sources.front();
+    sources.erase(sources.begin());
+    if (sources.empty()) {
+      send_to_recovery(s);
+      break;
+    }
+    // Candidate moves for the earliest-ready intermediate: ship it into the
+    // recovery rack, or merge it with one of the remaining peers. Pick the
+    // move with the smallest estimated finish (ties prefer recovery, which
+    // shortens the tail).
+    const double finish_recovery = std::max(s.ready, recovery_port_free) +
+                                   link_cost(s.node, replacement);
+    double best_finish = finish_recovery;
+    std::size_t best_partner = sources.size();  // sentinel: recovery
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const double finish = std::max(s.ready, sources[i].ready) +
+                            link_cost(s.node, sources[i].node);
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_partner = i;
+      }
+    }
+    if (best_partner == sources.size()) {
+      send_to_recovery(s);
+    } else {
+      Value partner = sources[best_partner];
+      sources.erase(sources.begin() +
+                    static_cast<std::ptrdiff_t>(best_partner));
+      const OpId sent = plan.send(s.op, s.node, partner.node);
+      const OpId comb = plan.combine(partner.node, {partner.op, sent});
+      sources.push_back(Value{comb, partner.node, best_finish, false});
+    }
+  }
+  return recovery;
+}
+
+}  // namespace rpr::repair::detail

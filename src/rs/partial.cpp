@@ -1,0 +1,31 @@
+#include "rs/partial.h"
+
+#include <cassert>
+
+#include "gf/gf_region.h"
+
+namespace rpr::rs {
+
+void accumulate(Block& acc, const Block& src, std::uint8_t coeff) {
+  assert(acc.size() == src.size());
+  gf::mul_region_add(coeff, acc, src);
+}
+
+void combine(Block& acc, const Block& other) {
+  assert(acc.size() == other.size());
+  gf::xor_region(acc, other);
+}
+
+Block make_intermediate(std::span<const Block* const> blocks,
+                        std::span<const std::uint8_t> coeffs,
+                        std::size_t block_size) {
+  assert(blocks.size() == coeffs.size());
+  Block acc(block_size, 0);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (coeffs[i] == 0) continue;
+    accumulate(acc, *blocks[i], coeffs[i]);
+  }
+  return acc;
+}
+
+}  // namespace rpr::rs

@@ -1,0 +1,34 @@
+// Partial-decoding primitives (paper §2.1.2 and §3.1).
+//
+// A repair equation  b_f = sum_i c_i * b_i  can be evaluated in any grouping
+// because GF(2^8) addition is XOR:
+//
+//     I_r   = sum_{i in rack r} c_i * b_i        (rack-local intermediate)
+//     b_f   = I_0 ^ I_1 ^ ... ^ I_{q-1}          (cross-rack combination)
+//
+// An *intermediate block* is therefore just a partially-accumulated sum.
+// Combining two intermediates is a plain XOR; scaling happens exactly once,
+// when a source block first enters the sum. These helpers are shared by the
+// data-plane executor, the threaded testbed, and the examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rs/rs_code.h"
+
+namespace rpr::rs {
+
+/// acc ^= coeff * src. The single-step partial decode. acc must already be
+/// sized like src (use Block(acc_size, 0) to start a fresh intermediate).
+void accumulate(Block& acc, const Block& src, std::uint8_t coeff);
+
+/// acc ^= other. Combining two intermediate blocks (paper eq. 4: I0 ^ I1).
+void combine(Block& acc, const Block& other);
+
+/// Builds an intermediate from scratch: sum of coeffs[i] * blocks[i].
+[[nodiscard]] Block make_intermediate(std::span<const Block* const> blocks,
+                                      std::span<const std::uint8_t> coeffs,
+                                      std::size_t block_size);
+
+}  // namespace rpr::rs

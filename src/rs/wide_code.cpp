@@ -1,0 +1,183 @@
+#include "rs/wide_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+
+#include "gf/gf65536.h"
+
+namespace rpr::rs {
+
+namespace {
+
+/// Dense square matrix over GF(2^16), just enough for decode: Gauss-Jordan
+/// inversion. (The byte-wide matrix::Matrix stays the workhorse for the
+/// planner stack; this is the 16-bit counterpart local to the wide codec.)
+class Matrix16 {
+ public:
+  explicit Matrix16(std::size_t n) : n_(n), data_(n * n, 0) {}
+
+  std::uint16_t& at(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  [[nodiscard]] std::uint16_t at(std::size_t r, std::size_t c) const {
+    return data_[r * n_ + c];
+  }
+
+  [[nodiscard]] std::optional<Matrix16> inverted() const {
+    Matrix16 a = *this;
+    Matrix16 inv(n_);
+    for (std::size_t i = 0; i < n_; ++i) inv.at(i, i) = 1;
+
+    for (std::size_t col = 0; col < n_; ++col) {
+      std::size_t pivot = col;
+      while (pivot < n_ && a.at(pivot, col) == 0) ++pivot;
+      if (pivot == n_) return std::nullopt;
+      if (pivot != col) {
+        for (std::size_t j = 0; j < n_; ++j) {
+          std::swap(a.at(pivot, j), a.at(col, j));
+          std::swap(inv.at(pivot, j), inv.at(col, j));
+        }
+      }
+      const std::uint16_t pinv = gf16::inv(a.at(col, col));
+      for (std::size_t j = 0; j < n_; ++j) {
+        a.at(col, j) = gf16::mul(a.at(col, j), pinv);
+        inv.at(col, j) = gf16::mul(inv.at(col, j), pinv);
+      }
+      for (std::size_t r = 0; r < n_; ++r) {
+        if (r == col) continue;
+        const std::uint16_t f = a.at(r, col);
+        if (f == 0) continue;
+        for (std::size_t j = 0; j < n_; ++j) {
+          a.at(r, j) =
+              static_cast<std::uint16_t>(a.at(r, j) ^ gf16::mul(f, a.at(col, j)));
+          inv.at(r, j) = static_cast<std::uint16_t>(
+              inv.at(r, j) ^ gf16::mul(f, inv.at(col, j)));
+        }
+      }
+    }
+    return inv;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint16_t> data_;
+};
+
+}  // namespace
+
+WideRSCode::WideRSCode(CodeConfig cfg) : cfg_(cfg) {
+  if (cfg.n == 0 || cfg.k == 0) {
+    throw std::invalid_argument("WideRSCode: n and k must be positive");
+  }
+  if (cfg.n + cfg.k > 65536) {
+    throw std::invalid_argument("WideRSCode: n + k must be <= 65536");
+  }
+  // Doubly-normalized Cauchy: x_i = i (parity side), y_j = k + j (data
+  // side) — disjoint, so x ^ y != 0 and every square submatrix is
+  // nonsingular; row then column scaling makes the first row/column ones
+  // while preserving that (same argument as the GF(2^8) construction).
+  coding_.resize(cfg.k * cfg.n);
+  for (std::size_t i = 0; i < cfg.k; ++i) {
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      const auto x = static_cast<std::uint16_t>(i);
+      const auto y = static_cast<std::uint16_t>(cfg.k + j);
+      coding_[i * cfg.n + j] = gf16::inv(static_cast<std::uint16_t>(x ^ y));
+    }
+  }
+  for (std::size_t i = 0; i < cfg.k; ++i) {
+    const std::uint16_t s = gf16::inv(coding_[i * cfg.n]);
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      coding_[i * cfg.n + j] = gf16::mul(coding_[i * cfg.n + j], s);
+    }
+  }
+  for (std::size_t j = 0; j < cfg.n; ++j) {
+    const std::uint16_t s = gf16::inv(coding_[j]);
+    if (s == 1) continue;
+    for (std::size_t i = 0; i < cfg.k; ++i) {
+      coding_[i * cfg.n + j] = gf16::mul(coding_[i * cfg.n + j], s);
+    }
+  }
+}
+
+void WideRSCode::encode(std::span<const Block> data,
+                        std::span<Block> parity) const {
+  assert(data.size() == cfg_.n);
+  assert(parity.size() == cfg_.k);
+  const std::size_t block_size = data.empty() ? 0 : data[0].size();
+  if (block_size % 2 != 0) {
+    throw std::invalid_argument("WideRSCode: blocks must be even-sized");
+  }
+  for (const auto& d : data) {
+    if (d.size() != block_size) {
+      throw std::invalid_argument("WideRSCode: unequal block sizes");
+    }
+  }
+  for (std::size_t i = 0; i < cfg_.k; ++i) {
+    parity[i].assign(block_size, 0);
+    for (std::size_t j = 0; j < cfg_.n; ++j) {
+      gf16::mul_region_add(coding_[i * cfg_.n + j], parity[i], data[j]);
+    }
+  }
+}
+
+void WideRSCode::encode_stripe(std::vector<Block>& blocks) const {
+  if (blocks.size() != cfg_.total()) {
+    throw std::invalid_argument("WideRSCode: wrong stripe width");
+  }
+  encode(std::span<const Block>(blocks.data(), cfg_.n),
+         std::span<Block>(blocks.data() + cfg_.n, cfg_.k));
+}
+
+bool WideRSCode::decode(std::vector<Block>& blocks,
+                        std::span<const std::size_t> failed) const {
+  if (failed.empty()) return true;
+  if (failed.size() > cfg_.k || blocks.size() != cfg_.total()) return false;
+  auto is_failed = [&](std::size_t b) {
+    return std::find(failed.begin(), failed.end(), b) != failed.end();
+  };
+
+  // Survivor selection: data-first, then parity.
+  std::vector<std::size_t> selected;
+  for (std::size_t b = 0; b < cfg_.total() && selected.size() < cfg_.n; ++b) {
+    if (!is_failed(b)) selected.push_back(b);
+  }
+  if (selected.size() != cfg_.n) return false;
+
+  // Generator rows restricted to the selection.
+  Matrix16 sub(cfg_.n);
+  for (std::size_t r = 0; r < cfg_.n; ++r) {
+    const std::size_t b = selected[r];
+    if (b < cfg_.n) {
+      sub.at(r, b) = 1;
+    } else {
+      for (std::size_t j = 0; j < cfg_.n; ++j) {
+        sub.at(r, j) = coding_[(b - cfg_.n) * cfg_.n + j];
+      }
+    }
+  }
+  const auto inv = sub.inverted();
+  if (!inv.has_value()) return false;  // cannot happen for an MDS code
+
+  const std::size_t block_size = blocks[selected[0]].size();
+  for (const std::size_t f : failed) {
+    // coefficients = g_f * inv, over the selected blocks.
+    Block out(block_size, 0);
+    for (std::size_t s = 0; s < cfg_.n; ++s) {
+      std::uint16_t coeff = 0;
+      if (f < cfg_.n) {
+        coeff = inv->at(f, s);
+      } else {
+        for (std::size_t l = 0; l < cfg_.n; ++l) {
+          coeff = static_cast<std::uint16_t>(
+              coeff ^
+              gf16::mul(coding_[(f - cfg_.n) * cfg_.n + l], inv->at(l, s)));
+        }
+      }
+      gf16::mul_region_add(coeff, out, blocks[selected[s]]);
+    }
+    blocks[f] = std::move(out);
+  }
+  return true;
+}
+
+}  // namespace rpr::rs

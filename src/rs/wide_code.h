@@ -1,0 +1,53 @@
+// Wide-stripe Reed-Solomon codec over GF(2^16) (Jerasure's w = 16).
+//
+// The paper's configurations all fit in GF(2^8), but wide stripes
+// (n + k > 256) are standard in archival tiers, and the paper's substrate
+// supports them via w = 16. WideRSCode provides encode/decode for such
+// codes with the same structural guarantees as RSCode:
+//
+//   * MDS via a doubly-normalized Cauchy coding matrix;
+//   * first parity row all ones, so P0 = XOR of all data blocks — the §3.3
+//     pre-placement property holds for wide codes too.
+//
+// Blocks are byte buffers of even length (16-bit symbols). The repair
+// *planners* currently speak GF(2^8) coefficients and are not wired to this
+// codec; WideRSCode covers the storage-codec role (encode, decode, XOR
+// fast path) for wide deployments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rs/rs_code.h"
+
+namespace rpr::rs {
+
+class WideRSCode {
+ public:
+  /// Requires n + k <= 65536 and n, k >= 1.
+  explicit WideRSCode(CodeConfig cfg);
+
+  [[nodiscard]] const CodeConfig& config() const noexcept { return cfg_; }
+
+  /// Coding coefficient C[i][j] (parity i, data j). C[0][j] == 1 for all j.
+  [[nodiscard]] std::uint16_t coding_coefficient(std::size_t i,
+                                                 std::size_t j) const {
+    return coding_[i * cfg_.n + j];
+  }
+
+  /// Encodes n equal-(even-)sized data blocks into k parity blocks.
+  void encode(std::span<const Block> data, std::span<Block> parity) const;
+  void encode_stripe(std::vector<Block>& blocks) const;
+
+  /// Rebuilds the blocks listed in `failed` in place (<= k of them).
+  /// Returns false when unrecoverable.
+  bool decode(std::vector<Block>& blocks,
+              std::span<const std::size_t> failed) const;
+
+ private:
+  CodeConfig cfg_;
+  std::vector<std::uint16_t> coding_;  // k x n, row-major
+};
+
+}  // namespace rpr::rs

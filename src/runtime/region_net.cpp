@@ -1,0 +1,57 @@
+#include "runtime/region_net.h"
+
+#include <stdexcept>
+
+namespace rpr::runtime {
+
+RegionNet RegionNet::uniform(std::size_t racks, util::Bandwidth inner,
+                             util::Bandwidth cross) {
+  if (racks == 0 || !inner.valid() || !cross.valid()) {
+    throw std::invalid_argument("RegionNet::uniform: bad parameters");
+  }
+  std::vector<std::vector<util::Bandwidth>> bw(
+      racks, std::vector<util::Bandwidth>(racks, cross));
+  for (std::size_t i = 0; i < racks; ++i) bw[i][i] = inner;
+  return RegionNet(std::move(bw));
+}
+
+RegionNet RegionNet::ec2_table1(std::size_t racks) {
+  if (racks == 0) throw std::invalid_argument("RegionNet: racks must be > 0");
+  std::vector<std::vector<util::Bandwidth>> bw(
+      racks, std::vector<util::Bandwidth>(racks));
+  for (std::size_t i = 0; i < racks; ++i) {
+    for (std::size_t j = 0; j < racks; ++j) {
+      const std::size_t ri = i % kRegionCount;
+      const std::size_t rj = j % kRegionCount;
+      // Same-personality racks that are distinct racks still cross regions;
+      // use the slowest link of that personality to stay conservative.
+      double mbps = kTable1Mbps[ri][rj];
+      if (i != j && ri == rj) {
+        mbps = kTable1Mbps[ri][rj == 0 ? 1 : 0];
+      }
+      bw[i][j] = util::Bandwidth::mbps(mbps);
+    }
+  }
+  return RegionNet(std::move(bw));
+}
+
+double RegionNet::mean_cross_mbps() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < bw_.size(); ++i) {
+    for (std::size_t j = 0; j < bw_.size(); ++j) {
+      if (i == j) continue;
+      sum += bw_[i][j].as_mbps();
+      ++count;
+    }
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double RegionNet::mean_intra_mbps() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < bw_.size(); ++i) sum += bw_[i][i].as_mbps();
+  return sum / static_cast<double>(bw_.size());
+}
+
+}  // namespace rpr::runtime

@@ -1,0 +1,214 @@
+#include "runtime/testbed.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gf/gf256.h"
+#include "gf/gf_region.h"
+#include "matrix/matrix.h"
+#include "util/rng.h"
+
+namespace rpr::runtime {
+
+using repair::OpId;
+using repair::OpKind;
+using repair::PlanOp;
+using repair::RepairPlan;
+using rs::Block;
+
+namespace {
+
+/// Shared execution state: one slot per op, guarded by a single mutex
+/// (contention is negligible — threads spend their time in paced transfers
+/// and region kernels, not on the lock).
+struct ExecState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Block> value;
+  std::vector<bool> done;
+
+  explicit ExecState(std::size_t ops) : value(ops), done(ops, false) {}
+
+  void wait_for(const std::vector<OpId>& ids) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] {
+      for (OpId id : ids) {
+        if (!done[id]) return false;
+      }
+      return true;
+    });
+  }
+
+  Block take_copy(OpId id) {
+    std::unique_lock lock(mu);
+    return value[id];
+  }
+
+  void publish(OpId id, Block b) {
+    {
+      std::unique_lock lock(mu);
+      value[id] = std::move(b);
+      done[id] = true;
+    }
+    cv.notify_all();
+  }
+};
+
+/// Paced sleep emulating a transfer of `bytes` at `bw * scale`.
+void pace(std::uint64_t bytes, util::Bandwidth bw, double scale) {
+  const double sec =
+      static_cast<double>(bytes) / (bw.as_bytes_per_sec() * scale);
+  std::this_thread::sleep_for(std::chrono::duration<double>(sec));
+}
+
+/// Real matrix-build cost of the unoptimized decode path: constructs and
+/// inverts a dim x dim GF matrix (a Cauchy matrix, guaranteed invertible).
+void build_and_invert_matrix(std::size_t dim) {
+  matrix::Matrix m(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      m.at(i, j) = gf::inv(static_cast<std::uint8_t>(i ^ (dim + j)));
+    }
+  }
+  if (!m.inverted().has_value()) {
+    throw std::logic_error("testbed: decode-matrix inversion failed");
+  }
+}
+
+}  // namespace
+
+Testbed::Testbed(topology::Cluster cluster, TestbedParams params)
+    : cluster_(cluster), params_(std::move(params)) {
+  if (params_.net.racks() < cluster_.racks()) {
+    throw std::invalid_argument("Testbed: RegionNet smaller than cluster");
+  }
+  if (params_.time_scale <= 0.0) {
+    throw std::invalid_argument("Testbed: time_scale must be positive");
+  }
+}
+
+TestbedResult Testbed::execute(const RepairPlan& plan,
+                               std::span<const OpId> outputs,
+                               std::span<const Block> stripe) {
+  repair::validate(plan, cluster_);
+  ExecState state(plan.ops.size());
+
+  // Port mutexes. Acquisition order: node TX -> rack TX -> rack RX -> node
+  // RX. A thread holding a later-stage lock never waits on an earlier one.
+  std::vector<std::mutex> node_tx(cluster_.total_nodes());
+  std::vector<std::mutex> node_rx(cluster_.total_nodes());
+  std::vector<std::mutex> rack_tx(cluster_.racks());
+  std::vector<std::mutex> rack_rx(cluster_.racks());
+
+  std::atomic<std::uint64_t> cross_bytes{0};
+  std::atomic<std::uint64_t> inner_bytes{0};
+
+  // Assign ops to worker nodes: sends run on the sender, everything else on
+  // the op's node.
+  std::vector<std::vector<OpId>> ops_of_node(cluster_.total_nodes());
+  for (OpId id = 0; id < plan.ops.size(); ++id) {
+    const PlanOp& op = plan.ops[id];
+    const topology::NodeId worker =
+        op.kind == OpKind::kSend ? op.from : op.node;
+    ops_of_node[worker].push_back(id);
+  }
+
+  auto run_op = [&](OpId id) {
+    const PlanOp& op = plan.ops[id];
+    state.wait_for(op.inputs);
+    switch (op.kind) {
+      case OpKind::kRead: {
+        const Block& src = stripe[op.block];
+        Block out(src.size(), 0);
+        gf::mul_region_add(op.coeff, out, src);
+        state.publish(id, std::move(out));
+        break;
+      }
+      case OpKind::kSend: {
+        Block payload = state.take_copy(op.inputs[0]);
+        if (op.from == op.node) {  // local move
+          state.publish(id, std::move(payload));
+          break;
+        }
+        const topology::RackId rf = cluster_.rack_of(op.from);
+        const topology::RackId rt = cluster_.rack_of(op.node);
+        const util::Bandwidth bw = params_.net.between_racks(rf, rt);
+        const auto bytes = static_cast<std::uint64_t>(payload.size());
+        if (rf == rt) {
+          std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
+          pace(bytes, bw, params_.time_scale);
+          inner_bytes += bytes;
+        } else {
+          std::scoped_lock ports(node_tx[op.from], rack_tx[rf], rack_rx[rt],
+                                 node_rx[op.node]);
+          pace(bytes, bw, params_.time_scale);
+          cross_bytes += bytes;
+        }
+        state.publish(id, std::move(payload));
+        break;
+      }
+      case OpKind::kCombine: {
+        // Matrix-path decodes pay the real unoptimized-path cost: a matrix
+        // inversion plus general (table-lookup) region passes even for unit
+        // coefficients. XOR-path combines use the fast word-wide kernel.
+        if (op.with_matrix_cost) build_and_invert_matrix(params_.decode_matrix_dim);
+        Block first = state.take_copy(op.inputs[0]);
+        Block acc(first.size(), 0);
+        for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+          const Block in =
+              i == 0 ? std::move(first) : state.take_copy(op.inputs[i]);
+          const std::uint8_t c =
+              op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
+          if (op.with_matrix_cost) {
+            gf::mul_region_add_general(c, acc, in);
+          } else {
+            gf::mul_region_add(c, acc, in);
+          }
+        }
+        state.publish(id, std::move(acc));
+        break;
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (topology::NodeId node = 0; node < cluster_.total_nodes(); ++node) {
+    if (ops_of_node[node].empty()) continue;
+    workers.emplace_back([&, node] {
+      for (OpId id : ops_of_node[node]) run_op(id);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  TestbedResult result;
+  result.wall_time =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
+  result.cross_rack_bytes = cross_bytes.load();
+  result.inner_rack_bytes = inner_bytes.load();
+  result.outputs.reserve(outputs.size());
+  for (OpId id : outputs) result.outputs.push_back(state.take_copy(id));
+  return result;
+}
+
+double Testbed::measure_mbps(topology::NodeId from, topology::NodeId to,
+                             std::uint64_t bytes) {
+  // Times the paced transfer alone (no worker threads), mirroring how the
+  // paper measured Table 1 with point-to-point transfers.
+  const topology::RackId rf = cluster_.rack_of(from);
+  const topology::RackId rt = cluster_.rack_of(to);
+  const util::Bandwidth bw = params_.net.between_racks(rf, rt);
+  const auto start = std::chrono::steady_clock::now();
+  pace(bytes, bw, params_.time_scale);
+  const auto end = std::chrono::steady_clock::now();
+  const double sec = std::chrono::duration<double>(end - start).count();
+  // Report in "link time": undo the time_scale speed-up.
+  return static_cast<double>(bytes) * 8.0 / 1e6 / (sec * params_.time_scale);
+}
+
+}  // namespace rpr::runtime

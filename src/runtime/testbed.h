@@ -1,0 +1,77 @@
+// Threaded testbed: executes a RepairPlan with one thread per storage node,
+// real block buffers, real GF(2^8) arithmetic, and bandwidth-throttled
+// transfers.
+//
+// This is the stand-in for the paper's EC2 evaluation (§5.2): where the
+// discrete-event simulator *models* transfer and decode costs, the testbed
+// *incurs* them — bytes move between per-node mailboxes through paced
+// channels, partial decodes run the real region kernels, and matrix-path
+// decodes run the general (unoptimized) GF path plus a real matrix
+// inversion. Total repair time is measured wall-clock.
+//
+// Port model mirrors the simulator: a transfer holds the sender's TX port,
+// the receiver's RX port and — when crossing racks — the two racks' uplink
+// channels for its whole (paced) duration. Acquisition follows a fixed
+// stage order (node TX -> rack TX -> rack RX -> node RX), which rules out
+// deadlock by construction.
+//
+// `time_scale` multiplies every bandwidth so experiments finish quickly:
+// with scale 32, a 1 Gb/s link moves a 4 MiB block in ~1 ms of wall time.
+// Ratios between schemes — what the figures report — are scale-invariant.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "repair/plan.h"
+#include "rs/rs_code.h"
+#include "runtime/region_net.h"
+#include "topology/cluster.h"
+
+namespace rpr::runtime {
+
+struct TestbedParams {
+  RegionNet net = RegionNet::uniform(1, util::Bandwidth::gbps(10),
+                                     util::Bandwidth::gbps(1));
+  /// Multiplies all bandwidths (1.0 = real time).
+  double time_scale = 1.0;
+  /// Dimension of the decoding matrix really inverted by matrix-path
+  /// decodes (set it to the code's n; it only affects a micro-cost).
+  std::size_t decode_matrix_dim = 8;
+};
+
+struct TestbedResult {
+  /// Wall-clock repair time (already *not* rescaled; divide interpretation
+  /// by time_scale to map back to real-link time).
+  std::chrono::nanoseconds wall_time{0};
+  /// The requested output values.
+  std::vector<rs::Block> outputs;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t inner_rack_bytes = 0;
+};
+
+class Testbed {
+ public:
+  Testbed(topology::Cluster cluster, TestbedParams params);
+
+  /// Runs the plan to completion with one worker thread per involved node.
+  /// `stripe` supplies the block contents for kRead ops.
+  TestbedResult execute(const repair::RepairPlan& plan,
+                        std::span<const repair::OpId> outputs,
+                        std::span<const rs::Block> stripe);
+
+  [[nodiscard]] const topology::Cluster& cluster() const noexcept {
+    return cluster_;
+  }
+
+  /// Measures the achieved throughput between two nodes by timing a paced
+  /// transfer of `bytes` (used to regenerate Table 1).
+  [[nodiscard]] double measure_mbps(topology::NodeId from, topology::NodeId to,
+                                    std::uint64_t bytes);
+
+ private:
+  topology::Cluster cluster_;
+  TestbedParams params_;
+};
+
+}  // namespace rpr::runtime

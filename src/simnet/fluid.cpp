@@ -1,0 +1,293 @@
+#include "simnet/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace rpr::simnet {
+
+using topology::NodeId;
+using topology::RackId;
+using util::SimTime;
+
+FluidNetwork::FluidNetwork(topology::Cluster cluster,
+                           topology::NetworkParams params)
+    : cluster_(cluster), params_(params) {
+  if (!params_.inner.valid() || !params_.cross.valid()) {
+    throw std::invalid_argument("FluidNetwork: bandwidths must be positive");
+  }
+}
+
+TaskId FluidNetwork::add_task(Task t) {
+  for (TaskId d : t.deps) {
+    if (d >= tasks_.size()) {
+      throw std::invalid_argument("FluidNetwork: dependency on unknown task");
+    }
+  }
+  t.unmet_deps = t.deps.size();
+  const TaskId id = tasks_.size();
+  tasks_.push_back(std::move(t));
+  for (TaskId d : tasks_.back().deps) tasks_[d].dependents.push_back(id);
+  return id;
+}
+
+TaskId FluidNetwork::add_transfer(NodeId from, NodeId to, std::uint64_t bytes,
+                                  std::vector<TaskId> deps,
+                                  std::string label) {
+  if (from >= cluster_.total_nodes() || to >= cluster_.total_nodes()) {
+    throw std::invalid_argument("add_transfer: node out of range");
+  }
+  Task t;
+  t.kind = TaskKind::kTransfer;
+  t.from = from;
+  t.to = to;
+  t.remaining = static_cast<double>(bytes);
+  t.deps = std::move(deps);
+  t.label = std::move(label);
+  return add_task(std::move(t));
+}
+
+TaskId FluidNetwork::add_compute(NodeId at, SimTime duration,
+                                 std::vector<TaskId> deps,
+                                 std::string label) {
+  if (at >= cluster_.total_nodes()) {
+    throw std::invalid_argument("add_compute: node out of range");
+  }
+  Task t;
+  t.kind = TaskKind::kCompute;
+  t.from = at;
+  t.to = at;
+  t.remaining = util::to_sec(duration);  // cpu-seconds
+  t.deps = std::move(deps);
+  t.label = std::move(label);
+  return add_task(std::move(t));
+}
+
+SimTime FluidNetwork::decode_duration(std::uint64_t bytes,
+                                      bool with_matrix) const {
+  if (!params_.charge_compute) return 0;
+  const auto& speed =
+      with_matrix ? params_.decode_with_matrix : params_.decode_xor;
+  return speed.time_for(bytes);
+}
+
+namespace {
+
+// Resource index space: node TX | node RX | rack TX | rack RX | node CPU.
+struct ResourceMap {
+  std::size_t nodes, racks;
+  explicit ResourceMap(const topology::Cluster& c)
+      : nodes(c.total_nodes()), racks(c.racks()) {}
+  [[nodiscard]] std::size_t node_tx(NodeId n) const { return n; }
+  [[nodiscard]] std::size_t node_rx(NodeId n) const { return nodes + n; }
+  [[nodiscard]] std::size_t rack_tx(RackId r) const { return 2 * nodes + r; }
+  [[nodiscard]] std::size_t rack_rx(RackId r) const {
+    return 2 * nodes + racks + r;
+  }
+  [[nodiscard]] std::size_t cpu(NodeId n) const {
+    return 2 * nodes + 2 * racks + n;
+  }
+  [[nodiscard]] std::size_t total() const { return 3 * nodes + 2 * racks; }
+};
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+RunResult FluidNetwork::run() {
+  if (ran_) {
+    throw std::logic_error("FluidNetwork::run may only be called once");
+  }
+  ran_ = true;
+
+  const ResourceMap rmap(cluster_);
+  std::vector<double> capacity(rmap.total());
+  for (NodeId n = 0; n < cluster_.total_nodes(); ++n) {
+    capacity[rmap.node_tx(n)] = params_.inner.as_bytes_per_sec();
+    capacity[rmap.node_rx(n)] = params_.inner.as_bytes_per_sec();
+    capacity[rmap.cpu(n)] = 1.0;  // one cpu-second per second
+  }
+  for (RackId r = 0; r < cluster_.racks(); ++r) {
+    capacity[rmap.rack_tx(r)] = params_.cross.as_bytes_per_sec();
+    capacity[rmap.rack_rx(r)] = params_.cross.as_bytes_per_sec();
+  }
+
+  // Resources each task occupies while active.
+  auto resources_of = [&](const Task& t) {
+    std::vector<std::size_t> out;
+    if (t.kind == TaskKind::kCompute) {
+      out.push_back(rmap.cpu(t.from));
+      return out;
+    }
+    if (t.from == t.to) return out;  // local move: free
+    out.push_back(rmap.node_tx(t.from));
+    out.push_back(rmap.node_rx(t.to));
+    const RackId rf = cluster_.rack_of(t.from);
+    const RackId rt = cluster_.rack_of(t.to);
+    if (rf != rt) {
+      out.push_back(rmap.rack_tx(rf));
+      out.push_back(rmap.rack_rx(rt));
+    }
+    return out;
+  };
+
+  RunResult result;
+  result.tasks.resize(tasks_.size());
+  result.rack_upload_bytes.assign(cluster_.racks(), 0);
+  result.rack_download_bytes.assign(cluster_.racks(), 0);
+
+  std::vector<TaskId> active;
+  std::vector<TaskId> newly_ready;
+  std::size_t completed = 0;
+  double now = 0.0;
+
+  auto record_start = [&](TaskId id) {
+    auto& st = result.tasks[id];
+    const Task& t = tasks_[id];
+    st.kind = t.kind;
+    st.label = t.label;
+    st.node = t.to;
+    st.ready = static_cast<SimTime>(now * 1e9);
+    st.start = st.ready;
+    if (t.kind == TaskKind::kTransfer) {
+      st.bytes = static_cast<std::uint64_t>(std::llround(t.remaining));
+      st.cross_rack = t.from != t.to &&
+                      cluster_.rack_of(t.from) != cluster_.rack_of(t.to);
+    }
+  };
+
+  std::vector<TaskId> finish_queue;
+  auto finish_task = [&](TaskId id) {
+    auto& st = result.tasks[id];
+    st.finish = static_cast<SimTime>(now * 1e9);
+    const Task& t = tasks_[id];
+    if (t.kind == TaskKind::kTransfer && t.from != t.to) {
+      const RackId rf = cluster_.rack_of(t.from);
+      const RackId rt = cluster_.rack_of(t.to);
+      if (rf != rt) {
+        result.cross_rack_bytes += st.bytes;
+        ++result.cross_rack_transfers;
+        result.rack_upload_bytes[rf] += st.bytes;
+        result.rack_download_bytes[rt] += st.bytes;
+      } else {
+        result.inner_rack_bytes += st.bytes;
+        ++result.inner_rack_transfers;
+      }
+    }
+    ++completed;
+    for (TaskId dep : tasks_[id].dependents) {
+      if (--tasks_[dep].unmet_deps == 0) newly_ready.push_back(dep);
+    }
+  };
+
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (tasks_[id].unmet_deps == 0) newly_ready.push_back(id);
+  }
+
+  while (true) {
+    // Absorb ready tasks; zero-cost ones complete immediately (may cascade).
+    while (!newly_ready.empty()) {
+      std::sort(newly_ready.begin(), newly_ready.end());
+      std::vector<TaskId> batch;
+      batch.swap(newly_ready);
+      for (TaskId id : batch) {
+        record_start(id);
+        const Task& t = tasks_[id];
+        const bool instant =
+            t.remaining <= kEps ||
+            (t.kind == TaskKind::kTransfer && t.from == t.to);
+        if (instant) {
+          finish_task(id);
+        } else {
+          active.push_back(id);
+        }
+      }
+    }
+    if (active.empty()) break;
+
+    // Max-min fair rates by water-filling.
+    std::vector<double> rate(tasks_.size(), 0.0);
+    std::vector<char> fixed(tasks_.size(), 0);
+    std::vector<double> cap = capacity;
+    // Member lists per resource for the active set.
+    std::map<std::size_t, std::vector<TaskId>> members;
+    std::vector<TaskId> unconstrained;  // e.g. nothing uses a resource
+    for (TaskId id : active) {
+      const auto res = resources_of(tasks_[id]);
+      if (res.empty()) {
+        unconstrained.push_back(id);
+        continue;
+      }
+      for (const auto r : res) members[r].push_back(id);
+    }
+    for (TaskId id : unconstrained) {
+      rate[id] = std::numeric_limits<double>::infinity();
+      fixed[id] = 1;
+    }
+    for (;;) {
+      // Find the tightest resource among those with unfixed members.
+      double best_share = std::numeric_limits<double>::infinity();
+      std::size_t best_res = SIZE_MAX;
+      for (const auto& [r, flows] : members) {
+        std::size_t unfixed = 0;
+        for (TaskId id : flows) {
+          if (!fixed[id]) ++unfixed;
+        }
+        if (unfixed == 0) continue;
+        const double share = cap[r] / static_cast<double>(unfixed);
+        if (share < best_share) {
+          best_share = share;
+          best_res = r;
+        }
+      }
+      if (best_res == SIZE_MAX) break;
+      for (TaskId id : members[best_res]) {
+        if (fixed[id]) continue;
+        fixed[id] = 1;
+        rate[id] = best_share;
+        for (const auto r : resources_of(tasks_[id])) {
+          cap[r] = std::max(0.0, cap[r] - best_share);
+        }
+      }
+    }
+
+    // Advance to the earliest completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (TaskId id : active) {
+      if (rate[id] <= 0) continue;  // fully starved: cannot happen with
+                                    // positive capacities, defensive
+      dt = std::min(dt, tasks_[id].remaining / rate[id]);
+    }
+    if (!std::isfinite(dt)) {
+      // All remaining active tasks are unconstrained/instant.
+      dt = 0.0;
+    }
+    now += dt;
+    std::vector<TaskId> still_active;
+    for (TaskId id : active) {
+      Task& t = tasks_[id];
+      if (std::isinf(rate[id])) {
+        t.remaining = 0.0;
+      } else {
+        t.remaining -= rate[id] * dt;
+      }
+      if (t.remaining <= kEps * std::max(1.0, rate[id])) {
+        finish_task(id);
+      } else {
+        still_active.push_back(id);
+      }
+    }
+    active.swap(still_active);
+  }
+
+  if (completed != tasks_.size()) {
+    throw std::logic_error(
+        "FluidNetwork::run: task graph has a cycle or unreachable tasks");
+  }
+  result.makespan = static_cast<SimTime>(now * 1e9);
+  return result;
+}
+
+}  // namespace rpr::simnet

@@ -1,0 +1,223 @@
+#include "simnet/simnet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace rpr::simnet {
+
+using topology::NodeId;
+using topology::RackId;
+using util::SimTime;
+
+SimNetwork::SimNetwork(topology::Cluster cluster,
+                       topology::NetworkParams params)
+    : cluster_(cluster), params_(params) {
+  if (!params_.inner.valid() || !params_.cross.valid()) {
+    throw std::invalid_argument("SimNetwork: bandwidths must be positive");
+  }
+}
+
+TaskId SimNetwork::add_task(Task t) {
+  for (TaskId d : t.deps) {
+    if (d >= tasks_.size()) {
+      throw std::invalid_argument("SimNetwork: dependency on unknown task");
+    }
+  }
+  t.unmet_deps = t.deps.size();
+  const TaskId id = tasks_.size();
+  tasks_.push_back(std::move(t));
+  for (TaskId d : tasks_.back().deps) {
+    tasks_[d].dependents.push_back(id);
+  }
+  return id;
+}
+
+TaskId SimNetwork::add_transfer(NodeId from, NodeId to, std::uint64_t bytes,
+                                std::vector<TaskId> deps, std::string label) {
+  if (from >= cluster_.total_nodes() || to >= cluster_.total_nodes()) {
+    throw std::invalid_argument("add_transfer: node out of range");
+  }
+  Task t;
+  t.kind = TaskKind::kTransfer;
+  t.from = from;
+  t.to = to;
+  t.bytes = bytes;
+  t.deps = std::move(deps);
+  t.label = std::move(label);
+  return add_task(std::move(t));
+}
+
+TaskId SimNetwork::add_compute(NodeId at, SimTime duration,
+                               std::vector<TaskId> deps, std::string label) {
+  if (at >= cluster_.total_nodes()) {
+    throw std::invalid_argument("add_compute: node out of range");
+  }
+  Task t;
+  t.kind = TaskKind::kCompute;
+  t.from = at;
+  t.to = at;
+  t.duration = duration;
+  t.deps = std::move(deps);
+  t.label = std::move(label);
+  return add_task(std::move(t));
+}
+
+SimTime SimNetwork::decode_duration(std::uint64_t bytes,
+                                    bool with_matrix) const {
+  if (!params_.charge_compute) return 0;
+  const auto& speed =
+      with_matrix ? params_.decode_with_matrix : params_.decode_xor;
+  return speed.time_for(bytes);
+}
+
+RunResult SimNetwork::run() {
+  if (ran_) throw std::logic_error("SimNetwork::run may only be called once");
+  ran_ = true;
+
+  // Port state: the time at which each port becomes free.
+  std::vector<SimTime> node_tx(cluster_.total_nodes(), 0);
+  std::vector<SimTime> node_rx(cluster_.total_nodes(), 0);
+  std::vector<SimTime> node_cpu(cluster_.total_nodes(), 0);
+  std::vector<SimTime> rack_tx(cluster_.racks(), 0);
+  std::vector<SimTime> rack_rx(cluster_.racks(), 0);
+
+  RunResult result;
+  result.tasks.resize(tasks_.size());
+  result.rack_upload_bytes.assign(cluster_.racks(), 0);
+  result.rack_download_bytes.assign(cluster_.racks(), 0);
+
+  struct Pending {
+    SimTime ready;
+    TaskId id;
+    bool operator<(const Pending& o) const {
+      return ready != o.ready ? ready < o.ready : id < o.id;
+    }
+  };
+  std::vector<Pending> pending;  // kept sorted; FIFO by (ready, id)
+
+  struct Completion {
+    SimTime finish;
+    TaskId id;
+    bool operator>(const Completion& o) const {
+      return finish != o.finish ? finish > o.finish : id > o.id;
+    }
+  };
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      running;
+
+  auto enqueue_ready = [&](TaskId id, SimTime when) {
+    result.tasks[id].ready = when;
+    pending.push_back(Pending{when, id});
+    std::push_heap(pending.begin(), pending.end(),
+                   [](const Pending& a, const Pending& b) { return b < a; });
+  };
+
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (tasks_[id].unmet_deps == 0) enqueue_ready(id, 0);
+  }
+
+  // pending is a min-heap on (ready, id); tasks whose ports are busy are
+  // re-examined after every completion event. We pop into a scratch list,
+  // attempt starts in FIFO order, and push back whatever could not start.
+  std::vector<Pending> blocked;
+
+  auto try_start_all = [&](SimTime now) {
+    blocked.clear();
+    auto heap_less = [](const Pending& a, const Pending& b) { return b < a; };
+    while (!pending.empty()) {
+      std::pop_heap(pending.begin(), pending.end(), heap_less);
+      const Pending p = pending.back();
+      pending.pop_back();
+
+      Task& t = tasks_[p.id];
+      TaskStats& st = result.tasks[p.id];
+      st.kind = t.kind;
+      st.label = t.label;
+      st.bytes = t.bytes;
+      st.node = t.to;
+
+      if (t.kind == TaskKind::kCompute) {
+        if (node_cpu[t.from] > now) {
+          blocked.push_back(p);
+          continue;
+        }
+        st.start = now;
+        st.finish = now + t.duration;
+        node_cpu[t.from] = st.finish;
+        running.push(Completion{st.finish, p.id});
+        continue;
+      }
+
+      // Transfer.
+      if (t.from == t.to) {  // local read: free and portless
+        st.start = now;
+        st.finish = now;
+        running.push(Completion{now, p.id});
+        continue;
+      }
+      const RackId rf = cluster_.rack_of(t.from);
+      const RackId rt = cluster_.rack_of(t.to);
+      const bool cross = rf != rt;
+      st.cross_rack = cross;
+
+      const bool ports_free =
+          node_tx[t.from] <= now && node_rx[t.to] <= now &&
+          (!cross || (rack_tx[rf] <= now && rack_rx[rt] <= now));
+      if (!ports_free) {
+        blocked.push_back(p);
+        continue;
+      }
+      const util::Bandwidth bw = cross ? params_.cross : params_.inner;
+      st.start = now;
+      st.finish = now + bw.time_for(t.bytes);
+      node_tx[t.from] = st.finish;
+      node_rx[t.to] = st.finish;
+      if (cross) {
+        rack_tx[rf] = st.finish;
+        rack_rx[rt] = st.finish;
+        result.cross_rack_bytes += t.bytes;
+        ++result.cross_rack_transfers;
+        result.rack_upload_bytes[rf] += t.bytes;
+        result.rack_download_bytes[rt] += t.bytes;
+      } else {
+        result.inner_rack_bytes += t.bytes;
+        ++result.inner_rack_transfers;
+      }
+      running.push(Completion{st.finish, p.id});
+    }
+    for (const Pending& p : blocked) {
+      pending.push_back(p);
+      std::push_heap(pending.begin(), pending.end(), heap_less);
+    }
+  };
+
+  SimTime now = 0;
+  try_start_all(now);
+  std::size_t completed = 0;
+  while (!running.empty()) {
+    now = running.top().finish;
+    // Drain every completion at this instant before attempting new starts,
+    // so simultaneous finishes release all their ports atomically.
+    while (!running.empty() && running.top().finish == now) {
+      const TaskId done = running.top().id;
+      running.pop();
+      ++completed;
+      for (TaskId dep : tasks_[done].dependents) {
+        if (--tasks_[dep].unmet_deps == 0) enqueue_ready(dep, now);
+      }
+    }
+    try_start_all(now);
+  }
+
+  if (completed != tasks_.size()) {
+    throw std::logic_error(
+        "SimNetwork::run: task graph has a cycle or unreachable tasks");
+  }
+  result.makespan = now;
+  return result;
+}
+
+}  // namespace rpr::simnet

@@ -1,0 +1,120 @@
+// Discrete-event network simulator for rack-organized clusters.
+//
+// This is the stand-in for the paper's Simics + wondershaper setup (§5.1):
+// it executes a DAG of block transfers and compute steps over the two-level
+// topology and reports the makespan and traffic, deterministically.
+//
+// Resource model (matches the paper's "timestep" reasoning in Figs. 3-5):
+//  * each node has one transmit port and one receive port; a port carries
+//    one transfer at a time (store-and-forward of whole blocks);
+//  * each rack's TOR uplink has one transmit and one receive channel for
+//    cross-rack traffic: a rack can send one cross-rack transfer and receive
+//    one cross-rack transfer concurrently, but two simultaneous incoming
+//    cross-rack transfers serialize (this is why schedule 1 in Fig. 5 costs
+//    3 t_c: r1, r2, r3 all target the recovery rack);
+//  * transfer duration = bytes / inner-bandwidth (same rack) or
+//    bytes / cross-bandwidth (different racks); same-node "transfers" are
+//    free (local disk read, not modelled);
+//  * compute steps occupy the node's CPU, one at a time.
+//
+// Scheduling is greedy and work-conserving: whenever a task's dependencies
+// are done, it starts as soon as all of its ports are free, FIFO-ordered by
+// (ready time, submission order). This realizes the greedy behaviour of the
+// paper's Cross algorithm (§3.2): a planner only encodes the transfer DAG
+// and the simulator starts every transfer at the earliest feasible moment.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "topology/cluster.h"
+#include "util/units.h"
+
+namespace rpr::simnet {
+
+using TaskId = std::size_t;
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+enum class TaskKind { kTransfer, kCompute };
+
+struct TaskStats {
+  TaskKind kind = TaskKind::kTransfer;
+  std::string label;
+  /// Where the task's result lives: transfer destination / compute node.
+  topology::NodeId node = 0;
+  util::SimTime ready = 0;   ///< all dependencies finished
+  util::SimTime start = 0;   ///< ports acquired
+  util::SimTime finish = 0;  ///< done
+  bool cross_rack = false;
+  std::uint64_t bytes = 0;
+};
+
+struct RunResult {
+  util::SimTime makespan = 0;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t inner_rack_bytes = 0;
+  std::size_t cross_rack_transfers = 0;
+  std::size_t inner_rack_transfers = 0;
+  /// Cross-rack bytes uploaded (sent) per rack: the load-balance metric the
+  /// paper cares about (traditional repair concentrates everything on the
+  /// recovery rack).
+  std::vector<std::uint64_t> rack_upload_bytes;
+  std::vector<std::uint64_t> rack_download_bytes;
+  std::vector<TaskStats> tasks;  ///< indexed by TaskId
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(topology::Cluster cluster, topology::NetworkParams params);
+
+  /// Adds a block transfer from `from` to `to`. Starts after all `deps`.
+  /// A same-node transfer completes instantly (local read).
+  TaskId add_transfer(topology::NodeId from, topology::NodeId to,
+                      std::uint64_t bytes, std::vector<TaskId> deps,
+                      std::string label = {});
+
+  /// Adds a compute step of fixed `duration` at node `at`.
+  TaskId add_compute(topology::NodeId at, util::SimTime duration,
+                     std::vector<TaskId> deps, std::string label = {});
+
+  /// Convenience: compute duration for decoding `bytes` at the given speed.
+  [[nodiscard]] util::SimTime decode_duration(std::uint64_t bytes,
+                                              bool with_matrix) const;
+
+  [[nodiscard]] const topology::Cluster& cluster() const noexcept {
+    return cluster_;
+  }
+  [[nodiscard]] const topology::NetworkParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return tasks_.size();
+  }
+
+  /// Runs the simulation to completion. May be called once per instance.
+  RunResult run();
+
+ private:
+  struct Task {
+    TaskKind kind;
+    topology::NodeId from = 0;
+    topology::NodeId to = 0;
+    std::uint64_t bytes = 0;
+    util::SimTime duration = 0;  // computes only
+    std::vector<TaskId> deps;
+    std::string label;
+    std::size_t unmet_deps = 0;
+    std::vector<TaskId> dependents;
+  };
+
+  TaskId add_task(Task t);
+
+  topology::Cluster cluster_;
+  topology::NetworkParams params_;
+  std::vector<Task> tasks_;
+  bool ran_ = false;
+};
+
+}  // namespace rpr::simnet

@@ -1,0 +1,25 @@
+// Chrome-trace export of simulated schedules.
+//
+// Writes a RunResult as Chrome's Trace Event JSON (load via
+// chrome://tracing or https://ui.perfetto.dev) so a repair schedule can be
+// inspected visually — one row per node, one slice per transfer/compute.
+// This is how the Fig. 3-5 timeline diagrams of the paper can be
+// regenerated from any plan.
+#pragma once
+
+#include <string>
+
+#include "simnet/simnet.h"
+
+namespace rpr::simnet {
+
+/// Renders the trace JSON as a string. `cluster` labels rows with racks.
+[[nodiscard]] std::string to_chrome_trace(const RunResult& result,
+                                          const topology::Cluster& cluster);
+
+/// Writes the JSON to `path` (overwrites). Throws on I/O failure.
+void write_chrome_trace(const RunResult& result,
+                        const topology::Cluster& cluster,
+                        const std::string& path);
+
+}  // namespace rpr::simnet

@@ -1,0 +1,52 @@
+// Per-node in-memory block store.
+//
+// Each storage node owns a BlockStore mapping (stripe, block-index) to the
+// block payload. Node "disks" are the unit of failure: failing a node drops
+// its store and marks it dead until a repair writes the lost blocks onto a
+// replacement node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "rs/rs_code.h"
+
+namespace rpr::storage {
+
+using StripeId = std::uint64_t;
+
+class BlockStore {
+ public:
+  void put(StripeId stripe, std::size_t block, rs::Block data) {
+    blocks_[{stripe, block}] = std::move(data);
+  }
+
+  [[nodiscard]] const rs::Block* get(StripeId stripe,
+                                     std::size_t block) const {
+    const auto it = blocks_.find({stripe, block});
+    return it == blocks_.end() ? nullptr : &it->second;
+  }
+
+  void erase(StripeId stripe, std::size_t block) {
+    blocks_.erase({stripe, block});
+  }
+
+  /// Drops everything (disk/node loss).
+  void wipe() { blocks_.clear(); }
+
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+
+  [[nodiscard]] std::uint64_t bytes_stored() const {
+    std::uint64_t total = 0;
+    for (const auto& [key, data] : blocks_) total += data.size();
+    return total;
+  }
+
+ private:
+  std::map<std::pair<StripeId, std::size_t>, rs::Block> blocks_;
+};
+
+}  // namespace rpr::storage

@@ -1,0 +1,59 @@
+#include "storage/failure.h"
+
+#include <algorithm>
+
+namespace rpr::storage {
+
+bool FailureInjector::safe_to_fail(topology::NodeId node) const {
+  // A node is safe to fail iff afterwards every stripe (a) still has at
+  // most k blocks missing and (b) can still find enough replacement nodes —
+  // alive nodes that do not already hold one of its surviving blocks.
+  const auto& cfg = system_->code().config();
+  const auto& cluster = system_->cluster();
+  std::size_t alive_after = 0;
+  for (topology::NodeId n = 0; n < cluster.total_nodes(); ++n) {
+    if (n != node && system_->node_alive(n)) ++alive_after;
+  }
+  for (std::size_t s = 0; s < system_->stripe_count(); ++s) {
+    const auto nodes = system_->stripe_nodes(s);
+    const bool holds =
+        std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+    // Killing a non-holder still shrinks the replacement pool, so every
+    // stripe is re-checked on every kill.
+    const std::size_t lost = system_->lost_blocks(s).size() + (holds ? 1 : 0);
+    if (lost > cfg.k) return false;
+    std::size_t surviving_holders = 0;
+    for (topology::NodeId n : nodes) {
+      if (n != node && system_->node_alive(n)) ++surviving_holders;
+    }
+    if (alive_after < surviving_holders + lost) return false;
+  }
+  return true;
+}
+
+std::optional<topology::NodeId> FailureInjector::fail_random_node(
+    bool keep_recoverable) {
+  std::vector<topology::NodeId> candidates;
+  for (topology::NodeId n = 0; n < system_->cluster().total_nodes(); ++n) {
+    if (!system_->node_alive(n)) continue;
+    if (keep_recoverable && !safe_to_fail(n)) continue;
+    candidates.push_back(n);
+  }
+  if (candidates.empty()) return std::nullopt;
+  const auto pick = candidates[rng_.below(candidates.size())];
+  system_->fail_node(pick);
+  return pick;
+}
+
+std::vector<topology::NodeId> FailureInjector::fail_random_nodes(
+    std::size_t count, bool keep_recoverable) {
+  std::vector<topology::NodeId> failed;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto node = fail_random_node(keep_recoverable);
+    if (!node.has_value()) break;
+    failed.push_back(*node);
+  }
+  return failed;
+}
+
+}  // namespace rpr::storage

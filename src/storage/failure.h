@@ -1,0 +1,38 @@
+// Failure injection for integration tests and examples.
+//
+// Drives random node failures against a StorageSystem while keeping every
+// stripe recoverable (at most k lost blocks per stripe), which is the
+// regime the paper's repair schemes operate in. An optional unrestricted
+// mode allows data-loss scenarios for testing the error paths.
+#pragma once
+
+#include <vector>
+
+#include "storage/storage_system.h"
+#include "util/rng.h"
+
+namespace rpr::storage {
+
+class FailureInjector {
+ public:
+  FailureInjector(StorageSystem* system, std::uint64_t seed)
+      : system_(system), rng_(seed) {}
+
+  /// Fails one random alive node. With `keep_recoverable` (default), only
+  /// nodes whose loss keeps every stripe within k missing blocks are
+  /// eligible. Returns the failed node, or no value if none is eligible.
+  std::optional<topology::NodeId> fail_random_node(
+      bool keep_recoverable = true);
+
+  /// Fails up to `count` random nodes; returns those actually failed.
+  std::vector<topology::NodeId> fail_random_nodes(std::size_t count,
+                                                  bool keep_recoverable = true);
+
+ private:
+  [[nodiscard]] bool safe_to_fail(topology::NodeId node) const;
+
+  StorageSystem* system_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace rpr::storage

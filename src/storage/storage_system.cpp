@@ -1,0 +1,321 @@
+#include "storage/storage_system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "repair/executor_data.h"
+
+namespace rpr::storage {
+
+using topology::NodeId;
+using topology::RackId;
+
+namespace {
+
+topology::Cluster make_cluster(const StorageOptions& opts) {
+  const std::size_t racks =
+      topology::racks_needed(opts.code, opts.policy) + opts.extra_racks;
+  const std::size_t slots =
+      opts.policy == topology::PlacementPolicy::kFlat ? 1 : opts.code.k;
+  const std::size_t spares =
+      opts.spares_per_rack ? opts.spares_per_rack : opts.code.k;
+  return topology::Cluster(racks, slots, spares);
+}
+
+}  // namespace
+
+StorageSystem::StorageSystem(StorageOptions opts)
+    : opts_(opts),
+      code_(opts.code, opts.matrix),
+      cluster_(make_cluster(opts)),
+      planner_(repair::make_planner(opts.repair_scheme)),
+      store_(cluster_.total_nodes()),
+      alive_(cluster_.total_nodes(), true) {
+  if (opts_.block_size == 0) {
+    throw std::invalid_argument("StorageSystem: block_size must be positive");
+  }
+}
+
+StripeId StorageSystem::put(std::span<const std::uint8_t> object) {
+  const auto& cfg = code_.config();
+  if (object.size() > cfg.n * opts_.block_size) {
+    throw std::invalid_argument("put: object exceeds one stripe");
+  }
+
+  // Split + zero-pad into n data blocks, then encode the stripe.
+  std::vector<rs::Block> blocks(cfg.total());
+  for (std::size_t b = 0; b < cfg.n; ++b) {
+    blocks[b].assign(opts_.block_size, 0);
+    const std::size_t off = b * opts_.block_size;
+    if (off < object.size()) {
+      const std::size_t len = std::min<std::size_t>(
+          opts_.block_size, object.size() - off);
+      std::copy_n(object.begin() + static_cast<std::ptrdiff_t>(off), len,
+                  blocks[b].begin());
+    }
+  }
+  code_.encode_stripe(blocks);
+
+  // Place with the configured policy, rotating racks per stripe so stripes
+  // spread across the cluster the way consecutive stripes do in production.
+  const topology::Placement base =
+      topology::make_placement(cluster_, cfg, opts_.policy);
+  const StripeId id = next_stripe_++;
+  const std::size_t rot = static_cast<std::size_t>(id) % cluster_.racks();
+
+  Stripe s;
+  s.object_size = object.size();
+  s.node_of_block.resize(cfg.total());
+  for (std::size_t b = 0; b < cfg.total(); ++b) {
+    const NodeId base_node = base.node_of(b);
+    const RackId rack = (cluster_.rack_of(base_node) + rot) % cluster_.racks();
+    const std::size_t offset = base_node % cluster_.nodes_per_rack();
+    s.node_of_block[b] = rack * cluster_.nodes_per_rack() + offset;
+  }
+  for (std::size_t b = 0; b < cfg.total(); ++b) {
+    store_[s.node_of_block[b]].put(id, b, std::move(blocks[b]));
+  }
+  stripes_[id] = std::move(s);
+  return id;
+}
+
+std::vector<std::uint8_t> StorageSystem::get(StripeId stripe) const {
+  const auto it = stripes_.find(stripe);
+  if (it == stripes_.end()) throw std::out_of_range("get: unknown stripe");
+  const Stripe& s = it->second;
+  const auto& cfg = code_.config();
+
+  const auto lost = lost_blocks(stripe);
+  std::vector<rs::Block> view = stripe_view(stripe, s);
+
+  // Degraded read: rebuild lost data blocks in memory (no placement change).
+  std::vector<std::size_t> lost_data;
+  for (std::size_t b : lost) {
+    if (cfg.is_data(b)) lost_data.push_back(b);
+  }
+  if (!lost_data.empty()) {
+    if (lost.size() > cfg.k) {
+      throw std::runtime_error("get: stripe unrecoverable");
+    }
+    const auto selected = code_.default_selection(lost);
+    const auto eqs = code_.repair_equations(lost, selected);
+    for (const auto& eq : eqs) {
+      if (!cfg.is_data(eq.failed_block)) continue;
+      view[eq.failed_block] = code_.evaluate(eq, view);
+    }
+  }
+
+  std::vector<std::uint8_t> object(s.object_size);
+  for (std::size_t b = 0; b < cfg.n; ++b) {
+    const std::size_t off = b * opts_.block_size;
+    if (off >= object.size()) break;
+    const std::size_t len =
+        std::min<std::size_t>(opts_.block_size, object.size() - off);
+    std::copy_n(view[b].begin(), len,
+                object.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  return object;
+}
+
+void StorageSystem::fail_node(NodeId node) {
+  if (node >= cluster_.total_nodes()) {
+    throw std::out_of_range("fail_node: bad node");
+  }
+  alive_[node] = false;
+  store_[node].wipe();
+}
+
+void StorageSystem::fail_rack(RackId rack) {
+  for (NodeId node : cluster_.nodes_in_rack(rack)) fail_node(node);
+}
+
+void StorageSystem::revive_node(NodeId node) {
+  if (node >= cluster_.total_nodes()) {
+    throw std::out_of_range("revive_node: bad node");
+  }
+  alive_[node] = true;
+  store_[node].wipe();
+}
+
+std::vector<std::size_t> StorageSystem::lost_blocks(StripeId stripe) const {
+  const auto it = stripes_.find(stripe);
+  if (it == stripes_.end()) {
+    throw std::out_of_range("lost_blocks: unknown stripe");
+  }
+  std::vector<std::size_t> lost;
+  const Stripe& s = it->second;
+  for (std::size_t b = 0; b < s.node_of_block.size(); ++b) {
+    const NodeId node = s.node_of_block[b];
+    if (!alive_[node] || store_[node].get(stripe, b) == nullptr) {
+      lost.push_back(b);
+    }
+  }
+  return lost;
+}
+
+NodeId StorageSystem::pick_replacement(const Stripe& s, RackId rack) const {
+  auto holds_stripe_block = [&](NodeId node) {
+    return std::find(s.node_of_block.begin(), s.node_of_block.end(), node) !=
+           s.node_of_block.end();
+  };
+  auto blocks_in_rack = [&](RackId r) {
+    std::size_t count = 0;
+    for (NodeId node : s.node_of_block) {
+      if (cluster_.rack_of(node) == r && alive_[node]) ++count;
+    }
+    return count;
+  };
+
+  // Prefer a rack-local alive node that holds nothing of this stripe.
+  for (NodeId node : cluster_.nodes_in_rack(rack)) {
+    if (alive_[node] && !holds_stripe_block(node)) return node;
+  }
+  // Rack gone: pick another rack that can still accept a block without
+  // breaking single-rack fault tolerance...
+  for (RackId r = 0; r < cluster_.racks(); ++r) {
+    if (r == rack || blocks_in_rack(r) >= code_.config().k) continue;
+    for (NodeId node : cluster_.nodes_in_rack(r)) {
+      if (alive_[node] && !holds_stripe_block(node)) return node;
+    }
+  }
+  // ...and as a last resort accept degraded rack fault tolerance rather
+  // than leave the stripe unrepaired (a rebalance would fix it later).
+  for (NodeId node = 0; node < cluster_.total_nodes(); ++node) {
+    if (alive_[node] && !holds_stripe_block(node)) return node;
+  }
+  throw std::runtime_error("pick_replacement: no replacement node available");
+}
+
+std::vector<rs::Block> StorageSystem::stripe_view(StripeId id,
+                                                  const Stripe& s) const {
+  std::vector<rs::Block> view(s.node_of_block.size());
+  for (std::size_t b = 0; b < s.node_of_block.size(); ++b) {
+    const NodeId node = s.node_of_block[b];
+    if (!alive_[node]) continue;
+    if (const rs::Block* data = store_[node].get(id, b)) view[b] = *data;
+  }
+  return view;
+}
+
+RepairReport StorageSystem::repair(StripeId stripe) {
+  const auto it = stripes_.find(stripe);
+  if (it == stripes_.end()) throw std::out_of_range("repair: unknown stripe");
+  Stripe& s = it->second;
+
+  RepairReport report;
+  report.stripe = stripe;
+  report.scheme = planner_->name();
+
+  auto failed = lost_blocks(stripe);
+  if (failed.empty()) return report;
+  if (failed.size() > code_.config().k) {
+    throw std::runtime_error("repair: stripe unrecoverable");
+  }
+  // CAR covers single failures only; fall back to RPR's multi-failure
+  // extension for the rest (what a CAR deployment would have to do anyway).
+  const repair::RprPlanner multi_fallback;
+  const bool use_fallback =
+      failed.size() > 1 && opts_.repair_scheme == repair::Scheme::kCar;
+
+  const topology::Placement placement(cluster_, code_.config(),
+                                      s.node_of_block);
+  repair::RepairProblem problem;
+  problem.code = &code_;
+  problem.placement = &placement;
+  problem.block_size = opts_.block_size;
+  problem.failed = failed;
+  std::vector<NodeId> replacements;
+  for (std::size_t f : failed) {
+    const NodeId repl = pick_replacement(s, placement.rack_of(f));
+    replacements.push_back(repl);
+    // Reserve: temporarily record so the next pick sees it as taken.
+    s.node_of_block[f] = repl;
+  }
+  // Restore until the repair really happened.
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    s.node_of_block[failed[i]] = placement.node_of(failed[i]);
+  }
+  problem.replacements = replacements;
+
+  const repair::PlannedRepair planned =
+      use_fallback ? multi_fallback.plan(problem) : planner_->plan(problem);
+  repair::validate(planned.plan, cluster_);
+
+  const auto view = stripe_view(stripe, s);
+  auto rebuilt =
+      repair::execute_on_data(planned.plan, planned.outputs, view);
+
+  const auto sim =
+      repair::simulate(planned.plan, cluster_, opts_.network);
+  report.used_decoding_matrix = planned.used_decoding_matrix;
+  report.cross_rack_bytes = sim.cross_rack_bytes;
+  report.inner_rack_bytes = sim.inner_rack_bytes;
+  report.simulated_repair_time = sim.total_repair_time;
+
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    store_[replacements[i]].put(stripe, failed[i], std::move(rebuilt[i]));
+    s.node_of_block[failed[i]] = replacements[i];
+    report.repaired_blocks.push_back(failed[i]);
+  }
+  return report;
+}
+
+std::vector<RepairReport> StorageSystem::repair_all() {
+  std::vector<RepairReport> reports;
+  for (const auto& [id, s] : stripes_) {
+    if (lost_blocks(id).empty()) continue;
+    reports.push_back(repair(id));
+  }
+  return reports;
+}
+
+repair::SimOutcome StorageSystem::degraded_read_cost(
+    StripeId stripe, std::size_t block, NodeId reader) const {
+  const auto it = stripes_.find(stripe);
+  if (it == stripes_.end()) {
+    throw std::out_of_range("degraded_read_cost: unknown stripe");
+  }
+  const Stripe& s = it->second;
+  if (block >= s.node_of_block.size()) {
+    throw std::out_of_range("degraded_read_cost: bad block");
+  }
+  if (reader >= cluster_.total_nodes()) {
+    throw std::out_of_range("degraded_read_cost: bad reader");
+  }
+
+  const auto lost = lost_blocks(stripe);
+  const bool block_lost =
+      std::find(lost.begin(), lost.end(), block) != lost.end();
+
+  if (!block_lost) {
+    // Healthy read: one block transfer from its node to the reader.
+    repair::RepairPlan plan;
+    plan.block_size = opts_.block_size;
+    const NodeId src = s.node_of_block[block];
+    const auto r = plan.read(src, block, 1);
+    (void)plan.send(r, src, reader);
+    return repair::simulate(plan, cluster_, opts_.network);
+  }
+
+  if (lost.size() > code_.config().k) {
+    throw std::runtime_error("degraded_read_cost: stripe unrecoverable");
+  }
+  // Degraded read: reconstruct only the requested block, rooted at the
+  // reader, with RPR's rack-aware pipeline (the other lost blocks are
+  // merely excluded as sources).
+  const topology::Placement placement(cluster_, code_.config(),
+                                      s.node_of_block);
+  const auto planned = repair::plan_degraded_read(
+      code_, placement, opts_.block_size, lost, block, reader);
+  return repair::simulate(planned.plan, cluster_, opts_.network);
+}
+
+std::vector<NodeId> StorageSystem::stripe_nodes(StripeId stripe) const {
+  const auto it = stripes_.find(stripe);
+  if (it == stripes_.end()) {
+    throw std::out_of_range("stripe_nodes: unknown stripe");
+  }
+  return it->second.node_of_block;
+}
+
+}  // namespace rpr::storage

@@ -1,0 +1,136 @@
+// StorageSystem: a small erasure-coded distributed object store over the
+// rack topology — the system surface that ties the RS codec, placement
+// policies, repair planners and executors together.
+//
+// It is an in-process model (one BlockStore per node), but it exercises the
+// full production control flow the paper assumes:
+//
+//   put()            split an object into n data blocks, encode k parities,
+//                    place the stripe per the configured policy (stripes are
+//                    rack-rotated so load spreads like a real cluster);
+//   fail_node/rack() kill disks; blocks on dead nodes are lost;
+//   get()            object read with transparent degraded reads (lost data
+//                    blocks are decoded from survivors on the fly);
+//   repair()         plan with the configured scheme (traditional / CAR /
+//                    RPR), execute the plan, write the rebuilt blocks onto
+//                    rack-local replacement nodes and update the stripe map.
+//                    Reports per-repair traffic and simulated repair time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "repair/executor_sim.h"
+#include "repair/planner.h"
+#include "rs/rs_code.h"
+#include "storage/block_store.h"
+#include "topology/placement.h"
+
+namespace rpr::storage {
+
+struct StorageOptions {
+  rs::CodeConfig code{6, 3};
+  rs::MatrixKind matrix = rs::MatrixKind::kCauchy;
+  topology::PlacementPolicy policy = topology::PlacementPolicy::kRpr;
+  repair::Scheme repair_scheme = repair::Scheme::kRpr;
+  std::uint64_t block_size = 1 << 16;  ///< bytes per block
+  /// Extra node slots per rack beyond k, usable as replacement targets.
+  std::size_t spares_per_rack = 0;  ///< 0 = default (k)
+  /// Racks beyond the minimum the placement needs; gives whole-rack
+  /// failures somewhere to rebuild without degrading fault tolerance.
+  std::size_t extra_racks = 0;
+  topology::NetworkParams network{};
+};
+
+struct RepairReport {
+  StripeId stripe = 0;
+  std::vector<std::size_t> repaired_blocks;
+  std::string scheme;
+  bool used_decoding_matrix = false;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t inner_rack_bytes = 0;
+  util::SimTime simulated_repair_time = 0;
+};
+
+class StorageSystem {
+ public:
+  explicit StorageSystem(StorageOptions opts);
+
+  [[nodiscard]] const topology::Cluster& cluster() const noexcept {
+    return cluster_;
+  }
+  [[nodiscard]] const rs::RSCode& code() const noexcept { return code_; }
+  [[nodiscard]] const StorageOptions& options() const noexcept {
+    return opts_;
+  }
+
+  /// Stores an object (padded to n * block_size) as one stripe.
+  StripeId put(std::span<const std::uint8_t> object);
+
+  /// Reads the object back, transparently decoding around lost blocks.
+  /// Throws std::runtime_error if more than k blocks of the stripe are lost.
+  [[nodiscard]] std::vector<std::uint8_t> get(StripeId stripe) const;
+
+  /// Marks a node dead and wipes its store.
+  void fail_node(topology::NodeId node);
+  /// Fails every node in the rack.
+  void fail_rack(topology::RackId rack);
+  /// Returns replaced hardware to service: alive again, storage empty.
+  /// (Blocks it used to hold live on their repair-time replacement nodes.)
+  void revive_node(topology::NodeId node);
+
+  [[nodiscard]] bool node_alive(topology::NodeId node) const {
+    return alive_[node];
+  }
+
+  /// Blocks of `stripe` currently lost (on dead nodes).
+  [[nodiscard]] std::vector<std::size_t> lost_blocks(StripeId stripe) const;
+
+  /// Repairs one stripe with the configured scheme. No-op (empty report)
+  /// when nothing is lost; throws if the stripe is unrecoverable.
+  RepairReport repair(StripeId stripe);
+
+  /// Repairs every damaged stripe; returns one report per repaired stripe.
+  std::vector<RepairReport> repair_all();
+
+  /// Cost of serving one block of `stripe` to a client at `reader`:
+  /// a healthy block is a plain transfer; a lost block is reconstructed
+  /// with the configured scheme, rooted at the reader (a *degraded read* —
+  /// the latency the paper's motivation cites for RS-coded stores). Only
+  /// costs are computed; nothing is repaired or modified.
+  [[nodiscard]] repair::SimOutcome degraded_read_cost(
+      StripeId stripe, std::size_t block, topology::NodeId reader) const;
+
+  /// Where each block of a stripe currently lives.
+  [[nodiscard]] std::vector<topology::NodeId> stripe_nodes(
+      StripeId stripe) const;
+
+  [[nodiscard]] std::size_t stripe_count() const noexcept {
+    return stripes_.size();
+  }
+
+ private:
+  struct Stripe {
+    std::vector<topology::NodeId> node_of_block;
+    std::uint64_t object_size = 0;
+  };
+
+  [[nodiscard]] topology::NodeId pick_replacement(
+      const Stripe& s, topology::RackId rack) const;
+  [[nodiscard]] std::vector<rs::Block> stripe_view(StripeId id,
+                                                   const Stripe& s) const;
+
+  StorageOptions opts_;
+  rs::RSCode code_;
+  topology::Cluster cluster_;
+  std::unique_ptr<repair::Planner> planner_;
+  std::vector<BlockStore> store_;   // per node
+  std::vector<bool> alive_;         // per node
+  std::map<StripeId, Stripe> stripes_;
+  StripeId next_stripe_ = 0;
+};
+
+}  // namespace rpr::storage

@@ -1,0 +1,52 @@
+#include "storage/trace.h"
+
+#include <cmath>
+
+#include "storage/failure.h"
+
+namespace rpr::storage {
+
+TraceOutcome run_failure_trace(StorageSystem& system,
+                               const TraceParams& params) {
+  util::Xoshiro256 rng(params.seed);
+  FailureInjector injector(&system, params.seed ^ 0x9E3779B97F4A7C15ULL);
+
+  TraceOutcome out;
+  std::size_t xor_repairs = 0;
+
+  const double node_count =
+      static_cast<double>(system.cluster().total_nodes());
+  const double rate_per_hour = node_count / params.node_mttf_hours;
+
+  double now = 0.0;
+  for (;;) {
+    // Next failure arrival (Poisson process over the whole fleet).
+    const double u = rng.uniform01();
+    now += -std::log(1.0 - u) / rate_per_hour;
+    if (now > params.horizon_hours) break;
+
+    const auto failed = injector.fail_random_node(/*keep_recoverable=*/true);
+    if (!failed.has_value()) break;  // pathological tiny cluster
+    ++out.failures;
+
+    for (const auto& report : system.repair_all()) {
+      ++out.stripes_repaired;
+      out.cross_rack_bytes += report.cross_rack_bytes;
+      out.inner_rack_bytes += report.inner_rack_bytes;
+      out.total_repair_time += report.simulated_repair_time;
+      out.max_repair_time =
+          std::max(out.max_repair_time, report.simulated_repair_time);
+      if (!report.used_decoding_matrix) ++xor_repairs;
+    }
+    // Hardware replaced: the node returns empty and healthy.
+    system.revive_node(*failed);
+  }
+  out.xor_repair_fraction =
+      out.stripes_repaired
+          ? static_cast<double>(xor_repairs) /
+                static_cast<double>(out.stripes_repaired)
+          : 0.0;
+  return out;
+}
+
+}  // namespace rpr::storage

@@ -1,0 +1,46 @@
+// Failure-trace study: the long-horizon repair bill of a cluster.
+//
+// The paper motivates rack-aware repair with fleet-scale numbers (a median
+// of 180 TB/day crossing TOR switches for recovery at Facebook, §1). This
+// driver plays a synthetic failure trace against a StorageSystem — node
+// lifetimes are exponential, the standard assumption the paper's citations
+// ([22], [29]) examine — repairs after every failure, and accumulates what
+// the operator pays over the horizon: cross-rack bytes, aggregate repair
+// time, and the worst single repair.
+//
+// Simplifying assumption (documented): repairs complete before the next
+// failure arrives (repair takes minutes; MTTF is months), so events are
+// processed sequentially and failed hardware is replaced (revived empty)
+// after its blocks are rebuilt elsewhere.
+#pragma once
+
+#include "storage/storage_system.h"
+#include "util/rng.h"
+
+namespace rpr::storage {
+
+struct TraceParams {
+  double node_mttf_hours = 24.0 * 365;  ///< exponential mean lifetime
+  double horizon_hours = 24.0 * 365;    ///< simulated operation time
+  std::uint64_t seed = 1;
+};
+
+struct TraceOutcome {
+  std::size_t failures = 0;
+  std::size_t stripes_repaired = 0;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t inner_rack_bytes = 0;
+  /// Sum and max of per-stripe simulated repair times.
+  util::SimTime total_repair_time = 0;
+  util::SimTime max_repair_time = 0;
+  /// Fraction of repairs that never built a decoding matrix.
+  double xor_repair_fraction = 0.0;
+};
+
+/// Runs the trace against `system` (which is mutated: failures + repairs).
+/// Failure times are a Poisson process with rate nodes / mttf; each event
+/// kills one random alive node whose loss keeps every stripe recoverable,
+/// repairs every damaged stripe, then replaces the hardware.
+TraceOutcome run_failure_trace(StorageSystem& system, const TraceParams& params);
+
+}  // namespace rpr::storage

@@ -1,0 +1,114 @@
+// Data-center topology model (paper §2.2, Fig. 2).
+//
+// A cluster is a set of racks connected by an aggregation switch; nodes
+// within a rack hang off the rack's top-of-rack (TOR) switch. The two-level
+// bandwidth hierarchy is the paper's central premise: inner-rack links are
+// ~10x faster than cross-rack links (10 Gb/s vs 1 Gb/s in production, §1).
+//
+// Node ids are dense integers laid out rack-major: rack r owns node ids
+// [r * nodes_per_rack, (r+1) * nodes_per_rack). The first `k` slots of a
+// rack hold stripe blocks under the paper's placements; the remaining slots
+// are spares used as replacement nodes during repair.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/units.h"
+
+namespace rpr::topology {
+
+using NodeId = std::size_t;
+using RackId = std::size_t;
+
+/// Link and compute speeds shared by the simulator and the analysis module.
+struct NetworkParams {
+  /// Bandwidth between two nodes in the same rack (through the TOR switch).
+  util::Bandwidth inner = util::Bandwidth::gbps(10);
+  /// Bandwidth between nodes in different racks (through aggregation).
+  util::Bandwidth cross = util::Bandwidth::gbps(1);
+  /// Decode throughput when a decoding matrix must be built and applied
+  /// (paper §2.3: ~1000 MB/s for RS decode).
+  util::Bandwidth decode_with_matrix = util::Bandwidth::mbytes_per_sec(1000);
+  /// Decode throughput on the pure-XOR path (paper §3.3: building the
+  /// decoding matrix is up to 75% of decode time, i.e. t_wd = 4 * t_nd).
+  util::Bandwidth decode_xor = util::Bandwidth::mbytes_per_sec(4000);
+  /// When true (default), decode/compute time is charged in the simulator.
+  /// The paper's closed-form analysis (§4.1) neglects it; analysis-replica
+  /// benches switch it off.
+  bool charge_compute = true;
+
+  /// The paper's simulator setup: inner 1 Gb/s (Simics default node NIC),
+  /// cross 0.1 Gb/s (wondershaper-throttled), 10:1 ratio (§5.1).
+  static NetworkParams simics_like() {
+    NetworkParams p;
+    p.inner = util::Bandwidth::gbps(1);
+    p.cross = util::Bandwidth::gbps(0.1);
+    return p;
+  }
+};
+
+class Cluster {
+ public:
+  /// `spares_per_rack` extra nodes per rack beyond `block_slots_per_rack`
+  /// are available as replacement targets.
+  Cluster(std::size_t racks, std::size_t block_slots_per_rack,
+          std::size_t spares_per_rack = 1)
+      : racks_(racks),
+        slots_(block_slots_per_rack),
+        spares_(spares_per_rack) {
+    if (racks == 0 || block_slots_per_rack == 0) {
+      throw std::invalid_argument("Cluster: racks and slots must be positive");
+    }
+  }
+
+  [[nodiscard]] std::size_t racks() const noexcept { return racks_; }
+  [[nodiscard]] std::size_t nodes_per_rack() const noexcept {
+    return slots_ + spares_;
+  }
+  [[nodiscard]] std::size_t block_slots_per_rack() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::size_t total_nodes() const noexcept {
+    return racks_ * nodes_per_rack();
+  }
+
+  [[nodiscard]] RackId rack_of(NodeId node) const {
+    if (node >= total_nodes()) throw std::out_of_range("rack_of: bad node");
+    return node / nodes_per_rack();
+  }
+
+  [[nodiscard]] bool same_rack(NodeId a, NodeId b) const {
+    return rack_of(a) == rack_of(b);
+  }
+
+  /// The i-th block slot of a rack (i < block_slots_per_rack()).
+  [[nodiscard]] NodeId slot(RackId rack, std::size_t i) const {
+    if (rack >= racks_ || i >= slots_) throw std::out_of_range("slot");
+    return rack * nodes_per_rack() + i;
+  }
+
+  /// The i-th spare node of a rack (i < spares_per_rack).
+  [[nodiscard]] NodeId spare(RackId rack, std::size_t i = 0) const {
+    if (rack >= racks_ || i >= spares_) throw std::out_of_range("spare");
+    return rack * nodes_per_rack() + slots_ + i;
+  }
+
+  [[nodiscard]] std::vector<NodeId> nodes_in_rack(RackId rack) const {
+    std::vector<NodeId> out;
+    out.reserve(nodes_per_rack());
+    for (std::size_t i = 0; i < nodes_per_rack(); ++i) {
+      out.push_back(rack * nodes_per_rack() + i);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t racks_;
+  std::size_t slots_;
+  std::size_t spares_;
+};
+
+}  // namespace rpr::topology

@@ -1,0 +1,55 @@
+// Enumeration helpers for failure-pattern sweeps.
+//
+// The paper reports, for each (n, k, z) configuration, the average / min /
+// max repair cost over *all possible block locations* of the z failures
+// (Figs. 9-11, 13-14). These helpers enumerate exactly those location sets.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace rpr::util {
+
+/// Calls `visit` with every size-`r` subset of {0, 1, ..., m-1}, in
+/// lexicographic order. The vector passed to `visit` is reused between calls;
+/// copy it if you need to keep it.
+inline void for_each_combination(
+    std::size_t m, std::size_t r,
+    const std::function<void(const std::vector<std::size_t>&)>& visit) {
+  if (r > m) return;
+  if (r == 0) {
+    const std::vector<std::size_t> empty;
+    visit(empty);  // exactly one size-0 subset
+    return;
+  }
+  std::vector<std::size_t> idx(r);
+  for (std::size_t i = 0; i < r; ++i) idx[i] = i;
+  for (;;) {
+    visit(idx);
+    // Advance to the next combination (standard odometer).
+    std::size_t i = r;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + m - r) break;
+      if (i == 0) return;
+    }
+    if (idx[i] == i + m - r) return;
+    ++idx[i];
+    for (std::size_t j = i + 1; j < r; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+/// Number of size-r subsets of an m-element set. Small inputs only (the
+/// sweeps here are over at most a few hundred combinations).
+inline std::size_t n_choose_r(std::size_t m, std::size_t r) {
+  if (r > m) return 0;
+  if (r > m - r) r = m - r;
+  std::size_t result = 1;
+  for (std::size_t i = 1; i <= r; ++i) {
+    result = result * (m - r + i) / i;
+  }
+  return result;
+}
+
+}  // namespace rpr::util

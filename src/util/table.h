@@ -1,0 +1,35 @@
+// Minimal fixed-width text table writer used by the benchmark harness to
+// print paper-figure reproductions in a uniform, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rpr::util {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+///
+///   TextTable t({"code", "Tra", "CAR", "RPR"});
+///   t.add_row({"(4,2)", "40.0", "21.0", "12.0"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a header rule. Columns are left-aligned for the
+  /// first column and right-aligned for the rest (numeric convention).
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+[[nodiscard]] std::string fmt(double v, int prec = 2);
+
+}  // namespace rpr::util

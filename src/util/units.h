@@ -1,0 +1,69 @@
+// Strongly-typed scalar units used across the simulator and testbed.
+//
+// The discrete-event simulator keeps time in integer nanoseconds so that
+// event ordering is exact and runs are bit-reproducible; bandwidths are kept
+// in bytes/second as doubles (they only scale durations, never order events
+// on their own).
+#pragma once
+
+#include <cstdint>
+
+namespace rpr::util {
+
+/// Simulated time in nanoseconds. 2^63 ns ~ 292 years: ample headroom.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNsPerUs = 1'000;
+inline constexpr SimTime kNsPerMs = 1'000'000;
+inline constexpr SimTime kNsPerSec = 1'000'000'000;
+
+constexpr double to_ms(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+constexpr double to_sec(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+/// Bandwidth, stored as bytes per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() noexcept = default;
+  static constexpr Bandwidth bytes_per_sec(double v) noexcept {
+    return Bandwidth(v);
+  }
+  /// Megabits per second, the unit the paper (and Table 1) reports.
+  static constexpr Bandwidth mbps(double v) noexcept {
+    return Bandwidth(v * 1e6 / 8.0);
+  }
+  /// Gigabits per second (paper: inner-rack 10 Gb/s, cross-rack 1 Gb/s).
+  static constexpr Bandwidth gbps(double v) noexcept {
+    return Bandwidth(v * 1e9 / 8.0);
+  }
+  /// Megabytes per second (paper: RS decoding speed ~1000 MB/s).
+  static constexpr Bandwidth mbytes_per_sec(double v) noexcept {
+    return Bandwidth(v * 1e6);
+  }
+
+  constexpr double as_bytes_per_sec() const noexcept { return bps_; }
+  constexpr double as_mbps() const noexcept { return bps_ * 8.0 / 1e6; }
+
+  /// Duration to move `bytes` at this bandwidth, rounded up to whole ns.
+  constexpr SimTime time_for(std::uint64_t bytes) const noexcept {
+    const double sec = static_cast<double>(bytes) / bps_;
+    const double ns = sec * static_cast<double>(kNsPerSec);
+    const auto whole = static_cast<SimTime>(ns);
+    return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+  }
+
+  constexpr bool valid() const noexcept { return bps_ > 0.0; }
+
+  friend constexpr bool operator==(Bandwidth a, Bandwidth b) noexcept {
+    return a.bps_ == b.bps_;
+  }
+
+ private:
+  explicit constexpr Bandwidth(double bps) noexcept : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+}  // namespace rpr::util

@@ -1,0 +1,73 @@
+// Closed-form analysis tests (paper §4): formula values and the consistency
+// between the analysis and the simulator on degenerate cases.
+#include "repair/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace an = rpr::repair::analysis;
+using rpr::util::kNsPerMs;
+
+TEST(Analysis, Log2Helpers) {
+  EXPECT_EQ(an::floor_log2(1), 0u);
+  EXPECT_EQ(an::floor_log2(2), 1u);
+  EXPECT_EQ(an::floor_log2(3), 1u);
+  EXPECT_EQ(an::floor_log2(4), 2u);
+  EXPECT_EQ(an::floor_log2(1023), 9u);
+  EXPECT_EQ(an::ceil_log2(1), 0u);
+  EXPECT_EQ(an::ceil_log2(2), 1u);
+  EXPECT_EQ(an::ceil_log2(3), 2u);
+  EXPECT_EQ(an::ceil_log2(4), 2u);
+  EXPECT_EQ(an::ceil_log2(5), 3u);
+}
+
+TEST(Analysis, TraditionalTimeIsLinearInN) {
+  const an::Params p{/*t_i=*/kNsPerMs, /*t_c=*/10 * kNsPerMs};
+  EXPECT_EQ(an::traditional_time(4, p), 40 * kNsPerMs);
+  EXPECT_EQ(an::traditional_time(12, p), 120 * kNsPerMs);
+}
+
+TEST(Analysis, RprWorstTimeMatchesEq13) {
+  const an::Params p{kNsPerMs, 10 * kNsPerMs};
+  // RS(4,2): q = 3, k = 2 -> (floor(log2 2)+1)*t_i + (floor(log2 3)+1)*t_c
+  //        = 2*1 + 2*10 = 22 ms.
+  EXPECT_EQ(an::rpr_worst_time(4, 2, p), 22 * kNsPerMs);
+  // RS(12,4): q = 4 -> (2+1)*1 + (2+1)*10 = 33 ms.
+  EXPECT_EQ(an::rpr_worst_time(12, 4, p), 33 * kNsPerMs);
+}
+
+TEST(Analysis, RprGrowsSublinearlyVsTraditional) {
+  const an::Params p{kNsPerMs, 10 * kNsPerMs};
+  // Fig. 6's qualitative claim: the gap widens as n grows.
+  double prev_gap = 0.0;
+  for (std::size_t n = 4; n <= 24; n += 4) {
+    const auto tra = an::traditional_time(n, p);
+    const auto rpr_t = an::rpr_worst_time(n, 4, p);
+    const double gap = static_cast<double>(tra - rpr_t);
+    EXPECT_GT(gap, prev_gap) << "n=" << n;
+    prev_gap = gap;
+  }
+}
+
+TEST(Analysis, MultiCrossTimesteps) {
+  // §4.3.1: q = 3, k failures -> ceil(log2 3) * k = 2k.
+  EXPECT_EQ(an::rpr_multi_cross_timesteps(3, 2), 4u);
+  // §4.3.3: l = 2 over q = 4 racks -> 2 * 2.
+  EXPECT_EQ(an::rpr_multi_cross_timesteps(4, 2), 4u);
+}
+
+TEST(Analysis, MultiTrafficBlocks) {
+  // §4.3.2: worst case k failures -> (n/k)*k = n blocks (no reduction).
+  EXPECT_EQ(an::rpr_multi_traffic_blocks(8, 4, 4), 8u);
+  // §4.3.3: l = 2 for RS(8,4) -> (8/4)*2 = 4 < 8.
+  EXPECT_EQ(an::rpr_multi_traffic_blocks(8, 4, 2), 4u);
+}
+
+TEST(Analysis, WorstCaseImprovementSignMatchesCodeRate) {
+  // (n+k)/k <= 3  => no improvement (paper: repair time equals traditional).
+  EXPECT_LE(an::multi_worst_improvement(4, 2), 0.0 + 1e-9);
+  // (n+k)/k > 3 => positive improvement, e.g. RS(12,4): 1 - 2*4/12 = 1/3.
+  EXPECT_NEAR(an::multi_worst_improvement(12, 4), 1.0 / 3.0, 1e-9);
+  EXPECT_GT(an::multi_worst_improvement(8, 2), 0.0);
+}

@@ -1,0 +1,182 @@
+// File-archive tests: encode/verify/repair/extract round trips on disk,
+// corruption detection, unrecoverable archives, manifest parsing.
+#include "cli/archive.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/rng.h"
+
+namespace fs = std::filesystem;
+using rpr::cli::BlockHealth;
+
+namespace {
+
+class ArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rpr_archive_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write_input(std::size_t size, std::uint64_t seed) {
+    rpr::util::Xoshiro256 rng(seed);
+    std::vector<char> bytes(size);
+    for (auto& b : bytes) b = static_cast<char>(rng());
+    const fs::path p = dir_ / "input.bin";
+    std::ofstream(p, std::ios::binary).write(bytes.data(),
+                                             static_cast<std::streamsize>(size));
+    return p;
+  }
+
+  std::vector<char> slurp(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  fs::path dir_;
+};
+
+}  // namespace
+
+TEST_F(ArchiveTest, EncodeVerifyExtractRoundTrip) {
+  const auto input = write_input(10'000, 1);
+  const auto archive = dir_ / "arc";
+  const auto m = rpr::cli::encode_file(input, archive, {6, 3});
+  EXPECT_EQ(m.file_size, 10'000u);
+  EXPECT_EQ(m.block_size, (10'000u + 5) / 6);
+  EXPECT_TRUE(rpr::cli::verify_archive(archive).healthy());
+
+  const auto out = dir_ / "out.bin";
+  rpr::cli::extract_file(archive, out);
+  EXPECT_EQ(slurp(out), slurp(input));
+}
+
+TEST_F(ArchiveTest, MissingBlocksDetectedAndRepaired) {
+  const auto input = write_input(5'000, 2);
+  const auto archive = dir_ / "arc";
+  rpr::cli::encode_file(input, archive, {4, 2});
+
+  fs::remove(archive / "block_001.rpr");
+  fs::remove(archive / "block_004.rpr");  // one data, one parity
+
+  auto report = rpr::cli::verify_archive(archive);
+  EXPECT_EQ(report.blocks[1], BlockHealth::kMissing);
+  EXPECT_EQ(report.blocks[4], BlockHealth::kMissing);
+  EXPECT_TRUE(report.recoverable());
+
+  const auto rebuilt = rpr::cli::repair_archive(archive);
+  EXPECT_EQ(rebuilt, (std::vector<std::size_t>{1, 4}));
+  EXPECT_TRUE(rpr::cli::verify_archive(archive).healthy());
+
+  const auto out = dir_ / "out.bin";
+  rpr::cli::extract_file(archive, out);
+  EXPECT_EQ(slurp(out), slurp(input));
+}
+
+TEST_F(ArchiveTest, CorruptBlockDetectedByChecksum) {
+  const auto input = write_input(3'000, 3);
+  const auto archive = dir_ / "arc";
+  rpr::cli::encode_file(input, archive, {4, 2});
+
+  // Flip one byte of a block file; size stays the same.
+  {
+    std::fstream f(archive / "block_002.rpr",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(10);
+    char c;
+    f.seekg(10);
+    f.get(c);
+    f.seekp(10);
+    f.put(static_cast<char>(c ^ 0x5A));
+  }
+  const auto report = rpr::cli::verify_archive(archive);
+  EXPECT_EQ(report.blocks[2], BlockHealth::kCorrupt);
+  EXPECT_EQ(report.damaged(), (std::vector<std::size_t>{2}));
+
+  rpr::cli::repair_archive(archive);
+  EXPECT_TRUE(rpr::cli::verify_archive(archive).healthy());
+}
+
+TEST_F(ArchiveTest, ExtractWorksDegradedWithoutRepair) {
+  const auto input = write_input(8'192, 4);
+  const auto archive = dir_ / "arc";
+  rpr::cli::encode_file(input, archive, {6, 3});
+  fs::remove(archive / "block_000.rpr");
+  fs::remove(archive / "block_003.rpr");
+
+  const auto out = dir_ / "out.bin";
+  rpr::cli::extract_file(archive, out);
+  EXPECT_EQ(slurp(out), slurp(input));
+  // Archive itself still damaged (extract is read-only).
+  EXPECT_FALSE(rpr::cli::verify_archive(archive).healthy());
+}
+
+TEST_F(ArchiveTest, UnrecoverableArchiveRejected) {
+  const auto input = write_input(2'000, 5);
+  const auto archive = dir_ / "arc";
+  rpr::cli::encode_file(input, archive, {4, 2});
+  for (int b : {0, 1, 2}) {
+    fs::remove(archive / ("block_00" + std::to_string(b) + ".rpr"));
+  }
+  const auto report = rpr::cli::verify_archive(archive);
+  EXPECT_FALSE(report.recoverable());
+  EXPECT_THROW(rpr::cli::repair_archive(archive), std::runtime_error);
+  EXPECT_THROW(rpr::cli::extract_file(archive, dir_ / "out.bin"),
+               std::runtime_error);
+}
+
+TEST_F(ArchiveTest, OddSizesRoundTrip) {
+  for (const std::size_t size : {1u, 5u, 6u, 7u, 6000u, 6001u}) {
+    const auto input = write_input(size, 100 + size);
+    const auto archive = dir_ / ("arc_" + std::to_string(size));
+    rpr::cli::encode_file(input, archive, {6, 2});
+    const auto out = dir_ / ("out_" + std::to_string(size));
+    rpr::cli::extract_file(archive, out);
+    EXPECT_EQ(slurp(out), slurp(input)) << "size=" << size;
+  }
+}
+
+TEST_F(ArchiveTest, EmptyInputRejected) {
+  const auto input = write_input(0, 6);
+  EXPECT_THROW(rpr::cli::encode_file(input, dir_ / "arc", {4, 2}),
+               std::runtime_error);
+}
+
+TEST_F(ArchiveTest, ManifestRoundTrip) {
+  rpr::cli::ArchiveManifest m;
+  m.code = {6, 3};
+  m.block_size = 1234;
+  m.file_size = 7000;
+  m.source_name = "input.bin";
+  m.checksums.assign(9, 0);
+  for (std::size_t i = 0; i < 9; ++i) m.checksums[i] = 1000 + i;
+  const auto parsed = rpr::cli::ArchiveManifest::parse(m.serialize());
+  EXPECT_EQ(parsed.code, m.code);
+  EXPECT_EQ(parsed.block_size, m.block_size);
+  EXPECT_EQ(parsed.file_size, m.file_size);
+  EXPECT_EQ(parsed.source_name, m.source_name);
+  EXPECT_EQ(parsed.checksums, m.checksums);
+}
+
+TEST_F(ArchiveTest, ManifestRejectsGarbage) {
+  EXPECT_THROW(rpr::cli::ArchiveManifest::parse("not a manifest"),
+               std::runtime_error);
+  EXPECT_THROW(rpr::cli::ArchiveManifest::parse("rpr-archive-v1\nbogus 1\n"),
+               std::runtime_error);
+}
+
+TEST_F(ArchiveTest, Fnv1a64KnownVectors) {
+  // Standard FNV-1a test vectors.
+  const std::uint8_t empty[] = {0};
+  EXPECT_EQ(rpr::cli::fnv1a64({empty, 0}), 0xcbf29ce484222325ULL);
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(rpr::cli::fnv1a64({a, 1}), 0xaf63dc4c8601ec8cULL);
+}

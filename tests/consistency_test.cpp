@@ -1,0 +1,287 @@
+// Cross-checks between the closed-form analysis (§4), the simulator, and
+// structural lower/upper bounds — plus randomized fuzzing of planners over
+// random placements and failure patterns.
+#include <gtest/gtest.h>
+
+#include "repair/analysis.h"
+#include "repair/executor_data.h"
+#include "repair/executor_sim.h"
+#include "repair/planner.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+using rpr::rs::CodeConfig;
+using rpr::rs::RSCode;
+using rpr::topology::Cluster;
+using rpr::topology::NetworkParams;
+using rpr::topology::Placement;
+using rpr::util::SimTime;
+
+namespace {
+
+NetworkParams analysis_params() {
+  // t_i = 1 ms, t_c = 10 ms for a 1 MB block; compute uncharged, exactly
+  // the §4.1 cost model.
+  NetworkParams p;
+  p.inner = rpr::util::Bandwidth::bytes_per_sec(1e9);
+  p.cross = rpr::util::Bandwidth::bytes_per_sec(1e8);
+  p.charge_compute = false;
+  return p;
+}
+
+constexpr std::uint64_t kBlock = 1'000'000;
+
+}  // namespace
+
+TEST(Consistency, TraditionalOnFlatPlacementMatchesEq10) {
+  // Flat placement: every survivor is cross-rack, replacement serializes
+  // all n receives -> exactly n * t_c (eq. 10).
+  for (const auto cfg : rpr::testing::paper_configs()) {
+    const RSCode code(cfg);
+    const auto placed = rpr::topology::make_placed_stripe(
+        cfg, rpr::topology::PlacementPolicy::kFlat);
+    rpr::repair::RepairProblem p;
+    p.code = &code;
+    p.placement = &placed.placement;
+    p.block_size = kBlock;
+    p.failed = {0};
+    p.choose_default_replacements();
+    const rpr::repair::TraditionalPlanner tra;
+    const auto planned = tra.plan(p);
+    const auto sim =
+        rpr::repair::simulate(planned.plan, placed.cluster, analysis_params());
+    const rpr::repair::analysis::Params ap{rpr::util::kNsPerMs,
+                                           10 * rpr::util::kNsPerMs};
+    EXPECT_EQ(sim.total_repair_time,
+              rpr::repair::analysis::traditional_time(cfg.n, ap))
+        << rpr::testing::config_name(cfg);
+  }
+}
+
+TEST(Consistency, RprSingleFailureWithinWorstCaseBound) {
+  // Eq. (13) is the *worst case* (no pipelining at all); the simulated RPR
+  // schedule must never exceed it. A small slack covers the one extra
+  // inner-rack hop from the recovery rack's aggregation point to the
+  // replacement node, which the closed form folds into its +1 terms.
+  const rpr::repair::analysis::Params ap{rpr::util::kNsPerMs,
+                                         10 * rpr::util::kNsPerMs};
+  const rpr::repair::RprPlanner planner;
+  for (const auto cfg : rpr::testing::paper_configs()) {
+    const RSCode code(cfg);
+    const auto placed = rpr::topology::make_placed_stripe(
+        cfg, rpr::topology::PlacementPolicy::kRpr);
+    const SimTime bound =
+        rpr::repair::analysis::rpr_worst_time(cfg.n, cfg.k, ap) +
+        2 * ap.t_i;
+    for (std::size_t f = 0; f < cfg.n; ++f) {
+      rpr::repair::RepairProblem p;
+      p.code = &code;
+      p.placement = &placed.placement;
+      p.block_size = kBlock;
+      p.failed = {f};
+      p.choose_default_replacements();
+      const auto planned = planner.plan(p);
+      const auto sim = rpr::repair::simulate(planned.plan, placed.cluster,
+                                             analysis_params());
+      EXPECT_LE(sim.total_repair_time, bound)
+          << rpr::testing::config_name(cfg) << " f=" << f;
+    }
+  }
+}
+
+TEST(Consistency, MakespanBoundedByCriticalPathAndSerialSum) {
+  // For any plan: longest chain of op durations <= makespan <= serial sum.
+  const CodeConfig cfg{8, 4};
+  const RSCode code(cfg);
+  const auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto params = analysis_params();
+
+  for (const auto scheme :
+       {rpr::repair::Scheme::kTraditional, rpr::repair::Scheme::kCar,
+        rpr::repair::Scheme::kRpr}) {
+    const auto planner = rpr::repair::make_planner(scheme);
+    rpr::repair::RepairProblem p;
+    p.code = &code;
+    p.placement = &placed.placement;
+    p.block_size = kBlock;
+    p.failed = {3};
+    p.choose_default_replacements();
+    const auto planned = planner->plan(p);
+
+    // Per-op durations under the analysis cost model.
+    auto duration = [&](const rpr::repair::PlanOp& op) -> SimTime {
+      if (op.kind != rpr::repair::OpKind::kSend || op.from == op.node) {
+        return 0;
+      }
+      const bool cross = placed.cluster.rack_of(op.from) !=
+                         placed.cluster.rack_of(op.node);
+      return (cross ? params.cross : params.inner).time_for(kBlock);
+    };
+    std::vector<SimTime> longest(planned.plan.ops.size(), 0);
+    SimTime critical = 0, serial = 0;
+    for (std::size_t id = 0; id < planned.plan.ops.size(); ++id) {
+      const auto& op = planned.plan.ops[id];
+      SimTime start = 0;
+      for (const auto in : op.inputs) start = std::max(start, longest[in]);
+      longest[id] = start + duration(op);
+      critical = std::max(critical, longest[id]);
+      serial += duration(op);
+    }
+    const auto sim =
+        rpr::repair::simulate(planned.plan, placed.cluster, params);
+    EXPECT_GE(sim.total_repair_time, critical) << planner->name();
+    EXPECT_LE(sim.total_repair_time, serial) << planner->name();
+  }
+}
+
+TEST(Consistency, MultiFailureTrafficMatchesClosedForm) {
+  // §4.3.3: RPR multi-failure cross traffic = (n/k) * l blocks when every
+  // involved rack contributes one intermediate per sub-equation.
+  const rpr::repair::RprPlanner planner;
+  for (const auto cfg : {CodeConfig{8, 4}, CodeConfig{12, 4}}) {
+    const RSCode code(cfg);
+    const auto placed = rpr::topology::make_placed_stripe(
+        cfg, rpr::topology::PlacementPolicy::kRpr);
+    for (std::size_t l = 2; l < cfg.k; ++l) {
+      std::vector<std::size_t> failed;
+      for (std::size_t i = 0; i < l; ++i) failed.push_back(i);
+      rpr::repair::RepairProblem p;
+      p.code = &code;
+      p.placement = &placed.placement;
+      p.block_size = kBlock;
+      p.failed = failed;
+      p.choose_default_replacements();
+      const auto planned = planner.plan(p);
+      const auto traffic =
+          rpr::repair::traffic(planned.plan, placed.cluster);
+      EXPECT_EQ(traffic.cross_rack_bytes / kBlock,
+                rpr::repair::analysis::rpr_multi_traffic_blocks(cfg.n, cfg.k,
+                                                                l))
+          << rpr::testing::config_name(cfg) << " l=" << l;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized fuzzing: random valid placements x random failure sets.
+
+namespace {
+
+/// Random placement over a roomy cluster honoring <= k blocks per rack.
+Placement random_placement(const Cluster& cluster, CodeConfig cfg,
+                           rpr::util::Xoshiro256& rng) {
+  for (;;) {
+    std::vector<rpr::topology::NodeId> nodes;
+    std::vector<std::size_t> rack_load(cluster.racks(), 0);
+    bool ok = true;
+    for (std::size_t b = 0; b < cfg.total(); ++b) {
+      // Rejection-sample a node whose rack still has room.
+      int attempts = 0;
+      for (;;) {
+        const auto node = static_cast<rpr::topology::NodeId>(
+            rng.below(cluster.total_nodes()));
+        const auto rack = cluster.rack_of(node);
+        const bool taken =
+            std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+        if (!taken && rack_load[rack] < cfg.k) {
+          nodes.push_back(node);
+          ++rack_load[rack];
+          break;
+        }
+        if (++attempts > 200) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+    if (ok) return Placement(cluster, cfg, std::move(nodes));
+  }
+}
+
+}  // namespace
+
+TEST(Fuzz, RandomPlacementsAndFailuresAllSchemesBitExact) {
+  rpr::util::Xoshiro256 rng(20200817);  // the paper's conference date
+  const CodeConfig cfg{8, 4};
+  const RSCode code(cfg);
+  const auto stripe = rpr::testing::random_stripe(code, 128, 1);
+  const Cluster cluster(6, cfg.k, cfg.k);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const Placement placement = random_placement(cluster, cfg, rng);
+    const std::size_t l = 1 + rng.below(cfg.k);
+    std::vector<std::size_t> failed;
+    while (failed.size() < l) {
+      const auto b = rng.below(cfg.total());
+      if (std::find(failed.begin(), failed.end(), b) == failed.end()) {
+        failed.push_back(b);
+      }
+    }
+    std::sort(failed.begin(), failed.end());
+
+    rpr::repair::RepairProblem p;
+    p.code = &code;
+    p.placement = &placement;
+    p.block_size = 128;
+    p.failed = failed;
+    p.choose_default_replacements();
+
+    for (const auto scheme :
+         {rpr::repair::Scheme::kTraditional, rpr::repair::Scheme::kRpr}) {
+      const auto planner = rpr::repair::make_planner(scheme);
+      const auto planned = planner->plan(p);
+      ASSERT_NO_THROW(rpr::repair::validate(planned.plan, cluster))
+          << "trial " << trial;
+      const auto rebuilt = rpr::repair::execute_on_data(
+          planned.plan, planned.outputs, stripe);
+      for (std::size_t i = 0; i < failed.size(); ++i) {
+        ASSERT_EQ(rebuilt[i], stripe[failed[i]])
+            << planner->name() << " trial " << trial << " block "
+            << failed[i];
+      }
+      // Also sanity-run the simulator (no port deadlocks / cycles).
+      const auto sim =
+          rpr::repair::simulate(planned.plan, cluster, NetworkParams{});
+      ASSERT_GT(sim.total_repair_time, 0) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Fuzz, RandomFailuresRprNeverSlowerThanTraditional) {
+  rpr::util::Xoshiro256 rng(424242);
+  const CodeConfig cfg{12, 4};
+  const RSCode code(cfg);
+  const auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const rpr::repair::TraditionalPlanner tra;
+  const rpr::repair::RprPlanner rpr_planner;
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t l = 1 + rng.below(cfg.k);
+    std::vector<std::size_t> failed;
+    while (failed.size() < l) {
+      const auto b = rng.below(cfg.total());
+      if (std::find(failed.begin(), failed.end(), b) == failed.end()) {
+        failed.push_back(b);
+      }
+    }
+    std::sort(failed.begin(), failed.end());
+    rpr::repair::RepairProblem p;
+    p.code = &code;
+    p.placement = &placed.placement;
+    p.block_size = kBlock;
+    p.failed = failed;
+    p.choose_default_replacements();
+    const auto t_tra =
+        rpr::repair::simulate(tra.plan(p).plan, placed.cluster,
+                              NetworkParams{})
+            .total_repair_time;
+    const auto t_rpr =
+        rpr::repair::simulate(rpr_planner.plan(p).plan, placed.cluster,
+                              NetworkParams{})
+            .total_repair_time;
+    EXPECT_LE(t_rpr, t_tra) << "trial " << trial << " l=" << l;
+  }
+}

@@ -1,0 +1,128 @@
+// Fleet (multi-stripe concurrent repair) tests.
+#include "repair/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+using rpr::repair::FleetOutcome;
+using rpr::repair::FleetProblem;
+using rpr::repair::RepairProblem;
+using rpr::rs::CodeConfig;
+using rpr::rs::RSCode;
+using rpr::topology::Cluster;
+using rpr::topology::Placement;
+
+namespace {
+
+struct FleetHarness {
+  CodeConfig cfg{6, 3};
+  RSCode code{cfg};
+  Cluster cluster{cfg.racks_when_full(), cfg.k, cfg.k};
+  std::vector<Placement> placements;
+  FleetProblem fleet;
+
+  explicit FleetHarness(std::size_t stripes, std::uint64_t block = 1 << 20) {
+    const Placement base = rpr::topology::make_placement(
+        cluster, cfg, rpr::topology::PlacementPolicy::kRpr);
+    for (std::size_t s = 0; s < stripes; ++s) {
+      std::vector<rpr::topology::NodeId> nodes(cfg.total());
+      for (std::size_t b = 0; b < cfg.total(); ++b) {
+        const auto node = base.node_of(b);
+        const auto rack = (cluster.rack_of(node) + s) % cluster.racks();
+        nodes[b] = rack * cluster.nodes_per_rack() +
+                   node % cluster.nodes_per_rack();
+      }
+      placements.emplace_back(cluster, cfg, std::move(nodes));
+    }
+    // Fail node 0; every stripe with a block there becomes a repair.
+    for (const auto& placement : placements) {
+      for (std::size_t b = 0; b < cfg.total(); ++b) {
+        if (placement.node_of(b) != 0) continue;
+        RepairProblem p;
+        p.code = &code;
+        p.placement = &placement;
+        p.block_size = block;
+        p.failed = {b};
+        p.choose_default_replacements();
+        fleet.stripes.push_back(std::move(p));
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TEST(Fleet, DamagedStripeCountMatchesRotation) {
+  // Contiguous-style placement uses slot 0 of every rack, so a slot-0 node
+  // holds one block of every rack-rotated stripe: all 9 are damaged.
+  FleetHarness h(9);
+  EXPECT_EQ(h.fleet.stripes.size(), 9u);
+}
+
+TEST(Fleet, ConcurrentRepairSlowerThanSingleButFasterThanSerial) {
+  FleetHarness h(9);
+  const rpr::repair::RprPlanner planner;
+  const rpr::topology::NetworkParams params;
+
+  const auto one = rpr::repair::simulate_fleet(
+      planner, FleetProblem{{h.fleet.stripes[0]}}, h.cluster, params);
+  const auto all =
+      rpr::repair::simulate_fleet(planner, h.fleet, h.cluster, params);
+
+  EXPECT_GE(all.makespan, one.makespan);
+  // Concurrency must beat a fully serial execution of the wave.
+  EXPECT_LT(all.makespan,
+            one.makespan * static_cast<rpr::util::SimTime>(
+                               h.fleet.stripes.size()));
+}
+
+TEST(Fleet, TrafficAddsUpAcrossStripes) {
+  FleetHarness h(6);
+  const rpr::repair::RprPlanner planner;
+  const rpr::topology::NetworkParams params;
+  const auto all =
+      rpr::repair::simulate_fleet(planner, h.fleet, h.cluster, params);
+  std::uint64_t sum = 0;
+  for (const auto& stripe : h.fleet.stripes) {
+    const auto one = rpr::repair::simulate_fleet(
+        planner, FleetProblem{{stripe}}, h.cluster, params);
+    sum += one.cross_rack_bytes;
+  }
+  EXPECT_EQ(all.cross_rack_bytes, sum);
+}
+
+TEST(Fleet, RprFleetFasterAndBetterBalancedThanTraditional) {
+  FleetHarness h(12);
+  const rpr::topology::NetworkParams params;
+  const rpr::repair::TraditionalPlanner tra;
+  const rpr::repair::RprPlanner rpr_planner;
+  const auto out_tra =
+      rpr::repair::simulate_fleet(tra, h.fleet, h.cluster, params);
+  const auto out_rpr =
+      rpr::repair::simulate_fleet(rpr_planner, h.fleet, h.cluster, params);
+  EXPECT_LT(out_rpr.makespan, out_tra.makespan);
+  EXPECT_LE(out_rpr.cross_rack_bytes, out_tra.cross_rack_bytes);
+}
+
+TEST(Fleet, UploadStatsComputed) {
+  FleetHarness h(6);
+  const rpr::repair::RprPlanner planner;
+  const auto out = rpr::repair::simulate_fleet(
+      planner, h.fleet, h.cluster, rpr::topology::NetworkParams{});
+  ASSERT_EQ(out.rack_upload_bytes.size(), h.cluster.racks());
+  EXPECT_GT(out.upload_imbalance, 0.0);
+  std::uint64_t sum = 0;
+  for (const auto b : out.rack_upload_bytes) sum += b;
+  EXPECT_EQ(sum, out.cross_rack_bytes);
+}
+
+TEST(Fleet, EmptyFleetIsTrivial) {
+  FleetHarness h(0);
+  const rpr::repair::RprPlanner planner;
+  const auto out = rpr::repair::simulate_fleet(
+      planner, FleetProblem{}, h.cluster, rpr::topology::NetworkParams{});
+  EXPECT_EQ(out.makespan, 0);
+  EXPECT_EQ(out.cross_rack_bytes, 0u);
+}

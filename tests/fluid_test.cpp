@@ -1,0 +1,170 @@
+// Fluid (max-min fair-sharing) network model tests.
+#include "simnet/fluid.h"
+
+#include <gtest/gtest.h>
+
+#include "repair/executor_sim.h"
+#include "repair/planner.h"
+#include "test_support.h"
+
+using rpr::simnet::FluidNetwork;
+using rpr::topology::Cluster;
+using rpr::topology::NetworkParams;
+using rpr::util::Bandwidth;
+using rpr::util::SimTime;
+
+namespace {
+
+NetworkParams round_params() {
+  NetworkParams p;
+  p.inner = Bandwidth::bytes_per_sec(1e9);
+  p.cross = Bandwidth::bytes_per_sec(1e8);
+  p.charge_compute = false;
+  return p;
+}
+
+constexpr std::uint64_t kBlock = 1'000'000;
+constexpr SimTime kMs = rpr::util::kNsPerMs;
+constexpr SimTime kTol = kMs / 100;  // 10 us numeric tolerance
+
+}  // namespace
+
+TEST(Fluid, SingleFlowMatchesPortModel) {
+  FluidNetwork net(Cluster(2, 2, 0), round_params());
+  net.add_transfer(0, 2, kBlock, {});
+  EXPECT_NEAR(static_cast<double>(net.run().makespan),
+              static_cast<double>(10 * kMs), static_cast<double>(kTol));
+}
+
+TEST(Fluid, TwoFlowsShareALink) {
+  // Two cross-rack flows into the same rack share its downlink: both finish
+  // together at 20 ms instead of serializing 10 + 10.
+  FluidNetwork net(Cluster(3, 2, 0), round_params());
+  const auto a = net.add_transfer(2, 0, kBlock, {});
+  const auto b = net.add_transfer(4, 1, kBlock, {});
+  const auto r = net.run();
+  EXPECT_NEAR(static_cast<double>(r.tasks[a].finish),
+              static_cast<double>(20 * kMs), static_cast<double>(kTol));
+  EXPECT_NEAR(static_cast<double>(r.tasks[b].finish),
+              static_cast<double>(20 * kMs), static_cast<double>(kTol));
+}
+
+TEST(Fluid, DisjointFlowsDoNotInterfere) {
+  FluidNetwork net(Cluster(4, 1, 0), round_params());
+  net.add_transfer(0, 1, kBlock, {});
+  net.add_transfer(2, 3, kBlock, {});
+  EXPECT_NEAR(static_cast<double>(net.run().makespan),
+              static_cast<double>(10 * kMs), static_cast<double>(kTol));
+}
+
+TEST(Fluid, RateRecomputedAfterCompletion) {
+  // Flows of 1 MB and 2 MB share a downlink. Shared phase: both at 50 MB/s;
+  // the 1 MB flow finishes at 20 ms; the remaining 1 MB then runs at full
+  // 100 MB/s and completes at 30 ms.
+  FluidNetwork net(Cluster(3, 2, 0), round_params());
+  const auto a = net.add_transfer(2, 0, kBlock, {});
+  const auto b = net.add_transfer(4, 1, 2 * kBlock, {});
+  const auto r = net.run();
+  EXPECT_NEAR(static_cast<double>(r.tasks[a].finish),
+              static_cast<double>(20 * kMs), static_cast<double>(kTol));
+  EXPECT_NEAR(static_cast<double>(r.tasks[b].finish),
+              static_cast<double>(30 * kMs), static_cast<double>(kTol));
+}
+
+TEST(Fluid, InnerFlowsNotThrottledByRackUplink) {
+  // An inner-rack flow shares nothing with a cross-rack flow leaving the
+  // same rack (distinct source nodes, full-duplex TOR).
+  FluidNetwork net(Cluster(2, 3, 0), round_params());
+  const auto inner = net.add_transfer(0, 1, kBlock, {});
+  const auto cross = net.add_transfer(2, 3, kBlock, {});
+  const auto r = net.run();
+  EXPECT_NEAR(static_cast<double>(r.tasks[inner].finish),
+              static_cast<double>(1 * kMs), static_cast<double>(kTol));
+  EXPECT_NEAR(static_cast<double>(r.tasks[cross].finish),
+              static_cast<double>(10 * kMs), static_cast<double>(kTol));
+}
+
+TEST(Fluid, DependenciesChain) {
+  FluidNetwork net(Cluster(2, 2, 0), round_params());
+  const auto a = net.add_transfer(0, 1, kBlock, {});
+  const auto b = net.add_transfer(1, 2, kBlock, {a});
+  net.add_transfer(2, 3, kBlock, {b});
+  EXPECT_NEAR(static_cast<double>(net.run().makespan),
+              static_cast<double>(12 * kMs), static_cast<double>(kTol));
+}
+
+TEST(Fluid, ComputesShareCpu) {
+  NetworkParams p = round_params();
+  FluidNetwork net(Cluster(1, 1, 0), p);
+  net.add_compute(0, 10 * kMs, {});
+  net.add_compute(0, 10 * kMs, {});
+  EXPECT_NEAR(static_cast<double>(net.run().makespan),
+              static_cast<double>(20 * kMs), static_cast<double>(kTol));
+}
+
+TEST(Fluid, InstantTasksCascade) {
+  FluidNetwork net(Cluster(1, 2, 0), round_params());
+  const auto a = net.add_compute(0, 0, {});
+  const auto b = net.add_transfer(0, 0, kBlock, {a});  // local move
+  const auto c = net.add_compute(1, 0, {b});
+  const auto r = net.run();
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_EQ(r.tasks[c].finish, 0);
+}
+
+TEST(Fluid, TrafficAccountingMatchesPortModel) {
+  FluidNetwork net(Cluster(2, 2, 0), round_params());
+  net.add_transfer(0, 1, kBlock, {});
+  net.add_transfer(0, 2, kBlock, {});
+  const auto r = net.run();
+  EXPECT_EQ(r.inner_rack_bytes, kBlock);
+  EXPECT_EQ(r.cross_rack_bytes, kBlock);
+}
+
+TEST(Fluid, SchemeOrderingSurvivesTheLinkModel) {
+  // The paper's headline ordering (RPR <= CAR <= Tra) must essentially hold
+  // under fair sharing too. One genuine wrinkle the fluid model surfaces:
+  // the §3.3 XOR-set selection can delay the first cross-rack transfer by
+  // one inner-rack partial-decode step (the rack holding P0 has to combine
+  // before shipping), which port serialization hides but sharing exposes —
+  // worth up to ~10% on the q = 3 configurations at the simulator's (fast)
+  // decode speeds. The trade is decode-cost-dependent: at EC2-like decode
+  // costs the skipped matrix build dwarfs the delay (Fig. 12). Hence the
+  // 10% tolerance for XOR-set RPR vs CAR; with the XOR preference disabled
+  // (same survivor-selection family as CAR) the pipeline is never slower
+  // than the star.
+  const NetworkParams params = NetworkParams::simics_like();
+  rpr::repair::RprOptions no_xor;
+  no_xor.prefer_xor_set = false;
+  for (const auto cfg : rpr::testing::paper_configs()) {
+    const rpr::rs::RSCode code(cfg);
+    const auto placed = rpr::topology::make_placed_stripe(
+        cfg, rpr::topology::PlacementPolicy::kRpr);
+    for (std::size_t f = 0; f < cfg.n; ++f) {
+      rpr::repair::RepairProblem p;
+      p.code = &code;
+      p.placement = &placed.placement;
+      p.block_size = 64 << 20;
+      p.failed = {f};
+      p.choose_default_replacements();
+
+      const auto t_tra = rpr::repair::simulate_fluid(
+          rpr::repair::TraditionalPlanner{}.plan(p).plan, placed.cluster,
+          params);
+      const auto t_car = rpr::repair::simulate_fluid(
+          rpr::repair::CarPlanner{}.plan(p).plan, placed.cluster, params);
+      const auto t_rpr = rpr::repair::simulate_fluid(
+          rpr::repair::RprPlanner{}.plan(p).plan, placed.cluster, params);
+      const auto t_rpr_minrack = rpr::repair::simulate_fluid(
+          rpr::repair::RprPlanner{no_xor}.plan(p).plan, placed.cluster,
+          params);
+      EXPECT_LE(t_rpr.total_repair_time, t_car.total_repair_time * 110 / 100)
+          << rpr::testing::config_name(cfg) << " f=" << f;
+      EXPECT_LE(t_rpr_minrack.total_repair_time,
+                t_car.total_repair_time * 101 / 100)
+          << rpr::testing::config_name(cfg) << " f=" << f;
+      EXPECT_LE(t_car.total_repair_time, t_tra.total_repair_time * 101 / 100)
+          << rpr::testing::config_name(cfg) << " f=" << f;
+    }
+  }
+}

@@ -1,0 +1,124 @@
+// GF(2^16) field tests: axioms, table consistency, region kernel.
+#include "gf/gf65536.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gf16 = rpr::gf16;
+
+namespace {
+
+std::uint16_t slow_mul(std::uint16_t a, std::uint16_t b) {
+  std::uint32_t product = 0;
+  std::uint32_t aa = a;
+  std::uint32_t bb = b;
+  while (bb) {
+    if (bb & 1) product ^= aa;
+    bb >>= 1;
+    aa <<= 1;
+    if (aa & 0x10000u) aa ^= gf16::kPrimPoly;
+  }
+  return static_cast<std::uint16_t>(product);
+}
+
+}  // namespace
+
+TEST(GF65536, IdentityAndZero) {
+  rpr::util::Xoshiro256 rng(1);
+  for (int t = 0; t < 1000; ++t) {
+    const auto x = static_cast<std::uint16_t>(rng());
+    EXPECT_EQ(gf16::mul(x, 1), x);
+    EXPECT_EQ(gf16::mul(1, x), x);
+    EXPECT_EQ(gf16::mul(x, 0), 0);
+    EXPECT_EQ(gf16::mul(0, x), 0);
+    EXPECT_EQ(gf16::add(x, x), 0);
+  }
+}
+
+TEST(GF65536, MulMatchesCarrylessReferenceSampled) {
+  rpr::util::Xoshiro256 rng(2);
+  for (int t = 0; t < 100000; ++t) {
+    const auto a = static_cast<std::uint16_t>(rng());
+    const auto b = static_cast<std::uint16_t>(rng());
+    ASSERT_EQ(gf16::mul(a, b), slow_mul(a, b)) << a << "*" << b;
+  }
+}
+
+TEST(GF65536, EveryNonzeroElementHasInverseExhaustive) {
+  for (std::uint32_t a = 1; a < 65536; ++a) {
+    const auto x = static_cast<std::uint16_t>(a);
+    const std::uint16_t ix = gf16::inv(x);
+    ASSERT_NE(ix, 0);
+    ASSERT_EQ(gf16::mul(x, ix), 1) << a;
+  }
+}
+
+TEST(GF65536, AssociativityAndDistributivitySampled) {
+  rpr::util::Xoshiro256 rng(3);
+  for (int t = 0; t < 20000; ++t) {
+    const auto a = static_cast<std::uint16_t>(rng());
+    const auto b = static_cast<std::uint16_t>(rng());
+    const auto c = static_cast<std::uint16_t>(rng());
+    ASSERT_EQ(gf16::mul(gf16::mul(a, b), c), gf16::mul(a, gf16::mul(b, c)));
+    ASSERT_EQ(gf16::mul(a, gf16::add(b, c)),
+              gf16::add(gf16::mul(a, b), gf16::mul(a, c)));
+  }
+}
+
+TEST(GF65536, PowMatchesRepeatedMul) {
+  rpr::util::Xoshiro256 rng(4);
+  for (int t = 0; t < 200; ++t) {
+    const auto x = static_cast<std::uint16_t>(rng());
+    std::uint16_t acc = 1;
+    for (unsigned e = 0; e < 12; ++e) {
+      ASSERT_EQ(gf16::pow(x, e), acc);
+      acc = gf16::mul(acc, x);
+    }
+  }
+  EXPECT_EQ(gf16::pow(0, 0), 1);
+  EXPECT_EQ(gf16::pow(0, 3), 0);
+}
+
+TEST(GF65536, RegionKernelMatchesScalar) {
+  rpr::util::Xoshiro256 rng(5);
+  for (const std::size_t elements : {1u, 7u, 256u, 1000u}) {
+    std::vector<std::uint8_t> dst(2 * elements);
+    std::vector<std::uint8_t> src(2 * elements);
+    for (auto& b : dst) b = static_cast<std::uint8_t>(rng());
+    for (auto& b : src) b = static_cast<std::uint8_t>(rng());
+    const auto dst_orig = dst;
+
+    const auto c = static_cast<std::uint16_t>(rng() | 1);
+    gf16::mul_region_add(c, dst, src);
+    for (std::size_t i = 0; i < elements; ++i) {
+      std::uint16_t d0, s, d1;
+      std::memcpy(&d0, dst_orig.data() + 2 * i, 2);
+      std::memcpy(&s, src.data() + 2 * i, 2);
+      std::memcpy(&d1, dst.data() + 2 * i, 2);
+      ASSERT_EQ(d1, d0 ^ gf16::mul(c, s)) << "i=" << i;
+    }
+  }
+}
+
+TEST(GF65536, RegionKernelZeroCoeffIsNoop) {
+  std::vector<std::uint8_t> dst = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> src = {9, 9, 9, 9};
+  gf16::mul_region_add(0, dst, src);
+  EXPECT_EQ(dst, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(GF65536, LinearityOfRegionAccumulation) {
+  rpr::util::Xoshiro256 rng(6);
+  std::vector<std::uint8_t> src(512);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng());
+  std::vector<std::uint8_t> twice(512, 0);
+  gf16::mul_region_add(0x1234, twice, src);
+  gf16::mul_region_add(0x0F0F, twice, src);
+  std::vector<std::uint8_t> once(512, 0);
+  gf16::mul_region_add(0x1234 ^ 0x0F0F, once, src);
+  EXPECT_EQ(twice, once);
+}

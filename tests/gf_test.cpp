@@ -1,0 +1,135 @@
+// Field-axiom and table-consistency tests for GF(2^8).
+#include "gf/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gf = rpr::gf;
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(gf::add(0x00, 0x00), 0x00);
+  EXPECT_EQ(gf::add(0xAB, 0x00), 0xAB);
+  EXPECT_EQ(gf::add(0xAB, 0xAB), 0x00);
+  EXPECT_EQ(gf::add(0xF0, 0x0F), 0xFF);
+  EXPECT_EQ(gf::sub(0xF0, 0x0F), gf::add(0xF0, 0x0F));
+}
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf::mul(x, 1), x);
+    EXPECT_EQ(gf::mul(1, x), x);
+    EXPECT_EQ(gf::mul(x, 0), 0);
+    EXPECT_EQ(gf::mul(0, x), 0);
+  }
+}
+
+TEST(GF256, MultiplicationCommutesExhaustive) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = a; b < 256; ++b) {
+      EXPECT_EQ(gf::mul(static_cast<std::uint8_t>(a),
+                        static_cast<std::uint8_t>(b)),
+                gf::mul(static_cast<std::uint8_t>(b),
+                        static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(GF256, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    const std::uint8_t ix = gf::inv(x);
+    EXPECT_NE(ix, 0);
+    EXPECT_EQ(gf::mul(x, ix), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplicationExhaustive) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 1; b < 256; ++b) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(gf::div(gf::mul(x, y), y), x);
+    }
+  }
+}
+
+TEST(GF256, MultiplicationAssociatesSampled) {
+  rpr::util::Xoshiro256 rng(42);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng() & 0xFF);
+    const auto b = static_cast<std::uint8_t>(rng() & 0xFF);
+    const auto c = static_cast<std::uint8_t>(rng() & 0xFF);
+    EXPECT_EQ(gf::mul(gf::mul(a, b), c), gf::mul(a, gf::mul(b, c)));
+  }
+}
+
+TEST(GF256, MultiplicationDistributesOverXorSampled) {
+  rpr::util::Xoshiro256 rng(43);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng() & 0xFF);
+    const auto b = static_cast<std::uint8_t>(rng() & 0xFF);
+    const auto c = static_cast<std::uint8_t>(rng() & 0xFF);
+    EXPECT_EQ(gf::mul(a, gf::add(b, c)),
+              gf::add(gf::mul(a, b), gf::mul(a, c)));
+  }
+}
+
+TEST(GF256, LogExpRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf::exp(gf::log(x)), x);
+  }
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // g = 2 must generate all 255 nonzero elements.
+  std::uint8_t x = 1;
+  int period = 0;
+  do {
+    x = gf::mul(x, gf::kGenerator);
+    ++period;
+  } while (x != 1 && period <= 255);
+  EXPECT_EQ(period, 255);
+}
+
+TEST(GF256, PowMatchesRepeatedMultiplication) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 16; ++e) {
+      EXPECT_EQ(gf::pow(x, e), acc) << "a=" << a << " e=" << e;
+      acc = gf::mul(acc, x);
+    }
+  }
+}
+
+TEST(GF256, PowZeroConventions) {
+  EXPECT_EQ(gf::pow(0, 0), 1);  // Vandermonde convention: 0^0 = 1
+  EXPECT_EQ(gf::pow(0, 5), 0);
+}
+
+TEST(GF256, MulMatchesCarrylessReference) {
+  // Independent bitwise (carryless polynomial) reference multiplication.
+  auto slow_mul = [](std::uint8_t a, std::uint8_t b) -> std::uint8_t {
+    unsigned product = 0;
+    unsigned aa = a;
+    unsigned bb = b;
+    while (bb) {
+      if (bb & 1) product ^= aa;
+      bb >>= 1;
+      aa <<= 1;
+      if (aa & 0x100) aa ^= rpr::gf::kPrimPoly;
+    }
+    return static_cast<std::uint8_t>(product);
+  };
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      EXPECT_EQ(gf::mul(static_cast<std::uint8_t>(a),
+                        static_cast<std::uint8_t>(b)),
+                slow_mul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)));
+    }
+  }
+}

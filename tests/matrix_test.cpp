@@ -1,0 +1,175 @@
+// Matrix algebra and generator-construction tests.
+#include "matrix/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+using rpr::matrix::Matrix;
+
+namespace {
+
+Matrix random_matrix(std::size_t n, std::uint64_t seed) {
+  rpr::util::Xoshiro256 rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m.at(i, j) = static_cast<std::uint8_t>(rng() & 0xFF);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix id = Matrix::identity(5);
+  const Matrix m = random_matrix(5, 1);
+  EXPECT_EQ(m.multiply(id), m);
+  EXPECT_EQ(id.multiply(m), m);
+}
+
+TEST(Matrix, MultiplyAssociates) {
+  const Matrix a = random_matrix(4, 2);
+  const Matrix b = random_matrix(4, 3);
+  const Matrix c = random_matrix(4, 4);
+  EXPECT_EQ(a.multiply(b).multiply(c), a.multiply(b.multiply(c)));
+}
+
+TEST(Matrix, InverseRoundTripRandomMatrices) {
+  int invertible_seen = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Matrix m = random_matrix(6, seed);
+    const auto inv = m.inverted();
+    if (!inv.has_value()) continue;  // singular random draws are fine
+    ++invertible_seen;
+    EXPECT_EQ(m.multiply(*inv), Matrix::identity(6)) << "seed=" << seed;
+    EXPECT_EQ(inv->multiply(m), Matrix::identity(6)) << "seed=" << seed;
+  }
+  // Random GF(256) matrices are invertible with probability ~0.996.
+  EXPECT_GE(invertible_seen, 30);
+}
+
+TEST(Matrix, SingularMatrixHasNoInverse) {
+  Matrix m(3, 3);
+  // Row 2 = row 0 ^ row 1.
+  m.at(0, 0) = 1; m.at(0, 1) = 2; m.at(0, 2) = 3;
+  m.at(1, 0) = 4; m.at(1, 1) = 5; m.at(1, 2) = 6;
+  for (std::size_t j = 0; j < 3; ++j) m.at(2, j) = m.at(0, j) ^ m.at(1, j);
+  EXPECT_FALSE(m.inverted().has_value());
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Matrix, RankOfIdentity) {
+  EXPECT_EQ(Matrix::identity(7).rank(), 7u);
+}
+
+TEST(Matrix, RankOfZero) {
+  EXPECT_EQ(Matrix(4, 4).rank(), 0u);
+}
+
+TEST(Matrix, SelectRowsPreservesContent) {
+  const Matrix m = random_matrix(5, 9);
+  const std::vector<std::size_t> rows = {4, 0, 2};
+  const Matrix s = m.select_rows(rows);
+  ASSERT_EQ(s.rows(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(s.at(i, j), m.at(rows[i], j));
+    }
+  }
+}
+
+TEST(Matrix, MultiplyVecMatchesMatrixProduct) {
+  const Matrix m = random_matrix(6, 11);
+  rpr::util::Xoshiro256 rng(12);
+  std::vector<std::uint8_t> v(6);
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng() & 0xFF);
+  const auto out = m.multiply_vec(v);
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::uint8_t acc = 0;
+    for (std::size_t j = 0; j < 6; ++j) acc ^= rpr::gf::mul(m.at(i, j), v[j]);
+    EXPECT_EQ(out[i], acc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generator constructions: parameterized over the paper's configurations.
+
+class GeneratorTest
+    : public ::testing::TestWithParam<rpr::rs::CodeConfig> {};
+
+TEST_P(GeneratorTest, CauchyFirstParityRowAllOnes) {
+  const auto cfg = GetParam();
+  const Matrix c = rpr::matrix::cauchy_coding_matrix(cfg.n, cfg.k);
+  for (std::size_t j = 0; j < cfg.n; ++j) EXPECT_EQ(c.at(0, j), 1);
+}
+
+TEST_P(GeneratorTest, CauchyFirstColumnAllOnes) {
+  const auto cfg = GetParam();
+  const Matrix c = rpr::matrix::cauchy_coding_matrix(cfg.n, cfg.k);
+  for (std::size_t i = 0; i < cfg.k; ++i) EXPECT_EQ(c.at(i, 0), 1);
+}
+
+TEST_P(GeneratorTest, VandermondeFirstParityRowAllOnes) {
+  const auto cfg = GetParam();
+  const Matrix c = rpr::matrix::vandermonde_coding_matrix(cfg.n, cfg.k);
+  for (std::size_t j = 0; j < cfg.n; ++j) EXPECT_EQ(c.at(0, j), 1);
+}
+
+TEST_P(GeneratorTest, CauchyIsMds) {
+  const auto cfg = GetParam();
+  EXPECT_TRUE(
+      rpr::matrix::verify_mds(rpr::matrix::cauchy_coding_matrix(cfg.n, cfg.k)));
+}
+
+TEST_P(GeneratorTest, VandermondeIsMds) {
+  const auto cfg = GetParam();
+  EXPECT_TRUE(rpr::matrix::verify_mds(
+      rpr::matrix::vandermonde_coding_matrix(cfg.n, cfg.k)));
+}
+
+TEST_P(GeneratorTest, NoZeroEntriesInCodingMatrices) {
+  // An MDS coding matrix can have no zero entry (each entry is a 1x1 minor).
+  const auto cfg = GetParam();
+  for (const Matrix& c : {rpr::matrix::cauchy_coding_matrix(cfg.n, cfg.k),
+                          rpr::matrix::vandermonde_coding_matrix(cfg.n,
+                                                                 cfg.k)}) {
+    for (std::size_t i = 0; i < c.rows(); ++i) {
+      for (std::size_t j = 0; j < c.cols(); ++j) {
+        EXPECT_NE(c.at(i, j), 0) << i << "," << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, GeneratorTest,
+    ::testing::ValuesIn(rpr::testing::paper_configs()),
+    [](const ::testing::TestParamInfo<rpr::rs::CodeConfig>& i) {
+      return rpr::testing::config_name(i.param);
+    });
+
+TEST(Generator, LargeConfigStillMds) {
+  // HDFS-RAID style (10, 4) — mentioned in the paper §4.3.1.
+  EXPECT_TRUE(rpr::matrix::verify_mds(rpr::matrix::cauchy_coding_matrix(10, 4)));
+}
+
+TEST(Generator, FullGeneratorShape) {
+  const Matrix c = rpr::matrix::cauchy_coding_matrix(5, 3);
+  const Matrix g = rpr::matrix::full_generator(c);
+  ASSERT_EQ(g.rows(), 8u);
+  ASSERT_EQ(g.cols(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(g.at(i, j), i == j ? 1 : 0);
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(g.at(5 + i, j), c.at(i, j));
+    }
+  }
+}

@@ -1,0 +1,132 @@
+// Cross-model property tests: the port simulator and the fluid simulator
+// must agree on everything that does not depend on the contention model —
+// traffic, transfer counts, per-rack accounting — across randomized task
+// graphs, and both must respect universal scheduling bounds.
+#include <gtest/gtest.h>
+
+#include "simnet/fluid.h"
+#include "simnet/simnet.h"
+#include "util/rng.h"
+
+using rpr::simnet::FluidNetwork;
+using rpr::simnet::SimNetwork;
+using rpr::topology::Cluster;
+using rpr::topology::NetworkParams;
+using rpr::util::SimTime;
+
+namespace {
+
+struct RandomDag {
+  struct Edge {
+    rpr::topology::NodeId from, to;
+    std::uint64_t bytes;
+    std::vector<std::size_t> deps;  // indices of prior edges
+  };
+  std::vector<Edge> edges;
+  std::vector<std::pair<rpr::topology::NodeId, SimTime>> computes;
+};
+
+RandomDag make_dag(const Cluster& cluster, rpr::util::Xoshiro256& rng) {
+  RandomDag dag;
+  const std::size_t transfers = 5 + rng.below(20);
+  for (std::size_t i = 0; i < transfers; ++i) {
+    RandomDag::Edge e;
+    e.from = rng.below(cluster.total_nodes());
+    do {
+      e.to = rng.below(cluster.total_nodes());
+    } while (e.to == e.from);
+    e.bytes = (1 + rng.below(8)) << 16;
+    // Depend on up to 2 earlier edges.
+    for (int d = 0; d < 2; ++d) {
+      if (i > 0 && rng.below(3) == 0) e.deps.push_back(rng.below(i));
+    }
+    dag.edges.push_back(e);
+  }
+  const std::size_t computes = rng.below(5);
+  for (std::size_t i = 0; i < computes; ++i) {
+    dag.computes.emplace_back(rng.below(cluster.total_nodes()),
+                              static_cast<SimTime>(rng.below(5)) *
+                                  rpr::util::kNsPerMs);
+  }
+  return dag;
+}
+
+template <typename Network>
+rpr::simnet::RunResult run_dag(const Cluster& cluster,
+                               const NetworkParams& params,
+                               const RandomDag& dag) {
+  Network net(cluster, params);
+  std::vector<rpr::simnet::TaskId> ids;
+  for (const auto& e : dag.edges) {
+    std::vector<rpr::simnet::TaskId> deps;
+    for (const auto d : e.deps) deps.push_back(ids[d]);
+    ids.push_back(net.add_transfer(e.from, e.to, e.bytes, std::move(deps)));
+  }
+  for (const auto& [node, dur] : dag.computes) {
+    net.add_compute(node, dur, {});
+  }
+  return net.run();
+}
+
+}  // namespace
+
+TEST(ModelEquivalence, TrafficIdenticalAcrossModelsRandomDags) {
+  const Cluster cluster(4, 3, 0);
+  NetworkParams params;
+  params.charge_compute = true;
+  rpr::util::Xoshiro256 rng(1234);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto dag = make_dag(cluster, rng);
+    const auto port = run_dag<SimNetwork>(cluster, params, dag);
+    const auto fluid = run_dag<FluidNetwork>(cluster, params, dag);
+
+    ASSERT_EQ(port.cross_rack_bytes, fluid.cross_rack_bytes) << trial;
+    ASSERT_EQ(port.inner_rack_bytes, fluid.inner_rack_bytes) << trial;
+    ASSERT_EQ(port.cross_rack_transfers, fluid.cross_rack_transfers) << trial;
+    ASSERT_EQ(port.inner_rack_transfers, fluid.inner_rack_transfers) << trial;
+    ASSERT_EQ(port.rack_upload_bytes, fluid.rack_upload_bytes) << trial;
+    ASSERT_EQ(port.rack_download_bytes, fluid.rack_download_bytes) << trial;
+  }
+}
+
+TEST(ModelEquivalence, MakespansRespectUniversalBounds) {
+  // Both models are work-conserving: makespan >= the single slowest
+  // transfer, and <= the fully serial execution of everything.
+  const Cluster cluster(3, 2, 0);
+  NetworkParams params;
+  params.charge_compute = false;
+  rpr::util::Xoshiro256 rng(5678);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto dag = make_dag(cluster, rng);
+    SimTime longest_single = 0;
+    SimTime serial = 0;
+    for (const auto& e : dag.edges) {
+      const bool cross = cluster.rack_of(e.from) != cluster.rack_of(e.to);
+      const auto d = (cross ? params.cross : params.inner).time_for(e.bytes);
+      longest_single = std::max(longest_single, d);
+      serial += d;
+    }
+    const auto port = run_dag<SimNetwork>(cluster, params, dag);
+    const auto fluid = run_dag<FluidNetwork>(cluster, params, dag);
+    EXPECT_GE(port.makespan, longest_single) << trial;
+    EXPECT_LE(port.makespan, serial) << trial;
+    // The fluid model's rounding is ns-scale; allow a hair of slack.
+    EXPECT_GE(fluid.makespan + 1000, longest_single) << trial;
+    EXPECT_LE(fluid.makespan, serial + 1000) << trial;
+  }
+}
+
+TEST(ModelEquivalence, BothModelsDeterministic) {
+  const Cluster cluster(4, 2, 0);
+  const NetworkParams params;
+  rpr::util::Xoshiro256 rng(9);
+  const auto dag = make_dag(cluster, rng);
+  const auto p1 = run_dag<SimNetwork>(cluster, params, dag).makespan;
+  const auto p2 = run_dag<SimNetwork>(cluster, params, dag).makespan;
+  const auto f1 = run_dag<FluidNetwork>(cluster, params, dag).makespan;
+  const auto f2 = run_dag<FluidNetwork>(cluster, params, dag).makespan;
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(f1, f2);
+}

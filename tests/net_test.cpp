@@ -1,0 +1,186 @@
+// Networked (TCP loopback) runtime tests: socket layer, framing, and full
+// repair-plan execution over real connections.
+#include "net/tcp_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/message.h"
+#include "net/socket.h"
+#include "repair/executor_data.h"
+#include "repair/planner.h"
+#include "test_support.h"
+
+using rpr::net::TcpRuntime;
+using rpr::net::TcpRuntimeParams;
+using rpr::rs::Block;
+
+namespace {
+
+TcpRuntimeParams fast_params(std::size_t racks) {
+  TcpRuntimeParams p;
+  p.net = rpr::runtime::RegionNet::uniform(racks,
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.time_scale = 256.0;  // keep paced transfers quick in tests
+  return p;
+}
+
+}  // namespace
+
+TEST(NetSocket, LoopbackRoundTrip) {
+  rpr::net::Listener listener;
+  std::vector<std::uint8_t> received(5);
+  std::thread server([&] {
+    rpr::net::Socket peer = listener.accept();
+    peer.read_exact(received);
+  });
+  rpr::net::Socket client = rpr::net::connect_local(listener.port());
+  const std::vector<std::uint8_t> sent = {1, 2, 3, 4, 5};
+  client.write_all(sent);
+  server.join();
+  EXPECT_EQ(received, sent);
+}
+
+TEST(NetSocket, ReadExactDetectsEof) {
+  rpr::net::Listener listener;
+  std::thread server([&] {
+    rpr::net::Socket peer = listener.accept();
+    const std::vector<std::uint8_t> partial = {1, 2};
+    peer.write_all(partial);
+    // closes on destruction
+  });
+  rpr::net::Socket client = rpr::net::connect_local(listener.port());
+  std::vector<std::uint8_t> want(10);
+  EXPECT_THROW(client.read_exact(want), std::runtime_error);
+  server.join();
+}
+
+TEST(NetMessage, FramedValueRoundTrip) {
+  rpr::net::Listener listener;
+  rpr::net::ReceivedValue got;
+  std::thread server([&] {
+    rpr::net::Socket peer = listener.accept();
+    got = rpr::net::recv_value(peer, 1 << 20);
+  });
+  rpr::net::Socket client = rpr::net::connect_local(listener.port());
+  std::vector<std::uint8_t> payload(4096);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  rpr::net::send_value(client, 42, payload);
+  server.join();
+  EXPECT_EQ(got.op_id, 42u);
+  EXPECT_EQ(got.payload, payload);
+}
+
+TEST(NetMessage, OversizedPayloadRejected) {
+  rpr::net::Listener listener;
+  std::string error;
+  std::thread server([&] {
+    rpr::net::Socket peer = listener.accept();
+    try {
+      (void)rpr::net::recv_value(peer, /*max_payload=*/16);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  });
+  rpr::net::Socket client = rpr::net::connect_local(listener.port());
+  std::vector<std::uint8_t> payload(64, 7);
+  rpr::net::send_value(client, 1, payload);
+  server.join();
+  EXPECT_NE(error.find("oversized"), std::string::npos);
+}
+
+TEST(TcpRuntimeTest, MatchesDataExecutorAllSchemes) {
+  const rpr::rs::CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode code(cfg);
+  auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 4096, 77);
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 4096;
+  problem.failed = {4};
+  problem.choose_default_replacements();
+
+  auto params = fast_params(placed.cluster.racks());
+  params.decode_matrix_dim = cfg.n;
+
+  for (const auto scheme :
+       {rpr::repair::Scheme::kTraditional, rpr::repair::Scheme::kCar,
+        rpr::repair::Scheme::kRpr}) {
+    const auto planner = rpr::repair::make_planner(scheme);
+    const auto planned = planner->plan(problem);
+    const auto expected = rpr::repair::execute_on_data(
+        planned.plan, planned.outputs, stripe);
+
+    TcpRuntime runtime(placed.cluster, params);
+    const auto result =
+        runtime.execute(planned.plan, planned.outputs, stripe);
+    ASSERT_EQ(result.outputs.size(), expected.size());
+    EXPECT_EQ(result.outputs[0], expected[0]) << planner->name();
+    EXPECT_EQ(result.outputs[0], stripe[4]) << planner->name();
+    EXPECT_GT(result.cross_rack_bytes + result.inner_rack_bytes, 0u);
+  }
+}
+
+TEST(TcpRuntimeTest, MultiFailureOverRealSockets) {
+  const rpr::rs::CodeConfig cfg{8, 4};
+  const rpr::rs::RSCode code(cfg);
+  auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 2048, 88);
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 2048;
+  problem.failed = {0, 5, 10};
+  problem.choose_default_replacements();
+
+  const rpr::repair::RprPlanner planner;
+  const auto planned = planner.plan(problem);
+  TcpRuntime runtime(placed.cluster, fast_params(placed.cluster.racks()));
+  const auto result = runtime.execute(planned.plan, planned.outputs, stripe);
+  for (std::size_t i = 0; i < problem.failed.size(); ++i) {
+    EXPECT_EQ(result.outputs[i], stripe[problem.failed[i]]);
+  }
+}
+
+TEST(TcpRuntimeTest, TrafficAccountingMatchesPlan) {
+  const rpr::rs::CodeConfig cfg{6, 2};
+  const rpr::rs::RSCode code(cfg);
+  auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 1024, 99);
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 1024;
+  problem.failed = {1};
+  problem.choose_default_replacements();
+
+  const rpr::repair::RprPlanner planner;
+  const auto planned = planner.plan(problem);
+  const auto expected =
+      rpr::repair::traffic(planned.plan, placed.cluster);
+
+  TcpRuntime runtime(placed.cluster, fast_params(placed.cluster.racks()));
+  const auto result = runtime.execute(planned.plan, planned.outputs, stripe);
+  EXPECT_EQ(result.cross_rack_bytes, expected.cross_rack_bytes);
+  EXPECT_EQ(result.inner_rack_bytes, expected.inner_rack_bytes);
+}
+
+TEST(TcpRuntimeTest, RejectsBadConfiguration) {
+  EXPECT_THROW(TcpRuntime(rpr::topology::Cluster(3, 1, 0), fast_params(2)),
+               std::invalid_argument);
+  auto p = fast_params(2);
+  p.time_scale = 0;
+  EXPECT_THROW(TcpRuntime(rpr::topology::Cluster(2, 1, 0), p),
+               std::invalid_argument);
+}

@@ -1,0 +1,214 @@
+// Unit tests for the plan-construction helpers behind the planners:
+// star aggregation, Algorithm-1 pairwise trees, Algorithm-2 greedy
+// cross-rack reduction (uniform and heterogeneous costs).
+#include "repair/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "repair/executor_data.h"
+#include "topology/cluster.h"
+
+using rpr::repair::OpId;
+using rpr::repair::OpKind;
+using rpr::repair::RepairPlan;
+using rpr::repair::detail::cross_reduce;
+using rpr::repair::detail::pairwise_tree;
+using rpr::repair::detail::star_aggregate;
+using rpr::repair::detail::Value;
+using rpr::topology::Cluster;
+
+namespace {
+
+std::size_t count_sends(const RepairPlan& plan) {
+  std::size_t n = 0;
+  for (const auto& op : plan.ops) {
+    if (op.kind == OpKind::kSend && op.from != op.node) ++n;
+  }
+  return n;
+}
+
+std::vector<Value> leaves(RepairPlan& plan, std::size_t count,
+                          std::size_t first_node = 0) {
+  std::vector<Value> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const OpId r = plan.read(first_node + i, i, 1);
+    out.push_back(Value{r, first_node + i, 0.0, false});
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Reduction, StarAggregateSendsAllNonResidentValues) {
+  RepairPlan plan;
+  plan.block_size = 10;
+  auto values = leaves(plan, 4);
+  const Value out = star_aggregate(plan, values, /*aggregator=*/0,
+                                   /*at_recovery=*/false, 1.0);
+  EXPECT_EQ(out.node, 0u);
+  EXPECT_EQ(count_sends(plan), 3u);  // value at node 0 stays local
+}
+
+TEST(Reduction, StarAggregateSingleValueNoCombine) {
+  RepairPlan plan;
+  plan.block_size = 10;
+  std::vector<Value> one = {Value{plan.read(1, 0, 1), 1, 0.0, false}};
+  const Value out = star_aggregate(plan, one, 1, true, 1.0);
+  EXPECT_EQ(out.node, 1u);
+  EXPECT_TRUE(out.at_recovery);
+  EXPECT_EQ(count_sends(plan), 0u);
+}
+
+TEST(Reduction, PairwiseTreeSendCountIsSizeMinusOne) {
+  for (const std::size_t m : {1u, 2u, 3u, 4u, 5u, 8u, 9u}) {
+    RepairPlan plan;
+    plan.block_size = 10;
+    auto values = leaves(plan, m);
+    const Value out = pairwise_tree(plan, values, 1.0);
+    EXPECT_EQ(count_sends(plan), m - 1) << "m=" << m;
+    // Result lands on the first value's node (Algorithm 1's d_0 side).
+    EXPECT_EQ(out.node, 0u);
+  }
+}
+
+TEST(Reduction, PairwiseTreeDepthIsLogarithmic) {
+  // 8 values merge in 3 rounds: estimated readiness = 3 link costs.
+  RepairPlan plan;
+  plan.block_size = 10;
+  auto values = leaves(plan, 8);
+  const Value out = pairwise_tree(plan, values, 1.0);
+  EXPECT_DOUBLE_EQ(out.ready, 3.0);
+}
+
+TEST(Reduction, CrossReduceSendCountEqualsSourceCount) {
+  // s source intermediates => exactly s cross transfers, with or without a
+  // recovery-resident participant (matches CAR's traffic; paper Fig. 7).
+  const Cluster cluster(6, 2, 0);
+  for (const bool with_recovery : {false, true}) {
+    for (std::size_t s = 1; s <= 4; ++s) {
+      RepairPlan plan;
+      plan.block_size = 10;
+      std::vector<Value> values;
+      for (std::size_t i = 0; i < s; ++i) {
+        const auto node = cluster.slot(1 + i, 0);
+        values.push_back(Value{plan.read(node, i, 1), node, 0.0, false});
+      }
+      const auto repl = cluster.slot(0, 1);
+      if (with_recovery) {
+        values.push_back(Value{plan.read(repl, 9, 1), repl, 0.0, true});
+      }
+      const Value out = cross_reduce(plan, values, repl, cluster);
+      EXPECT_EQ(out.node, repl);
+      EXPECT_TRUE(out.at_recovery);
+      EXPECT_EQ(count_sends(plan), s) << "s=" << s
+                                      << " rec=" << with_recovery;
+    }
+  }
+}
+
+TEST(Reduction, CrossReduceTwoSourcesDegeneratesToStar) {
+  // With 2 sources + recovery the optimal schedule is the star: both
+  // transfers target the replacement node directly.
+  const Cluster cluster(3, 2, 0);
+  RepairPlan plan;
+  plan.block_size = 10;
+  const auto repl = cluster.slot(0, 1);
+  std::vector<Value> values = {
+      Value{plan.read(cluster.slot(1, 0), 0, 1), cluster.slot(1, 0), 0.0,
+            false},
+      Value{plan.read(cluster.slot(2, 0), 1, 1), cluster.slot(2, 0), 0.0,
+            false},
+      Value{plan.read(repl, 2, 1), repl, 0.0, true},
+  };
+  cross_reduce(plan, values, repl, cluster);
+  for (const auto& op : plan.ops) {
+    if (op.kind == OpKind::kSend && op.from != op.node) {
+      EXPECT_EQ(op.node, repl);  // every cross transfer ends at recovery
+    }
+  }
+}
+
+TEST(Reduction, CrossReduceThreeEqualSourcesPairs) {
+  // Fig. 5 schedule 2: with 3 equally-ready sources, one pair merges while
+  // the third ships to recovery — so exactly one send targets a non-recovery
+  // node.
+  const Cluster cluster(4, 2, 0);
+  RepairPlan plan;
+  plan.block_size = 10;
+  const auto repl = cluster.slot(0, 1);
+  std::vector<Value> values;
+  for (std::size_t r = 1; r <= 3; ++r) {
+    const auto node = cluster.slot(r, 0);
+    values.push_back(Value{plan.read(node, r, 1), node, 1.0, false});
+  }
+  values.push_back(Value{plan.read(repl, 0, 1), repl, 0.0, true});
+  cross_reduce(plan, values, repl, cluster);
+  std::size_t to_recovery = 0, to_peer = 0;
+  for (const auto& op : plan.ops) {
+    if (op.kind != OpKind::kSend || op.from == op.node) continue;
+    (op.node == repl ? to_recovery : to_peer) += 1;
+  }
+  EXPECT_EQ(to_recovery, 2u);
+  EXPECT_EQ(to_peer, 1u);
+}
+
+TEST(Reduction, CrossReduceHeterogeneousCostAvoidsSlowLinks) {
+  // Three sources in racks 1..3, recovery in rack 0. The 1<->2 link is
+  // catastrophically slow; with cost awareness the pair merge must pick
+  // 1<->3 or 2<->3, never 1<->2.
+  const Cluster cluster(4, 2, 0);
+  const auto cost = [](rpr::topology::RackId a, rpr::topology::RackId b) {
+    const auto lo = std::min(a, b);
+    const auto hi = std::max(a, b);
+    return (lo == 1 && hi == 2) ? 1000.0 : 10.0;
+  };
+  RepairPlan plan;
+  plan.block_size = 10;
+  const auto repl = cluster.slot(0, 1);
+  std::vector<Value> values;
+  for (std::size_t r = 1; r <= 3; ++r) {
+    const auto node = cluster.slot(r, 0);
+    values.push_back(Value{plan.read(node, r, 1), node, 1.0, false});
+  }
+  values.push_back(Value{plan.read(repl, 0, 1), repl, 0.0, true});
+  cross_reduce(plan, values, repl, cluster, cost);
+  for (const auto& op : plan.ops) {
+    if (op.kind != OpKind::kSend || op.from == op.node) continue;
+    const auto rf = cluster.rack_of(op.from);
+    const auto rt = cluster.rack_of(op.node);
+    EXPECT_FALSE((rf == 1 && rt == 2) || (rf == 2 && rt == 1))
+        << "merged across the slow link";
+  }
+}
+
+TEST(Reduction, AllHelpersProduceDataCorrectXor) {
+  // Whatever tree shape the helpers build, the value must equal the XOR of
+  // the leaves.
+  const Cluster cluster(5, 2, 0);
+  std::vector<rpr::rs::Block> stripe;
+  for (int i = 0; i < 5; ++i) {
+    stripe.push_back(rpr::rs::Block(64, static_cast<std::uint8_t>(1 << i)));
+  }
+  rpr::rs::Block expected(64, 0);
+  for (const auto& b : stripe) {
+    for (std::size_t i = 0; i < 64; ++i) expected[i] ^= b[i];
+  }
+
+  for (int variant = 0; variant < 2; ++variant) {
+    RepairPlan plan;
+    plan.block_size = 64;
+    std::vector<Value> values;
+    for (std::size_t i = 0; i < 5; ++i) {
+      const auto node = cluster.slot(i, 0);
+      values.push_back(Value{plan.read(node, i, 1), node, 0.0, i == 0});
+    }
+    const auto repl = cluster.slot(0, 0);
+    const Value out =
+        variant == 0
+            ? cross_reduce(plan, values, repl, cluster)
+            : star_aggregate(plan, values, repl, true, 10.0);
+    const auto result = rpr::repair::execute_on_data(
+        plan, std::vector<OpId>{out.op}, stripe);
+    EXPECT_EQ(result[0], expected) << "variant=" << variant;
+  }
+}

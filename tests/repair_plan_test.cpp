@@ -1,0 +1,88 @@
+// RepairPlan IR tests: builders, structural validation, traffic accounting.
+#include "repair/plan.h"
+
+#include <gtest/gtest.h>
+
+using rpr::repair::OpKind;
+using rpr::repair::RepairPlan;
+using rpr::topology::Cluster;
+
+TEST(RepairPlan, BuildersProduceWellFormedOps) {
+  RepairPlan plan;
+  plan.block_size = 100;
+  const auto r0 = plan.read(0, 3, 7, "r0");
+  const auto r1 = plan.read(1, 4, 1);
+  const auto s = plan.send(r1, 1, 0);
+  const auto c = plan.combine(0, {r0, s});
+  EXPECT_EQ(plan.ops[r0].kind, OpKind::kRead);
+  EXPECT_EQ(plan.ops[r0].coeff, 7);
+  EXPECT_EQ(plan.ops[s].kind, OpKind::kSend);
+  EXPECT_EQ(plan.ops[s].from, 1u);
+  EXPECT_EQ(plan.ops[s].node, 0u);
+  EXPECT_EQ(plan.ops[c].inputs.size(), 2u);
+  EXPECT_NO_THROW(rpr::repair::validate(plan, Cluster(1, 2, 0)));
+}
+
+TEST(RepairPlan, ValidateRejectsSendFromWrongNode) {
+  RepairPlan plan;
+  plan.block_size = 10;
+  const auto r = plan.read(0, 0, 1);
+  plan.send(r, 1, 2);  // value lives on node 0, not node 1
+  EXPECT_THROW(rpr::repair::validate(plan, Cluster(1, 3, 0)),
+               std::logic_error);
+}
+
+TEST(RepairPlan, ValidateRejectsCombineAcrossNodes) {
+  RepairPlan plan;
+  plan.block_size = 10;
+  const auto a = plan.read(0, 0, 1);
+  const auto b = plan.read(1, 1, 1);
+  plan.combine(0, {a, b});  // b is on node 1
+  EXPECT_THROW(rpr::repair::validate(plan, Cluster(1, 2, 0)),
+               std::logic_error);
+}
+
+TEST(RepairPlan, ValidateRejectsForwardReference) {
+  RepairPlan plan;
+  plan.block_size = 10;
+  rpr::repair::PlanOp op;
+  op.kind = OpKind::kCombine;
+  op.node = 0;
+  op.inputs = {5};  // not yet defined
+  plan.ops.push_back(op);
+  EXPECT_THROW(rpr::repair::validate(plan, Cluster(1, 1, 0)),
+               std::logic_error);
+}
+
+TEST(RepairPlan, ValidateRejectsCoeffSizeMismatch) {
+  RepairPlan plan;
+  plan.block_size = 10;
+  const auto a = plan.read(0, 0, 1);
+  const auto b = plan.read(0, 1, 1);
+  plan.combine_scaled(0, {a, b}, {1});  // 2 inputs, 1 coeff
+  EXPECT_THROW(rpr::repair::validate(plan, Cluster(1, 2, 0)),
+               std::logic_error);
+}
+
+TEST(RepairPlan, ValidateRejectsNodeOutOfRange) {
+  RepairPlan plan;
+  plan.block_size = 10;
+  plan.read(12, 0, 1);
+  EXPECT_THROW(rpr::repair::validate(plan, Cluster(1, 2, 0)),
+               std::logic_error);
+}
+
+TEST(RepairPlan, TrafficSplitsInnerAndCross) {
+  const Cluster cluster(2, 2, 0);
+  RepairPlan plan;
+  plan.block_size = 1000;
+  const auto a = plan.read(0, 0, 1);
+  const auto s1 = plan.send(a, 0, 1);   // inner (rack 0)
+  const auto s2 = plan.send(s1, 1, 2);  // cross (rack 0 -> rack 1)
+  plan.send(s2, 2, 2);                  // same node: free
+  const auto t = rpr::repair::traffic(plan, cluster);
+  EXPECT_EQ(t.inner_rack_transfers, 1u);
+  EXPECT_EQ(t.cross_rack_transfers, 1u);
+  EXPECT_EQ(t.inner_rack_bytes, 1000u);
+  EXPECT_EQ(t.cross_rack_bytes, 1000u);
+}

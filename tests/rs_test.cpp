@@ -1,0 +1,175 @@
+// Reed-Solomon codec tests: round-trips over every erasure pattern for the
+// paper's configurations, repair-equation correctness, partial-decoding
+// equivalence, and the XOR fast path.
+#include "rs/rs_code.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rs/partial.h"
+#include "test_support.h"
+#include "util/combinatorics.h"
+
+using rpr::rs::Block;
+using rpr::rs::CodeConfig;
+using rpr::rs::MatrixKind;
+using rpr::rs::RSCode;
+
+namespace {
+constexpr std::size_t kBlockSize = 512;
+}
+
+class RsCodeTest : public ::testing::TestWithParam<CodeConfig> {};
+
+TEST_P(RsCodeTest, DecodeRecoversEveryErasurePatternUpToK) {
+  const CodeConfig cfg = GetParam();
+  const RSCode code(cfg);
+  const auto original = rpr::testing::random_stripe(code, kBlockSize, 100);
+
+  for (std::size_t l = 1; l <= cfg.k; ++l) {
+    rpr::util::for_each_combination(
+        cfg.total(), l, [&](const std::vector<std::size_t>& failed) {
+          auto stripe = original;
+          for (std::size_t f : failed) {
+            stripe[f].assign(kBlockSize, 0xEE);  // corrupt the lost blocks
+          }
+          ASSERT_TRUE(code.decode(stripe, failed));
+          for (std::size_t f : failed) {
+            EXPECT_EQ(stripe[f], original[f]) << "block " << f;
+          }
+        });
+  }
+}
+
+TEST_P(RsCodeTest, RepairEquationsEvaluateToLostBlocks) {
+  const CodeConfig cfg = GetParam();
+  const RSCode code(cfg);
+  const auto stripe = rpr::testing::random_stripe(code, kBlockSize, 200);
+
+  rpr::util::for_each_combination(
+      cfg.total(), cfg.k, [&](const std::vector<std::size_t>& failed) {
+        const auto selected = code.default_selection(failed);
+        const auto eqs = code.repair_equations(failed, selected);
+        ASSERT_EQ(eqs.size(), failed.size());
+        for (const auto& eq : eqs) {
+          EXPECT_EQ(code.evaluate(eq, stripe), stripe[eq.failed_block]);
+        }
+      });
+}
+
+TEST_P(RsCodeTest, SingleDataFailureWithP0IsXorOnly) {
+  const CodeConfig cfg = GetParam();
+  const RSCode code(cfg);
+  for (std::size_t f = 0; f < cfg.n; ++f) {
+    const std::vector<std::size_t> failed = {f};
+    const auto selected = code.default_selection(failed);
+    // default_selection prefers {surviving data, P0} for one data failure.
+    EXPECT_TRUE(std::find(selected.begin(), selected.end(),
+                          rpr::rs::p0_index(cfg)) != selected.end());
+    EXPECT_TRUE(code.is_xor_repair(failed, selected)) << "f=" << f;
+  }
+}
+
+TEST_P(RsCodeTest, ParityFailureIsNotXorOnly) {
+  const CodeConfig cfg = GetParam();
+  const RSCode code(cfg);
+  // Rebuilding P1 (or beyond) requires real coefficients.
+  if (cfg.k < 2) GTEST_SKIP();
+  const std::vector<std::size_t> failed = {cfg.n + 1};
+  const auto selected = code.default_selection(failed);
+  EXPECT_FALSE(code.is_xor_repair(failed, selected));
+}
+
+TEST_P(RsCodeTest, PartialDecodingAnyGroupingMatchesDirectDecode) {
+  // Split a repair equation's terms into arbitrary contiguous groups,
+  // build intermediates per group, XOR the intermediates (paper eq. 4/9).
+  const CodeConfig cfg = GetParam();
+  const RSCode code(cfg);
+  const auto stripe = rpr::testing::random_stripe(code, kBlockSize, 300);
+
+  const std::vector<std::size_t> failed = {1};
+  const auto selected = code.default_selection(failed);
+  const auto eq = code.repair_equations(failed, selected)[0];
+  const Block direct = code.evaluate(eq, stripe);
+
+  for (std::size_t split = 1; split < eq.sources.size(); ++split) {
+    Block left(kBlockSize, 0);
+    Block right(kBlockSize, 0);
+    for (std::size_t i = 0; i < eq.sources.size(); ++i) {
+      rpr::rs::accumulate(i < split ? left : right, stripe[eq.sources[i]],
+                          eq.coefficients[i]);
+    }
+    rpr::rs::combine(left, right);
+    EXPECT_EQ(left, direct) << "split=" << split;
+  }
+}
+
+TEST_P(RsCodeTest, VandermondeAndCauchyBothRoundTrip) {
+  const CodeConfig cfg = GetParam();
+  for (const auto kind : {MatrixKind::kCauchy, MatrixKind::kVandermonde}) {
+    const RSCode code(cfg, kind);
+    auto stripe = rpr::testing::random_stripe(code, 64, 400);
+    const auto original = stripe;
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < cfg.k; ++i) failed.push_back(i);  // first k
+    for (std::size_t f : failed) stripe[f].assign(64, 0);
+    ASSERT_TRUE(code.decode(stripe, failed));
+    EXPECT_EQ(stripe, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, RsCodeTest,
+    ::testing::ValuesIn(rpr::testing::paper_configs()),
+    [](const ::testing::TestParamInfo<CodeConfig>& i) {
+      return rpr::testing::config_name(i.param);
+    });
+
+TEST(RsCode, EncodeP0IsXorOfData) {
+  // The pre-placement optimization (§3.3) rests on P0 = xor of all data.
+  const RSCode code({5, 3});
+  const auto stripe = rpr::testing::random_stripe(code, 128, 7);
+  Block expect(128, 0);
+  for (std::size_t b = 0; b < 5; ++b) rpr::rs::combine(expect, stripe[b]);
+  EXPECT_EQ(stripe[5], expect);
+}
+
+TEST(RsCode, RejectsTooManyFailures) {
+  const RSCode code({4, 2});
+  auto stripe = rpr::testing::random_stripe(code, 32, 8);
+  const std::vector<std::size_t> failed = {0, 1, 2};
+  EXPECT_FALSE(code.decode(stripe, failed));
+}
+
+TEST(RsCode, RejectsSelectedOverlappingFailed) {
+  const RSCode code({4, 2});
+  const std::vector<std::size_t> failed = {0};
+  const std::vector<std::size_t> selected = {0, 1, 2, 3};
+  EXPECT_THROW(code.repair_equations(failed, selected), std::invalid_argument);
+}
+
+TEST(RsCode, RejectsBadConstruction) {
+  EXPECT_THROW(RSCode({0, 2}), std::invalid_argument);
+  EXPECT_THROW(RSCode({2, 0}), std::invalid_argument);
+  EXPECT_THROW(RSCode({250, 10}), std::invalid_argument);
+}
+
+TEST(RsCode, UnequalBlockSizesRejected) {
+  const RSCode code({3, 2});
+  std::vector<Block> data = {Block(16, 1), Block(16, 2), Block(8, 3)};
+  std::vector<Block> parity(2);
+  EXPECT_THROW(
+      code.encode(std::span<const Block>(data), std::span<Block>(parity)),
+      std::invalid_argument);
+}
+
+TEST(RsCode, ActiveSourcesCountsNonzeroCoefficients) {
+  rpr::rs::RepairEquation eq;
+  eq.sources = {0, 1, 2, 3};
+  eq.coefficients = {1, 0, 5, 0};
+  EXPECT_EQ(eq.active_sources(), 2u);
+  EXPECT_FALSE(eq.xor_only());
+  eq.coefficients = {1, 0, 1, 1};
+  EXPECT_TRUE(eq.xor_only());
+}

@@ -1,0 +1,200 @@
+// Threaded-testbed tests: throttle accuracy, port serialization, plan
+// execution correctness over real bytes, region bandwidth matrix.
+#include "runtime/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "repair/executor_data.h"
+#include "repair/planner.h"
+#include "test_support.h"
+
+using rpr::repair::OpId;
+using rpr::repair::RepairPlan;
+using rpr::rs::Block;
+using rpr::runtime::RegionNet;
+using rpr::runtime::Testbed;
+using rpr::runtime::TestbedParams;
+using rpr::topology::Cluster;
+using rpr::util::Bandwidth;
+
+namespace {
+
+TestbedParams fast_params(std::size_t racks) {
+  TestbedParams p;
+  p.net = RegionNet::uniform(racks, Bandwidth::gbps(10), Bandwidth::gbps(1));
+  p.time_scale = 64.0;  // 1 MiB cross transfer ~ 131 us wall time
+  return p;
+}
+
+}  // namespace
+
+TEST(RegionNet, UniformMatrix) {
+  const auto net = RegionNet::uniform(3, Bandwidth::gbps(10),
+                                      Bandwidth::gbps(1));
+  EXPECT_EQ(net.between_racks(0, 0), Bandwidth::gbps(10));
+  EXPECT_EQ(net.between_racks(0, 2), Bandwidth::gbps(1));
+  EXPECT_NEAR(net.mean_intra_mbps() / net.mean_cross_mbps(), 10.0, 1e-9);
+}
+
+TEST(RegionNet, Table1MatchesPaperAverages) {
+  // §5.2: "The average cross-region bandwidth is 53.03 Mbps, and the
+  // average inner-region bandwidth is 600.97 Mbps. The ratio ... is 11.32."
+  const auto net = RegionNet::ec2_table1(5);
+  EXPECT_NEAR(net.mean_intra_mbps(), 600.97, 0.5);
+  EXPECT_NEAR(net.mean_cross_mbps(), 53.03, 0.5);
+  EXPECT_NEAR(net.mean_intra_mbps() / net.mean_cross_mbps(), 11.32, 0.05);
+}
+
+TEST(RegionNet, Table1IsSymmetric) {
+  const auto net = RegionNet::ec2_table1(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(net.between_racks(i, j).as_mbps(),
+                net.between_racks(j, i).as_mbps());
+    }
+  }
+}
+
+TEST(RegionNet, RejectsBadParameters) {
+  EXPECT_THROW(RegionNet::uniform(0, Bandwidth::gbps(1), Bandwidth::gbps(1)),
+               std::invalid_argument);
+  EXPECT_THROW(RegionNet::ec2_table1(0), std::invalid_argument);
+}
+
+TEST(Testbed, TransfersDeliverExactBytes) {
+  Testbed bed(Cluster(2, 2, 0), fast_params(2));
+  RepairPlan plan;
+  plan.block_size = 4096;
+  const OpId r = plan.read(0, 0, 1);
+  const OpId s = plan.send(r, 0, 2);  // cross-rack
+  std::vector<Block> stripe = {Block(4096)};
+  for (std::size_t i = 0; i < stripe[0].size(); ++i) {
+    stripe[0][i] = static_cast<std::uint8_t>(i * 13);
+  }
+  const auto result = bed.execute(plan, std::vector<OpId>{s}, stripe);
+  EXPECT_EQ(result.outputs[0], stripe[0]);
+  EXPECT_EQ(result.cross_rack_bytes, 4096u);
+  EXPECT_EQ(result.inner_rack_bytes, 0u);
+}
+
+TEST(Testbed, ThrottleRoughlyMatchesConfiguredBandwidth) {
+  // 8 MiB at 1 Gb/s scaled by 8 -> ~8.4 ms paced sleep, well above timer
+  // granularity. Sleep-based pacing can only overshoot the duration, so the
+  // measured rate must sit at or below nominal.
+  TestbedParams p = fast_params(2);
+  p.time_scale = 8.0;
+  Testbed bed(Cluster(2, 1, 0), p);
+  const std::uint64_t bytes = 8 << 20;
+  const double mbps = bed.measure_mbps(0, 1, bytes);
+  EXPECT_GT(mbps, 700.0);   // within ~30% of the nominal 1000 Mbps
+  EXPECT_LT(mbps, 1050.0);  // never faster than configured
+}
+
+TEST(Testbed, InnerLinkFasterThanCrossLink) {
+  TestbedParams p = fast_params(2);
+  p.time_scale = 8.0;
+  Testbed bed(Cluster(2, 2, 0), p);
+  const std::uint64_t bytes = 16 << 20;
+  const double inner = bed.measure_mbps(0, 1, bytes);
+  const double cross = bed.measure_mbps(0, 2, bytes);
+  EXPECT_GT(inner, 2.0 * cross);
+}
+
+TEST(Testbed, MatchesDataExecutorOnFullRepairPlans) {
+  // The testbed must compute exactly what the data executor computes, for
+  // every scheme, on a real failure.
+  const rpr::rs::CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode code(cfg);
+  auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 2048, 99);
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 2048;
+  problem.failed = {2};
+  problem.choose_default_replacements();
+
+  TestbedParams params = fast_params(placed.cluster.racks());
+  params.decode_matrix_dim = cfg.n;
+
+  for (const auto scheme :
+       {rpr::repair::Scheme::kTraditional, rpr::repair::Scheme::kCar,
+        rpr::repair::Scheme::kRpr}) {
+    const auto planner = rpr::repair::make_planner(scheme);
+    const auto planned = planner->plan(problem);
+    const auto expected = rpr::repair::execute_on_data(
+        planned.plan, planned.outputs, stripe);
+
+    Testbed bed(placed.cluster, params);
+    const auto result = bed.execute(planned.plan, planned.outputs, stripe);
+    ASSERT_EQ(result.outputs.size(), expected.size());
+    EXPECT_EQ(result.outputs[0], expected[0]) << planner->name();
+    EXPECT_EQ(result.outputs[0], stripe[2]) << planner->name();
+  }
+}
+
+TEST(Testbed, MultiFailureRepairBitExact) {
+  const rpr::rs::CodeConfig cfg{8, 4};
+  const rpr::rs::RSCode code(cfg);
+  auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 1024, 123);
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 1024;
+  problem.failed = {0, 3, 9};  // two data + one parity
+  problem.choose_default_replacements();
+
+  const rpr::repair::RprPlanner planner;
+  const auto planned = planner.plan(problem);
+
+  Testbed bed(placed.cluster, fast_params(placed.cluster.racks()));
+  const auto result = bed.execute(planned.plan, planned.outputs, stripe);
+  for (std::size_t i = 0; i < problem.failed.size(); ++i) {
+    EXPECT_EQ(result.outputs[i], stripe[problem.failed[i]]);
+  }
+}
+
+TEST(Testbed, RprFasterThanTraditionalWallClock) {
+  // End-to-end wall-time comparison on the throttled links. Blocks are
+  // sized so transfers take milliseconds each, keeping the ordering stable
+  // against sleep-pacing jitter.
+  const rpr::rs::CodeConfig cfg{8, 2};
+  const rpr::rs::RSCode code(cfg);
+  auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  // 1 MiB blocks at unscaled link speeds: one cross transfer ~8.4 ms,
+  // which dwarfs the (single-core, serialized) compute in this environment.
+  const std::uint64_t block = 1 << 20;
+  const auto stripe = rpr::testing::random_stripe(code, block, 5);
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = block;
+  problem.failed = {1};
+  problem.choose_default_replacements();
+
+  auto params = fast_params(placed.cluster.racks());
+  params.time_scale = 1.0;
+  auto run = [&](const rpr::repair::Planner& planner) {
+    const auto planned = planner.plan(problem);
+    Testbed bed(placed.cluster, params);
+    return bed.execute(planned.plan, planned.outputs, stripe).wall_time;
+  };
+  const auto t_tra = run(rpr::repair::TraditionalPlanner{});
+  const auto t_rpr = run(rpr::repair::RprPlanner{});
+  EXPECT_LT(t_rpr.count(), t_tra.count());
+}
+
+TEST(Testbed, RejectsBadConfiguration) {
+  EXPECT_THROW(Testbed(Cluster(3, 1, 0), fast_params(2)),
+               std::invalid_argument);
+  TestbedParams p = fast_params(2);
+  p.time_scale = 0.0;
+  EXPECT_THROW(Testbed(Cluster(2, 1, 0), p), std::invalid_argument);
+}

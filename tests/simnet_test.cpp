@@ -1,0 +1,184 @@
+// Discrete-event network simulator tests: bandwidth math, port
+// serialization, parallelism, dependencies, determinism.
+#include "simnet/simnet.h"
+
+#include <gtest/gtest.h>
+
+using rpr::simnet::SimNetwork;
+using rpr::topology::Cluster;
+using rpr::topology::NetworkParams;
+using rpr::util::Bandwidth;
+using rpr::util::SimTime;
+
+namespace {
+
+NetworkParams round_params() {
+  // 1 MB block at these speeds gives exact round numbers: inner transfer
+  // 1 ms, cross transfer 10 ms.
+  NetworkParams p;
+  p.inner = Bandwidth::bytes_per_sec(1e9);
+  p.cross = Bandwidth::bytes_per_sec(1e8);
+  p.charge_compute = false;
+  return p;
+}
+
+constexpr std::uint64_t kBlock = 1'000'000;  // 1 MB
+constexpr SimTime kMs = rpr::util::kNsPerMs;
+
+}  // namespace
+
+TEST(SimNet, InnerTransferTime) {
+  SimNetwork net(Cluster(2, 2, 0), round_params());
+  net.add_transfer(0, 1, kBlock, {});
+  EXPECT_EQ(net.run().makespan, 1 * kMs);
+}
+
+TEST(SimNet, CrossTransferTime) {
+  SimNetwork net(Cluster(2, 2, 0), round_params());
+  net.add_transfer(0, 2, kBlock, {});
+  EXPECT_EQ(net.run().makespan, 10 * kMs);
+}
+
+TEST(SimNet, SameNodeTransferIsFree) {
+  SimNetwork net(Cluster(1, 2, 0), round_params());
+  net.add_transfer(0, 0, kBlock, {});
+  EXPECT_EQ(net.run().makespan, 0);
+}
+
+TEST(SimNet, ReceiverPortSerializesTransfers) {
+  // Two senders to the same node within a rack: 2 x 1 ms sequential.
+  SimNetwork net(Cluster(1, 3, 0), round_params());
+  net.add_transfer(1, 0, kBlock, {});
+  net.add_transfer(2, 0, kBlock, {});
+  EXPECT_EQ(net.run().makespan, 2 * kMs);
+}
+
+TEST(SimNet, DisjointPairsRunInParallel) {
+  // 0->1 and 2->3 share no ports: both finish at 1 ms.
+  SimNetwork net(Cluster(1, 4, 0), round_params());
+  net.add_transfer(0, 1, kBlock, {});
+  net.add_transfer(2, 3, kBlock, {});
+  EXPECT_EQ(net.run().makespan, 1 * kMs);
+}
+
+TEST(SimNet, RackUplinkSerializesIncomingCrossTransfers) {
+  // Racks 1 and 2 each send one block into rack 0 (distinct destination
+  // nodes): the rack-0 downlink carries one at a time -> 20 ms.
+  SimNetwork net(Cluster(3, 2, 0), round_params());
+  net.add_transfer(2, 0, kBlock, {});  // rack1 node -> rack0 node
+  net.add_transfer(4, 1, kBlock, {});  // rack2 node -> rack0 other node
+  EXPECT_EQ(net.run().makespan, 20 * kMs);
+}
+
+TEST(SimNet, CrossTransfersBetweenDistinctRackPairsOverlap) {
+  // rack0->rack1 and rack2->rack3 share nothing: 10 ms total.
+  SimNetwork net(Cluster(4, 1, 0), round_params());
+  net.add_transfer(0, 1, kBlock, {});
+  net.add_transfer(2, 3, kBlock, {});
+  EXPECT_EQ(net.run().makespan, 10 * kMs);
+}
+
+TEST(SimNet, RackCanSendAndReceiveSimultaneously) {
+  // Full-duplex TOR uplink: rack0 sends to rack1 while rack2 sends into
+  // rack0.
+  SimNetwork net(Cluster(3, 2, 0), round_params());
+  net.add_transfer(0, 2, kBlock, {});  // rack0 -> rack1
+  net.add_transfer(4, 1, kBlock, {});  // rack2 -> rack0
+  EXPECT_EQ(net.run().makespan, 10 * kMs);
+}
+
+TEST(SimNet, DependenciesChainTransfers) {
+  SimNetwork net(Cluster(2, 2, 0), round_params());
+  const auto a = net.add_transfer(0, 1, kBlock, {});        // 1 ms inner
+  const auto b = net.add_transfer(1, 2, kBlock, {a});       // 10 ms cross
+  net.add_transfer(2, 3, kBlock, {b});                      // 1 ms inner
+  EXPECT_EQ(net.run().makespan, 12 * kMs);
+}
+
+TEST(SimNet, ComputeOccupiesCpu) {
+  SimNetwork net(Cluster(1, 1, 0), round_params());
+  net.add_compute(0, 5 * kMs, {});
+  net.add_compute(0, 5 * kMs, {});
+  EXPECT_EQ(net.run().makespan, 10 * kMs);
+}
+
+TEST(SimNet, ComputeAndTransferOverlapOnOneNode) {
+  // CPU and NIC are separate resources.
+  SimNetwork net(Cluster(1, 2, 0), round_params());
+  net.add_compute(0, 1 * kMs, {});
+  net.add_transfer(1, 0, kBlock, {});
+  EXPECT_EQ(net.run().makespan, 1 * kMs);
+}
+
+TEST(SimNet, TrafficAccounting) {
+  SimNetwork net(Cluster(2, 2, 0), round_params());
+  net.add_transfer(0, 1, kBlock, {});  // inner
+  net.add_transfer(0, 2, kBlock, {});  // cross
+  net.add_transfer(1, 3, kBlock, {});  // cross
+  const auto r = net.run();
+  EXPECT_EQ(r.inner_rack_bytes, kBlock);
+  EXPECT_EQ(r.cross_rack_bytes, 2 * kBlock);
+  EXPECT_EQ(r.inner_rack_transfers, 1u);
+  EXPECT_EQ(r.cross_rack_transfers, 2u);
+  EXPECT_EQ(r.rack_upload_bytes[0], 2 * kBlock);
+  EXPECT_EQ(r.rack_download_bytes[1], 2 * kBlock);
+}
+
+TEST(SimNet, DecodeDurationRespectsChargeComputeFlag) {
+  NetworkParams p = round_params();
+  p.charge_compute = true;
+  p.decode_with_matrix = Bandwidth::bytes_per_sec(1e9);
+  p.decode_xor = Bandwidth::bytes_per_sec(4e9);
+  SimNetwork net(Cluster(1, 1, 0), p);
+  EXPECT_EQ(net.decode_duration(kBlock, true), 1 * kMs);
+  EXPECT_EQ(net.decode_duration(kBlock, false), kMs / 4);
+
+  NetworkParams off = round_params();
+  SimNetwork net2(Cluster(1, 1, 0), off);
+  EXPECT_EQ(net2.decode_duration(kBlock, true), 0);
+}
+
+TEST(SimNet, DeterministicAcrossRuns) {
+  auto build_and_run = [] {
+    SimNetwork net(Cluster(3, 3, 0), round_params());
+    rpr::simnet::TaskId prev = 0;
+    for (int i = 0; i < 20; ++i) {
+      const auto from = static_cast<rpr::topology::NodeId>((i * 7) % 9);
+      const auto to = static_cast<rpr::topology::NodeId>((i * 5 + 3) % 9);
+      if (from == to) continue;
+      std::vector<rpr::simnet::TaskId> deps;
+      if (i > 10) deps.push_back(prev);
+      prev = net.add_transfer(from, to, kBlock, std::move(deps));
+    }
+    return net.run().makespan;
+  };
+  const auto first = build_and_run();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(build_and_run(), first);
+}
+
+TEST(SimNet, FifoTieBreakByReadyTimeThenId) {
+  // Three transfers into one node, all ready at t=0: executed in id order;
+  // the stats should show start times 0, 1 ms, 2 ms.
+  SimNetwork net(Cluster(1, 4, 0), round_params());
+  const auto a = net.add_transfer(1, 0, kBlock, {});
+  const auto b = net.add_transfer(2, 0, kBlock, {});
+  const auto c = net.add_transfer(3, 0, kBlock, {});
+  const auto r = net.run();
+  EXPECT_EQ(r.tasks[a].start, 0);
+  EXPECT_EQ(r.tasks[b].start, 1 * kMs);
+  EXPECT_EQ(r.tasks[c].start, 2 * kMs);
+}
+
+TEST(SimNet, RejectsInvalidInputs) {
+  SimNetwork net(Cluster(1, 2, 0), round_params());
+  EXPECT_THROW(net.add_transfer(0, 99, kBlock, {}), std::invalid_argument);
+  EXPECT_THROW(net.add_transfer(0, 1, kBlock, {42}), std::invalid_argument);
+  EXPECT_THROW(net.add_compute(99, 1, {}), std::invalid_argument);
+}
+
+TEST(SimNet, RunTwiceRejected) {
+  SimNetwork net(Cluster(1, 2, 0), round_params());
+  net.add_transfer(0, 1, kBlock, {});
+  net.run();
+  EXPECT_THROW(net.run(), std::logic_error);
+}

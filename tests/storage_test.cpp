@@ -1,0 +1,317 @@
+// Storage-system integration tests: put/get round trips, degraded reads,
+// failure injection, repair across schemes, replacement placement.
+#include "storage/storage_system.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "storage/failure.h"
+#include "util/rng.h"
+
+using rpr::repair::Scheme;
+using rpr::storage::FailureInjector;
+using rpr::storage::StorageOptions;
+using rpr::storage::StorageSystem;
+using rpr::topology::PlacementPolicy;
+
+namespace {
+
+std::vector<std::uint8_t> random_object(std::size_t size, std::uint64_t seed) {
+  rpr::util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> v(size);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  return v;
+}
+
+StorageOptions small_opts(Scheme scheme = Scheme::kRpr) {
+  StorageOptions o;
+  o.code = {6, 3};
+  o.block_size = 1024;
+  o.repair_scheme = scheme;
+  return o;
+}
+
+}  // namespace
+
+TEST(Storage, PutGetRoundTrip) {
+  StorageSystem sys(small_opts());
+  const auto obj = random_object(5000, 1);
+  const auto id = sys.put(obj);
+  EXPECT_EQ(sys.get(id), obj);
+}
+
+TEST(Storage, ShortAndEmptyObjects) {
+  StorageSystem sys(small_opts());
+  const auto tiny = random_object(3, 2);
+  EXPECT_EQ(sys.get(sys.put(tiny)), tiny);
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(sys.get(sys.put(empty)), empty);
+}
+
+TEST(Storage, ObjectTooLargeRejected) {
+  StorageSystem sys(small_opts());
+  EXPECT_THROW(sys.put(random_object(6 * 1024 + 1, 3)), std::invalid_argument);
+}
+
+TEST(Storage, DegradedReadAfterNodeFailure) {
+  StorageSystem sys(small_opts());
+  const auto obj = random_object(6 * 1024, 4);
+  const auto id = sys.put(obj);
+  // Kill the node holding data block 0.
+  sys.fail_node(sys.stripe_nodes(id)[0]);
+  EXPECT_EQ(sys.lost_blocks(id), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(sys.get(id), obj);  // transparent degraded read
+}
+
+TEST(Storage, DegradedReadSurvivesKFailures) {
+  StorageSystem sys(small_opts());
+  const auto obj = random_object(6 * 1024, 5);
+  const auto id = sys.put(obj);
+  const auto nodes = sys.stripe_nodes(id);
+  sys.fail_node(nodes[0]);
+  sys.fail_node(nodes[3]);
+  sys.fail_node(nodes[7]);  // a parity block
+  EXPECT_EQ(sys.get(id), obj);
+}
+
+TEST(Storage, UnrecoverableStripeThrows) {
+  StorageSystem sys(small_opts());
+  const auto obj = random_object(1000, 6);
+  const auto id = sys.put(obj);
+  const auto nodes = sys.stripe_nodes(id);
+  for (std::size_t b : {0u, 1u, 2u, 3u}) sys.fail_node(nodes[b]);
+  EXPECT_THROW((void)sys.get(id), std::runtime_error);
+  EXPECT_THROW((void)sys.repair(id), std::runtime_error);
+}
+
+class StorageRepairTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(StorageRepairTest, RepairRestoresDataOnNewNode) {
+  StorageSystem sys(small_opts(GetParam()));
+  const auto obj = random_object(6 * 1024, 7);
+  const auto id = sys.put(obj);
+  const auto old_nodes = sys.stripe_nodes(id);
+  sys.fail_node(old_nodes[2]);
+
+  const auto report = sys.repair(id);
+  EXPECT_EQ(report.repaired_blocks, (std::vector<std::size_t>{2}));
+  EXPECT_GT(report.simulated_repair_time, 0);
+  EXPECT_TRUE(sys.lost_blocks(id).empty());
+  EXPECT_EQ(sys.get(id), obj);
+
+  // The block moved to a new node in the same rack.
+  const auto new_nodes = sys.stripe_nodes(id);
+  EXPECT_NE(new_nodes[2], old_nodes[2]);
+  EXPECT_EQ(sys.cluster().rack_of(new_nodes[2]),
+            sys.cluster().rack_of(old_nodes[2]));
+}
+
+TEST_P(StorageRepairTest, RepairAfterMultiFailure) {
+  StorageSystem sys(small_opts(GetParam()));
+  const auto obj = random_object(6 * 1024, 8);
+  const auto id = sys.put(obj);
+  const auto nodes = sys.stripe_nodes(id);
+  sys.fail_node(nodes[1]);
+  sys.fail_node(nodes[4]);
+
+  const auto report = sys.repair(id);  // CAR falls back to RPR multi
+  EXPECT_EQ(report.repaired_blocks.size(), 2u);
+  EXPECT_TRUE(sys.lost_blocks(id).empty());
+  EXPECT_EQ(sys.get(id), obj);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, StorageRepairTest,
+                         ::testing::Values(Scheme::kTraditional, Scheme::kCar,
+                                           Scheme::kRpr),
+                         [](const ::testing::TestParamInfo<Scheme>& i) {
+                           switch (i.param) {
+                             case Scheme::kTraditional: return "traditional";
+                             case Scheme::kCar: return "car";
+                             case Scheme::kRpr: return "rpr";
+                           }
+                           return "unknown";
+                         });
+
+TEST(Storage, RepairAllTouchesEveryDamagedStripe) {
+  StorageSystem sys(small_opts());
+  std::vector<rpr::storage::StripeId> ids;
+  std::vector<std::vector<std::uint8_t>> objs;
+  for (int i = 0; i < 8; ++i) {
+    objs.push_back(random_object(4000, 100 + static_cast<std::uint64_t>(i)));
+    ids.push_back(sys.put(objs.back()));
+  }
+  // Kill one node; stripes rotate across racks, so several stripes lose a
+  // block while others stay intact.
+  sys.fail_node(sys.stripe_nodes(ids[0])[0]);
+  const auto reports = sys.repair_all();
+  EXPECT_FALSE(reports.empty());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_TRUE(sys.lost_blocks(ids[i]).empty());
+    EXPECT_EQ(sys.get(ids[i]), objs[i]);
+  }
+}
+
+TEST(Storage, RepairNoopOnHealthyStripe) {
+  StorageSystem sys(small_opts());
+  const auto id = sys.put(random_object(100, 9));
+  const auto report = sys.repair(id);
+  EXPECT_TRUE(report.repaired_blocks.empty());
+}
+
+TEST(Storage, RackFailureRepairedToOtherRacks) {
+  StorageOptions opts = small_opts();
+  opts.extra_racks = 1;  // somewhere to rebuild a whole lost rack
+  StorageSystem sys(opts);
+  const auto obj = random_object(6 * 1024, 10);
+  const auto id = sys.put(obj);
+  const auto rack = sys.cluster().rack_of(sys.stripe_nodes(id)[0]);
+  sys.fail_rack(rack);
+  ASSERT_LE(sys.lost_blocks(id).size(), 3u);  // single-rack fault tolerance
+
+  const auto report = sys.repair(id);
+  EXPECT_FALSE(report.repaired_blocks.empty());
+  EXPECT_EQ(sys.get(id), obj);
+  // Replacements must avoid overloading any rack beyond k blocks.
+  std::map<rpr::topology::RackId, std::size_t> per_rack;
+  for (const auto node : sys.stripe_nodes(id)) {
+    ++per_rack[sys.cluster().rack_of(node)];
+  }
+  for (const auto& [r, count] : per_rack) EXPECT_LE(count, 3u);
+}
+
+TEST(Storage, FailureInjectorKeepsStripesRecoverable) {
+  StorageSystem sys(small_opts());
+  std::vector<rpr::storage::StripeId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(sys.put(random_object(3000, 200 + static_cast<std::uint64_t>(i))));
+  }
+  FailureInjector injector(&sys, 42);
+  const auto failed = injector.fail_random_nodes(10);
+  EXPECT_FALSE(failed.empty());
+  for (const auto id : ids) {
+    EXPECT_LE(sys.lost_blocks(id).size(), 3u);
+    EXPECT_NO_THROW((void)sys.get(id));
+  }
+  // Everything must be repairable afterwards.
+  const auto reports = sys.repair_all();
+  for (const auto id : ids) EXPECT_TRUE(sys.lost_blocks(id).empty());
+  (void)reports;
+}
+
+TEST(Storage, StripePlacementRotatesAcrossRacks) {
+  StorageSystem sys(small_opts());
+  const auto a = sys.put(random_object(100, 11));
+  const auto b = sys.put(random_object(100, 12));
+  // Consecutive stripes shift racks, spreading load.
+  EXPECT_NE(sys.cluster().rack_of(sys.stripe_nodes(a)[0]),
+            sys.cluster().rack_of(sys.stripe_nodes(b)[0]));
+}
+
+TEST(Storage, RejectsBadOptions) {
+  StorageOptions o = small_opts();
+  o.block_size = 0;
+  EXPECT_THROW(StorageSystem{o}, std::invalid_argument);
+}
+
+TEST(Storage, UnknownStripeRejected) {
+  StorageSystem sys(small_opts());
+  EXPECT_THROW((void)sys.get(999), std::out_of_range);
+  EXPECT_THROW((void)sys.repair(999), std::out_of_range);
+  EXPECT_THROW((void)sys.lost_blocks(999), std::out_of_range);
+}
+
+TEST(Storage, DegradedReadCostHealthyVsLost) {
+  StorageSystem sys(small_opts());
+  const auto id = sys.put(random_object(6 * 1024, 20));
+  const auto nodes = sys.stripe_nodes(id);
+  const auto reader = sys.cluster().spare(0, 0);
+
+  const auto healthy = sys.degraded_read_cost(id, 0, reader);
+  sys.fail_node(nodes[0]);
+  const auto degraded = sys.degraded_read_cost(id, 0, reader);
+  // A degraded read moves strictly more data and takes longer than a
+  // healthy read of the same block.
+  EXPECT_GT(degraded.total_repair_time, healthy.total_repair_time);
+  EXPECT_GE(degraded.cross_rack_bytes + degraded.inner_rack_bytes,
+            healthy.cross_rack_bytes + healthy.inner_rack_bytes);
+}
+
+TEST(Storage, DegradedReadCostWithMultipleLost) {
+  StorageSystem sys(small_opts());
+  const auto id = sys.put(random_object(6 * 1024, 21));
+  const auto nodes = sys.stripe_nodes(id);
+  sys.fail_node(nodes[1]);
+  sys.fail_node(nodes[2]);
+  const auto reader = sys.cluster().spare(1, 0);
+  const auto cost = sys.degraded_read_cost(id, 1, reader);
+  EXPECT_GT(cost.total_repair_time, 0);
+  // Only the requested sub-equation is evaluated: traffic is bounded by
+  // one intermediate per involved rack.
+  EXPECT_LE(cost.cross_rack_bytes / sys.options().block_size,
+            sys.cluster().racks());
+}
+
+TEST(Storage, DegradedReadCostRejectsBadArgs) {
+  StorageSystem sys(small_opts());
+  const auto id = sys.put(random_object(100, 22));
+  EXPECT_THROW((void)sys.degraded_read_cost(999, 0, 0), std::out_of_range);
+  EXPECT_THROW((void)sys.degraded_read_cost(id, 99, 0), std::out_of_range);
+  EXPECT_THROW((void)sys.degraded_read_cost(id, 0, 9999), std::out_of_range);
+}
+
+TEST(Storage, ReviveNodeReturnsEmptyHealthyNode) {
+  StorageSystem sys(small_opts());
+  const auto id = sys.put(random_object(3000, 30));
+  const auto node = sys.stripe_nodes(id)[0];
+  sys.fail_node(node);
+  (void)sys.repair(id);
+  sys.revive_node(node);
+  EXPECT_TRUE(sys.node_alive(node));
+  // The revived node holds nothing; the stripe is healthy elsewhere.
+  EXPECT_TRUE(sys.lost_blocks(id).empty());
+  EXPECT_THROW(sys.revive_node(9999), std::out_of_range);
+}
+
+TEST(Storage, VandermondeMatrixKindRoundTrips) {
+  StorageOptions o = small_opts();
+  o.matrix = rpr::rs::MatrixKind::kVandermonde;
+  StorageSystem sys(o);
+  const auto obj = random_object(6 * 1024, 40);
+  const auto id = sys.put(obj);
+  sys.fail_node(sys.stripe_nodes(id)[0]);
+  sys.fail_node(sys.stripe_nodes(id)[6]);  // a parity
+  EXPECT_EQ(sys.get(id), obj);
+  (void)sys.repair(id);
+  EXPECT_EQ(sys.get(id), obj);
+}
+
+TEST(Storage, FlatPlacementPolicyWorksEndToEnd) {
+  StorageOptions o = small_opts();
+  o.policy = PlacementPolicy::kFlat;  // one block per rack
+  StorageSystem sys(o);
+  const auto obj = random_object(4000, 41);
+  const auto id = sys.put(obj);
+  // Every block in its own rack.
+  std::set<rpr::topology::RackId> racks;
+  for (const auto node : sys.stripe_nodes(id)) {
+    racks.insert(sys.cluster().rack_of(node));
+  }
+  EXPECT_EQ(racks.size(), sys.code().config().total());
+  sys.fail_node(sys.stripe_nodes(id)[2]);
+  (void)sys.repair(id);
+  EXPECT_EQ(sys.get(id), obj);
+}
+
+TEST(Storage, ContiguousPolicyWithTraditionalScheme) {
+  StorageOptions o = small_opts(Scheme::kTraditional);
+  o.policy = PlacementPolicy::kContiguous;
+  StorageSystem sys(o);
+  const auto obj = random_object(5000, 42);
+  const auto id = sys.put(obj);
+  sys.fail_node(sys.stripe_nodes(id)[5]);
+  const auto report = sys.repair(id);
+  EXPECT_TRUE(report.used_decoding_matrix);  // traditional always builds it
+  EXPECT_EQ(sys.get(id), obj);
+}

@@ -1,0 +1,41 @@
+// Shared fixtures and helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rs/rs_code.h"
+#include "util/rng.h"
+
+namespace rpr::testing {
+
+/// The six RS configurations the paper evaluates for single-block failures
+/// (§5.1.1) — also the superset used everywhere else.
+inline std::vector<rs::CodeConfig> paper_configs() {
+  return {{4, 2}, {6, 2}, {8, 2}, {6, 3}, {8, 4}, {12, 4}};
+}
+
+/// Deterministic random stripe: n data blocks of `block_size` bytes plus k
+/// parity blocks computed by `code`.
+inline std::vector<rs::Block> random_stripe(const rs::RSCode& code,
+                                            std::size_t block_size,
+                                            std::uint64_t seed) {
+  const auto& cfg = code.config();
+  std::vector<rs::Block> stripe(cfg.total());
+  util::Xoshiro256 rng(seed);
+  for (std::size_t b = 0; b < cfg.n; ++b) {
+    stripe[b].resize(block_size);
+    for (auto& byte : stripe[b]) {
+      byte = static_cast<std::uint8_t>(rng() & 0xFF);
+    }
+  }
+  code.encode_stripe(stripe);
+  return stripe;
+}
+
+inline std::string config_name(const rs::CodeConfig& cfg) {
+  return "n" + std::to_string(cfg.n) + "k" + std::to_string(cfg.k);
+}
+
+}  // namespace rpr::testing

@@ -1,0 +1,68 @@
+// Chrome-trace export tests.
+#include "simnet/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using rpr::simnet::SimNetwork;
+using rpr::topology::Cluster;
+using rpr::topology::NetworkParams;
+
+namespace {
+
+rpr::simnet::RunResult small_run(const Cluster& cluster) {
+  NetworkParams p;
+  p.charge_compute = false;
+  SimNetwork net(cluster, p);
+  const auto a = net.add_transfer(0, 1, 1 << 20, {}, "inner hop");
+  const auto b = net.add_transfer(1, 2, 1 << 20, {a}, "cross \"hop\"");
+  net.add_compute(2, rpr::util::kNsPerMs, {b}, "combine");
+  return net.run();
+}
+
+}  // namespace
+
+TEST(TraceExport, ContainsLanesAndSlices) {
+  const Cluster cluster(2, 2, 0);
+  const auto json =
+      rpr::simnet::to_chrome_trace(small_run(cluster), cluster);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("rack 0 / node 0"), std::string::npos);
+  EXPECT_NE(json.find("inner-rack transfer"), std::string::npos);
+  EXPECT_NE(json.find("cross-rack transfer"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceExport, EscapesQuotesInLabels) {
+  const Cluster cluster(2, 2, 0);
+  const auto json =
+      rpr::simnet::to_chrome_trace(small_run(cluster), cluster);
+  // The label cross "hop" must appear with escaped quotes.
+  EXPECT_NE(json.find("cross \\\"hop\\\""), std::string::npos);
+  // Balanced quotes overall (crude JSON sanity: even count of unescaped ").
+  std::size_t quotes = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0u);
+}
+
+TEST(TraceExport, WritesFile) {
+  const Cluster cluster(2, 2, 0);
+  const auto path =
+      std::filesystem::temp_directory_path() / "rpr_trace_test.json";
+  std::filesystem::remove(path);
+  rpr::simnet::write_chrome_trace(small_run(cluster), cluster,
+                                  path.string());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("traceEvents"), std::string::npos);
+  std::filesystem::remove(path);
+}

@@ -1,0 +1,154 @@
+// Utility-module tests: RNG determinism and distribution sanity, unit
+// types, combination enumeration, table rendering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/combinatorics.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace util = rpr::util;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  util::Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  util::Xoshiro256 rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  util::Xoshiro256 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  util::Xoshiro256 rng(10);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitMix64KnownFirstOutput) {
+  // Reference value for seed 0 from the SplitMix64 reference code.
+  util::SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Units, BandwidthConversions) {
+  EXPECT_DOUBLE_EQ(util::Bandwidth::mbps(8).as_bytes_per_sec(), 1e6);
+  EXPECT_DOUBLE_EQ(util::Bandwidth::gbps(1).as_bytes_per_sec(), 1.25e8);
+  EXPECT_DOUBLE_EQ(util::Bandwidth::mbytes_per_sec(5).as_bytes_per_sec(), 5e6);
+  EXPECT_DOUBLE_EQ(util::Bandwidth::gbps(1).as_mbps(), 1000.0);
+  EXPECT_FALSE(util::Bandwidth{}.valid());
+  EXPECT_TRUE(util::Bandwidth::mbps(1).valid());
+}
+
+TEST(Units, TimeForRoundsUp) {
+  const auto bw = util::Bandwidth::bytes_per_sec(3.0);
+  // 1 byte at 3 B/s = 333333333.3 ns -> rounds up to ...34.
+  EXPECT_EQ(bw.time_for(1), 333333334);
+  EXPECT_EQ(bw.time_for(3), util::kNsPerSec);
+  EXPECT_EQ(bw.time_for(0), 0);
+}
+
+TEST(Units, ToMsToSec) {
+  EXPECT_DOUBLE_EQ(util::to_ms(1'500'000), 1.5);
+  EXPECT_DOUBLE_EQ(util::to_sec(2'000'000'000), 2.0);
+}
+
+TEST(Combinatorics, EnumeratesAllCombinationsInOrder) {
+  std::vector<std::vector<std::size_t>> got;
+  util::for_each_combination(4, 2, [&](const std::vector<std::size_t>& c) {
+    got.push_back(c);
+  });
+  const std::vector<std::vector<std::size_t>> expect = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Combinatorics, EdgeCases) {
+  std::size_t count = 0;
+  util::for_each_combination(3, 0, [&](const auto&) { ++count; });
+  EXPECT_EQ(count, 1u);  // the empty set
+  count = 0;
+  util::for_each_combination(3, 4, [&](const auto&) { ++count; });
+  EXPECT_EQ(count, 0u);  // r > m
+  count = 0;
+  util::for_each_combination(5, 5, [&](const auto& c) {
+    ++count;
+    EXPECT_EQ(c.size(), 5u);
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Combinatorics, CountMatchesEnumeration) {
+  for (std::size_t m = 1; m <= 10; ++m) {
+    for (std::size_t r = 0; r <= m; ++r) {
+      std::size_t count = 0;
+      util::for_each_combination(m, r, [&](const auto&) { ++count; });
+      EXPECT_EQ(count, util::n_choose_r(m, r)) << m << " choose " << r;
+    }
+  }
+  EXPECT_EQ(util::n_choose_r(16, 4), 1820u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  util::TextTable t({"code", "Tra", "RPR"});
+  t.add_row({"(4,2)", "40.00", "22.00"});
+  t.add_row({"(12,4)", "120.00", "33.00"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("code"), std::string::npos);
+  EXPECT_NE(out.find("(12,4)"), std::string::npos);
+  // Numeric columns right-aligned: "40.00" is padded to width of "120.00".
+  EXPECT_NE(out.find("  40.00"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  util::TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(util::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(util::fmt(3.0, 0), "3");
+  EXPECT_EQ(util::fmt(-1.5, 1), "-1.5");
+}

@@ -1,0 +1,122 @@
+// Wide-stripe (GF(2^16)) codec tests.
+#include "rs/wide_code.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+using rpr::rs::Block;
+using rpr::rs::CodeConfig;
+using rpr::rs::WideRSCode;
+
+namespace {
+
+std::vector<Block> random_wide_stripe(const WideRSCode& code,
+                                      std::size_t block_size,
+                                      std::uint64_t seed) {
+  rpr::util::Xoshiro256 rng(seed);
+  std::vector<Block> stripe(code.config().total());
+  for (std::size_t b = 0; b < code.config().n; ++b) {
+    stripe[b].resize(block_size);
+    for (auto& byte : stripe[b]) byte = static_cast<std::uint8_t>(rng());
+  }
+  code.encode_stripe(stripe);
+  return stripe;
+}
+
+}  // namespace
+
+TEST(WideCode, FirstParityRowAllOnesSoP0IsXor) {
+  const WideRSCode code({40, 10});
+  for (std::size_t j = 0; j < 40; ++j) {
+    EXPECT_EQ(code.coding_coefficient(0, j), 1);
+  }
+  const auto stripe = random_wide_stripe(code, 256, 1);
+  Block expect(256, 0);
+  for (std::size_t b = 0; b < 40; ++b) {
+    for (std::size_t i = 0; i < 256; ++i) expect[i] ^= stripe[b][i];
+  }
+  EXPECT_EQ(stripe[40], expect);
+}
+
+TEST(WideCode, RoundTripSampledErasures) {
+  const CodeConfig cfg{40, 10};
+  const WideRSCode code(cfg);
+  const auto original = random_wide_stripe(code, 128, 2);
+
+  rpr::util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t l = 1 + rng.below(cfg.k);
+    std::vector<std::size_t> failed;
+    while (failed.size() < l) {
+      const auto b = rng.below(cfg.total());
+      if (std::find(failed.begin(), failed.end(), b) == failed.end()) {
+        failed.push_back(b);
+      }
+    }
+    auto stripe = original;
+    for (const auto f : failed) stripe[f].assign(128, 0xAA);
+    ASSERT_TRUE(code.decode(stripe, failed)) << "trial " << trial;
+    EXPECT_EQ(stripe, original) << "trial " << trial;
+  }
+}
+
+TEST(WideCode, VeryWideStripeBeyondGf256) {
+  // n + k = 360 > 256: impossible in GF(2^8), routine here.
+  const CodeConfig cfg{300, 60};
+  const WideRSCode code(cfg);
+  auto stripe = random_wide_stripe(code, 32, 4);
+  const auto original = stripe;
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < 60; i += 7) failed.push_back(i * 5);  // spread
+  for (const auto f : failed) stripe[f].clear();
+  ASSERT_TRUE(code.decode(stripe, failed));
+  EXPECT_EQ(stripe, original);
+}
+
+TEST(WideCode, WorstCaseKErasures) {
+  const CodeConfig cfg{12, 4};
+  const WideRSCode code(cfg);
+  auto stripe = random_wide_stripe(code, 64, 5);
+  const auto original = stripe;
+  const std::vector<std::size_t> failed = {0, 5, 12, 15};  // data + parity
+  for (const auto f : failed) stripe[f].assign(64, 0);
+  ASSERT_TRUE(code.decode(stripe, failed));
+  EXPECT_EQ(stripe, original);
+}
+
+TEST(WideCode, TooManyErasuresRejected) {
+  const WideRSCode code({6, 2});
+  auto stripe = random_wide_stripe(code, 16, 6);
+  const std::vector<std::size_t> failed = {0, 1, 2};
+  EXPECT_FALSE(code.decode(stripe, failed));
+}
+
+TEST(WideCode, OddBlockSizeRejected) {
+  const WideRSCode code({3, 2});
+  std::vector<Block> data = {Block(15, 1), Block(15, 2), Block(15, 3)};
+  std::vector<Block> parity(2);
+  EXPECT_THROW(
+      code.encode(std::span<const Block>(data), std::span<Block>(parity)),
+      std::invalid_argument);
+}
+
+TEST(WideCode, BadConfigRejected) {
+  EXPECT_THROW(WideRSCode({0, 4}), std::invalid_argument);
+  EXPECT_THROW(WideRSCode({4, 0}), std::invalid_argument);
+  EXPECT_THROW(WideRSCode({65000, 1000}), std::invalid_argument);
+}
+
+TEST(WideCode, AgreesWithNarrowCodeOnXorParity) {
+  // P0 must be identical across the GF(2^8) and GF(2^16) codecs (both are
+  // the XOR of the data blocks) even though the other parities differ.
+  const CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode narrow(cfg);
+  const WideRSCode wide(cfg);
+  auto stripe8 = random_wide_stripe(wide, 64, 7);
+  std::vector<Block> stripe16 = stripe8;
+  // Re-encode both from the same data blocks.
+  narrow.encode_stripe(stripe8);
+  wide.encode_stripe(stripe16);
+  EXPECT_EQ(stripe8[6], stripe16[6]);  // P0
+}

@@ -1,0 +1,190 @@
+// rpr_sim: what-if repair simulation from the command line.
+//
+//   rpr_sim [options]
+//     --code n,k            RS configuration            (default 6,3)
+//     --scheme NAME         traditional | car | rpr     (default rpr)
+//     --failed i[,j...]     failed block indices        (default 0)
+//     --placement NAME      contiguous | rpr | flat     (default rpr)
+//     --block BYTES         block size in bytes         (default 256 MiB)
+//     --inner GBPS          inner-rack bandwidth, Gb/s  (default 1)
+//     --cross GBPS          cross-rack bandwidth, Gb/s  (default 0.1)
+//     --fluid               use the fair-sharing link model
+//     --trace FILE          write a Chrome trace of the schedule
+//
+// Prints repair time, traffic and the transfer schedule — the library's
+// planners and simulators behind a single adoptable command.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "repair/executor_sim.h"
+#include "repair/planner.h"
+#include "simnet/fluid.h"
+#include "simnet/trace_export.h"
+#include "topology/placement.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rpr_sim [--code n,k] [--scheme traditional|car|rpr]\n"
+      "               [--failed i,j,...] [--placement contiguous|rpr|flat]\n"
+      "               [--block BYTES] [--inner GBPS] [--cross GBPS]\n"
+      "               [--fluid] [--trace FILE]\n");
+  return 2;
+}
+
+std::vector<std::size_t> parse_list(const char* s) {
+  std::vector<std::size_t> out;
+  std::string token;
+  for (const char* p = s;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) out.push_back(std::stoul(token));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rpr;
+
+  rs::CodeConfig cfg{6, 3};
+  repair::Scheme scheme = repair::Scheme::kRpr;
+  std::vector<std::size_t> failed = {0};
+  topology::PlacementPolicy policy = topology::PlacementPolicy::kRpr;
+  std::uint64_t block = 256ull << 20;
+  double inner_gbps = 1.0;
+  double cross_gbps = 0.1;
+  bool fluid = false;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (a == "--code") {
+      const auto v = parse_list(next());
+      if (v.size() != 2) return usage();
+      cfg = {v[0], v[1]};
+    } else if (a == "--scheme") {
+      const std::string_view s = next();
+      if (s == "traditional") scheme = repair::Scheme::kTraditional;
+      else if (s == "car") scheme = repair::Scheme::kCar;
+      else if (s == "rpr") scheme = repair::Scheme::kRpr;
+      else return usage();
+    } else if (a == "--failed") {
+      failed = parse_list(next());
+      if (failed.empty()) return usage();
+    } else if (a == "--placement") {
+      const std::string_view s = next();
+      if (s == "contiguous") policy = topology::PlacementPolicy::kContiguous;
+      else if (s == "rpr") policy = topology::PlacementPolicy::kRpr;
+      else if (s == "flat") policy = topology::PlacementPolicy::kFlat;
+      else return usage();
+    } else if (a == "--block") {
+      block = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--inner") {
+      inner_gbps = std::atof(next());
+    } else if (a == "--cross") {
+      cross_gbps = std::atof(next());
+    } else if (a == "--fluid") {
+      fluid = true;
+    } else if (a == "--trace") {
+      trace_path = next();
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const rs::RSCode code(cfg);
+    const auto placed = topology::make_placed_stripe(cfg, policy);
+
+    repair::RepairProblem problem;
+    problem.code = &code;
+    problem.placement = &placed.placement;
+    problem.block_size = block;
+    problem.failed = failed;
+    problem.choose_default_replacements();
+
+    topology::NetworkParams params;
+    params.inner = util::Bandwidth::gbps(inner_gbps);
+    params.cross = util::Bandwidth::gbps(cross_gbps);
+
+    const auto planner = repair::make_planner(scheme);
+    const auto planned = planner->plan(problem);
+
+    std::printf("RS(%zu,%zu) %s placement, scheme %s, %zu failure(s), "
+                "block %.1f MiB\n", cfg.n, cfg.k,
+                policy == topology::PlacementPolicy::kContiguous ? "contiguous"
+                : policy == topology::PlacementPolicy::kRpr      ? "rpr"
+                                                                 : "flat",
+                planner->name().c_str(), failed.size(),
+                static_cast<double>(block) / (1 << 20));
+
+    const auto outcome =
+        fluid ? repair::simulate_fluid(planned.plan, placed.cluster, params)
+              : repair::simulate(planned.plan, placed.cluster, params);
+    std::printf("link model: %s\n", fluid ? "fluid fair-sharing"
+                                          : "store-and-forward ports");
+    std::printf("total repair time : %.2f s\n",
+                util::to_sec(outcome.total_repair_time));
+    std::printf("cross-rack traffic: %zu transfers, %.1f MB\n",
+                outcome.cross_rack_transfers,
+                static_cast<double>(outcome.cross_rack_bytes) / 1e6);
+    std::printf("inner-rack traffic: %zu transfers, %.1f MB\n",
+                outcome.inner_rack_transfers,
+                static_cast<double>(outcome.inner_rack_bytes) / 1e6);
+    std::printf("decoding matrix   : %s\n",
+                planned.used_decoding_matrix ? "built" : "avoided (XOR path)");
+
+    if (!trace_path.empty()) {
+      // Re-run through the raw simulator to get per-task stats for export.
+      simnet::SimNetwork net(placed.cluster, params);
+      std::vector<simnet::TaskId> task_of(planned.plan.ops.size());
+      for (repair::OpId id = 0; id < planned.plan.ops.size(); ++id) {
+        const auto& op = planned.plan.ops[id];
+        std::vector<simnet::TaskId> deps;
+        for (const auto in : op.inputs) deps.push_back(task_of[in]);
+        switch (op.kind) {
+          case repair::OpKind::kRead:
+            task_of[id] = net.add_compute(op.node, 0, std::move(deps),
+                                          "read b" + std::to_string(op.block));
+            break;
+          case repair::OpKind::kSend:
+            task_of[id] = net.add_transfer(op.from, op.node, block,
+                                           std::move(deps), op.label);
+            break;
+          case repair::OpKind::kCombine: {
+            const std::uint64_t passes =
+                op.inputs.size() >= 2 ? op.inputs.size() - 1 : 1;
+            task_of[id] = net.add_compute(
+                op.node, net.decode_duration(block * passes, op.with_matrix_cost),
+                std::move(deps), op.label.empty() ? "combine" : op.label);
+            break;
+          }
+        }
+      }
+      simnet::write_chrome_trace(net.run(), placed.cluster, trace_path);
+      std::printf("schedule trace    : %s (open in chrome://tracing)\n",
+                  trace_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_linkmodel.dir/ablation_linkmodel.cpp.o"
+  "CMakeFiles/ablation_linkmodel.dir/ablation_linkmodel.cpp.o.d"
+  "ablation_linkmodel"
+  "ablation_linkmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linkmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_theory.dir/fig06_theory.cpp.o"
+  "CMakeFiles/fig06_theory.dir/fig06_theory.cpp.o.d"
+  "fig06_theory"
+  "fig06_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

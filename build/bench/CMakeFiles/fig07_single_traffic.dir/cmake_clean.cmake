@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_single_traffic.dir/fig07_single_traffic.cpp.o"
+  "CMakeFiles/fig07_single_traffic.dir/fig07_single_traffic.cpp.o.d"
+  "fig07_single_traffic"
+  "fig07_single_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_single_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multi_traffic.dir/fig10_multi_traffic.cpp.o"
+  "CMakeFiles/fig10_multi_traffic.dir/fig10_multi_traffic.cpp.o.d"
+  "fig10_multi_traffic"
+  "fig10_multi_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multi_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

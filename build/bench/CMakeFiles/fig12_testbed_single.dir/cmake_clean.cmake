@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_testbed_single.dir/fig12_testbed_single.cpp.o"
+  "CMakeFiles/fig12_testbed_single.dir/fig12_testbed_single.cpp.o.d"
+  "fig12_testbed_single"
+  "fig12_testbed_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_testbed_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

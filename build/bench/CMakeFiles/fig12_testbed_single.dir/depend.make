@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_testbed_single.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_testbed_multi.dir/fig13_testbed_multi.cpp.o"
+  "CMakeFiles/fig13_testbed_multi.dir/fig13_testbed_multi.cpp.o.d"
+  "fig13_testbed_multi"
+  "fig13_testbed_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_testbed_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

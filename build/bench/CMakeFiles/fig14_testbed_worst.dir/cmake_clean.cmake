@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_testbed_worst.dir/fig14_testbed_worst.cpp.o"
+  "CMakeFiles/fig14_testbed_worst.dir/fig14_testbed_worst.cpp.o.d"
+  "fig14_testbed_worst"
+  "fig14_testbed_worst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_testbed_worst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_recovery.dir/node_recovery.cpp.o"
+  "CMakeFiles/node_recovery.dir/node_recovery.cpp.o.d"
+  "node_recovery"
+  "node_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_reads.dir/degraded_reads.cpp.o"
+  "CMakeFiles/degraded_reads.dir/degraded_reads.cpp.o.d"
+  "degraded_reads"
+  "degraded_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

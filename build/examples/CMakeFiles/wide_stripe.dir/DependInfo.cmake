@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/wide_stripe.cpp" "examples/CMakeFiles/wide_stripe.dir/wide_stripe.cpp.o" "gcc" "examples/CMakeFiles/wide_stripe.dir/wide_stripe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/rpr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rpr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/rpr_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/rpr_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rpr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/rpr_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/rpr_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/rpr_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

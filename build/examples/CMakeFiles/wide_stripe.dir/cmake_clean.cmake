@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_stripe.dir/wide_stripe.cpp.o"
+  "CMakeFiles/wide_stripe.dir/wide_stripe.cpp.o.d"
+  "wide_stripe"
+  "wide_stripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_stripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

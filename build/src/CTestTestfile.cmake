@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("gf")
+subdirs("matrix")
+subdirs("rs")
+subdirs("topology")
+subdirs("simnet")
+subdirs("repair")
+subdirs("runtime")
+subdirs("storage")
+subdirs("cli")
+subdirs("net")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_cli.dir/archive.cpp.o"
+  "CMakeFiles/rpr_cli.dir/archive.cpp.o.d"
+  "librpr_cli.a"
+  "librpr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/gf65536.cpp" "src/gf/CMakeFiles/rpr_gf.dir/gf65536.cpp.o" "gcc" "src/gf/CMakeFiles/rpr_gf.dir/gf65536.cpp.o.d"
+  "/root/repo/src/gf/gf_region.cpp" "src/gf/CMakeFiles/rpr_gf.dir/gf_region.cpp.o" "gcc" "src/gf/CMakeFiles/rpr_gf.dir/gf_region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

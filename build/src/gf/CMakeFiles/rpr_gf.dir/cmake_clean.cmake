@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_gf.dir/gf65536.cpp.o"
+  "CMakeFiles/rpr_gf.dir/gf65536.cpp.o.d"
+  "CMakeFiles/rpr_gf.dir/gf_region.cpp.o"
+  "CMakeFiles/rpr_gf.dir/gf_region.cpp.o.d"
+  "librpr_gf.a"
+  "librpr_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

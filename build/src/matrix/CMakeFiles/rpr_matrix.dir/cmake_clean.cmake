@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_matrix.dir/matrix.cpp.o"
+  "CMakeFiles/rpr_matrix.dir/matrix.cpp.o.d"
+  "librpr_matrix.a"
+  "librpr_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

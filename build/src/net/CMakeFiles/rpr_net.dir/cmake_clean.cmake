@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_net.dir/message.cpp.o"
+  "CMakeFiles/rpr_net.dir/message.cpp.o.d"
+  "CMakeFiles/rpr_net.dir/socket.cpp.o"
+  "CMakeFiles/rpr_net.dir/socket.cpp.o.d"
+  "CMakeFiles/rpr_net.dir/tcp_runtime.cpp.o"
+  "CMakeFiles/rpr_net.dir/tcp_runtime.cpp.o.d"
+  "librpr_net.a"
+  "librpr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/analysis.cpp" "src/repair/CMakeFiles/rpr_repair.dir/analysis.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/analysis.cpp.o.d"
+  "/root/repo/src/repair/car.cpp" "src/repair/CMakeFiles/rpr_repair.dir/car.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/car.cpp.o.d"
+  "/root/repo/src/repair/executor_data.cpp" "src/repair/CMakeFiles/rpr_repair.dir/executor_data.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/executor_data.cpp.o.d"
+  "/root/repo/src/repair/executor_sim.cpp" "src/repair/CMakeFiles/rpr_repair.dir/executor_sim.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/executor_sim.cpp.o.d"
+  "/root/repo/src/repair/fleet.cpp" "src/repair/CMakeFiles/rpr_repair.dir/fleet.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/fleet.cpp.o.d"
+  "/root/repo/src/repair/plan.cpp" "src/repair/CMakeFiles/rpr_repair.dir/plan.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/plan.cpp.o.d"
+  "/root/repo/src/repair/planner.cpp" "src/repair/CMakeFiles/rpr_repair.dir/planner.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/planner.cpp.o.d"
+  "/root/repo/src/repair/reduction.cpp" "src/repair/CMakeFiles/rpr_repair.dir/reduction.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/reduction.cpp.o.d"
+  "/root/repo/src/repair/rpr.cpp" "src/repair/CMakeFiles/rpr_repair.dir/rpr.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/rpr.cpp.o.d"
+  "/root/repo/src/repair/traditional.cpp" "src/repair/CMakeFiles/rpr_repair.dir/traditional.cpp.o" "gcc" "src/repair/CMakeFiles/rpr_repair.dir/traditional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rs/CMakeFiles/rpr_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rpr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/rpr_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/rpr_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/rpr_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_repair.dir/analysis.cpp.o"
+  "CMakeFiles/rpr_repair.dir/analysis.cpp.o.d"
+  "CMakeFiles/rpr_repair.dir/car.cpp.o"
+  "CMakeFiles/rpr_repair.dir/car.cpp.o.d"
+  "CMakeFiles/rpr_repair.dir/executor_data.cpp.o"
+  "CMakeFiles/rpr_repair.dir/executor_data.cpp.o.d"
+  "CMakeFiles/rpr_repair.dir/executor_sim.cpp.o"
+  "CMakeFiles/rpr_repair.dir/executor_sim.cpp.o.d"
+  "CMakeFiles/rpr_repair.dir/fleet.cpp.o"
+  "CMakeFiles/rpr_repair.dir/fleet.cpp.o.d"
+  "CMakeFiles/rpr_repair.dir/plan.cpp.o"
+  "CMakeFiles/rpr_repair.dir/plan.cpp.o.d"
+  "CMakeFiles/rpr_repair.dir/planner.cpp.o"
+  "CMakeFiles/rpr_repair.dir/planner.cpp.o.d"
+  "CMakeFiles/rpr_repair.dir/reduction.cpp.o"
+  "CMakeFiles/rpr_repair.dir/reduction.cpp.o.d"
+  "CMakeFiles/rpr_repair.dir/rpr.cpp.o"
+  "CMakeFiles/rpr_repair.dir/rpr.cpp.o.d"
+  "CMakeFiles/rpr_repair.dir/traditional.cpp.o"
+  "CMakeFiles/rpr_repair.dir/traditional.cpp.o.d"
+  "librpr_repair.a"
+  "librpr_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_rs.dir/partial.cpp.o"
+  "CMakeFiles/rpr_rs.dir/partial.cpp.o.d"
+  "CMakeFiles/rpr_rs.dir/rs_code.cpp.o"
+  "CMakeFiles/rpr_rs.dir/rs_code.cpp.o.d"
+  "CMakeFiles/rpr_rs.dir/wide_code.cpp.o"
+  "CMakeFiles/rpr_rs.dir/wide_code.cpp.o.d"
+  "librpr_rs.a"
+  "librpr_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_runtime.dir/region_net.cpp.o"
+  "CMakeFiles/rpr_runtime.dir/region_net.cpp.o.d"
+  "CMakeFiles/rpr_runtime.dir/testbed.cpp.o"
+  "CMakeFiles/rpr_runtime.dir/testbed.cpp.o.d"
+  "librpr_runtime.a"
+  "librpr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

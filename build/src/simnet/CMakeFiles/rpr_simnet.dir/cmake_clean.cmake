@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_simnet.dir/fluid.cpp.o"
+  "CMakeFiles/rpr_simnet.dir/fluid.cpp.o.d"
+  "CMakeFiles/rpr_simnet.dir/simnet.cpp.o"
+  "CMakeFiles/rpr_simnet.dir/simnet.cpp.o.d"
+  "CMakeFiles/rpr_simnet.dir/trace_export.cpp.o"
+  "CMakeFiles/rpr_simnet.dir/trace_export.cpp.o.d"
+  "librpr_simnet.a"
+  "librpr_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpr_simnet.a"
+)

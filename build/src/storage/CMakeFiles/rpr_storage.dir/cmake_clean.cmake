@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_storage.dir/failure.cpp.o"
+  "CMakeFiles/rpr_storage.dir/failure.cpp.o.d"
+  "CMakeFiles/rpr_storage.dir/storage_system.cpp.o"
+  "CMakeFiles/rpr_storage.dir/storage_system.cpp.o.d"
+  "CMakeFiles/rpr_storage.dir/trace.cpp.o"
+  "CMakeFiles/rpr_storage.dir/trace.cpp.o.d"
+  "librpr_storage.a"
+  "librpr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

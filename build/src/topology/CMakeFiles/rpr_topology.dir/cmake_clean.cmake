@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_topology.dir/placement.cpp.o"
+  "CMakeFiles/rpr_topology.dir/placement.cpp.o.d"
+  "librpr_topology.a"
+  "librpr_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_util.dir/table.cpp.o"
+  "CMakeFiles/rpr_util.dir/table.cpp.o.d"
+  "librpr_util.a"
+  "librpr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

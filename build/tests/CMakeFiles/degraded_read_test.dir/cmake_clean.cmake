@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_read_test.dir/degraded_read_test.cpp.o"
+  "CMakeFiles/degraded_read_test.dir/degraded_read_test.cpp.o.d"
+  "degraded_read_test"
+  "degraded_read_test.pdb"
+  "degraded_read_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_region_test.dir/gf_region_test.cpp.o"
+  "CMakeFiles/gf_region_test.dir/gf_region_test.cpp.o.d"
+  "gf_region_test"
+  "gf_region_test.pdb"
+  "gf_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_equivalence_test.dir/model_equivalence_test.cpp.o"
+  "CMakeFiles/model_equivalence_test.dir/model_equivalence_test.cpp.o.d"
+  "model_equivalence_test"
+  "model_equivalence_test.pdb"
+  "model_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_plan_test.dir/repair_plan_test.cpp.o"
+  "CMakeFiles/repair_plan_test.dir/repair_plan_test.cpp.o.d"
+  "repair_plan_test"
+  "repair_plan_test.pdb"
+  "repair_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_code_test.dir/wide_code_test.cpp.o"
+  "CMakeFiles/wide_code_test.dir/wide_code_test.cpp.o.d"
+  "wide_code_test"
+  "wide_code_test.pdb"
+  "wide_code_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_archive.dir/rpr_archive.cpp.o"
+  "CMakeFiles/rpr_archive.dir/rpr_archive.cpp.o.d"
+  "rpr_archive"
+  "rpr_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

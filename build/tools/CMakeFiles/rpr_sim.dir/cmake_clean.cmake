@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpr_sim.dir/rpr_sim.cpp.o"
+  "CMakeFiles/rpr_sim.dir/rpr_sim.cpp.o.d"
+  "rpr_sim"
+  "rpr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

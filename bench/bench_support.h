@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "repair/executor_sim.h"
 #include "repair/planner.h"
 #include "rs/rs_code.h"
@@ -136,6 +137,48 @@ inline SingleSweep sweep_multi(const repair::Planner& planner,
 
 inline std::string pct_reduction(double baseline, double value) {
   return util::fmt((1.0 - value / baseline) * 100.0, 1) + "%";
+}
+
+/// Wall-clock extent of each repair phase (seconds) for one simulated
+/// repair, via the obs probe: where the makespan goes between reading,
+/// inner-rack aggregation, cross-rack pipelining and the final decode.
+struct PhaseSeconds {
+  double read = 0.0;
+  double inner = 0.0;
+  double cross = 0.0;
+  double decode = 0.0;
+  double makespan = 0.0;
+};
+
+inline PhaseSeconds phase_seconds(const repair::Planner& planner,
+                                  const rs::RSCode& code,
+                                  const topology::PlacedStripe& placed,
+                                  const std::vector<std::size_t>& failed,
+                                  const topology::NetworkParams& params,
+                                  std::uint64_t block = kPaperBlock) {
+  repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = block;
+  problem.failed = failed;
+  problem.choose_default_replacements();
+  const auto planned = planner.plan(problem);
+
+  obs::MetricsRegistry reg;
+  (void)repair::simulate(planned.plan, placed.cluster, params,
+                         {&reg, nullptr});
+  const auto span = [&reg](const char* phase) {
+    const obs::Gauge* g =
+        reg.find_gauge(std::string("sim.phase.") + phase + ".span_s");
+    return g != nullptr ? g->value() : 0.0;
+  };
+  PhaseSeconds out;
+  out.read = span("read");
+  out.inner = span("inner");
+  out.cross = span("cross");
+  out.decode = span("decode");
+  out.makespan = reg.gauge("sim.makespan_s").value();
+  return out;
 }
 
 }  // namespace rpr::bench

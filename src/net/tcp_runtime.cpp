@@ -12,6 +12,7 @@
 #include "matrix/matrix.h"
 #include "net/message.h"
 #include "net/socket.h"
+#include "runtime/op_trace.h"
 
 namespace rpr::net {
 
@@ -123,19 +124,26 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
     if (first_error.empty()) first_error = what;
   };
 
+  runtime::detail::name_node_tracks(cluster_, params_.recorder);
+  const auto start = runtime::detail::TraceClock::now();
+
   auto run_op = [&](OpId id) {
     const PlanOp& op = plan.ops[id];
     state.wait_for(op.inputs);
+    const auto op_start = runtime::detail::TraceClock::now();
+    std::uint64_t op_bytes = 0;
     switch (op.kind) {
       case OpKind::kRead: {
         const Block& src = stripe[op.block];
         Block out(src.size(), 0);
         gf::mul_region_add(op.coeff, out, src);
+        op_bytes = src.size();
         state.publish(id, std::move(out));
         break;
       }
       case OpKind::kSend: {
         Block payload = state.take_copy(op.inputs[0]);
+        op_bytes = payload.size();
         if (op.from == op.node) {
           state.publish(id, std::move(payload));
           break;
@@ -174,13 +182,17 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
             gf::mul_region_add(c, acc, in);
           }
         }
+        op_bytes = acc.size() * op.inputs.size();  // one region pass per input
         state.publish(id, std::move(acc));
         break;
       }
     }
+    runtime::detail::record_op_span(params_.recorder, op, id, cluster_, start,
+                                    op_start,
+                                    runtime::detail::TraceClock::now(),
+                                    op_bytes);
   };
 
-  const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
 
   // Acceptors: each ingests exactly its expected number of messages.

@@ -31,6 +31,10 @@ struct TcpRuntimeParams {
   std::size_t decode_matrix_dim = 8;
   /// Pacing granularity: sleep after each chunk of this many bytes.
   std::size_t pace_chunk = 64 << 10;
+  /// Optional span recorder: every executed op becomes a wall-clock span on
+  /// its node's track (sends are timed sender-side but land on the receiving
+  /// node's row, matching the simulator convention). Must outlive execute().
+  obs::Recorder* recorder = nullptr;
 };
 
 class TcpRuntime {

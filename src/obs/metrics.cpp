@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rpr::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  std::scoped_lock lock(mu_);
+  ++counts_[idx];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::scoped_lock lock(mu_);
+  return counts_;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::scoped_lock lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const noexcept {
+  std::scoped_lock lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const noexcept {
+  std::scoped_lock lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const noexcept {
+  std::scoped_lock lock(mu_);
+  return max_;
+}
+
+std::vector<double> default_seconds_buckets() {
+  std::vector<double> out;
+  for (double b = 1e-6; b < 2000.0; b *= 4.0) out.push_back(b);
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.counter) {
+    if (e.gauge || e.histogram) {
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another kind");
+    }
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.gauge) {
+    if (e.counter || e.histogram) {
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another kind");
+    }
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::scoped_lock lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.histogram) {
+    if (e.counter || e.gauge) {
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another kind");
+    }
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else if (e.histogram->bounds() != upper_bounds) {
+    throw std::invalid_argument("MetricsRegistry: " + name +
+                                " re-registered with different bounds");
+  }
+  return *e.histogram;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.histogram.get();
+}
+
+}  // namespace rpr::obs

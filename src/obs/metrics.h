@@ -1,0 +1,123 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms.
+//
+// The quantitative half of the rpr::obs telemetry layer. Every execution
+// backend (discrete-event simulator, fluid model, threaded testbed, TCP
+// runtime) records into the same registry shape so results stay comparable:
+//
+//   * Counter   — monotonically increasing integer (bytes moved, transfers
+//                 started, repairs completed);
+//   * Gauge     — last-written double (makespan, port utilization, phase
+//                 durations);
+//   * Histogram — fixed upper-bound buckets plus count/sum/min/max
+//                 (queue waits, transfer durations, per-repair times).
+//
+// Registration and observation are thread-safe; instruments returned by the
+// registry stay valid for the registry's lifetime (storage is node-stable).
+// Export formats live in sinks.h (JSON object, CSV rows).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rpr::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// v <= bounds[i] (first matching bucket); an implicit overflow bucket
+/// catches everything above the last bound. Bounds must be strictly
+/// increasing and non-empty.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] double min() const noexcept;  ///< +inf when empty
+  [[nodiscard]] double max() const noexcept;  ///< -inf when empty
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponential-ish default bounds for durations in seconds:
+/// 1 us .. ~1000 s, one bucket per factor-of-4.
+[[nodiscard]] std::vector<double> default_seconds_buckets();
+
+class MetricsRegistry {
+ public:
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Requesting an existing name with a different instrument kind (or
+  /// different histogram bounds) throws std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+  Histogram& histogram(const std::string& name) {
+    return histogram(name, default_seconds_buckets());
+  }
+
+  /// Names in sorted order, for deterministic export.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+ private:
+  struct Entry {
+    // Exactly one is set; unique_ptr keeps addresses stable across inserts.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace rpr::obs

@@ -1,0 +1,25 @@
+#include "obs/recorder.h"
+
+namespace rpr::obs {
+
+void Recorder::add_span(Span s) {
+  std::scoped_lock lock(mu_);
+  spans_.push_back(std::move(s));
+}
+
+void Recorder::add_event(Event e) {
+  std::scoped_lock lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Recorder::add_sample(Sample s) {
+  std::scoped_lock lock(mu_);
+  samples_.push_back(std::move(s));
+}
+
+void Recorder::set_track_name(TrackId track, std::string name) {
+  std::scoped_lock lock(mu_);
+  track_names_[track] = std::move(name);
+}
+
+}  // namespace rpr::obs

@@ -1,0 +1,103 @@
+// Structured span/event recorder: the tracing half of rpr::obs.
+//
+// A Recorder collects three record kinds on a shared timeline:
+//
+//   * Span   — a named interval on a track (track = one node / one lane in
+//              the rendered trace), with byte count and free-form numeric
+//              args (e.g. GF-kernel throughput);
+//   * Event  — an instantaneous marker on a track;
+//   * Sample — one point of a named counter time series (the fluid model's
+//              per-link bandwidth shares over time).
+//
+// Times are integer nanoseconds on whichever clock the producer uses: the
+// simulators record simulated time, the testbed and TCP runtime record
+// wall-clock time relative to execution start. Because both go through the
+// same recorder and the same Chrome-trace sink (sinks.h), a simulated and a
+// real execution of one plan can be compared side by side in Perfetto.
+//
+// Recording is thread-safe (the TCP runtime records from one thread per
+// node). Passing a null Recorder* anywhere in the repo disables recording
+// with no other effect — telemetry is strictly opt-in.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpr::obs {
+
+class MetricsRegistry;
+
+using TrackId = std::uint64_t;
+
+struct Span {
+  std::string name;
+  /// Phase/category tag ("read" | "inner" | "cross" | "decode" | ...);
+  /// becomes the Chrome-trace category, colorable/filterable in Perfetto.
+  std::string category;
+  TrackId track = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::uint64_t bytes = 0;
+  /// Extra numeric arguments, rendered into the trace args.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+struct Event {
+  std::string name;
+  TrackId track = 0;
+  std::int64_t time_ns = 0;
+};
+
+struct Sample {
+  std::string series;  ///< counter name, one plot per series in Perfetto
+  std::int64_t time_ns = 0;
+  double value = 0.0;
+};
+
+class Recorder {
+ public:
+  void add_span(Span s);
+  void add_event(Event e);
+  void add_sample(Sample s);
+  /// Names a track's row in the exported trace (e.g. "rack 0 / node 3").
+  void set_track_name(TrackId track, std::string name);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const std::map<TrackId, std::string>& track_names()
+      const noexcept {
+    return track_names_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::vector<Event> events_;
+  std::vector<Sample> samples_;
+  std::map<TrackId, std::string> track_names_;
+};
+
+/// The bundle every execution layer accepts: either pointer may be null,
+/// and a default-constructed Probe disables telemetry entirely (the hot
+/// paths only ever test a pointer).
+struct Probe {
+  MetricsRegistry* metrics = nullptr;
+  Recorder* trace = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics != nullptr || trace != nullptr;
+  }
+};
+
+}  // namespace rpr::obs

@@ -1,0 +1,212 @@
+#include "obs/sinks.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rpr::obs {
+
+namespace {
+
+void write_file(const std::string& path, const std::string& contents,
+                const char* who) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error(std::string(who) + ": cannot open " + path);
+  f << contents;
+  if (!f) throw std::runtime_error(std::string(who) + ": write failed");
+}
+
+/// JSON number that round-trips inf/nan (not representable) as null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream out;
+  out.precision(15);
+  out << v;
+  return out.str();
+}
+
+void append_span_args(std::ostringstream& out, const Span& s) {
+  out << "\"bytes\":" << s.bytes;
+  for (const auto& [key, value] : s.args) {
+    out << ",\"" << json_escape(key) << "\":" << json_number(value);
+  }
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string to_chrome_trace(const Recorder& rec) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+
+  // Track-name metadata: Chrome renders tid rows sorted by tid, so dense
+  // node ids group racks together automatically.
+  for (const auto& [track, name] : rec.track_names()) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(name) << "\"}}";
+  }
+
+  for (const Span& s : rec.spans()) {
+    if (s.dur_ns == 0) continue;  // zero-length: invisible anyway
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.track
+        << ",\"ts\":" << s.start_ns / 1000 << ",\"dur\":" << s.dur_ns / 1000
+        << ",\"name\":\"" << json_escape(s.name) << "\"";
+    if (!s.category.empty()) {
+      out << ",\"cat\":\"" << json_escape(s.category) << "\"";
+    }
+    out << ",\"args\":{";
+    append_span_args(out, s);
+    out << "}}";
+  }
+
+  for (const Event& e : rec.events()) {
+    sep();
+    out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << e.track
+        << ",\"ts\":" << e.time_ns / 1000 << ",\"s\":\"t\",\"name\":\""
+        << json_escape(e.name) << "\"}";
+  }
+
+  for (const Sample& s : rec.samples()) {
+    sep();
+    out << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << s.time_ns / 1000
+        << ",\"name\":\"" << json_escape(s.series)
+        << "\",\"args\":{\"value\":" << json_number(s.value) << "}}";
+  }
+
+  out << "]}";
+  return out.str();
+}
+
+void write_chrome_trace(const Recorder& rec, const std::string& path) {
+  write_file(path, to_chrome_trace(rec), "write_chrome_trace");
+}
+
+std::string to_jsonl(const Recorder& rec) {
+  std::ostringstream out;
+  for (const Span& s : rec.spans()) {
+    out << "{\"type\":\"span\",\"name\":\"" << json_escape(s.name)
+        << "\",\"category\":\"" << json_escape(s.category)
+        << "\",\"track\":" << s.track << ",\"start_ns\":" << s.start_ns
+        << ",\"dur_ns\":" << s.dur_ns << ",";
+    append_span_args(out, s);
+    out << "}\n";
+  }
+  for (const Event& e : rec.events()) {
+    out << "{\"type\":\"event\",\"name\":\"" << json_escape(e.name)
+        << "\",\"track\":" << e.track << ",\"time_ns\":" << e.time_ns
+        << "}\n";
+  }
+  for (const Sample& s : rec.samples()) {
+    out << "{\"type\":\"sample\",\"series\":\"" << json_escape(s.series)
+        << "\",\"time_ns\":" << s.time_ns
+        << ",\"value\":" << json_number(s.value) << "}\n";
+  }
+  return out.str();
+}
+
+void write_jsonl(const Recorder& rec, const std::string& path) {
+  write_file(path, to_jsonl(rec), "write_jsonl");
+}
+
+std::string to_json(const MetricsRegistry& reg) {
+  std::ostringstream counters, gauges, histograms;
+  bool first_c = true, first_g = true, first_h = true;
+  for (const std::string& name : reg.names()) {
+    if (const Counter* c = reg.find_counter(name)) {
+      if (!first_c) counters << ",";
+      first_c = false;
+      counters << "\"" << json_escape(name) << "\":" << c->value();
+    } else if (const Gauge* g = reg.find_gauge(name)) {
+      if (!first_g) gauges << ",";
+      first_g = false;
+      gauges << "\"" << json_escape(name) << "\":" << json_number(g->value());
+    } else if (const Histogram* h = reg.find_histogram(name)) {
+      if (!first_h) histograms << ",";
+      first_h = false;
+      histograms << "\"" << json_escape(name) << "\":{\"bounds\":[";
+      const auto& bounds = h->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (i) histograms << ",";
+        histograms << json_number(bounds[i]);
+      }
+      histograms << "],\"counts\":[";
+      const auto counts = h->bucket_counts();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i) histograms << ",";
+        histograms << counts[i];
+      }
+      histograms << "],\"count\":" << h->count()
+                 << ",\"sum\":" << json_number(h->sum())
+                 << ",\"min\":" << json_number(h->min())
+                 << ",\"max\":" << json_number(h->max()) << "}";
+    }
+  }
+  return "{\"counters\":{" + counters.str() + "},\"gauges\":{" +
+         gauges.str() + "},\"histograms\":{" + histograms.str() + "}}";
+}
+
+void write_json(const MetricsRegistry& reg, const std::string& path) {
+  write_file(path, to_json(reg), "obs::write_json");
+}
+
+std::string to_csv(const MetricsRegistry& reg) {
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  // CSV-quote names (they may contain commas in label-ish suffixes).
+  auto q = [](const std::string& s) { return "\"" + s + "\""; };
+  for (const std::string& name : reg.names()) {
+    if (const Counter* c = reg.find_counter(name)) {
+      out << "counter," << q(name) << ",value," << c->value() << "\n";
+    } else if (const Gauge* g = reg.find_gauge(name)) {
+      out << "gauge," << q(name) << ",value," << json_number(g->value())
+          << "\n";
+    } else if (const Histogram* h = reg.find_histogram(name)) {
+      const auto& bounds = h->bounds();
+      const auto counts = h->bucket_counts();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        out << "histogram," << q(name) << ",le=";
+        if (i < bounds.size()) {
+          out << json_number(bounds[i]);
+        } else {
+          out << "+inf";
+        }
+        out << "," << counts[i] << "\n";
+      }
+      out << "histogram," << q(name) << ",count," << h->count() << "\n";
+      out << "histogram," << q(name) << ",sum," << json_number(h->sum())
+          << "\n";
+      if (h->count() > 0) {
+        out << "histogram," << q(name) << ",min," << json_number(h->min())
+            << "\n";
+        out << "histogram," << q(name) << ",max," << json_number(h->max())
+            << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+void write_csv(const MetricsRegistry& reg, const std::string& path) {
+  write_file(path, to_csv(reg), "obs::write_csv");
+}
+
+}  // namespace rpr::obs

@@ -47,7 +47,8 @@ PlannedRepair CarPlanner::plan(const RepairProblem& p) const {
     if (eq.coefficients[i] == 0) continue;
     const std::size_t b = eq.sources[i];
     const topology::NodeId node = p.placement->node_of(b);
-    const OpId r = out.plan.read(node, b, eq.coefficients[i]);
+    const OpId r = out.plan.read(node, b, eq.coefficients[i],
+                                 "read b" + std::to_string(b));
     by_rack[p.placement->cluster().rack_of(node)].push_back(
         detail::Value{r, node, 0.0, false});
   }
@@ -59,13 +60,14 @@ PlannedRepair CarPlanner::plan(const RepairProblem& p) const {
     const bool is_recovery = rack == recovery_rack;
     const topology::NodeId agg = is_recovery ? replacement : values[0].node;
     intermediates.push_back(detail::star_aggregate(
-        out.plan, std::move(values), agg, is_recovery, detail::kInnerCost));
+        out.plan, std::move(values), agg, is_recovery, detail::kInnerCost,
+        "inner"));
   }
 
   // Star to the replacement node across racks, then the final matrix decode.
   detail::Value final_value = detail::star_aggregate(
       out.plan, std::move(intermediates), replacement, true,
-      detail::kCrossCost);
+      detail::kCrossCost, "cross");
   out.outputs = {out.plan.combine(replacement, {final_value.op},
                                   /*with_matrix_cost=*/true, "decode")};
   return out;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "simnet/fluid.h"
+#include "simnet/instrument.h"
 
 namespace rpr::repair {
 
@@ -12,9 +13,15 @@ namespace {
 template <typename Network>
 simnet::RunResult lower_and_run(const RepairPlan& plan,
                                 const topology::Cluster& cluster,
-                                const topology::NetworkParams& params) {
+                                const topology::NetworkParams& params,
+                                const obs::Probe& probe) {
   validate(plan, cluster);
   Network net(cluster, params);
+  // The fluid model additionally samples link shares while running; the
+  // port simulator's telemetry is fully derivable post-run.
+  if constexpr (requires { net.set_recorder(probe.trace); }) {
+    net.set_recorder(probe.trace);
+  }
 
   std::vector<simnet::TaskId> task_of(plan.ops.size());
   for (OpId id = 0; id < plan.ops.size(); ++id) {
@@ -46,7 +53,9 @@ simnet::RunResult lower_and_run(const RepairPlan& plan,
       }
     }
   }
-  return net.run();
+  simnet::RunResult result = net.run();
+  record_run(result, cluster, probe);
+  return result;
 }
 
 SimOutcome to_outcome(const simnet::RunResult& r) {
@@ -65,16 +74,18 @@ SimOutcome to_outcome(const simnet::RunResult& r) {
 
 SimOutcome simulate(const RepairPlan& plan,
                     const topology::Cluster& cluster,
-                    const topology::NetworkParams& params) {
+                    const topology::NetworkParams& params,
+                    const obs::Probe& probe) {
   return to_outcome(
-      lower_and_run<simnet::SimNetwork>(plan, cluster, params));
+      lower_and_run<simnet::SimNetwork>(plan, cluster, params, probe));
 }
 
 SimOutcome simulate_fluid(const RepairPlan& plan,
                           const topology::Cluster& cluster,
-                          const topology::NetworkParams& params) {
+                          const topology::NetworkParams& params,
+                          const obs::Probe& probe) {
   return to_outcome(
-      lower_and_run<simnet::FluidNetwork>(plan, cluster, params));
+      lower_and_run<simnet::FluidNetwork>(plan, cluster, params, probe));
 }
 
 }  // namespace rpr::repair

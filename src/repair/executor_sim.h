@@ -3,6 +3,7 @@
 // paper's Figs. 7-11 report).
 #pragma once
 
+#include "obs/recorder.h"
 #include "repair/plan.h"
 #include "simnet/simnet.h"
 #include "topology/cluster.h"
@@ -27,15 +28,23 @@ struct SimOutcome {
 ///              same simplification the paper's analysis makes);
 ///  * kSend  -> block transfer over node ports (+ rack ports when crossing);
 ///  * kCombine -> compute charged at the XOR-decode or matrix-decode speed.
+///
+/// `probe` (optional) taps the run into the obs layer: spans and metrics
+/// derived from the per-task stats (simnet/instrument.h). A default
+/// (empty) probe records nothing and costs nothing.
 [[nodiscard]] SimOutcome simulate(const RepairPlan& plan,
                                   const topology::Cluster& cluster,
-                                  const topology::NetworkParams& params);
+                                  const topology::NetworkParams& params,
+                                  const obs::Probe& probe = {});
 
 /// Same lowering, but executed under the fluid max-min fair-sharing link
 /// model (simnet::FluidNetwork) instead of store-and-forward ports. Used to
 /// verify that scheme orderings do not depend on the contention model.
+/// With a tracing probe, rack-uplink bandwidth shares are sampled over time
+/// in addition to the per-task spans.
 [[nodiscard]] SimOutcome simulate_fluid(const RepairPlan& plan,
                                         const topology::Cluster& cluster,
-                                        const topology::NetworkParams& params);
+                                        const topology::NetworkParams& params,
+                                        const obs::Probe& probe = {});
 
 }  // namespace rpr::repair

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "simnet/instrument.h"
 #include "simnet/simnet.h"
 
 namespace rpr::repair {
@@ -10,8 +12,10 @@ namespace rpr::repair {
 FleetOutcome simulate_fleet(const Planner& planner,
                             const FleetProblem& problem,
                             const topology::Cluster& cluster,
-                            const topology::NetworkParams& params) {
+                            const topology::NetworkParams& params,
+                            const obs::Probe& probe) {
   simnet::SimNetwork net(cluster, params);
+  std::size_t stripe_no = 0;
 
   for (const RepairProblem& stripe : problem.stripes) {
     const PlannedRepair planned = planner.plan(stripe);
@@ -19,21 +23,25 @@ FleetOutcome simulate_fleet(const Planner& planner,
 
     // Lower this stripe's plan into the shared simulation. Task ids are
     // local to the plan; no dependencies cross stripes (contention is
-    // purely through ports).
+    // purely through ports). Labels keep their phase prefixes and gain a
+    // stripe tag so merged traces stay attributable.
+    const std::string tag = " s" + std::to_string(stripe_no++);
     std::vector<simnet::TaskId> task_of(planned.plan.ops.size());
     for (OpId id = 0; id < planned.plan.ops.size(); ++id) {
       const PlanOp& op = planned.plan.ops[id];
       std::vector<simnet::TaskId> deps;
       deps.reserve(op.inputs.size());
       for (OpId in : op.inputs) deps.push_back(task_of[in]);
+      const std::string label =
+          op.label.empty() ? op.label : op.label + tag;
       switch (op.kind) {
         case OpKind::kRead:
-          task_of[id] = net.add_compute(op.node, 0, std::move(deps));
+          task_of[id] = net.add_compute(op.node, 0, std::move(deps), label);
           break;
         case OpKind::kSend:
           task_of[id] = net.add_transfer(op.from, op.node,
                                          planned.plan.block_size,
-                                         std::move(deps));
+                                         std::move(deps), label);
           break;
         case OpKind::kCombine: {
           const std::uint64_t passes =
@@ -42,7 +50,7 @@ FleetOutcome simulate_fleet(const Planner& planner,
               op.node,
               net.decode_duration(planned.plan.block_size * passes,
                                   op.with_matrix_cost),
-              std::move(deps));
+              std::move(deps), label);
           break;
         }
       }
@@ -50,6 +58,7 @@ FleetOutcome simulate_fleet(const Planner& planner,
   }
 
   const simnet::RunResult r = net.run();
+  record_run(r, cluster, probe);
   FleetOutcome out;
   out.makespan = r.makespan;
   out.cross_rack_bytes = r.cross_rack_bytes;

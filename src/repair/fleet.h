@@ -47,10 +47,14 @@ struct FleetOutcome {
 
 /// Plans every stripe with `planner` and runs all plans concurrently on one
 /// simulation of `cluster`. Per-stripe plans share ports, so the simulator
-/// interleaves them exactly as a real recovery wave would.
+/// interleaves them exactly as a real recovery wave would. `probe`
+/// (optional) taps the merged run into the obs layer — the per-rack
+/// upload/download counters it records are the CAR-style load-distribution
+/// evidence at fleet scale.
 [[nodiscard]] FleetOutcome simulate_fleet(const Planner& planner,
                                           const FleetProblem& problem,
                                           const topology::Cluster& cluster,
-                                          const topology::NetworkParams& params);
+                                          const topology::NetworkParams& params,
+                                          const obs::Probe& probe = {});
 
 }  // namespace rpr::repair

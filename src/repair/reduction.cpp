@@ -5,9 +5,17 @@
 
 namespace rpr::repair::detail {
 
+namespace {
+
+std::string phase_label(const char* phase, const char* op) {
+  return *phase == '\0' ? std::string{} : std::string(phase) + ":" + op;
+}
+
+}  // namespace
+
 Value star_aggregate(RepairPlan& plan, std::vector<Value> values,
                      topology::NodeId aggregator, bool at_recovery,
-                     double link_cost) {
+                     double link_cost, const char* phase) {
   assert(!values.empty());
   std::vector<OpId> inputs;
   inputs.reserve(values.size());
@@ -19,7 +27,8 @@ Value star_aggregate(RepairPlan& plan, std::vector<Value> values,
       ready = std::max(ready, v.ready);
       continue;
     }
-    const OpId sent = plan.send(v.op, v.node, aggregator);
+    const OpId sent =
+        plan.send(v.op, v.node, aggregator, phase_label(phase, "send"));
     inputs.push_back(sent);
     arrival = std::max(arrival, v.ready) + link_cost;
     ready = std::max(ready, arrival);
@@ -27,7 +36,8 @@ Value star_aggregate(RepairPlan& plan, std::vector<Value> values,
   if (inputs.size() == 1) {
     return Value{inputs[0], aggregator, ready, at_recovery};
   }
-  const OpId comb = plan.combine(aggregator, std::move(inputs));
+  const OpId comb = plan.combine(aggregator, std::move(inputs), false,
+                                 phase_label(phase, "merge"));
   return Value{comb, aggregator, ready, at_recovery};
 }
 
@@ -41,8 +51,9 @@ Value pairwise_tree(RepairPlan& plan, std::vector<Value> values,
     for (; a + 1 < values.size(); a += 2) {
       const Value& dst = values[a];
       const Value& src = values[a + 1];
-      const OpId sent = plan.send(src.op, src.node, dst.node);
-      const OpId comb = plan.combine(dst.node, {dst.op, sent});
+      const OpId sent = plan.send(src.op, src.node, dst.node, "inner:send");
+      const OpId comb =
+          plan.combine(dst.node, {dst.op, sent}, false, "inner:merge");
       next.push_back(Value{comb, dst.node,
                            std::max(dst.ready, src.ready) + link_cost,
                            dst.at_recovery});
@@ -90,9 +101,10 @@ Value cross_reduce(RepairPlan& plan, std::vector<Value> values,
   auto send_to_recovery = [&](const Value& s) {
     const double start = std::max(s.ready, recovery_port_free);
     const double done = start + link_cost(s.node, replacement);
-    const OpId sent = plan.send(s.op, s.node, replacement);
+    const OpId sent = plan.send(s.op, s.node, replacement, "cross:send");
     if (have_recovery) {
-      const OpId comb = plan.combine(replacement, {recovery.op, sent});
+      const OpId comb = plan.combine(replacement, {recovery.op, sent}, false,
+                                     "cross:merge");
       recovery = Value{comb, replacement, done, true};
     } else {
       recovery = Value{sent, replacement, done, true};
@@ -131,8 +143,9 @@ Value cross_reduce(RepairPlan& plan, std::vector<Value> values,
       Value partner = sources[best_partner];
       sources.erase(sources.begin() +
                     static_cast<std::ptrdiff_t>(best_partner));
-      const OpId sent = plan.send(s.op, s.node, partner.node);
-      const OpId comb = plan.combine(partner.node, {partner.op, sent});
+      const OpId sent = plan.send(s.op, s.node, partner.node, "cross:send");
+      const OpId comb = plan.combine(partner.node, {partner.op, sent}, false,
+                                     "cross:merge");
       sources.push_back(Value{comb, partner.node, best_finish, false});
     }
   }

@@ -41,10 +41,12 @@ inline constexpr double kInnerCost = 1.0;
 inline constexpr double kCrossCost = 10.0;
 
 /// Star aggregation at `aggregator`: send every non-resident value there,
-/// XOR the lot. Returns the aggregated value.
+/// XOR the lot. Returns the aggregated value. `phase` prefixes the emitted
+/// ops' labels ("inner" within a rack, "cross" between racks) so the obs
+/// layer can attribute time per repair phase; empty leaves labels empty.
 Value star_aggregate(RepairPlan& plan, std::vector<Value> values,
                      topology::NodeId aggregator, bool at_recovery,
-                     double link_cost);
+                     double link_cost, const char* phase = "");
 
 /// Algorithm 1 "Inner": pairwise merge of co-rack values. Value 2a+1 is sent
 /// to value 2a's node and XORed there; an odd trailing value is carried into

@@ -58,7 +58,8 @@ OpId plan_one_equation(RepairPlan& plan, const RepairProblem& p,
     if (eq.coefficients[i] == 0) continue;
     const std::size_t b = eq.sources[i];
     const topology::NodeId node = p.placement->node_of(b);
-    const OpId r = plan.read(node, b, eq.coefficients[i]);
+    const OpId r = plan.read(node, b, eq.coefficients[i],
+                             "read b" + std::to_string(b));
     by_rack[cluster.rack_of(node)].push_back(Value{r, node, 0.0, false});
   }
 
@@ -73,7 +74,7 @@ OpId plan_one_equation(RepairPlan& plan, const RepairProblem& p,
     v.ready += static_cast<double>(round) * detail::kInnerCost;
     if (rack == recovery_rack) {
       if (v.node != replacement) {
-        const OpId sent = plan.send(v.op, v.node, replacement);
+        const OpId sent = plan.send(v.op, v.node, replacement, "inner:send");
         v = Value{sent, replacement, v.ready + detail::kInnerCost, true};
       } else {
         v.at_recovery = true;
@@ -91,7 +92,7 @@ OpId plan_one_equation(RepairPlan& plan, const RepairProblem& p,
     // intermediates into the replacement node (Fig. 5 schedule 1).
     final_value = detail::star_aggregate(plan, std::move(intermediates),
                                          replacement, true,
-                                         detail::kCrossCost);
+                                         detail::kCrossCost, "cross");
   }
   return plan.combine(replacement, {final_value.op}, with_matrix,
                       "finalize b" + std::to_string(eq.failed_block));

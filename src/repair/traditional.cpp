@@ -38,8 +38,8 @@ PlannedRepair TraditionalPlanner::plan(const RepairProblem& p) const {
   for (std::size_t i = 0; i < out.selected.size(); ++i) {
     const std::size_t b = out.selected[i];
     const topology::NodeId src = p.placement->node_of(b);
-    const OpId r = out.plan.read(src, b, 1);
-    arrived[i] = out.plan.send(r, src, sink);
+    const OpId r = out.plan.read(src, b, 1, "read b" + std::to_string(b));
+    arrived[i] = out.plan.send(r, src, sink, "ship b" + std::to_string(b));
   }
 
   // One matrix-decode combine per lost block (the coefficients come from

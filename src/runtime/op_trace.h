@@ -1,0 +1,84 @@
+// Internal helper: wall-clock span recording for the real executors
+// (runtime::Testbed and net::TcpRuntime).
+//
+// Both executors run one worker thread per node and execute the same
+// RepairPlan ops the simulators lower; this header turns each executed op
+// into an obs::Span on the same track layout the simulators use (transfers
+// on the receiving node's row, computes on their own node's row), so a
+// simulated and a real trace of one plan line up row-for-row in Perfetto.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/recorder.h"
+#include "repair/plan.h"
+#include "simnet/instrument.h"
+#include "topology/cluster.h"
+
+namespace rpr::runtime::detail {
+
+using TraceClock = std::chrono::steady_clock;
+
+/// Names one recorder track per cluster node. No-op on a null recorder.
+inline void name_node_tracks(const topology::Cluster& cluster,
+                             obs::Recorder* rec) {
+  if (rec == nullptr) return;
+  for (topology::NodeId n = 0; n < cluster.total_nodes(); ++n) {
+    rec->set_track_name(n, "rack " + std::to_string(cluster.rack_of(n)) +
+                               " / node " + std::to_string(n));
+  }
+}
+
+/// Records one executed plan op as a span. `bytes` is the payload size the
+/// op touched (block size for transfers, total region-pass bytes for
+/// combines); throughput is derived from it and the measured duration.
+inline void record_op_span(obs::Recorder* rec, const repair::PlanOp& op,
+                           repair::OpId id, const topology::Cluster& cluster,
+                           TraceClock::time_point run_start,
+                           TraceClock::time_point start,
+                           TraceClock::time_point finish,
+                           std::uint64_t bytes) {
+  if (rec == nullptr) return;
+  const bool is_transfer =
+      op.kind == repair::OpKind::kSend && op.from != op.node;
+  const bool cross =
+      is_transfer && cluster.rack_of(op.from) != cluster.rack_of(op.node);
+
+  obs::Span s;
+  switch (op.kind) {
+    case repair::OpKind::kRead:
+      s.name = "read";
+      break;
+    case repair::OpKind::kSend:
+      s.name = !is_transfer          ? "local move"
+               : cross               ? "cross-rack transfer"
+                                     : "inner-rack transfer";
+      break;
+    case repair::OpKind::kCombine:
+      s.name = "combine";
+      break;
+  }
+  if (!op.label.empty()) s.name += " [" + op.label + "]";
+  s.category = simnet::phase_name(
+      simnet::phase_of_label(op.label, is_transfer, cross));
+  s.track = op.node;
+  s.start_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   start - run_start)
+                   .count();
+  s.dur_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(finish - start)
+          .count();
+  s.bytes = bytes;
+  s.args.emplace_back("op", static_cast<double>(id));
+  if (bytes > 0 && s.dur_ns > 0) {
+    const double mbps = static_cast<double>(bytes) /
+                        (static_cast<double>(s.dur_ns) / 1e9) / 1e6;
+    s.args.emplace_back(
+        op.kind == repair::OpKind::kCombine ? "gf_MBps" : "throughput_MBps",
+        mbps);
+  }
+  rec->add_span(std::move(s));
+}
+
+}  // namespace rpr::runtime::detail

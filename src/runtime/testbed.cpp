@@ -10,6 +10,7 @@
 #include "gf/gf256.h"
 #include "gf/gf_region.h"
 #include "matrix/matrix.h"
+#include "runtime/op_trace.h"
 #include "util/rng.h"
 
 namespace rpr::runtime {
@@ -117,19 +118,26 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
     ops_of_node[worker].push_back(id);
   }
 
+  detail::name_node_tracks(cluster_, params_.recorder);
+  const auto start = detail::TraceClock::now();
+
   auto run_op = [&](OpId id) {
     const PlanOp& op = plan.ops[id];
     state.wait_for(op.inputs);
+    const auto op_start = detail::TraceClock::now();
+    std::uint64_t op_bytes = 0;
     switch (op.kind) {
       case OpKind::kRead: {
         const Block& src = stripe[op.block];
         Block out(src.size(), 0);
         gf::mul_region_add(op.coeff, out, src);
+        op_bytes = src.size();
         state.publish(id, std::move(out));
         break;
       }
       case OpKind::kSend: {
         Block payload = state.take_copy(op.inputs[0]);
+        op_bytes = payload.size();
         if (op.from == op.node) {  // local move
           state.publish(id, std::move(payload));
           break;
@@ -169,13 +177,14 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
             gf::mul_region_add(c, acc, in);
           }
         }
+        op_bytes = acc.size() * op.inputs.size();  // one region pass per input
         state.publish(id, std::move(acc));
         break;
       }
     }
+    detail::record_op_span(params_.recorder, op, id, cluster_, start,
+                           op_start, detail::TraceClock::now(), op_bytes);
   };
-
-  const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   for (topology::NodeId node = 0; node < cluster_.total_nodes(); ++node) {
     if (ops_of_node[node].empty()) continue;

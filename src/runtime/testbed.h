@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "obs/recorder.h"
 #include "repair/plan.h"
 #include "rs/rs_code.h"
 #include "runtime/region_net.h"
@@ -38,6 +39,10 @@ struct TestbedParams {
   /// Dimension of the decoding matrix really inverted by matrix-path
   /// decodes (set it to the code's n; it only affects a micro-cost).
   std::size_t decode_matrix_dim = 8;
+  /// Optional span recorder: every executed op becomes a wall-clock span
+  /// (bytes + measured throughput) on its node's track, comparable 1:1
+  /// with a simulated trace of the same plan. Must outlive execute().
+  obs::Recorder* recorder = nullptr;
 };
 
 struct TestbedResult {

@@ -143,6 +143,42 @@ RunResult FluidNetwork::run() {
   std::size_t completed = 0;
   double now = 0.0;
 
+  // Rack-uplink bandwidth sampling: one sample per rate re-solve, emitted
+  // only when a series' value changes (Chrome counter plots render steps).
+  std::vector<double> last_tx(cluster_.racks(),
+                              -std::numeric_limits<double>::infinity());
+  std::vector<double> last_rx(cluster_.racks(),
+                              -std::numeric_limits<double>::infinity());
+  auto sample_uplinks = [&](const std::vector<double>& rate) {
+    if (recorder_ == nullptr) return;
+    std::vector<double> tx(cluster_.racks(), 0.0);
+    std::vector<double> rx(cluster_.racks(), 0.0);
+    for (TaskId id : active) {
+      const Task& t = tasks_[id];
+      if (t.kind != TaskKind::kTransfer || t.from == t.to) continue;
+      const RackId rf = cluster_.rack_of(t.from);
+      const RackId rt = cluster_.rack_of(t.to);
+      if (rf == rt || !std::isfinite(rate[id])) continue;
+      tx[rf] += rate[id];
+      rx[rt] += rate[id];
+    }
+    const auto t_ns = static_cast<std::int64_t>(now * 1e9);
+    for (RackId r = 0; r < cluster_.racks(); ++r) {
+      const double tx_gbps = tx[r] * 8.0 / 1e9;
+      const double rx_gbps = rx[r] * 8.0 / 1e9;
+      if (tx_gbps != last_tx[r]) {
+        recorder_->add_sample({"rack " + std::to_string(r) + " uplink tx Gb/s",
+                               t_ns, tx_gbps});
+        last_tx[r] = tx_gbps;
+      }
+      if (rx_gbps != last_rx[r]) {
+        recorder_->add_sample({"rack " + std::to_string(r) + " uplink rx Gb/s",
+                               t_ns, rx_gbps});
+        last_rx[r] = rx_gbps;
+      }
+    }
+  };
+
   auto record_start = [&](TaskId id) {
     auto& st = result.tasks[id];
     const Task& t = tasks_[id];
@@ -253,6 +289,8 @@ RunResult FluidNetwork::run() {
       }
     }
 
+    sample_uplinks(rate);
+
     // Advance to the earliest completion.
     double dt = std::numeric_limits<double>::infinity();
     for (TaskId id : active) {
@@ -286,6 +324,8 @@ RunResult FluidNetwork::run() {
     throw std::logic_error(
         "FluidNetwork::run: task graph has a cycle or unreachable tasks");
   }
+  // Close every sampled series at the makespan (active is empty here).
+  sample_uplinks(std::vector<double>(tasks_.size(), 0.0));
   result.makespan = static_cast<SimTime>(now * 1e9);
   return result;
 }

@@ -20,6 +20,7 @@
 // deterministic and exact up to integer-nanosecond rounding.
 #pragma once
 
+#include "obs/recorder.h"
 #include "simnet/simnet.h"
 
 namespace rpr::simnet {
@@ -28,6 +29,12 @@ namespace rpr::simnet {
 class FluidNetwork {
  public:
   FluidNetwork(topology::Cluster cluster, topology::NetworkParams params);
+
+  /// Attaches a recorder that samples each rack uplink's aggregate TX/RX
+  /// bandwidth share (Gb/s) at every rate re-solve — the time-varying link
+  /// utilization that end-of-run aggregates cannot show. Must be set before
+  /// run(); pass nullptr to detach. The recorder must outlive run().
+  void set_recorder(obs::Recorder* rec) noexcept { recorder_ = rec; }
 
   TaskId add_transfer(topology::NodeId from, topology::NodeId to,
                       std::uint64_t bytes, std::vector<TaskId> deps,
@@ -60,6 +67,7 @@ class FluidNetwork {
   topology::Cluster cluster_;
   topology::NetworkParams params_;
   std::vector<Task> tasks_;
+  obs::Recorder* recorder_ = nullptr;
   bool ran_ = false;
 };
 

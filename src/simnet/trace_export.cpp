@@ -1,68 +1,23 @@
 #include "simnet/trace_export.h"
 
-#include <fstream>
-#include <sstream>
+#include "obs/sinks.h"
+#include "simnet/instrument.h"
 
 namespace rpr::simnet {
 
-namespace {
-
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
-    out.push_back(c);
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string to_chrome_trace(const RunResult& result,
                             const topology::Cluster& cluster) {
-  std::ostringstream out;
-  out << "{\"traceEvents\":[";
-  bool first = true;
-
-  // Thread-name metadata: one lane per node, grouped by rack via sort index.
-  for (topology::NodeId n = 0; n < cluster.total_nodes(); ++n) {
-    if (!first) out << ",";
-    first = false;
-    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << n
-        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rack "
-        << cluster.rack_of(n) << " / node " << n << "\"}}";
-  }
-
-  for (std::size_t id = 0; id < result.tasks.size(); ++id) {
-    const TaskStats& t = result.tasks[id];
-    if (t.finish == t.start) continue;  // zero-length: invisible anyway
-    // Transfers render on the *receiving* node's lane; computes on theirs.
-    std::string name;
-    if (t.kind == TaskKind::kTransfer) {
-      name = t.cross_rack ? "cross-rack transfer" : "inner-rack transfer";
-    } else {
-      name = "compute";
-    }
-    if (!t.label.empty()) name += " [" + escape(t.label) + "]";
-    out << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << t.node
-        << ",\"ts\":" << t.start / 1000 << ",\"dur\":"
-        << (t.finish - t.start) / 1000 << ",\"name\":\"" << name
-        << "\",\"args\":{\"task\":" << id << ",\"bytes\":" << t.bytes
-        << "}}";
-  }
-  out << "]}";
-  return out.str();
+  obs::Recorder rec;
+  record_spans(result, cluster, rec);
+  return obs::to_chrome_trace(rec);
 }
 
 void write_chrome_trace(const RunResult& result,
                         const topology::Cluster& cluster,
                         const std::string& path) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) throw std::runtime_error("write_chrome_trace: cannot open " + path);
-  f << to_chrome_trace(result, cluster);
-  if (!f) throw std::runtime_error("write_chrome_trace: write failed");
+  obs::Recorder rec;
+  record_spans(result, cluster, rec);
+  obs::write_chrome_trace(rec, path);
 }
 
 }  // namespace rpr::simnet

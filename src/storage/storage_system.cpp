@@ -246,7 +246,7 @@ RepairReport StorageSystem::repair(StripeId stripe) {
       repair::execute_on_data(planned.plan, planned.outputs, view);
 
   const auto sim =
-      repair::simulate(planned.plan, cluster_, opts_.network);
+      repair::simulate(planned.plan, cluster_, opts_.network, opts_.probe);
   report.used_decoding_matrix = planned.used_decoding_matrix;
   report.cross_rack_bytes = sim.cross_rack_bytes;
   report.inner_rack_bytes = sim.inner_rack_bytes;
@@ -294,7 +294,7 @@ repair::SimOutcome StorageSystem::degraded_read_cost(
     const NodeId src = s.node_of_block[block];
     const auto r = plan.read(src, block, 1);
     (void)plan.send(r, src, reader);
-    return repair::simulate(plan, cluster_, opts_.network);
+    return repair::simulate(plan, cluster_, opts_.network, opts_.probe);
   }
 
   if (lost.size() > code_.config().k) {
@@ -307,7 +307,7 @@ repair::SimOutcome StorageSystem::degraded_read_cost(
                                       s.node_of_block);
   const auto planned = repair::plan_degraded_read(
       code_, placement, opts_.block_size, lost, block, reader);
-  return repair::simulate(planned.plan, cluster_, opts_.network);
+  return repair::simulate(planned.plan, cluster_, opts_.network, opts_.probe);
 }
 
 std::vector<NodeId> StorageSystem::stripe_nodes(StripeId stripe) const {

@@ -43,6 +43,10 @@ struct StorageOptions {
   /// failures somewhere to rebuild without degrading fault tolerance.
   std::size_t extra_racks = 0;
   topology::NetworkParams network{};
+  /// Optional telemetry sink: every repair / degraded-read simulation
+  /// records into it (counters and histograms accumulate across repairs).
+  /// Both pointers null (the default) disables telemetry entirely.
+  obs::Probe probe{};
 };
 
 struct RepairReport {

@@ -1,18 +1,38 @@
 #include "storage/trace.h"
 
 #include <cmath>
+#include <string>
 
+#include "obs/metrics.h"
 #include "storage/failure.h"
+#include "util/units.h"
 
 namespace rpr::storage {
 
-TraceOutcome run_failure_trace(StorageSystem& system,
-                               const TraceParams& params) {
+namespace {
+
+/// Trace time is kept in hours; telemetry timestamps are nanoseconds.
+std::int64_t hours_to_ns(double hours) {
+  return static_cast<std::int64_t>(hours * 3600.0 * 1e9);
+}
+
+}  // namespace
+
+TraceOutcome run_failure_trace(StorageSystem& system, const TraceParams& params,
+                               const obs::Probe& probe) {
   util::Xoshiro256 rng(params.seed);
   FailureInjector injector(&system, params.seed ^ 0x9E3779B97F4A7C15ULL);
 
   TraceOutcome out;
   std::size_t xor_repairs = 0;
+
+  obs::Histogram* repair_hist = nullptr;
+  if (probe.metrics != nullptr) {
+    repair_hist = &probe.metrics->histogram("trace.repair_time_s");
+  }
+  if (probe.trace != nullptr) {
+    probe.trace->set_track_name(0, "failure trace");
+  }
 
   const double node_count =
       static_cast<double>(system.cluster().total_nodes());
@@ -28,6 +48,10 @@ TraceOutcome run_failure_trace(StorageSystem& system,
     const auto failed = injector.fail_random_node(/*keep_recoverable=*/true);
     if (!failed.has_value()) break;  // pathological tiny cluster
     ++out.failures;
+    if (probe.trace != nullptr) {
+      probe.trace->add_event(
+          {"node " + std::to_string(*failed) + " failed", 0, hours_to_ns(now)});
+    }
 
     for (const auto& report : system.repair_all()) {
       ++out.stripes_repaired;
@@ -37,6 +61,14 @@ TraceOutcome run_failure_trace(StorageSystem& system,
       out.max_repair_time =
           std::max(out.max_repair_time, report.simulated_repair_time);
       if (!report.used_decoding_matrix) ++xor_repairs;
+      if (repair_hist != nullptr) {
+        repair_hist->observe(util::to_sec(report.simulated_repair_time));
+      }
+    }
+    if (probe.trace != nullptr) {
+      probe.trace->add_sample({"cumulative cross-rack GB", hours_to_ns(now),
+                               static_cast<double>(out.cross_rack_bytes) /
+                                   1e9});
     }
     // Hardware replaced: the node returns empty and healthy.
     system.revive_node(*failed);
@@ -46,6 +78,19 @@ TraceOutcome run_failure_trace(StorageSystem& system,
           ? static_cast<double>(xor_repairs) /
                 static_cast<double>(out.stripes_repaired)
           : 0.0;
+
+  if (probe.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *probe.metrics;
+    reg.counter("trace.failures").add(out.failures);
+    reg.counter("trace.stripes_repaired").add(out.stripes_repaired);
+    reg.counter("trace.cross_rack_bytes").add(out.cross_rack_bytes);
+    reg.counter("trace.inner_rack_bytes").add(out.inner_rack_bytes);
+    reg.gauge("trace.total_repair_time_s")
+        .set(util::to_sec(out.total_repair_time));
+    reg.gauge("trace.max_repair_time_s")
+        .set(util::to_sec(out.max_repair_time));
+    reg.gauge("trace.xor_repair_fraction").set(out.xor_repair_fraction);
+  }
   return out;
 }
 

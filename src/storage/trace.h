@@ -41,6 +41,13 @@ struct TraceOutcome {
 /// Failure times are a Poisson process with rate nodes / mttf; each event
 /// kills one random alive node whose loss keeps every stripe recoverable,
 /// repairs every damaged stripe, then replaces the hardware.
-TraceOutcome run_failure_trace(StorageSystem& system, const TraceParams& params);
+///
+/// A non-empty `probe` records the horizon-level telemetry: "trace."
+/// counters (failures, stripes repaired, traffic), a per-stripe repair-time
+/// histogram, one failure event per trace-timeline event, and cumulative
+/// cross-rack-GB samples over trace time. (Per-repair simulator telemetry
+/// is separate: set StorageOptions::probe for that.)
+TraceOutcome run_failure_trace(StorageSystem& system, const TraceParams& params,
+                               const obs::Probe& probe = {});
 
 }  // namespace rpr::storage

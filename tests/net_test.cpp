@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "net/message.h"
+#include "obs/sinks.h"
 #include "net/socket.h"
 #include "repair/executor_data.h"
 #include "repair/planner.h"
@@ -183,4 +184,42 @@ TEST(TcpRuntimeTest, RejectsBadConfiguration) {
   p.time_scale = 0;
   EXPECT_THROW(TcpRuntime(rpr::topology::Cluster(2, 1, 0), p),
                std::invalid_argument);
+}
+
+TEST(TcpRuntimeTest, RecorderCapturesOneSpanPerOp) {
+  const rpr::rs::CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode code(cfg);
+  auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 2048, 7);
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 2048;
+  problem.failed = {0};
+  problem.choose_default_replacements();
+  const auto planned = rpr::repair::RprPlanner().plan(problem);
+
+  rpr::obs::Recorder rec;
+  auto params = fast_params(placed.cluster.racks());
+  params.recorder = &rec;
+  TcpRuntime runtime(placed.cluster, params);
+  const auto result = runtime.execute(planned.plan, planned.outputs, stripe);
+
+  // Every plan op becomes exactly one wall-clock span, every span lies
+  // within the measured wall time, and every involved node row is named.
+  ASSERT_EQ(rec.spans().size(), planned.plan.ops.size());
+  for (const auto& s : rec.spans()) {
+    EXPECT_GE(s.start_ns, 0);
+    EXPECT_GE(s.dur_ns, 0);
+    EXPECT_LE(s.start_ns + s.dur_ns, result.wall_time.count());
+    EXPECT_FALSE(s.category.empty());
+    EXPECT_NE(rec.track_names().find(s.track), rec.track_names().end());
+  }
+  // The export is a single Perfetto-loadable JSON object.
+  const std::string trace = rpr::obs::to_chrome_trace(rec);
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_EQ(trace.back(), '}');
+  EXPECT_NE(trace.find("cross-rack transfer"), std::string::npos);
 }

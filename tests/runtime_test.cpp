@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "repair/executor_data.h"
 #include "repair/planner.h"
 #include "test_support.h"
@@ -197,4 +199,39 @@ TEST(Testbed, RejectsBadConfiguration) {
   TestbedParams p = fast_params(2);
   p.time_scale = 0.0;
   EXPECT_THROW(Testbed(Cluster(2, 1, 0), p), std::invalid_argument);
+}
+
+TEST(Testbed, RecorderCapturesWallClockSpans) {
+  const rpr::rs::CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode code(cfg);
+  auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 2048, 11);
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 2048;
+  problem.failed = {0};
+  problem.choose_default_replacements();
+  const auto planned = rpr::repair::RprPlanner().plan(problem);
+
+  rpr::obs::Recorder rec;
+  auto params = fast_params(placed.cluster.racks());
+  params.recorder = &rec;
+  Testbed testbed(placed.cluster, params);
+  const auto result = testbed.execute(planned.plan, planned.outputs, stripe);
+
+  ASSERT_EQ(rec.spans().size(), planned.plan.ops.size());
+  for (const auto& s : rec.spans()) {
+    EXPECT_LE(s.start_ns + s.dur_ns, result.wall_time.count());
+  }
+  // Transfers carry a throughput argument derived from bytes and duration.
+  const bool has_throughput = std::any_of(
+      rec.spans().begin(), rec.spans().end(), [](const rpr::obs::Span& s) {
+        return std::any_of(s.args.begin(), s.args.end(), [](const auto& a) {
+          return a.first == "throughput_MBps" || a.first == "gf_MBps";
+        });
+      });
+  EXPECT_TRUE(has_throughput);
 }

@@ -9,21 +9,38 @@
 //     --inner GBPS          inner-rack bandwidth, Gb/s  (default 1)
 //     --cross GBPS          cross-rack bandwidth, Gb/s  (default 0.1)
 //     --fluid               use the fair-sharing link model
+//     --tcp                 execute over real loopback TCP (wall clock)
+//     --time-scale X        multiply TCP pacing bandwidths (default 32)
 //     --trace FILE          write a Chrome trace of the schedule
+//     --metrics FILE        write a metrics snapshot (JSON)
+//     --metrics-csv FILE    write a metrics snapshot (CSV)
 //
 // Prints repair time, traffic and the transfer schedule — the library's
 // planners and simulators behind a single adoptable command.
+//
+// --trace works with every engine: the port simulator and the fluid model
+// emit simulated-time spans (the fluid model additionally samples rack
+// uplink bandwidth shares over time), the TCP runtime emits wall-clock
+// spans. All use the same track layout, so traces compare side by side in
+// Perfetto / chrome://tracing.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "net/tcp_runtime.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/sinks.h"
 #include "repair/executor_sim.h"
 #include "repair/planner.h"
+#include "runtime/region_net.h"
 #include "simnet/fluid.h"
 #include "simnet/trace_export.h"
 #include "topology/placement.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -33,22 +50,55 @@ int usage() {
       "usage: rpr_sim [--code n,k] [--scheme traditional|car|rpr]\n"
       "               [--failed i,j,...] [--placement contiguous|rpr|flat]\n"
       "               [--block BYTES] [--inner GBPS] [--cross GBPS]\n"
-      "               [--fluid] [--trace FILE]\n");
+      "               [--fluid | --tcp] [--time-scale X]\n"
+      "               [--trace FILE] [--metrics FILE] [--metrics-csv FILE]\n");
   return 2;
 }
 
-std::vector<std::size_t> parse_list(const char* s) {
+[[noreturn]] void die_bad_value(const char* flag, const char* value) {
+  std::fprintf(stderr, "rpr_sim: bad value '%s' for %s\n", value, flag);
+  std::exit(usage());
+}
+
+/// Parses a non-negative integer; rejects junk, trailing characters and
+/// overflow instead of throwing or silently truncating.
+std::uint64_t parse_u64(const char* flag, const char* s) {
+  if (*s == '\0' || *s == '-') die_bad_value(flag, s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') die_bad_value(flag, s);
+  return v;
+}
+
+/// Parses a strictly positive double (bandwidths, scales).
+double parse_positive(const char* flag, const char* s) {
+  if (*s == '\0') die_bad_value(flag, s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || !(v > 0.0)) {
+    die_bad_value(flag, s);
+  }
+  return v;
+}
+
+std::vector<std::size_t> parse_list(const char* flag, const char* s) {
   std::vector<std::size_t> out;
   std::string token;
   for (const char* p = s;; ++p) {
     if (*p == ',' || *p == '\0') {
-      if (!token.empty()) out.push_back(std::stoul(token));
+      if (!token.empty()) {
+        out.push_back(
+            static_cast<std::size_t>(parse_u64(flag, token.c_str())));
+      }
       token.clear();
       if (*p == '\0') break;
     } else {
       token.push_back(*p);
     }
   }
+  if (out.empty()) die_bad_value(flag, s);
   return out;
 }
 
@@ -65,18 +115,23 @@ int main(int argc, char** argv) {
   double inner_gbps = 1.0;
   double cross_gbps = 0.1;
   bool fluid = false;
+  bool tcp = false;
+  double time_scale = 32.0;
   std::string trace_path;
+  std::string metrics_path;
+  std::string metrics_csv_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
+        std::fprintf(stderr, "rpr_sim: %s needs a value\n", argv[i]);
         std::exit(usage());
       }
       return argv[++i];
     };
     if (a == "--code") {
-      const auto v = parse_list(next());
+      const auto v = parse_list("--code", next());
       if (v.size() != 2) return usage();
       cfg = {v[0], v[1]};
     } else if (a == "--scheme") {
@@ -86,8 +141,7 @@ int main(int argc, char** argv) {
       else if (s == "rpr") scheme = repair::Scheme::kRpr;
       else return usage();
     } else if (a == "--failed") {
-      failed = parse_list(next());
-      if (failed.empty()) return usage();
+      failed = parse_list("--failed", next());
     } else if (a == "--placement") {
       const std::string_view s = next();
       if (s == "contiguous") policy = topology::PlacementPolicy::kContiguous;
@@ -95,18 +149,32 @@ int main(int argc, char** argv) {
       else if (s == "flat") policy = topology::PlacementPolicy::kFlat;
       else return usage();
     } else if (a == "--block") {
-      block = std::strtoull(next(), nullptr, 10);
+      block = parse_u64("--block", next());
+      if (block == 0) die_bad_value("--block", "0");
     } else if (a == "--inner") {
-      inner_gbps = std::atof(next());
+      inner_gbps = parse_positive("--inner", next());
     } else if (a == "--cross") {
-      cross_gbps = std::atof(next());
+      cross_gbps = parse_positive("--cross", next());
     } else if (a == "--fluid") {
       fluid = true;
+    } else if (a == "--tcp") {
+      tcp = true;
+    } else if (a == "--time-scale") {
+      time_scale = parse_positive("--time-scale", next());
     } else if (a == "--trace") {
       trace_path = next();
+    } else if (a == "--metrics") {
+      metrics_path = next();
+    } else if (a == "--metrics-csv") {
+      metrics_csv_path = next();
     } else {
+      std::fprintf(stderr, "rpr_sim: unknown option '%s'\n", argv[i]);
       return usage();
     }
+  }
+  if (fluid && tcp) {
+    std::fprintf(stderr, "rpr_sim: --fluid and --tcp are exclusive\n");
+    return usage();
   }
 
   try {
@@ -135,52 +203,84 @@ int main(int argc, char** argv) {
                 planner->name().c_str(), failed.size(),
                 static_cast<double>(block) / (1 << 20));
 
-    const auto outcome =
-        fluid ? repair::simulate_fluid(planned.plan, placed.cluster, params)
-              : repair::simulate(planned.plan, placed.cluster, params);
-    std::printf("link model: %s\n", fluid ? "fluid fair-sharing"
-                                          : "store-and-forward ports");
-    std::printf("total repair time : %.2f s\n",
-                util::to_sec(outcome.total_repair_time));
-    std::printf("cross-rack traffic: %zu transfers, %.1f MB\n",
-                outcome.cross_rack_transfers,
-                static_cast<double>(outcome.cross_rack_bytes) / 1e6);
-    std::printf("inner-rack traffic: %zu transfers, %.1f MB\n",
-                outcome.inner_rack_transfers,
-                static_cast<double>(outcome.inner_rack_bytes) / 1e6);
+    // One probe feeds every engine; sinks run at the end.
+    obs::MetricsRegistry registry;
+    obs::Recorder recorder;
+    obs::Probe probe;
+    if (!metrics_path.empty() || !metrics_csv_path.empty()) {
+      probe.metrics = &registry;
+    }
+    if (!trace_path.empty()) probe.trace = &recorder;
+
+    if (tcp) {
+      // Real execution: random stripe contents, loopback sockets, paced at
+      // the configured bandwidths sped up by time_scale.
+      util::Xoshiro256 rng(42);
+      std::vector<rs::Block> stripe(cfg.total());
+      for (std::size_t b = 0; b < cfg.n; ++b) {
+        stripe[b].resize(block);
+        for (auto& byte : stripe[b]) {
+          byte = static_cast<std::uint8_t>(rng());
+        }
+      }
+      code.encode_stripe(stripe);
+      net::TcpRuntimeParams tp;
+      tp.net = runtime::RegionNet::uniform(placed.cluster.racks(),
+                                           params.inner, params.cross);
+      tp.time_scale = time_scale;
+      tp.decode_matrix_dim = cfg.n;
+      tp.recorder = probe.trace;
+      net::TcpRuntime rt(placed.cluster, tp);
+      const auto result =
+          rt.execute(planned.plan, planned.outputs, stripe);
+      const double wall_s =
+          static_cast<double>(result.wall_time.count()) / 1e9;
+      std::printf("link model: real TCP loopback (time-scale %.0fx)\n",
+                  time_scale);
+      std::printf("wall-clock time   : %.3f s (%.2f s at link speed)\n",
+                  wall_s, wall_s * time_scale);
+      std::printf("cross-rack traffic: %.1f MB\n",
+                  static_cast<double>(result.cross_rack_bytes) / 1e6);
+      std::printf("inner-rack traffic: %.1f MB\n",
+                  static_cast<double>(result.inner_rack_bytes) / 1e6);
+      if (probe.metrics != nullptr) {
+        registry.gauge("tcp.wall_time_s").set(wall_s);
+        registry.gauge("tcp.time_scale").set(time_scale);
+        registry.counter("tcp.cross_rack_bytes").add(result.cross_rack_bytes);
+        registry.counter("tcp.inner_rack_bytes").add(result.inner_rack_bytes);
+      }
+    } else {
+      const auto outcome =
+          fluid
+              ? repair::simulate_fluid(planned.plan, placed.cluster, params,
+                                       probe)
+              : repair::simulate(planned.plan, placed.cluster, params, probe);
+      std::printf("link model: %s\n", fluid ? "fluid fair-sharing"
+                                            : "store-and-forward ports");
+      std::printf("total repair time : %.2f s\n",
+                  util::to_sec(outcome.total_repair_time));
+      std::printf("cross-rack traffic: %zu transfers, %.1f MB\n",
+                  outcome.cross_rack_transfers,
+                  static_cast<double>(outcome.cross_rack_bytes) / 1e6);
+      std::printf("inner-rack traffic: %zu transfers, %.1f MB\n",
+                  outcome.inner_rack_transfers,
+                  static_cast<double>(outcome.inner_rack_bytes) / 1e6);
+    }
     std::printf("decoding matrix   : %s\n",
                 planned.used_decoding_matrix ? "built" : "avoided (XOR path)");
 
     if (!trace_path.empty()) {
-      // Re-run through the raw simulator to get per-task stats for export.
-      simnet::SimNetwork net(placed.cluster, params);
-      std::vector<simnet::TaskId> task_of(planned.plan.ops.size());
-      for (repair::OpId id = 0; id < planned.plan.ops.size(); ++id) {
-        const auto& op = planned.plan.ops[id];
-        std::vector<simnet::TaskId> deps;
-        for (const auto in : op.inputs) deps.push_back(task_of[in]);
-        switch (op.kind) {
-          case repair::OpKind::kRead:
-            task_of[id] = net.add_compute(op.node, 0, std::move(deps),
-                                          "read b" + std::to_string(op.block));
-            break;
-          case repair::OpKind::kSend:
-            task_of[id] = net.add_transfer(op.from, op.node, block,
-                                           std::move(deps), op.label);
-            break;
-          case repair::OpKind::kCombine: {
-            const std::uint64_t passes =
-                op.inputs.size() >= 2 ? op.inputs.size() - 1 : 1;
-            task_of[id] = net.add_compute(
-                op.node, net.decode_duration(block * passes, op.with_matrix_cost),
-                std::move(deps), op.label.empty() ? "combine" : op.label);
-            break;
-          }
-        }
-      }
-      simnet::write_chrome_trace(net.run(), placed.cluster, trace_path);
+      obs::write_chrome_trace(recorder, trace_path);
       std::printf("schedule trace    : %s (open in chrome://tracing)\n",
                   trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      obs::write_json(registry, metrics_path);
+      std::printf("metrics (JSON)    : %s\n", metrics_path.c_str());
+    }
+    if (!metrics_csv_path.empty()) {
+      obs::write_csv(registry, metrics_csv_path);
+      std::printf("metrics (CSV)     : %s\n", metrics_csv_path.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

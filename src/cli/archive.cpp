@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/hash.h"
+
 namespace rpr::cli {
 
 namespace fs = std::filesystem;
@@ -45,12 +47,7 @@ ArchiveManifest load_manifest(const fs::path& dir) {
 }  // namespace
 
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const std::uint8_t b : bytes) {
-    hash ^= b;
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
+  return util::fnv1a64(bytes);
 }
 
 std::string ArchiveManifest::serialize() const {
@@ -171,53 +168,74 @@ VerifyReport verify_archive(const fs::path& dir) {
 
 namespace {
 
-/// Loads the stripe with damaged entries empty, decodes them, and returns
-/// the full stripe. Shared by repair and extract.
-std::vector<rs::Block> load_and_decode(const fs::path& dir,
-                                       const VerifyReport& report,
-                                       const std::vector<std::size_t>& damaged) {
+struct LoadedStripe {
+  std::vector<rs::Block> stripe;
+  /// Every block that had to be rebuilt: the pre-verified damage set plus
+  /// any block whose bytes no longer matched the manifest at read time.
+  std::vector<std::size_t> damaged;
+};
+
+/// Loads the stripe, decodes the damaged entries, and returns the full
+/// stripe. Shared by repair and extract.
+///
+/// Every source block is re-verified against its manifest checksum *at read
+/// time* (not just in the earlier verify pass — the file can change in
+/// between); a mismatching source is never fed to the decoder and becomes
+/// one more erasure. Rebuilt blocks are checked against the manifest before
+/// being returned, so silently-wrong output is impossible.
+LoadedStripe load_and_decode(const fs::path& dir, const VerifyReport& report) {
   const auto& m = report.manifest;
-  if (damaged.size() > m.code.k) {
+  LoadedStripe out;
+  out.stripe.resize(m.code.total());
+  out.damaged = report.damaged();
+  for (std::size_t b = 0; b < m.code.total(); ++b) {
+    if (report.blocks[b] != BlockHealth::kOk) continue;
+    auto bytes = read_file(dir / block_file_name(b));
+    if (bytes.size() != m.block_size || fnv1a64(bytes) != m.checksums[b]) {
+      out.damaged.push_back(b);
+      continue;
+    }
+    out.stripe[b] = std::move(bytes);
+  }
+  std::sort(out.damaged.begin(), out.damaged.end());
+  if (out.damaged.size() > m.code.k) {
     throw std::runtime_error("archive unrecoverable: " +
-                             std::to_string(damaged.size()) +
+                             std::to_string(out.damaged.size()) +
                              " blocks damaged, can tolerate " +
                              std::to_string(m.code.k));
   }
-  std::vector<rs::Block> stripe(m.code.total());
-  for (std::size_t b = 0; b < m.code.total(); ++b) {
-    if (report.blocks[b] != BlockHealth::kOk) continue;
-    stripe[b] = read_file(dir / block_file_name(b));
-  }
-  if (!damaged.empty()) {
+  if (!out.damaged.empty()) {
     const rs::RSCode rs_code(m.code);
-    if (!rs_code.decode(stripe, damaged)) {
+    if (!rs_code.decode(out.stripe, out.damaged)) {
       throw std::runtime_error("archive decode failed");
     }
+    for (const std::size_t b : out.damaged) {
+      if (fnv1a64(out.stripe[b]) != m.checksums[b]) {
+        throw std::runtime_error("decoded block " + std::to_string(b) +
+                                 " failed checksum verification");
+      }
+    }
   }
-  return stripe;
+  return out;
 }
 
 }  // namespace
 
 std::vector<std::size_t> repair_archive(const fs::path& dir) {
   const VerifyReport report = verify_archive(dir);
-  const auto damaged = report.damaged();
-  if (damaged.empty()) return {};
-  const auto stripe = load_and_decode(dir, report, damaged);
-  for (const std::size_t b : damaged) {
-    if (fnv1a64(stripe[b]) != report.manifest.checksums[b]) {
-      throw std::runtime_error("repair produced a checksum mismatch");
-    }
-    write_file(dir / block_file_name(b), stripe[b]);
+  if (report.healthy()) return {};
+  const LoadedStripe loaded = load_and_decode(dir, report);
+  for (const std::size_t b : loaded.damaged) {
+    write_file(dir / block_file_name(b), loaded.stripe[b]);
   }
-  return damaged;
+  return loaded.damaged;
 }
 
 void extract_file(const fs::path& dir, const fs::path& output) {
   const VerifyReport report = verify_archive(dir);
   const auto& m = report.manifest;
-  const auto damaged = report.damaged();
-  const auto stripe = load_and_decode(dir, report, damaged);
+  const LoadedStripe loaded = load_and_decode(dir, report);
+  const auto& stripe = loaded.stripe;
 
   std::vector<std::uint8_t> bytes;
   bytes.reserve(m.file_size);

@@ -1,0 +1,169 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace rpr::fault {
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view entry, const char* why) {
+  std::ostringstream os;
+  os << "FaultSchedule::parse: bad entry '" << entry << "': " << why;
+  throw std::invalid_argument(os.str());
+}
+
+std::uint64_t parse_u64(std::string_view entry, std::string_view text,
+                        const char* what) {
+  std::uint64_t value = 0;
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || text.empty()) bad_spec(entry, what);
+  return value;
+}
+
+double parse_double(std::string_view entry, std::string_view text,
+                    const char* what) {
+  if (text.empty()) bad_spec(entry, what);
+  std::string owned(text);
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(owned, &consumed);
+  } catch (const std::exception&) {
+    bad_spec(entry, what);
+  }
+  if (consumed != owned.size()) bad_spec(entry, what);
+  return value;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+void parse_entry(FaultSchedule& out, std::string_view entry) {
+  const auto colon = entry.find(':');
+  if (colon == std::string_view::npos) {
+    bad_spec(entry, "expected '<kind>:<args>'");
+  }
+  const std::string_view kind = entry.substr(0, colon);
+  const std::string_view args = entry.substr(colon + 1);
+
+  if (kind == "kill") {
+    const auto at = args.find('@');
+    if (at == std::string_view::npos) bad_spec(entry, "expected 'NODE@T'");
+    KillNode k;
+    k.node = parse_u64(entry, args.substr(0, at), "node id must be a number");
+    k.at_s = parse_double(entry, args.substr(at + 1),
+                          "kill time must be a number of seconds");
+    if (k.at_s < 0.0) bad_spec(entry, "kill time must be >= 0");
+    out.kills.push_back(k);
+  } else if (kind == "straggle") {
+    const auto star = args.find('*');
+    if (star == std::string_view::npos) bad_spec(entry, "expected 'NODE*F'");
+    Straggle s;
+    s.node = parse_u64(entry, args.substr(0, star), "node id must be a number");
+    std::string_view rest = args.substr(star + 1);
+    const auto x = rest.find('x');
+    if (x != std::string_view::npos) {
+      s.attempts = parse_u64(entry, rest.substr(x + 1),
+                             "attempt count must be a number");
+      if (s.attempts == 0) bad_spec(entry, "attempt count must be >= 1");
+      rest = rest.substr(0, x);
+    }
+    s.factor = parse_double(entry, rest, "slowdown factor must be a number");
+    if (s.factor <= 1.0) bad_spec(entry, "slowdown factor must be > 1");
+    out.stragglers.push_back(s);
+  } else if (kind == "corrupt") {
+    Corrupt c;
+    c.block = parse_u64(entry, args, "block index must be a number");
+    out.corruptions.push_back(c);
+  } else if (kind == "seed") {
+    out.seed = parse_u64(entry, args, "seed must be a number");
+  } else {
+    bad_spec(entry, "unknown kind (want kill/straggle/corrupt/seed)");
+  }
+}
+
+}  // namespace
+
+const Straggle* FaultSchedule::straggle_of(topology::NodeId node) const {
+  for (const auto& s : stragglers) {
+    if (s.node == node) return &s;
+  }
+  return nullptr;
+}
+
+const KillNode* FaultSchedule::kill_of(topology::NodeId node) const {
+  for (const auto& k : kills) {
+    if (k.node == node) return &k;
+  }
+  return nullptr;
+}
+
+std::vector<std::size_t> FaultSchedule::corrupt_blocks() const {
+  std::vector<std::size_t> out;
+  out.reserve(corruptions.size());
+  for (const auto& c : corruptions) out.push_back(c.block);
+  return out;
+}
+
+FaultSchedule FaultSchedule::parse(std::string_view spec) {
+  FaultSchedule out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ';' || spec[i] == ',') {
+      const std::string_view entry = trim(spec.substr(begin, i - begin));
+      if (!entry.empty()) parse_entry(out, entry);
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string FaultSchedule::describe() const {
+  std::ostringstream os;
+  const char* sep = "";
+  for (const auto& k : kills) {
+    os << sep << "kill:" << k.node << '@' << k.at_s;
+    sep = ";";
+  }
+  for (const auto& s : stragglers) {
+    os << sep << "straggle:" << s.node << '*' << s.factor;
+    if (s.transient()) os << 'x' << s.attempts;
+    sep = ";";
+  }
+  for (const auto& c : corruptions) {
+    os << sep << "corrupt:" << c.block;
+    sep = ";";
+  }
+  os << sep << "seed:" << seed;
+  return os.str();
+}
+
+void corrupt_bytes(std::vector<std::uint8_t>& bytes, std::uint64_t seed) {
+  if (bytes.empty()) return;
+  util::Xoshiro256 rng(seed);
+  // Flip a handful of bytes with a guaranteed-nonzero XOR mask so the
+  // corruption can never accidentally restore the original content.
+  const std::size_t flips = 1 + rng.below(std::min<std::uint64_t>(
+                                    bytes.size(), 16));
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::size_t pos = rng.below(bytes.size());
+    const auto mask = static_cast<std::uint8_t>(1 + rng.below(255));
+    bytes[pos] ^= mask;
+  }
+}
+
+}  // namespace rpr::fault

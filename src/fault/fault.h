@@ -1,0 +1,127 @@
+// Chaos / fault-injection model shared by every execution engine.
+//
+// The paper's premise is that repairs run while the cluster is already
+// degraded — so a repair scheme that only works when all helpers stay
+// healthy for the whole plan is not a repair scheme. One `FaultSchedule`
+// describes the faults to inject into a single repair execution, and the
+// same description drives all engines:
+//
+//   * simnet        — kills are applied at simulated time, stragglers scale
+//                     simulated transfer durations (SimNetwork::slow_node);
+//   * Testbed       — kills fire on the engine wall clock, stragglers slow
+//                     the paced transfers of the afflicted node;
+//   * TcpRuntime    — same, over real loopback sockets (a killed node stops
+//                     its worker/acceptor; peers hit timeouts).
+//
+// Three fault kinds (the ones repair pipelining systems treat as
+// first-class, cf. Li et al., arXiv:1908.01527):
+//
+//   kill      a helper node dies at time t and stays dead;
+//   straggle  a node's outgoing transfers run `factor` times slower; with a
+//             bounded `attempts` count the stall is transient — the first
+//             `attempts` afflicted transfers fail/stall and later ones run
+//             at full speed (a flapping link), which is what makes bounded
+//             retry with backoff succeed without a re-plan;
+//   corrupt   a stored source block's bytes are silently wrong; engines and
+//             the storage layer detect it via checksums and must treat the
+//             block as an erasure.
+//
+// Schedules are value types, cheap to copy, and parse from a compact spec
+// string (`rpr_sim --chaos`): entries separated by ';' or ',':
+//
+//   kill:NODE@T          kill node NODE at T seconds (engine clock)
+//   straggle:NODE*F      node NODE's transfers slowed by factor F
+//   straggle:NODE*FxA    ... transient: clears after A afflicted attempts
+//   corrupt:BLOCK        corrupt stripe block BLOCK at its source
+//   seed:S               seed for reproducible corruption bytes
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/cluster.h"
+
+namespace rpr::fault {
+
+inline constexpr topology::NodeId kNoNode =
+    std::numeric_limits<topology::NodeId>::max();
+
+struct KillNode {
+  topology::NodeId node = 0;
+  /// Seconds since execution start on the engine's clock (simulated seconds
+  /// for simnet, wall-clock seconds for the threaded engines).
+  double at_s = 0.0;
+};
+
+struct Straggle {
+  topology::NodeId node = 0;
+  /// Outgoing-transfer slowdown multiplier (> 1).
+  double factor = 8.0;
+  /// Number of afflicted transfer attempts before the stall clears; the
+  /// default (max) makes the degradation permanent.
+  std::size_t attempts = std::numeric_limits<std::size_t>::max();
+
+  [[nodiscard]] bool transient() const noexcept {
+    return attempts != std::numeric_limits<std::size_t>::max();
+  }
+};
+
+struct Corrupt {
+  std::size_t block = 0;  ///< stripe block index, corrupted at its source
+};
+
+/// Retry/deadline policy for the threaded engines and the re-plan driver.
+struct RetryPolicy {
+  /// Transfer attempts per op before the peer is declared lost (>= 1).
+  std::size_t max_attempts = 4;
+  /// Backoff before retry i (0-based): base * multiplier^i.
+  double base_backoff_s = 0.002;
+  double backoff_multiplier = 2.0;
+  /// An op exceeding threshold x its expected duration is a straggler: the
+  /// attempt is abandoned and retried (paper-world: speculative re-fetch).
+  double straggler_threshold = 4.0;
+  /// Hard per-attempt cap in wall seconds (socket recv/connect timeouts).
+  double op_deadline_s = 30.0;
+
+  [[nodiscard]] double backoff_s(std::size_t retry) const noexcept {
+    double b = base_backoff_s;
+    for (std::size_t i = 0; i < retry; ++i) b *= backoff_multiplier;
+    return b;
+  }
+};
+
+struct FaultSchedule {
+  std::vector<KillNode> kills;
+  std::vector<Straggle> stragglers;
+  std::vector<Corrupt> corruptions;
+  /// Seed for deterministic corruption bytes (chaos runs are reproducible).
+  std::uint64_t seed = 0x5eed;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return kills.empty() && stragglers.empty() && corruptions.empty();
+  }
+
+  /// First straggle entry for `node`, or nullptr.
+  [[nodiscard]] const Straggle* straggle_of(topology::NodeId node) const;
+  /// First kill entry for `node`, or nullptr.
+  [[nodiscard]] const KillNode* kill_of(topology::NodeId node) const;
+  /// All corrupted block indices.
+  [[nodiscard]] std::vector<std::size_t> corrupt_blocks() const;
+
+  /// Parses the spec grammar documented at the top of this header.
+  /// Throws std::invalid_argument on malformed input.
+  static FaultSchedule parse(std::string_view spec);
+
+  /// Human-readable round-trip of the schedule (not necessarily the exact
+  /// input spec, but parseable by parse()).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Deterministically corrupts `bytes` in place (flips a seeded selection of
+/// bytes — never a no-op on a non-empty buffer).
+void corrupt_bytes(std::vector<std::uint8_t>& bytes, std::uint64_t seed);
+
+}  // namespace rpr::fault

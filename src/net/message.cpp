@@ -1,13 +1,16 @@
 #include "net/message.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 namespace rpr::net {
 
-void send_value(Socket& sock, std::uint64_t op_id,
+bool send_value(Socket& sock, std::uint64_t op_id,
                 std::span<const std::uint8_t> payload, std::size_t pace_chunk,
-                std::uint64_t chunk_delay_ns) {
+                std::uint64_t chunk_delay_ns,
+                const std::function<bool()>& cancel) {
+  if (cancel && cancel()) return false;
   MessageHeader h;
   h.op_id = op_id;
   h.payload_len = payload.size();
@@ -15,17 +18,24 @@ void send_value(Socket& sock, std::uint64_t op_id,
   std::memcpy(buf, &h, sizeof(h));
   sock.write_all({buf, sizeof(buf)});
 
-  if (pace_chunk == 0 || chunk_delay_ns == 0) {
+  if (pace_chunk == 0 && !cancel) {
     sock.write_all(payload);
-    return;
+    return true;
   }
+  // Chunked streaming: cancellation needs chunk boundaries even when no
+  // pacing was requested.
+  const std::size_t chunk = pace_chunk != 0 ? pace_chunk : (64u << 10);
   std::size_t off = 0;
   while (off < payload.size()) {
-    const std::size_t len = std::min(pace_chunk, payload.size() - off);
+    if (cancel && cancel()) return false;
+    const std::size_t len = std::min(chunk, payload.size() - off);
     sock.write_all(payload.subspan(off, len));
     off += len;
-    std::this_thread::sleep_for(std::chrono::nanoseconds(chunk_delay_ns));
+    if (chunk_delay_ns != 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(chunk_delay_ns));
+    }
   }
+  return true;
 }
 
 ReceivedValue recv_value(Socket& sock, std::uint64_t max_payload) {

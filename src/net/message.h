@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -27,10 +28,15 @@ static_assert(sizeof(MessageHeader) == 24);
 
 /// Sends one value; `pace_chunk` and `chunk_delay_ns` implement sender-side
 /// bandwidth shaping (wondershaper's role in the paper's setup): after each
-/// `pace_chunk` bytes the sender sleeps `chunk_delay_ns`.
-void send_value(Socket& sock, std::uint64_t op_id,
+/// `pace_chunk` bytes the sender sleeps `chunk_delay_ns`. A non-empty
+/// `cancel` callback is polled between chunks (chunked sending is then
+/// forced even without pacing); returning true abandons the stream
+/// mid-payload — send_value returns false and the receiver sees a short
+/// read. Returns true when the value was fully sent.
+bool send_value(Socket& sock, std::uint64_t op_id,
                 std::span<const std::uint8_t> payload,
-                std::size_t pace_chunk = 0, std::uint64_t chunk_delay_ns = 0);
+                std::size_t pace_chunk = 0, std::uint64_t chunk_delay_ns = 0,
+                const std::function<bool()>& cancel = {});
 
 struct ReceivedValue {
   std::uint64_t op_id = 0;

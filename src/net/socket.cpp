@@ -1,12 +1,16 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -16,6 +20,14 @@ namespace {
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+::sockaddr_in loopback(std::uint16_t port) {
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
 }
 
 }  // namespace
@@ -41,10 +53,14 @@ void Socket::close() noexcept {
 void Socket::write_all(std::span<const std::uint8_t> bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE here, never a SIGPIPE.
     const ::ssize_t n =
         ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("send: timed out");
+      }
       fail("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -58,12 +74,29 @@ void Socket::read_exact(std::span<std::uint8_t> bytes) {
         ::recv(fd_, bytes.data() + got, bytes.size() - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("recv: timed out");
+      }
       fail("recv");
     }
     if (n == 0) {
       throw std::runtime_error("recv: unexpected EOF");
     }
     got += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::set_recv_timeout(double seconds) {
+  if (seconds <= 0.0) {
+    throw std::invalid_argument("set_recv_timeout: seconds must be > 0");
+  }
+  ::timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    fail("setsockopt(SO_RCVTIMEO)");
   }
 }
 
@@ -75,10 +108,7 @@ Listener::Listener() {
   int reuse = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
 
-  ::sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
+  ::sockaddr_in addr = loopback(0);  // ephemeral
   if (::bind(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) != 0) {
     fail("bind");
   }
@@ -100,6 +130,22 @@ Socket Listener::accept() {
   }
 }
 
+Socket Listener::accept(double timeout_s) {
+  ::pollfd pfd{};
+  pfd.fd = sock_.fd();
+  pfd.events = POLLIN;
+  const int timeout_ms = std::max(1, static_cast<int>(timeout_s * 1e3));
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail("poll(accept)");
+    }
+    if (rc == 0) return Socket{};  // timeout
+    return accept();  // a connection is pending: cannot block
+  }
+}
+
 Socket connect_local(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
@@ -108,10 +154,7 @@ Socket connect_local(std::uint16_t port) {
   int nodelay = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
 
-  ::sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
+  ::sockaddr_in addr = loopback(port);
   for (;;) {
     if (::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) ==
         0) {
@@ -120,6 +163,54 @@ Socket connect_local(std::uint16_t port) {
     if (errno == EINTR) continue;
     fail("connect");
   }
+}
+
+Socket connect_local(std::uint16_t port, double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  Socket sock(fd);
+
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail("fcntl(O_NONBLOCK)");
+  }
+  ::sockaddr_in addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) fail("connect");
+    ::pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int timeout_ms = std::max(1, static_cast<int>(timeout_s * 1e3));
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) fail("poll(connect)");
+    if (rc == 0) throw std::runtime_error("connect: timed out");
+    int err = 0;
+    ::socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      fail("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      fail("connect");
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) fail("fcntl(restore)");
+  // The same deadline bounds every later write: a peer that stopped reading
+  // (dead acceptor, full buffer) yields "send: timed out", not a hang.
+  ::timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_s - std::floor(timeout_s)) * 1e6);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return sock;
 }
 
 }  // namespace rpr::net

@@ -2,9 +2,16 @@
 //
 // The paper's real-world evaluation ran repair agents on actual machines
 // talking TCP. This layer provides exactly what the networked runtime
-// needs: listening sockets on ephemeral 127.0.0.1 ports, blocking connects,
-// and exact-length reads/writes, all exception-safe. No external
-// dependencies — plain POSIX sockets.
+// needs: listening sockets on ephemeral 127.0.0.1 ports, connects and
+// exact-length reads/writes with optional timeouts, all exception-safe. No
+// external dependencies — plain POSIX sockets.
+//
+// Robustness notes: writes use MSG_NOSIGNAL, so a peer that died mid-stream
+// produces an EPIPE error instead of a process-killing SIGPIPE; reads honor
+// SO_RCVTIMEO (set_recv_timeout) so a hung peer errors out instead of
+// blocking forever; accept and connect take optional deadlines (poll-based)
+// for the same reason. A runtime facing an unresponsive peer therefore
+// always gets an exception it can convert into a retry or a re-plan.
 #pragma once
 
 #include <cstdint>
@@ -29,8 +36,12 @@ class Socket {
 
   /// Writes the whole buffer or throws std::runtime_error.
   void write_all(std::span<const std::uint8_t> bytes);
-  /// Reads exactly bytes.size() bytes or throws (EOF included).
+  /// Reads exactly bytes.size() bytes or throws (EOF and timeout included).
   void read_exact(std::span<std::uint8_t> bytes);
+
+  /// Subsequent reads error out ("recv: timed out") after `seconds` of
+  /// inactivity instead of blocking forever (SO_RCVTIMEO).
+  void set_recv_timeout(double seconds);
 
   void close() noexcept;
 
@@ -45,6 +56,9 @@ class Listener {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   /// Blocks until a peer connects.
   [[nodiscard]] Socket accept();
+  /// Waits up to `timeout_s` for a peer; returns an invalid Socket on
+  /// timeout (the caller re-checks its exit conditions and polls again).
+  [[nodiscard]] Socket accept(double timeout_s);
 
  private:
   Socket sock_;
@@ -53,5 +67,8 @@ class Listener {
 
 /// Blocking connect to 127.0.0.1:port.
 [[nodiscard]] Socket connect_local(std::uint16_t port);
+/// Connect with a deadline: throws std::runtime_error ("connect: timed
+/// out") when the peer does not answer within `timeout_s`.
+[[nodiscard]] Socket connect_local(std::uint16_t port, double timeout_s);
 
 }  // namespace rpr::net

@@ -1,9 +1,9 @@
 #include "net/tcp_runtime.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -24,22 +24,35 @@ using rs::Block;
 
 namespace {
 
+/// Per-op execution state; an op is pending, done, or failed. The first
+/// resolution wins (a send may be failed by its sender and published by its
+/// acceptor in a race — whichever happens first sticks).
 struct ExecState {
   std::mutex mu;
   std::condition_variable cv;
   std::vector<Block> value;
   std::vector<bool> done;
+  std::vector<bool> failed;
 
-  explicit ExecState(std::size_t ops) : value(ops), done(ops, false) {}
+  explicit ExecState(std::size_t ops)
+      : value(ops), done(ops, false), failed(ops, false) {}
 
-  void wait_for(const std::vector<OpId>& ids) {
+  /// Blocks until every input is done or any input failed; true = all done.
+  bool wait_for(const std::vector<OpId>& ids) {
     std::unique_lock lock(mu);
     cv.wait(lock, [&] {
+      for (OpId id : ids) {
+        if (failed[id]) return true;
+      }
       for (OpId id : ids) {
         if (!done[id]) return false;
       }
       return true;
     });
+    for (OpId id : ids) {
+      if (failed[id]) return false;
+    }
+    return true;
   }
 
   Block take_copy(OpId id) {
@@ -50,10 +63,25 @@ struct ExecState {
   void publish(OpId id, Block b) {
     {
       std::unique_lock lock(mu);
+      if (done[id] || failed[id]) return;
       value[id] = std::move(b);
       done[id] = true;
     }
     cv.notify_all();
+  }
+
+  void fail(OpId id) {
+    {
+      std::unique_lock lock(mu);
+      if (done[id] || failed[id]) return;
+      failed[id] = true;
+    }
+    cv.notify_all();
+  }
+
+  bool resolved(OpId id) {
+    std::unique_lock lock(mu);
+    return done[id] || failed[id];
   }
 };
 
@@ -72,13 +100,23 @@ void build_and_invert_matrix(std::size_t dim) {
 }  // namespace
 
 TcpRuntime::TcpRuntime(topology::Cluster cluster, TcpRuntimeParams params)
-    : cluster_(cluster), params_(std::move(params)) {
+    : cluster_(cluster),
+      params_(std::move(params)),
+      session_start_(std::chrono::steady_clock::now()) {
   if (params_.net.racks() < cluster_.racks()) {
     throw std::invalid_argument("TcpRuntime: RegionNet smaller than cluster");
   }
   if (params_.time_scale <= 0.0 || params_.pace_chunk == 0) {
     throw std::invalid_argument("TcpRuntime: bad pacing parameters");
   }
+  if (params_.retry.max_attempts == 0 || params_.retry.op_deadline_s <= 0.0) {
+    throw std::invalid_argument("TcpRuntime: bad retry policy");
+  }
+}
+
+std::set<topology::NodeId> TcpRuntime::dead_nodes() const {
+  std::scoped_lock lock(fault_mu_);
+  return dead_;
 }
 
 runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
@@ -87,14 +125,14 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
   repair::validate(plan, cluster_);
   ExecState state(plan.ops.size());
 
-  // How many socket messages each node will receive, and which node runs
-  // which ops (sends run on the sender).
-  std::vector<std::size_t> expected_msgs(cluster_.total_nodes(), 0);
+  // Which ops each node receives over the wire, and which node runs which
+  // ops (sends run on the sender).
+  std::vector<std::vector<OpId>> incoming_of_node(cluster_.total_nodes());
   std::vector<std::vector<OpId>> ops_of_node(cluster_.total_nodes());
   for (OpId id = 0; id < plan.ops.size(); ++id) {
     const PlanOp& op = plan.ops[id];
     if (op.kind == OpKind::kSend && op.from != op.node) {
-      ++expected_msgs[op.node];
+      incoming_of_node[op.node].push_back(id);
       ops_of_node[op.from].push_back(id);
     } else if (op.kind == OpKind::kSend) {
       ops_of_node[op.from].push_back(id);
@@ -107,16 +145,47 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
   std::vector<std::unique_ptr<Listener>> listener(cluster_.total_nodes());
   std::vector<std::uint16_t> port(cluster_.total_nodes(), 0);
   for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
-    if (expected_msgs[n] == 0) continue;
+    if (incoming_of_node[n].empty()) continue;
     listener[n] = std::make_unique<Listener>();
     port[n] = listener[n]->port();
   }
 
   std::atomic<std::uint64_t> cross_bytes{0};
   std::atomic<std::uint64_t> inner_bytes{0};
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> faults{0};
+  std::atomic<topology::NodeId> first_dead{fault::kNoNode};
   const std::uint64_t max_payload = plan.block_size + 4096;
 
-  // One first exception wins; workers bail out afterwards.
+  auto is_dead = [&](topology::NodeId node) {
+    std::scoped_lock lock(fault_mu_);
+    if (dead_.count(node) != 0) return true;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      session_start_)
+            .count();
+    for (const auto& kill : params_.faults.kills) {
+      if (kill.node == node && elapsed >= kill.at_s) {
+        dead_.insert(node);
+        return true;
+      }
+    }
+    return false;
+  };
+  auto blame = [&](topology::NodeId node) {
+    topology::NodeId expected = fault::kNoNode;
+    first_dead.compare_exchange_strong(expected, node);
+  };
+  auto declare_lost = [&](topology::NodeId node) {
+    {
+      std::scoped_lock lock(fault_mu_);
+      dead_.insert(node);
+    }
+    blame(node);
+  };
+
+  // One first unexpected exception wins; fault-path failures do not land
+  // here — they resolve ops as failed instead.
   std::mutex err_mu;
   std::string first_error;
   auto record_error = [&](const std::string& what) {
@@ -129,7 +198,17 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
 
   auto run_op = [&](OpId id) {
     const PlanOp& op = plan.ops[id];
-    state.wait_for(op.inputs);
+    if (!state.wait_for(op.inputs)) {
+      state.fail(id);
+      return;
+    }
+    const topology::NodeId self =
+        op.kind == OpKind::kSend ? op.from : op.node;
+    if (is_dead(self)) {
+      blame(self);
+      state.fail(id);
+      return;
+    }
     const auto op_start = runtime::detail::TraceClock::now();
     std::uint64_t op_bytes = 0;
     switch (op.kind) {
@@ -155,11 +234,87 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
         const double chunk_sec =
             static_cast<double>(params_.pace_chunk) /
             (bw.as_bytes_per_sec() * params_.time_scale);
-        const auto delay_ns =
-            static_cast<std::uint64_t>(chunk_sec * 1e9);
-        Socket sock = connect_local(port[op.node]);
-        send_value(sock, id, payload, params_.pace_chunk, delay_ns);
-        (rf == rt ? inner_bytes : cross_bytes) += payload.size();
+        const auto delay_ns = static_cast<std::uint64_t>(chunk_sec * 1e9);
+        const double expected_s =
+            static_cast<double>(payload.size()) /
+            (bw.as_bytes_per_sec() * params_.time_scale);
+        const fault::Straggle* straggle =
+            params_.faults.straggle_of(op.from);
+        // Returns the endpoint that died, if either did (sender first).
+        auto endpoint_dead = [&]() -> topology::NodeId {
+          if (is_dead(op.from)) return op.from;
+          if (is_dead(op.node)) return op.node;
+          return fault::kNoNode;
+        };
+
+        bool sent = false;
+        for (std::size_t attempt = 0;
+             attempt < params_.retry.max_attempts && !sent; ++attempt) {
+          if (const topology::NodeId d = endpoint_dead();
+              d != fault::kNoNode) {
+            blame(d);
+            state.fail(id);
+            return;
+          }
+          // A straggling sender's stream crawls; the straggler detector
+          // abandons the attempt at threshold x the expected duration and
+          // the op is retried after backoff (speculative re-fetch).
+          bool afflicted = false;
+          if (straggle != nullptr) {
+            std::scoped_lock lock(fault_mu_);
+            if (afflicted_[op.from] < straggle->attempts) {
+              ++afflicted_[op.from];
+              afflicted = true;
+            }
+          }
+          if (afflicted) {
+            ++faults;
+            const double stall_s =
+                std::min(expected_s * straggle->factor,
+                         std::min(expected_s *
+                                      params_.retry.straggler_threshold,
+                                  params_.retry.op_deadline_s));
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(stall_s));
+            if (attempt + 1 < params_.retry.max_attempts) {
+              ++retries;
+              std::this_thread::sleep_for(std::chrono::duration<double>(
+                  params_.retry.backoff_s(attempt)));
+            }
+            continue;
+          }
+          try {
+            Socket sock =
+                connect_local(port[op.node], params_.retry.op_deadline_s);
+            const bool ok = send_value(
+                sock, id, payload, params_.pace_chunk, delay_ns,
+                [&] { return endpoint_dead() != fault::kNoNode; });
+            if (!ok) {
+              // Abandoned mid-stream: closing the socket gives the
+              // receiver a short read it tolerates.
+              const topology::NodeId d = endpoint_dead();
+              blame(d != fault::kNoNode ? d : op.node);
+              state.fail(id);
+              return;
+            }
+            (rf == rt ? inner_bytes : cross_bytes) += payload.size();
+            sent = true;
+          } catch (const std::exception&) {
+            // Connect/send error: the receiver may be gone or not
+            // accepting; retry within budget.
+            if (attempt + 1 < params_.retry.max_attempts) {
+              ++retries;
+              std::this_thread::sleep_for(std::chrono::duration<double>(
+                  params_.retry.backoff_s(attempt)));
+            }
+          }
+        }
+        if (!sent) {
+          // Every attempt failed: the receiver is unreachable — lost.
+          declare_lost(op.node);
+          state.fail(id);
+          return;
+        }
         // The receiver's acceptor publishes the value; nothing to do here.
         break;
       }
@@ -183,6 +338,11 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
           }
         }
         op_bytes = acc.size() * op.inputs.size();  // one region pass per input
+        if (is_dead(op.node)) {
+          blame(op.node);
+          state.fail(id);
+          return;
+        }
         state.publish(id, std::move(acc));
         break;
       }
@@ -195,16 +355,43 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
 
   std::vector<std::thread> threads;
 
-  // Acceptors: each ingests exactly its expected number of messages.
+  // Acceptors: each ingests connections until every op it is owed is done
+  // or failed (a sender that gave up fails the op itself), or until its own
+  // node dies — then the unresolved remainder fails. Accept polls with a
+  // short timeout so the exit conditions are re-checked; per-connection
+  // recv errors (peer died mid-message) are tolerated.
+  constexpr double kAcceptPollS = 0.01;
   for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
-    if (expected_msgs[n] == 0) continue;
+    if (incoming_of_node[n].empty()) continue;
     threads.emplace_back([&, n] {
       try {
-        for (std::size_t i = 0; i < expected_msgs[n]; ++i) {
-          Socket peer = listener[n]->accept();
-          ReceivedValue v = recv_value(peer, max_payload);
+        const std::vector<OpId>& owed = incoming_of_node[n];
+        auto all_resolved = [&] {
+          return std::all_of(owed.begin(), owed.end(),
+                             [&](OpId id) { return state.resolved(id); });
+        };
+        while (!all_resolved()) {
+          if (is_dead(n)) {
+            blame(n);
+            for (OpId id : owed) state.fail(id);
+            break;
+          }
+          Socket peer = listener[n]->accept(kAcceptPollS);
+          if (!peer.valid()) continue;  // poll timeout: re-check conditions
+          peer.set_recv_timeout(params_.retry.op_deadline_s);
+          ReceivedValue v;
+          try {
+            v = recv_value(peer, max_payload);
+          } catch (const std::exception&) {
+            continue;  // broken/abandoned stream; the sender retries
+          }
           if (v.op_id >= plan.ops.size()) {
             throw std::runtime_error("tcp_runtime: bogus op id on wire");
+          }
+          if (is_dead(n)) {
+            blame(n);
+            for (OpId id : owed) state.fail(id);
+            break;
           }
           state.publish(v.op_id, Block(v.payload.begin(), v.payload.end()));
         }
@@ -236,8 +423,35 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
   result.cross_rack_bytes = cross_bytes.load();
   result.inner_rack_bytes = inner_bytes.load();
-  result.outputs.reserve(outputs.size());
-  for (OpId id : outputs) result.outputs.push_back(state.take_copy(id));
+  result.retries = retries.load();
+  result.faults_injected = faults.load();
+
+  bool any_output_failed = false;
+  {
+    std::unique_lock lock(state.mu);
+    for (OpId id : outputs) any_output_failed |= state.failed[id];
+  }
+  if (!any_output_failed) {
+    result.outputs.reserve(outputs.size());
+    for (OpId id : outputs) result.outputs.push_back(state.take_copy(id));
+    return result;
+  }
+
+  if (first_dead.load() == fault::kNoNode) {
+    throw std::logic_error("tcp_runtime: output failed with no node to blame");
+  }
+  runtime::TestbedAbort abort;
+  abort.dead_node = first_dead.load();
+  {
+    std::scoped_lock fl(fault_mu_);
+    std::unique_lock lock(state.mu);
+    for (OpId id = 0; id < plan.ops.size(); ++id) {
+      if (!state.done[id]) continue;
+      if (dead_.count(plan.ops[id].node) != 0) continue;
+      abort.completed.emplace_back(id, state.value[id]);
+    }
+  }
+  result.abort = std::move(abort);
   return result;
 }
 

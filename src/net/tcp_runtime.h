@@ -13,8 +13,24 @@
 // TOR switch — so this runtime validates *correctness over a real network
 // stack* and coarse timing, while `runtime::Testbed` and `simnet` carry the
 // calibrated cost models.
+//
+// Fault injection mirrors runtime::Testbed (same FaultSchedule, same
+// TestbedResult/TestbedAbort contract) but failures manifest through the
+// socket layer: a killed node stops accepting and abandons in-flight sends
+// (peers observe EOF/connection errors, bounded by the retry policy's
+// timeouts — never a hang, see net/socket.h), a straggling sender stalls
+// until the straggler-detection deadline and is retried with exponential
+// backoff, and an execute() whose outputs became unreachable returns an
+// abort for repair::execute_resilient_with to re-plan around. Dead nodes
+// persist across execute() calls on one TcpRuntime.
 #pragma once
 
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "fault/fault.h"
 #include "repair/plan.h"
 #include "rs/rs_code.h"
 #include "runtime/region_net.h"
@@ -35,6 +51,12 @@ struct TcpRuntimeParams {
   /// its node's track (sends are timed sender-side but land on the receiving
   /// node's row, matching the simulator convention). Must outlive execute().
   obs::Recorder* recorder = nullptr;
+  /// Faults to inject (kill times are seconds since TcpRuntime
+  /// construction, on the wall clock).
+  fault::FaultSchedule faults;
+  /// Retry/backoff/straggler-detection policy; op_deadline_s bounds every
+  /// connect and recv so dead peers produce errors, not hangs.
+  fault::RetryPolicy retry;
 };
 
 class TcpRuntime {
@@ -43,7 +65,8 @@ class TcpRuntime {
 
   /// Runs the plan with one worker thread (plus one acceptor thread where
   /// needed) per involved node, moving every inter-node value through a
-  /// real TCP connection. Returns outputs and measured wall time.
+  /// real TCP connection. Returns outputs and measured wall time; under
+  /// injected faults the result may instead carry a TestbedAbort.
   runtime::TestbedResult execute(const repair::RepairPlan& plan,
                                  std::span<const repair::OpId> outputs,
                                  std::span<const rs::Block> stripe);
@@ -52,9 +75,17 @@ class TcpRuntime {
     return cluster_;
   }
 
+  /// Nodes that have died so far (kill times passed or retries exhausted).
+  [[nodiscard]] std::set<topology::NodeId> dead_nodes() const;
+
  private:
   topology::Cluster cluster_;
   TcpRuntimeParams params_;
+  /// Session clock origin for kill times.
+  std::chrono::steady_clock::time_point session_start_;
+  mutable std::mutex fault_mu_;
+  std::set<topology::NodeId> dead_;
+  std::map<topology::NodeId, std::size_t> afflicted_;
 };
 
 }  // namespace rpr::net

@@ -1,0 +1,139 @@
+#include "repair/replan.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "gf/gf256.h"
+#include "repair/reduction.h"
+
+namespace rpr::repair {
+
+std::vector<LeafTerms> leaf_contributions(const RepairPlan& plan) {
+  std::vector<LeafTerms> contrib(plan.ops.size());
+  for (OpId id = 0; id < plan.ops.size(); ++id) {
+    const PlanOp& op = plan.ops[id];
+    switch (op.kind) {
+      case OpKind::kRead:
+        if (op.coeff != 0) contrib[id][op.block] = op.coeff;
+        break;
+      case OpKind::kSend:
+        contrib[id] = contrib[op.inputs[0]];
+        break;
+      case OpKind::kCombine: {
+        LeafTerms& acc = contrib[id];
+        for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+          const std::uint8_t c =
+              op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
+          if (c == 0) continue;
+          for (const auto& [leaf, lc] : contrib[op.inputs[i]]) {
+            acc[leaf] ^= gf::mul(c, lc);
+          }
+        }
+        std::erase_if(acc, [](const auto& kv) { return kv.second == 0; });
+        break;
+      }
+    }
+  }
+  return contrib;
+}
+
+void substitute_source(const rs::RSCode& code, LeafTerms& terms,
+                       std::size_t lost_block,
+                       const std::set<std::size_t>& unusable) {
+  const auto it = terms.find(lost_block);
+  if (it == terms.end()) return;
+  const std::uint8_t c_lost = it->second;
+  terms.erase(it);
+
+  // Selection for the lost block's own repair equation: prefer blocks the
+  // outstanding equation already reads (the patch then only perturbs
+  // coefficients), then any other healthy block in index order.
+  const std::size_t total = code.config().total();
+  std::vector<std::size_t> selected;
+  selected.reserve(code.config().n);
+  auto usable = [&](std::size_t b) {
+    return b != lost_block && unusable.count(b) == 0;
+  };
+  for (const auto& [b, coeff] : terms) {
+    (void)coeff;
+    if (selected.size() == code.config().n) break;
+    if (usable(b)) selected.push_back(b);
+  }
+  for (std::size_t b = 0; b < total && selected.size() < code.config().n;
+       ++b) {
+    if (usable(b) && terms.count(b) == 0) selected.push_back(b);
+  }
+  if (selected.size() < code.config().n) {
+    throw std::runtime_error(
+        "substitute_source: fewer than n healthy blocks remain — "
+        "stripe unrecoverable");
+  }
+  std::sort(selected.begin(), selected.end());
+
+  const std::size_t lost[1] = {lost_block};
+  const auto eqs = code.repair_equations(lost, selected);
+  const auto& d = eqs.front();
+  for (std::size_t i = 0; i < d.sources.size(); ++i) {
+    if (d.coefficients[i] == 0) continue;
+    terms[d.sources[i]] ^= gf::mul(c_lost, d.coefficients[i]);
+  }
+  std::erase_if(terms, [](const auto& kv) { return kv.second == 0; });
+}
+
+OpId plan_remainder(RepairPlan& plan, const topology::Placement& placement,
+                    const RemainderEquation& eq, const RprOptions& opts,
+                    std::size_t round) {
+  using detail::Value;
+  const auto& cluster = placement.cluster();
+  const topology::RackId recovery_rack = cluster.rack_of(eq.destination);
+
+  std::map<topology::RackId, std::vector<Value>> by_rack;
+  // The partial seeds the recovery rack's reduction first, so the pairwise
+  // merges land at the destination and the partial's bytes never move.
+  if (eq.has_partial) {
+    const OpId r = plan.read(eq.destination, eq.partial_slot, 1,
+                             "partial b" + std::to_string(eq.failed_block));
+    by_rack[recovery_rack].push_back(Value{r, eq.destination, 0.0, true});
+  }
+  for (const auto& [b, coeff] : eq.terms) {
+    const topology::NodeId node = placement.node_of(b);
+    const OpId r = plan.read(node, b, coeff, "read b" + std::to_string(b));
+    by_rack[cluster.rack_of(node)].push_back(Value{r, node, 0.0, false});
+  }
+  if (by_rack.empty()) {
+    throw std::invalid_argument("plan_remainder: empty remainder equation");
+  }
+
+  std::vector<Value> intermediates;
+  for (auto& [rack, values] : by_rack) {
+    Value v = detail::pairwise_tree(plan, std::move(values),
+                                    detail::kInnerCost);
+    v.ready += static_cast<double>(round) * detail::kInnerCost;
+    if (rack == recovery_rack) {
+      if (v.node != eq.destination) {
+        const OpId sent = plan.send(v.op, v.node, eq.destination,
+                                    "inner:send");
+        v = Value{sent, eq.destination, v.ready + detail::kInnerCost, true};
+      } else {
+        v.at_recovery = true;
+      }
+    }
+    intermediates.push_back(v);
+  }
+
+  Value final_value;
+  if (opts.pipeline_cross) {
+    final_value =
+        detail::cross_reduce(plan, std::move(intermediates), eq.destination,
+                             cluster, opts.cross_cost);
+  } else {
+    final_value =
+        detail::star_aggregate(plan, std::move(intermediates), eq.destination,
+                               true, detail::kCrossCost, "cross");
+  }
+  return plan.combine(eq.destination, {final_value.op}, eq.with_matrix,
+                      "finalize b" + std::to_string(eq.failed_block));
+}
+
+}  // namespace rpr::repair

@@ -1,0 +1,87 @@
+// Mid-repair re-planning: the equation-patching math behind fault-tolerant
+// repair execution.
+//
+// A repair evaluates b_f = sum_i c_i * b_i (paper eq. 8) as a DAG. When a
+// helper holding source b_j dies mid-execution, exact coefficient-preserving
+// substitution of a single survivor is impossible in general: the c_i are the
+// *unique* representation of b_f over the chosen n independent survivors.
+// What IS always possible over GF(256) is equation patching — express the
+// lost source itself over the still-healthy blocks,
+//
+//     b_j = sum_i d_i * b_i                 (one more instance of eq. 8)
+//
+// and fold it into the outstanding equation: the remaining requirement for
+// each block i becomes  c_i XOR (c_j * d_i)  (GF addition is XOR, so
+// "subtracting" the dead term and "adding" its expansion are both XORs).
+// The patched equation never references the dead node and is evaluated by
+// the same rack-aware pipeline the planner uses (eq. 9 grouping).
+//
+// Reuse of work already done: any value that was fully delivered at the
+// destination node before the failure is a known linear combination of
+// stripe blocks (its *leaf contributions*, computable by walking the DAG).
+// If those contributions match a subset of the outstanding terms exactly,
+// the value is XORed into a running partial at the destination and the
+// matched terms are dropped — the expensive cross-rack transfers that built
+// it are never repeated. The partial then participates in the remainder
+// plan as a pseudo stripe slot (index >= n+k) read at the destination.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "repair/plan.h"
+#include "repair/planner.h"
+#include "rs/rs_code.h"
+#include "topology/placement.h"
+
+namespace rpr::repair {
+
+/// Sparse linear combination of stripe blocks: block index -> coefficient.
+/// Entries are always nonzero (zero coefficients are erased).
+using LeafTerms = std::map<std::size_t, std::uint8_t>;
+
+/// Leaf contributions of every op's value: walking the DAG in topological
+/// (id) order, a read contributes {block: coeff}, a send copies its input,
+/// and a combine accumulates input_coeff * contribution over its inputs.
+/// An op's value equals sum over its map of coeff * stripe[block] — the
+/// invariant that makes partial-result reuse sound.
+[[nodiscard]] std::vector<LeafTerms> leaf_contributions(const RepairPlan& plan);
+
+/// Removes `lost_block` from `terms` by substituting its repair equation
+/// over n healthy blocks (none in `unusable`, which must contain every
+/// failed, dead-resident, and corrupt block — including `lost_block`).
+/// Blocks already present in `terms` are preferred as substitution sources
+/// so the patch widens the equation as little as possible. No-op when
+/// `terms` does not reference `lost_block`. Throws std::runtime_error when
+/// fewer than n healthy blocks remain (the stripe is unrecoverable).
+void substitute_source(const rs::RSCode& code, LeafTerms& terms,
+                       std::size_t lost_block,
+                       const std::set<std::size_t>& unusable);
+
+/// What is still to be computed for one failed block mid-repair.
+struct RemainderEquation {
+  std::size_t failed_block = 0;
+  /// Real stripe blocks still to be fetched (patched coefficients).
+  LeafTerms terms;
+  /// A partial sum already accumulated at `destination` (pseudo stripe slot
+  /// `partial_slot`, coefficient 1), when any prior work was reusable.
+  bool has_partial = false;
+  std::size_t partial_slot = 0;
+  topology::NodeId destination = 0;
+  /// Charge the final combine at matrix-decode speed.
+  bool with_matrix = false;
+};
+
+/// Plans the evaluation of a remainder equation with the planner's
+/// rack-aware machinery (Algorithm 1 per rack, pipelined or starred
+/// cross-rack reduction rooted at the destination). The partial, if any, is
+/// read at the destination and seeds the recovery rack's reduction. Returns
+/// the op producing the finished block at eq.destination. `round` staggers
+/// readiness estimates exactly as in multi-failure planning.
+OpId plan_remainder(RepairPlan& plan, const topology::Placement& placement,
+                    const RemainderEquation& eq, const RprOptions& opts,
+                    std::size_t round);
+
+}  // namespace rpr::repair

@@ -1,0 +1,474 @@
+#include "repair/resilient.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "repair/executor_data.h"
+#include "repair/plan.h"
+#include "simnet/simnet.h"
+#include "util/units.h"
+
+namespace rpr::repair {
+
+namespace {
+
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
+/// Session state for one outstanding equation (one failed block).
+struct EqState {
+  std::size_t failed_block = 0;
+  /// Terms still to be fetched from their storage nodes.
+  LeafTerms remaining;
+  /// Terms whose contribution is already in `partial` at `destination`.
+  LeafTerms banked;
+  rs::Block partial;  ///< empty = no banked work
+  /// Pseudo stripe slot the partial occupied in the attempted plan.
+  std::size_t slot = kNoSlot;
+  topology::NodeId destination = 0;
+  bool with_matrix = false;
+  bool done = false;
+  rs::Block result;
+
+  [[nodiscard]] bool has_partial() const { return !partial.empty(); }
+};
+
+void drop_zero_terms(LeafTerms& terms) {
+  std::erase_if(terms, [](const auto& kv) { return kv.second == 0; });
+}
+
+/// Banks every reusable finished value of the failed attempt into the
+/// equation's partial: a value at the destination is folded in when its
+/// leaf contributions exactly match a subset of the outstanding terms
+/// (including the previous round's partial via its pseudo slot), leaves
+/// disjoint across accepted values. Returns how many values were folded.
+std::size_t fold_finished_values(
+    EqState& s, const RepairPlan& plan,
+    const std::vector<LeafTerms>& contrib,
+    const std::vector<std::pair<OpId, rs::Block>>& finished) {
+  // What the destination still owes us, with the existing partial appearing
+  // as one more pseudo term.
+  LeafTerms owed = s.remaining;
+  if (s.has_partial() && s.slot != kNoSlot) owed[s.slot] = 1;
+
+  // Candidates: finished values resident at the destination, largest leaf
+  // set first so one big intermediate beats the reads it was built from.
+  std::vector<const std::pair<OpId, rs::Block>*> candidates;
+  for (const auto& f : finished) {
+    if (plan.ops[f.first].node == s.destination && !contrib[f.first].empty()) {
+      candidates.push_back(&f);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const auto* a, const auto* b) {
+              const std::size_t ca = contrib[a->first].size();
+              const std::size_t cb = contrib[b->first].size();
+              return ca != cb ? ca > cb : a->first < b->first;
+            });
+
+  std::set<std::size_t> covered;
+  std::vector<const std::pair<OpId, rs::Block>*> accepted;
+  for (const auto* cand : candidates) {
+    const LeafTerms& leaves = contrib[cand->first];
+    bool usable = true;
+    for (const auto& [leaf, coeff] : leaves) {
+      const auto it = owed.find(leaf);
+      if (it == owed.end() || it->second != coeff ||
+          covered.count(leaf) != 0) {
+        usable = false;
+        break;
+      }
+    }
+    if (!usable) continue;
+    for (const auto& [leaf, coeff] : leaves) covered.insert(leaf);
+    accepted.push_back(cand);
+  }
+  if (accepted.empty()) return 0;
+
+  // New partial = XOR of accepted values, plus the old partial when no
+  // accepted value subsumed it (its bytes are still at the destination).
+  rs::Block next(accepted.front()->second.size(), 0);
+  auto xor_into = [&next](const rs::Block& src) {
+    for (std::size_t i = 0; i < next.size(); ++i) next[i] ^= src[i];
+  };
+  for (const auto* cand : accepted) xor_into(cand->second);
+  const bool partial_subsumed =
+      s.has_partial() && s.slot != kNoSlot && covered.count(s.slot) != 0;
+  if (s.has_partial() && !partial_subsumed) xor_into(s.partial);
+
+  // Move the covered real terms from remaining to banked.
+  for (const std::size_t leaf : covered) {
+    const auto it = s.remaining.find(leaf);
+    if (it == s.remaining.end()) continue;  // the pseudo partial slot
+    s.banked[leaf] ^= it->second;
+    s.remaining.erase(it);
+  }
+  drop_zero_terms(s.banked);
+  s.partial = std::move(next);
+  return accepted.size();
+}
+
+topology::NodeId pick_new_destination(
+    const topology::Cluster& cluster, topology::RackId preferred_rack,
+    const std::set<topology::NodeId>& dead,
+    const std::vector<EqState>& eqs, const topology::Placement& placement,
+    std::size_t total_blocks) {
+  auto taken = [&](topology::NodeId node) {
+    if (dead.count(node) != 0) return true;
+    for (const auto& s : eqs) {
+      if (s.destination == node) return true;
+    }
+    for (std::size_t b = 0; b < total_blocks; ++b) {
+      if (placement.node_of(b) == node) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < cluster.nodes_per_rack(); ++i) {
+    const topology::NodeId node =
+        preferred_rack * cluster.nodes_per_rack() + i;
+    if (!taken(node)) return node;
+  }
+  for (topology::NodeId node = 0; node < cluster.total_nodes(); ++node) {
+    if (!taken(node)) return node;
+  }
+  throw std::runtime_error(
+      "execute_resilient: no healthy replacement node left");
+}
+
+}  // namespace
+
+ResilientOutcome execute_resilient(const RepairProblem& problem,
+                                   const Planner& planner,
+                                   const AttemptFn& attempt,
+                                   std::span<const rs::Block> stripe,
+                                   const ResilientOptions& opts) {
+  if (problem.code == nullptr || problem.placement == nullptr) {
+    throw std::invalid_argument("execute_resilient: problem not specified");
+  }
+  const rs::RSCode& code = *problem.code;
+  const topology::Placement& placement = *problem.placement;
+  const topology::Cluster& cluster = placement.cluster();
+  const std::size_t total = code.config().total();
+
+  const PlannedRepair planned = planner.plan(problem);
+
+  ResilientOutcome out;
+  out.used_decoding_matrix = planned.used_decoding_matrix;
+  out.destinations = problem.replacements;
+
+  std::vector<EqState> eqs;
+  eqs.reserve(planned.equations.size());
+  for (std::size_t e = 0; e < planned.equations.size(); ++e) {
+    const rs::RepairEquation& eq = planned.equations[e];
+    EqState s;
+    s.failed_block = eq.failed_block;
+    for (std::size_t i = 0; i < eq.sources.size(); ++i) {
+      if (eq.coefficients[i] != 0) s.remaining[eq.sources[i]] =
+          eq.coefficients[i];
+    }
+    s.destination = problem.replacements[e];
+    s.with_matrix = planned.used_decoding_matrix;
+    eqs.push_back(std::move(s));
+  }
+
+  std::set<std::size_t> unusable(problem.failed.begin(), problem.failed.end());
+  std::set<topology::NodeId> dead = opts.unavailable;
+
+  RepairPlan cur_plan = planned.plan;
+  std::vector<OpId> cur_outputs = planned.outputs;
+  std::vector<std::size_t> eq_of_output(eqs.size());
+  for (std::size_t i = 0; i < eqs.size(); ++i) eq_of_output[i] = i;
+  std::vector<rs::Block> ext_stripe(stripe.begin(), stripe.end());
+
+  for (std::size_t round = 0;; ++round) {
+    const AttemptOutcome a = attempt(cur_plan, cur_outputs, ext_stripe);
+    out.retries += a.retries;
+    out.faults_injected += a.faults_injected;
+    out.total_time_s += a.elapsed_s;
+    out.cross_rack_bytes += a.cross_rack_bytes;
+    out.inner_rack_bytes += a.inner_rack_bytes;
+    if (opts.probe.metrics && a.retries > 0) {
+      opts.probe.metrics->counter("repair.retries").add(a.retries);
+    }
+    if (opts.probe.metrics && a.faults_injected > 0) {
+      opts.probe.metrics->counter("repair.faults_injected")
+          .add(a.faults_injected);
+    }
+
+    if (a.completed) {
+      for (std::size_t i = 0; i < cur_outputs.size(); ++i) {
+        EqState& s = eqs[eq_of_output[i]];
+        s.result = a.outputs[i];
+        s.done = true;
+      }
+      break;
+    }
+
+    if (a.dead_node == fault::kNoNode) {
+      throw std::runtime_error(
+          "execute_resilient: attempt aborted without naming a dead node");
+    }
+    if (round >= opts.max_replans) {
+      throw std::runtime_error("execute_resilient: re-plan budget exhausted");
+    }
+    ++out.replans;
+    ++out.faults_injected;
+    dead.insert(a.dead_node);
+    if (opts.probe.metrics) {
+      opts.probe.metrics->counter("repair.replans").increment();
+      opts.probe.metrics->counter("repair.faults_injected").increment();
+    }
+    if (opts.probe.trace) {
+      obs::Span span;
+      span.name = "replan (node " + std::to_string(a.dead_node) + " lost)";
+      span.category = "replan";
+      span.track = a.dead_node;
+      span.start_ns = static_cast<std::int64_t>(out.total_time_s * 1e9);
+      span.dur_ns = 0;
+      opts.probe.trace->add_span(std::move(span));
+    }
+
+    // Every block on a dead node is gone for good.
+    for (std::size_t b = 0; b < total; ++b) {
+      if (dead.count(placement.node_of(b)) != 0) unusable.insert(b);
+    }
+
+    // An output that finished before the failure is simply done — its bytes
+    // were delivered at a (still alive) destination.
+    const auto contrib = leaf_contributions(cur_plan);
+    for (std::size_t i = 0; i < cur_outputs.size(); ++i) {
+      EqState& s = eqs[eq_of_output[i]];
+      for (const auto& f : a.finished) {
+        if (f.first == cur_outputs[i]) {
+          s.result = f.second;
+          s.done = true;
+          break;
+        }
+      }
+    }
+
+    std::size_t next_round_index = 0;
+    RepairPlan next_plan;
+    next_plan.block_size = problem.block_size;
+    std::vector<OpId> next_outputs;
+    std::vector<std::size_t> next_eq_of_output;
+    ext_stripe.assign(stripe.begin(), stripe.end());
+
+    for (std::size_t e = 0; e < eqs.size(); ++e) {
+      EqState& s = eqs[e];
+      if (s.done) continue;
+
+      if (dead.count(s.destination) != 0) {
+        // The replacement node itself died: its partial is gone — move the
+        // banked terms back into the outstanding equation and start a fresh
+        // partial at a new destination.
+        for (const auto& [b, c] : s.banked) s.remaining[b] ^= c;
+        drop_zero_terms(s.remaining);
+        s.banked.clear();
+        s.partial.clear();
+        s.slot = kNoSlot;
+        s.destination = pick_new_destination(
+            cluster, cluster.rack_of(s.destination), dead, eqs, placement,
+            total);
+        out.destinations[e] = s.destination;
+      } else {
+        out.reused_values +=
+            fold_finished_values(s, cur_plan, contrib, a.finished);
+      }
+
+      // Patch the outstanding equation around every unusable block.
+      std::vector<std::size_t> bad;
+      for (const auto& [b, c] : s.remaining) {
+        (void)c;
+        if (unusable.count(b) != 0) bad.push_back(b);
+      }
+      for (const std::size_t b : bad) {
+        substitute_source(code, s.remaining, b, unusable);
+        // Patched coefficients are arbitrary: the cheap XOR-only decode
+        // guarantee is void, so charge the matrix path from here on.
+        s.with_matrix = true;
+      }
+
+      RemainderEquation req;
+      req.failed_block = s.failed_block;
+      req.terms = s.remaining;
+      req.destination = s.destination;
+      req.with_matrix = s.with_matrix;
+      if (s.has_partial()) {
+        req.has_partial = true;
+        req.partial_slot = ext_stripe.size();
+        s.slot = req.partial_slot;
+        ext_stripe.push_back(s.partial);
+      } else {
+        s.slot = kNoSlot;
+      }
+      next_outputs.push_back(plan_remainder(next_plan, placement, req,
+                                            opts.planner, next_round_index++));
+      next_eq_of_output.push_back(e);
+    }
+
+    if (next_outputs.empty()) break;  // everything finished before the fault
+    cur_plan = std::move(next_plan);
+    cur_outputs = std::move(next_outputs);
+    eq_of_output = std::move(next_eq_of_output);
+  }
+
+  out.outputs.resize(eqs.size());
+  for (std::size_t e = 0; e < eqs.size(); ++e) {
+    if (!eqs[e].done) {
+      throw std::logic_error("execute_resilient: equation left unfinished");
+    }
+    out.outputs[e] = std::move(eqs[e].result);
+  }
+  return out;
+}
+
+namespace {
+
+/// Discrete-event chaos engine: executes plans on SimNetwork under a fault
+/// schedule, on a session-wide simulated clock.
+class SimChaosEngine {
+ public:
+  SimChaosEngine(const topology::Cluster& cluster,
+                 const topology::NetworkParams& net,
+                 const fault::FaultSchedule& faults)
+      : cluster_(cluster), net_(net), faults_(faults) {}
+
+  AttemptOutcome attempt(const RepairPlan& plan,
+                         std::span<const OpId> outputs,
+                         std::span<const rs::Block> stripe) {
+    validate(plan, cluster_);
+    simnet::SimNetwork sim(cluster_, net_);
+    for (const auto& st : faults_.stragglers) {
+      sim.slow_node(st.node, st.factor);
+      if (straggles_counted_.insert(st.node).second) ++straggler_faults_;
+    }
+
+    // Lower op-for-task so TaskStats index back to plan ops.
+    std::vector<simnet::TaskId> task_of(plan.ops.size());
+    for (OpId id = 0; id < plan.ops.size(); ++id) {
+      const PlanOp& op = plan.ops[id];
+      std::vector<simnet::TaskId> deps;
+      deps.reserve(op.inputs.size());
+      for (OpId in : op.inputs) deps.push_back(task_of[in]);
+      switch (op.kind) {
+        case OpKind::kRead:
+          task_of[id] = sim.add_compute(op.node, 0, std::move(deps), op.label);
+          break;
+        case OpKind::kSend:
+          task_of[id] = sim.add_transfer(op.from, op.node, plan.block_size,
+                                         std::move(deps), op.label);
+          break;
+        case OpKind::kCombine: {
+          const std::uint64_t passes =
+              op.inputs.size() >= 2 ? op.inputs.size() - 1 : 1;
+          task_of[id] = sim.add_compute(
+              op.node,
+              sim.decode_duration(plan.block_size * passes,
+                                  op.with_matrix_cost),
+              std::move(deps), op.label);
+          break;
+        }
+      }
+    }
+    const simnet::RunResult run = sim.run();
+
+    // Earliest kill that actually bites this attempt: some task touching the
+    // killed node would still be unfinished at the cut.
+    const fault::KillNode* biting = nullptr;
+    util::SimTime cut = 0;
+    for (const auto& kill : faults_.kills) {
+      if (dead_.count(kill.node) != 0) continue;
+      const double rel_s = std::max(0.0, kill.at_s - clock_s_);
+      const auto kill_cut =
+          static_cast<util::SimTime>(rel_s * util::kNsPerSec);
+      if (kill_cut >= run.makespan) continue;
+      bool touches = false;
+      for (OpId id = 0; id < plan.ops.size(); ++id) {
+        const simnet::TaskStats& st = run.tasks[task_of[id]];
+        if ((st.node == kill.node || st.from == kill.node) &&
+            st.finish > kill_cut) {
+          touches = true;
+          break;
+        }
+      }
+      if (!touches) {
+        // The node dies, but this plan is already past needing it.
+        dead_.insert(kill.node);
+        continue;
+      }
+      if (biting == nullptr || kill_cut < cut) {
+        biting = &kill;
+        cut = kill_cut;
+      }
+    }
+
+    AttemptOutcome a;
+    a.faults_injected = straggler_faults_;
+    straggler_faults_ = 0;
+
+    if (biting == nullptr) {
+      a.completed = true;
+      a.outputs = execute_on_data(plan, outputs, stripe);
+      a.elapsed_s = util::to_sec(run.makespan);
+      clock_s_ += a.elapsed_s;
+      a.cross_rack_bytes = run.cross_rack_bytes;
+      a.inner_rack_bytes = run.inner_rack_bytes;
+      return a;
+    }
+
+    dead_.insert(biting->node);
+    a.dead_node = biting->node;
+    a.elapsed_s = util::to_sec(cut);
+    clock_s_ += a.elapsed_s;
+
+    // Values fully materialized by the cut, excluding any at a dead node,
+    // and truncated traffic accounting.
+    std::vector<OpId> done_ops;
+    for (OpId id = 0; id < plan.ops.size(); ++id) {
+      const simnet::TaskStats& st = run.tasks[task_of[id]];
+      if (st.finish > cut) continue;
+      if (st.kind == simnet::TaskKind::kTransfer && st.from != st.node) {
+        (st.cross_rack ? a.cross_rack_bytes : a.inner_rack_bytes) += st.bytes;
+      }
+      if (dead_.count(plan.ops[id].node) != 0) continue;
+      done_ops.push_back(id);
+    }
+    const auto values = execute_on_data(plan, done_ops, stripe);
+    a.finished.reserve(done_ops.size());
+    for (std::size_t i = 0; i < done_ops.size(); ++i) {
+      a.finished.emplace_back(done_ops[i], values[i]);
+    }
+    return a;
+  }
+
+ private:
+  const topology::Cluster& cluster_;
+  topology::NetworkParams net_;
+  fault::FaultSchedule faults_;
+  double clock_s_ = 0.0;
+  std::set<topology::NodeId> dead_;
+  std::set<topology::NodeId> straggles_counted_;
+  std::size_t straggler_faults_ = 0;
+};
+
+}  // namespace
+
+ResilientOutcome simulate_resilient(const RepairProblem& problem,
+                                    const Planner& planner,
+                                    std::span<const rs::Block> stripe,
+                                    const topology::NetworkParams& net,
+                                    const fault::FaultSchedule& faults,
+                                    const ResilientOptions& opts) {
+  SimChaosEngine engine(problem.placement->cluster(), net, faults);
+  const AttemptFn attempt = [&engine](const RepairPlan& plan,
+                                      std::span<const OpId> outputs,
+                                      std::span<const rs::Block> view) {
+    return engine.attempt(plan, outputs, view);
+  };
+  return execute_resilient(problem, planner, attempt, stripe, opts);
+}
+
+}  // namespace rpr::repair

@@ -1,0 +1,155 @@
+// Resilient repair execution: the driver that turns a single-shot repair
+// plan into a fault-tolerant repair session.
+//
+// The driver owns the session state (outstanding equation per failed block,
+// partial sums already banked at each destination) and delegates each
+// attempt to an engine-agnostic AttemptFn. An attempt either completes —
+// returning the output blocks — or aborts with the node it declared lost
+// plus every value that finished before the failure. On abort the driver:
+//
+//   1. banks reusable finished values into per-equation partial sums
+//      (exact leaf-contribution match, see repair/replan.h),
+//   2. patches every outstanding equation that references a block on a dead
+//      node (equation substitution over the remaining healthy blocks),
+//   3. plans the remainder with the rack-aware pipeline and tries again,
+//
+// up to a bounded number of re-plans. Observability: `repair.replans`,
+// `repair.retries`, `repair.faults_injected` counters plus one re-plan span
+// per recovery round flow through the obs::Probe.
+//
+// Engines: `simulate_resilient` runs the whole session on the discrete-event
+// simulator (kills at simulated time, bit-exact values via DataExecutor);
+// `execute_resilient_with` adapts any threaded engine whose execute()
+// returns a runtime::TestbedResult-shaped outcome (Testbed, TcpRuntime).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "repair/planner.h"
+#include "repair/replan.h"
+#include "rs/rs_code.h"
+
+namespace rpr::repair {
+
+/// Result of one execution attempt of one plan.
+struct AttemptOutcome {
+  bool completed = false;
+  /// completed: the requested outputs' values (parallel to the `outputs`
+  /// span the attempt was given).
+  std::vector<rs::Block> outputs;
+  /// aborted: the node declared lost (killed, or retries exhausted).
+  topology::NodeId dead_node = fault::kNoNode;
+  /// aborted: values fully materialized before the failure, excluding any
+  /// resident on a dead node.
+  std::vector<std::pair<OpId, rs::Block>> finished;
+  std::size_t retries = 0;
+  std::size_t faults_injected = 0;
+  double elapsed_s = 0.0;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t inner_rack_bytes = 0;
+};
+
+/// Executes one plan over `stripe` (which may be extended with pseudo
+/// partial slots beyond n+k) and reports completion or failure.
+using AttemptFn = std::function<AttemptOutcome(
+    const RepairPlan& plan, std::span<const OpId> outputs,
+    std::span<const rs::Block> stripe)>;
+
+struct ResilientOptions {
+  /// Maximum number of mid-repair re-plans before giving up.
+  std::size_t max_replans = 8;
+  /// Nodes known dead before the session starts (e.g. the failed nodes a
+  /// storage system is repairing around): never picked as replacement
+  /// destinations during a re-plan.
+  std::set<topology::NodeId> unavailable;
+  /// Options for remainder planning (pipeline shape, cross costs).
+  RprOptions planner;
+  /// Telemetry: counters repair.replans / repair.retries /
+  /// repair.faults_injected, plus one span per re-plan round.
+  obs::Probe probe;
+};
+
+struct ResilientOutcome {
+  /// Rebuilt blocks, parallel to RepairProblem::failed.
+  std::vector<rs::Block> outputs;
+  /// Final destination per output (may differ from the problem's
+  /// replacements when a replacement node itself died mid-repair).
+  std::vector<topology::NodeId> destinations;
+  std::size_t replans = 0;
+  std::size_t retries = 0;
+  std::size_t faults_injected = 0;
+  /// Finished values banked into partials instead of being re-fetched.
+  std::size_t reused_values = 0;
+  double total_time_s = 0.0;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t inner_rack_bytes = 0;
+  bool used_decoding_matrix = false;
+};
+
+/// Runs a repair session to completion: plans with `planner`, executes with
+/// `attempt`, re-plans around failures. `stripe` must hold the real bytes of
+/// every healthy block (failed entries ignored). Throws std::runtime_error
+/// when the re-plan budget is exhausted or the stripe becomes unrecoverable.
+ResilientOutcome execute_resilient(const RepairProblem& problem,
+                                   const Planner& planner,
+                                   const AttemptFn& attempt,
+                                   std::span<const rs::Block> stripe,
+                                   const ResilientOptions& opts = {});
+
+/// Full resilient session on the discrete-event simulator: kills fire at
+/// simulated time on a session-wide clock (attempt N+1 starts where attempt
+/// N was cut), stragglers scale the afflicted node's transfer durations, and
+/// values are bit-exact (DataExecutor). Deterministic: same schedule, same
+/// outcome.
+ResilientOutcome simulate_resilient(const RepairProblem& problem,
+                                    const Planner& planner,
+                                    std::span<const rs::Block> stripe,
+                                    const topology::NetworkParams& net,
+                                    const fault::FaultSchedule& faults,
+                                    const ResilientOptions& opts = {});
+
+/// Adapts a threaded engine (runtime::Testbed, net::TcpRuntime — anything
+/// whose execute(plan, outputs, stripe) returns a TestbedResult-shaped
+/// struct with retries/faults_injected/abort fields) into a resilient
+/// session. The engine instance persists across attempts so nodes it
+/// declared dead stay dead.
+template <typename Engine>
+ResilientOutcome execute_resilient_with(Engine& engine,
+                                        const RepairProblem& problem,
+                                        const Planner& planner,
+                                        std::span<const rs::Block> stripe,
+                                        const ResilientOptions& opts = {}) {
+  AttemptFn attempt = [&engine](const RepairPlan& plan,
+                                std::span<const OpId> outputs,
+                                std::span<const rs::Block> view) {
+    auto r = engine.execute(plan, outputs, view);
+    AttemptOutcome a;
+    a.retries = r.retries;
+    a.faults_injected = r.faults_injected;
+    a.elapsed_s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(r.wall_time)
+            .count();
+    a.cross_rack_bytes = r.cross_rack_bytes;
+    a.inner_rack_bytes = r.inner_rack_bytes;
+    if (r.abort.has_value()) {
+      a.dead_node = r.abort->dead_node;
+      a.finished = std::move(r.abort->completed);
+    } else {
+      a.completed = true;
+      a.outputs = std::move(r.outputs);
+    }
+    return a;
+  };
+  return execute_resilient(problem, planner, attempt, stripe, opts);
+}
+
+}  // namespace rpr::repair

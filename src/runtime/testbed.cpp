@@ -1,11 +1,10 @@
 #include "runtime/testbed.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
-#include <vector>
 
 #include "gf/gf256.h"
 #include "gf/gf_region.h"
@@ -25,23 +24,34 @@ namespace {
 
 /// Shared execution state: one slot per op, guarded by a single mutex
 /// (contention is negligible — threads spend their time in paced transfers
-/// and region kernels, not on the lock).
+/// and region kernels, not on the lock). An op is either pending, done
+/// (value published) or failed; failures propagate to every dependent.
 struct ExecState {
   std::mutex mu;
   std::condition_variable cv;
   std::vector<Block> value;
   std::vector<bool> done;
+  std::vector<bool> failed;
 
-  explicit ExecState(std::size_t ops) : value(ops), done(ops, false) {}
+  explicit ExecState(std::size_t ops)
+      : value(ops), done(ops, false), failed(ops, false) {}
 
-  void wait_for(const std::vector<OpId>& ids) {
+  /// Blocks until every input is done or any input failed; true = all done.
+  bool wait_for(const std::vector<OpId>& ids) {
     std::unique_lock lock(mu);
     cv.wait(lock, [&] {
+      for (OpId id : ids) {
+        if (failed[id]) return true;
+      }
       for (OpId id : ids) {
         if (!done[id]) return false;
       }
       return true;
     });
+    for (OpId id : ids) {
+      if (failed[id]) return false;
+    }
+    return true;
   }
 
   Block take_copy(OpId id) {
@@ -54,6 +64,14 @@ struct ExecState {
       std::unique_lock lock(mu);
       value[id] = std::move(b);
       done[id] = true;
+    }
+    cv.notify_all();
+  }
+
+  void fail(OpId id) {
+    {
+      std::unique_lock lock(mu);
+      failed[id] = true;
     }
     cv.notify_all();
   }
@@ -83,13 +101,23 @@ void build_and_invert_matrix(std::size_t dim) {
 }  // namespace
 
 Testbed::Testbed(topology::Cluster cluster, TestbedParams params)
-    : cluster_(cluster), params_(std::move(params)) {
+    : cluster_(cluster),
+      params_(std::move(params)),
+      session_start_(std::chrono::steady_clock::now()) {
   if (params_.net.racks() < cluster_.racks()) {
     throw std::invalid_argument("Testbed: RegionNet smaller than cluster");
   }
   if (params_.time_scale <= 0.0) {
     throw std::invalid_argument("Testbed: time_scale must be positive");
   }
+  if (params_.retry.max_attempts == 0) {
+    throw std::invalid_argument("Testbed: retry.max_attempts must be >= 1");
+  }
+}
+
+std::set<topology::NodeId> Testbed::dead_nodes() const {
+  std::scoped_lock lock(fault_mu_);
+  return dead_;
 }
 
 TestbedResult Testbed::execute(const RepairPlan& plan,
@@ -107,6 +135,64 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
 
   std::atomic<std::uint64_t> cross_bytes{0};
   std::atomic<std::uint64_t> inner_bytes{0};
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> faults{0};
+  // First node whose loss made an op fail this run (reported in the abort).
+  std::atomic<topology::NodeId> first_dead{fault::kNoNode};
+
+  // A node is dead once its kill time passed or its retries were exhausted;
+  // deaths outlive this execute() call (dead_ is a member).
+  auto is_dead = [&](topology::NodeId node) {
+    std::scoped_lock lock(fault_mu_);
+    if (dead_.count(node) != 0) return true;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      session_start_)
+            .count();
+    for (const auto& kill : params_.faults.kills) {
+      if (kill.node == node && elapsed >= kill.at_s) {
+        dead_.insert(node);
+        return true;
+      }
+    }
+    return false;
+  };
+  auto blame = [&](topology::NodeId node) {
+    topology::NodeId expected = fault::kNoNode;
+    first_dead.compare_exchange_strong(expected, node);
+  };
+  auto declare_lost = [&](topology::NodeId node) {
+    {
+      std::scoped_lock lock(fault_mu_);
+      dead_.insert(node);
+    }
+    blame(node);
+  };
+
+  // Paced transfer sliced so a mid-transfer death interrupts it; returns
+  // false (transfer failed) when either endpoint died.
+  constexpr double kSliceS = 0.0005;
+  auto paced_transfer = [&](std::uint64_t bytes, util::Bandwidth bw,
+                            topology::NodeId from,
+                            topology::NodeId to) -> bool {
+    const double total_s = static_cast<double>(bytes) /
+                           (bw.as_bytes_per_sec() * params_.time_scale);
+    double sent_s = 0.0;
+    while (sent_s < total_s) {
+      if (is_dead(from)) {
+        blame(from);
+        return false;
+      }
+      if (is_dead(to)) {
+        blame(to);
+        return false;
+      }
+      const double step = std::min(kSliceS, total_s - sent_s);
+      std::this_thread::sleep_for(std::chrono::duration<double>(step));
+      sent_s += step;
+    }
+    return true;
+  };
 
   // Assign ops to worker nodes: sends run on the sender, everything else on
   // the op's node.
@@ -123,7 +209,17 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
 
   auto run_op = [&](OpId id) {
     const PlanOp& op = plan.ops[id];
-    state.wait_for(op.inputs);
+    if (!state.wait_for(op.inputs)) {
+      state.fail(id);
+      return;
+    }
+    const topology::NodeId self =
+        op.kind == OpKind::kSend ? op.from : op.node;
+    if (is_dead(self)) {
+      blame(self);
+      state.fail(id);
+      return;
+    }
     const auto op_start = detail::TraceClock::now();
     std::uint64_t op_bytes = 0;
     switch (op.kind) {
@@ -146,15 +242,61 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
         const topology::RackId rt = cluster_.rack_of(op.node);
         const util::Bandwidth bw = params_.net.between_racks(rf, rt);
         const auto bytes = static_cast<std::uint64_t>(payload.size());
-        if (rf == rt) {
-          std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
-          pace(bytes, bw, params_.time_scale);
-          inner_bytes += bytes;
-        } else {
-          std::scoped_lock ports(node_tx[op.from], rack_tx[rf], rack_rx[rt],
-                                 node_rx[op.node]);
-          pace(bytes, bw, params_.time_scale);
-          cross_bytes += bytes;
+        const double expected_s =
+            static_cast<double>(bytes) /
+            (bw.as_bytes_per_sec() * params_.time_scale);
+        const fault::Straggle* straggle =
+            params_.faults.straggle_of(op.from);
+
+        bool sent = false;
+        for (std::size_t attempt = 0;
+             attempt < params_.retry.max_attempts && !sent; ++attempt) {
+          // A straggling sender's transfer crawls at factor x; the
+          // straggler detector abandons the attempt at threshold x the
+          // expected duration (speculative re-fetch), so an afflicted
+          // attempt costs the deadline, not the crawl.
+          bool afflicted = false;
+          if (straggle != nullptr) {
+            std::scoped_lock lock(fault_mu_);
+            if (afflicted_[op.from] < straggle->attempts) {
+              ++afflicted_[op.from];
+              afflicted = true;
+            }
+          }
+          if (afflicted) {
+            ++faults;
+            const double stall_s =
+                std::min(expected_s * straggle->factor,
+                         std::min(expected_s *
+                                      params_.retry.straggler_threshold,
+                                  params_.retry.op_deadline_s));
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(stall_s));
+            if (attempt + 1 < params_.retry.max_attempts) {
+              ++retries;
+              std::this_thread::sleep_for(std::chrono::duration<double>(
+                  params_.retry.backoff_s(attempt)));
+            }
+            continue;
+          }
+          if (rf == rt) {
+            std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
+            sent = paced_transfer(bytes, bw, op.from, op.node);
+            if (sent) inner_bytes += bytes;
+          } else {
+            std::scoped_lock ports(node_tx[op.from], rack_tx[rf],
+                                   rack_rx[rt], node_rx[op.node]);
+            sent = paced_transfer(bytes, bw, op.from, op.node);
+            if (sent) cross_bytes += bytes;
+          }
+          if (!sent) break;  // endpoint died: retrying cannot help
+        }
+        if (!sent) {
+          // Either an endpoint died mid-transfer (blamed already) or every
+          // attempt hit the straggler deadline — the sender is lost.
+          if (first_dead.load() == fault::kNoNode) declare_lost(op.from);
+          state.fail(id);
+          return;
         }
         state.publish(id, std::move(payload));
         break;
@@ -178,6 +320,11 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
           }
         }
         op_bytes = acc.size() * op.inputs.size();  // one region pass per input
+        if (is_dead(op.node)) {
+          blame(op.node);
+          state.fail(id);
+          return;
+        }
         state.publish(id, std::move(acc));
         break;
       }
@@ -200,8 +347,35 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
   result.cross_rack_bytes = cross_bytes.load();
   result.inner_rack_bytes = inner_bytes.load();
-  result.outputs.reserve(outputs.size());
-  for (OpId id : outputs) result.outputs.push_back(state.take_copy(id));
+  result.retries = retries.load();
+  result.faults_injected = faults.load();
+
+  bool any_output_failed = false;
+  {
+    std::unique_lock lock(state.mu);
+    for (OpId id : outputs) any_output_failed |= state.failed[id];
+  }
+  if (!any_output_failed) {
+    result.outputs.reserve(outputs.size());
+    for (OpId id : outputs) result.outputs.push_back(state.take_copy(id));
+    return result;
+  }
+
+  if (first_dead.load() == fault::kNoNode) {
+    throw std::logic_error("testbed: output failed with no node to blame");
+  }
+  TestbedAbort abort;
+  abort.dead_node = first_dead.load();
+  {
+    std::scoped_lock fl(fault_mu_);
+    std::unique_lock lock(state.mu);
+    for (OpId id = 0; id < plan.ops.size(); ++id) {
+      if (!state.done[id]) continue;
+      if (dead_.count(plan.ops[id].node) != 0) continue;
+      abort.completed.emplace_back(id, state.value[id]);
+    }
+  }
+  result.abort = std::move(abort);
   return result;
 }
 

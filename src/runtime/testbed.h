@@ -15,6 +15,20 @@
 // stage order (node TX -> rack TX -> rack RX -> node RX), which rules out
 // deadlock by construction.
 //
+// Fault injection (params.faults): kills fire on the wall clock measured
+// from Testbed construction — paced transfers are sliced so a mid-transfer
+// death interrupts the transfer rather than completing it; every op that
+// touches a dead node fails, failures propagate through the DAG, and an
+// execute() whose requested outputs are unreachable returns a TestbedAbort
+// (the dead node plus every value that did finish) instead of throwing.
+// A straggling node's transfers stall: each afflicted attempt is abandoned
+// at the straggler-detection deadline and retried after exponential backoff
+// (params.retry); a transient straggle clears after its attempt budget and
+// the retry succeeds, a permanent one exhausts max_attempts and the node is
+// declared lost. Dead nodes stay dead across execute() calls on one
+// Testbed, which is what lets repair::execute_resilient_with re-plan around
+// them.
+//
 // `time_scale` multiplies every bandwidth so experiments finish quickly:
 // with scale 32, a 1 Gb/s link moves a 4 MiB block in ~1 ms of wall time.
 // Ratios between schemes — what the figures report — are scale-invariant.
@@ -22,7 +36,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
 
+#include "fault/fault.h"
 #include "obs/recorder.h"
 #include "repair/plan.h"
 #include "rs/rs_code.h"
@@ -43,16 +64,36 @@ struct TestbedParams {
   /// (bytes + measured throughput) on its node's track, comparable 1:1
   /// with a simulated trace of the same plan. Must outlive execute().
   obs::Recorder* recorder = nullptr;
+  /// Faults to inject (kill times are seconds since Testbed construction).
+  fault::FaultSchedule faults;
+  /// Retry/backoff/straggler-detection policy for transfers.
+  fault::RetryPolicy retry;
+};
+
+/// Why and where an execute() gave up, plus everything it salvaged.
+struct TestbedAbort {
+  topology::NodeId dead_node = 0;
+  /// Ops whose values fully materialized before the failure, excluding any
+  /// resident on a dead node.
+  std::vector<std::pair<repair::OpId, rs::Block>> completed;
 };
 
 struct TestbedResult {
   /// Wall-clock repair time (already *not* rescaled; divide interpretation
   /// by time_scale to map back to real-link time).
   std::chrono::nanoseconds wall_time{0};
-  /// The requested output values.
+  /// The requested output values (empty when aborted).
   std::vector<rs::Block> outputs;
   std::uint64_t cross_rack_bytes = 0;
   std::uint64_t inner_rack_bytes = 0;
+  /// Transfer attempts abandoned at the straggler deadline and retried.
+  std::size_t retries = 0;
+  /// Fault activations observed this run (straggles biting; kills are
+  /// reported via `abort` and counted by the re-plan driver).
+  std::size_t faults_injected = 0;
+  /// Engaged iff a requested output became unreachable (node death or
+  /// retries exhausted); the run is then a partial result, not an error.
+  std::optional<TestbedAbort> abort;
 };
 
 class Testbed {
@@ -69,6 +110,10 @@ class Testbed {
     return cluster_;
   }
 
+  /// Nodes that have died so far (kill schedule entries whose time passed,
+  /// plus nodes lost to exhausted retries).
+  [[nodiscard]] std::set<topology::NodeId> dead_nodes() const;
+
   /// Measures the achieved throughput between two nodes by timing a paced
   /// transfer of `bytes` (used to regenerate Table 1).
   [[nodiscard]] double measure_mbps(topology::NodeId from, topology::NodeId to,
@@ -77,6 +122,14 @@ class Testbed {
  private:
   topology::Cluster cluster_;
   TestbedParams params_;
+  /// Session clock origin for kill times.
+  std::chrono::steady_clock::time_point session_start_;
+  mutable std::mutex fault_mu_;
+  /// Nodes dead so far; persists across execute() calls.
+  std::set<topology::NodeId> dead_;
+  /// Afflicted transfer attempts consumed per straggling node (transient
+  /// straggles clear once this reaches the schedule's attempt budget).
+  std::map<topology::NodeId, std::size_t> afflicted_;
 };
 
 }  // namespace rpr::runtime

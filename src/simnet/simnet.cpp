@@ -64,6 +64,19 @@ TaskId SimNetwork::add_compute(NodeId at, SimTime duration,
   return add_task(std::move(t));
 }
 
+void SimNetwork::slow_node(NodeId node, double factor) {
+  if (node >= cluster_.total_nodes()) {
+    throw std::invalid_argument("slow_node: node out of range");
+  }
+  if (factor < 1.0) {
+    throw std::invalid_argument("slow_node: factor must be >= 1");
+  }
+  if (tx_slowdown_.empty()) {
+    tx_slowdown_.assign(cluster_.total_nodes(), 1.0);
+  }
+  tx_slowdown_[node] = factor;
+}
+
 SimTime SimNetwork::decode_duration(std::uint64_t bytes,
                                     bool with_matrix) const {
   if (!params_.charge_compute) return 0;
@@ -138,6 +151,7 @@ RunResult SimNetwork::run() {
       st.label = t.label;
       st.bytes = t.bytes;
       st.node = t.to;
+      st.from = t.from;
 
       if (t.kind == TaskKind::kCompute) {
         if (node_cpu[t.from] > now) {
@@ -172,7 +186,12 @@ RunResult SimNetwork::run() {
       }
       const util::Bandwidth bw = cross ? params_.cross : params_.inner;
       st.start = now;
-      st.finish = now + bw.time_for(t.bytes);
+      SimTime duration = bw.time_for(t.bytes);
+      if (!tx_slowdown_.empty() && tx_slowdown_[t.from] > 1.0) {
+        duration = static_cast<SimTime>(
+            static_cast<double>(duration) * tx_slowdown_[t.from]);
+      }
+      st.finish = now + duration;
       node_tx[t.from] = st.finish;
       node_rx[t.to] = st.finish;
       if (cross) {

@@ -44,6 +44,8 @@ struct TaskStats {
   std::string label;
   /// Where the task's result lives: transfer destination / compute node.
   topology::NodeId node = 0;
+  /// Transfer source (equals `node` for computes and local reads).
+  topology::NodeId from = 0;
   util::SimTime ready = 0;   ///< all dependencies finished
   util::SimTime start = 0;   ///< ports acquired
   util::SimTime finish = 0;  ///< done
@@ -83,6 +85,10 @@ class SimNetwork {
   [[nodiscard]] util::SimTime decode_duration(std::uint64_t bytes,
                                               bool with_matrix) const;
 
+  /// Straggler mode: every transfer departing `node` takes `factor` times
+  /// longer (a degraded NIC or flapping TOR port). factor must be >= 1.
+  void slow_node(topology::NodeId node, double factor);
+
   [[nodiscard]] const topology::Cluster& cluster() const noexcept {
     return cluster_;
   }
@@ -114,6 +120,8 @@ class SimNetwork {
   topology::Cluster cluster_;
   topology::NetworkParams params_;
   std::vector<Task> tasks_;
+  /// Per-node outgoing-transfer slowdown (1.0 = healthy); empty when unused.
+  std::vector<double> tx_slowdown_;
   bool ran_ = false;
 };
 

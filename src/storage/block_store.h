@@ -28,6 +28,13 @@ class BlockStore {
     return it == blocks_.end() ? nullptr : &it->second;
   }
 
+  /// Mutable access for in-place fault injection (silent bit rot); returns
+  /// nullptr when the block is not stored here.
+  [[nodiscard]] rs::Block* mutable_get(StripeId stripe, std::size_t block) {
+    const auto it = blocks_.find({stripe, block});
+    return it == blocks_.end() ? nullptr : &it->second;
+  }
+
   void erase(StripeId stripe, std::size_t block) {
     blocks_.erase({stripe, block});
   }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "repair/executor_data.h"
+#include "repair/resilient.h"
+#include "util/hash.h"
 
 namespace rpr::storage {
 
@@ -73,6 +76,7 @@ StripeId StorageSystem::put(std::span<const std::uint8_t> object) {
     s.node_of_block[b] = rack * cluster_.nodes_per_rack() + offset;
   }
   for (std::size_t b = 0; b < cfg.total(); ++b) {
+    digest_[{id, b}] = util::fnv1a64(blocks[b]);
     store_[s.node_of_block[b]].put(id, b, std::move(blocks[b]));
   }
   stripes_[id] = std::move(s);
@@ -137,6 +141,17 @@ void StorageSystem::revive_node(NodeId node) {
   store_[node].wipe();
 }
 
+bool StorageSystem::block_intact(StripeId id, std::size_t block,
+                                 NodeId node) const {
+  if (!alive_[node]) return false;
+  const rs::Block* data = store_[node].get(id, block);
+  if (data == nullptr) return false;
+  // Silent corruption is an erasure: a block whose bytes no longer hash to
+  // the encode-time digest must never feed a decode.
+  const auto dg = digest_.find({id, block});
+  return dg == digest_.end() || util::fnv1a64(*data) == dg->second;
+}
+
 std::vector<std::size_t> StorageSystem::lost_blocks(StripeId stripe) const {
   const auto it = stripes_.find(stripe);
   if (it == stripes_.end()) {
@@ -145,12 +160,44 @@ std::vector<std::size_t> StorageSystem::lost_blocks(StripeId stripe) const {
   std::vector<std::size_t> lost;
   const Stripe& s = it->second;
   for (std::size_t b = 0; b < s.node_of_block.size(); ++b) {
-    const NodeId node = s.node_of_block[b];
-    if (!alive_[node] || store_[node].get(stripe, b) == nullptr) {
-      lost.push_back(b);
-    }
+    if (!block_intact(stripe, b, s.node_of_block[b])) lost.push_back(b);
   }
   return lost;
+}
+
+void StorageSystem::corrupt_block(StripeId stripe, std::size_t block) {
+  const auto it = stripes_.find(stripe);
+  if (it == stripes_.end()) {
+    throw std::out_of_range("corrupt_block: unknown stripe");
+  }
+  const Stripe& s = it->second;
+  if (block >= s.node_of_block.size()) {
+    throw std::out_of_range("corrupt_block: bad block");
+  }
+  rs::Block* data = store_[s.node_of_block[block]].mutable_get(stripe, block);
+  if (data == nullptr) {
+    throw std::runtime_error("corrupt_block: block not stored");
+  }
+  // Mix the block index into the seed so two corruptions differ.
+  fault::corrupt_bytes(*data, opts_.chaos.seed ^ (stripe * 1000003 + block));
+}
+
+void StorageSystem::apply_chaos_corruptions() {
+  if (chaos_corruptions_applied_ || opts_.chaos.corruptions.empty()) return;
+  chaos_corruptions_applied_ = true;
+  // corrupt_bytes XORs masks in place, so a second application would undo
+  // the first — the schedule is applied exactly once, to every stripe.
+  for (const auto& [id, s] : stripes_) {
+    (void)s;
+    for (const auto& c : opts_.chaos.corruptions) {
+      const auto lost = lost_blocks(id);
+      if (c.block >= code_.config().total()) continue;
+      if (std::find(lost.begin(), lost.end(), c.block) != lost.end()) {
+        continue;  // already lost or corrupt
+      }
+      corrupt_block(id, c.block);
+    }
+  }
 }
 
 NodeId StorageSystem::pick_replacement(const Stripe& s, RackId rack) const {
@@ -191,8 +238,8 @@ std::vector<rs::Block> StorageSystem::stripe_view(StripeId id,
   std::vector<rs::Block> view(s.node_of_block.size());
   for (std::size_t b = 0; b < s.node_of_block.size(); ++b) {
     const NodeId node = s.node_of_block[b];
-    if (!alive_[node]) continue;
-    if (const rs::Block* data = store_[node].get(id, b)) view[b] = *data;
+    if (!block_intact(id, b, node)) continue;  // lost or corrupt: excluded
+    view[b] = *store_[node].get(id, b);
   }
   return view;
 }
@@ -206,6 +253,7 @@ RepairReport StorageSystem::repair(StripeId stripe) {
   report.stripe = stripe;
   report.scheme = planner_->name();
 
+  apply_chaos_corruptions();
   auto failed = lost_blocks(stripe);
   if (failed.empty()) return report;
   if (failed.size() > code_.config().k) {
@@ -237,30 +285,75 @@ RepairReport StorageSystem::repair(StripeId stripe) {
   }
   problem.replacements = replacements;
 
-  const repair::PlannedRepair planned =
-      use_fallback ? multi_fallback.plan(problem) : planner_->plan(problem);
-  repair::validate(planned.plan, cluster_);
-
+  const repair::Planner& planner =
+      use_fallback ? static_cast<const repair::Planner&>(multi_fallback)
+                   : *planner_;
   const auto view = stripe_view(stripe, s);
-  auto rebuilt =
-      repair::execute_on_data(planned.plan, planned.outputs, view);
 
-  const auto sim =
-      repair::simulate(planned.plan, cluster_, opts_.network, opts_.probe);
-  report.used_decoding_matrix = planned.used_decoding_matrix;
-  report.cross_rack_bytes = sim.cross_rack_bytes;
-  report.inner_rack_bytes = sim.inner_rack_bytes;
-  report.simulated_repair_time = sim.total_repair_time;
+  std::vector<rs::Block> rebuilt;
+  std::vector<NodeId> destinations = replacements;
+  if (opts_.chaos.empty()) {
+    const repair::PlannedRepair planned = planner.plan(problem);
+    repair::validate(planned.plan, cluster_);
+    rebuilt = repair::execute_on_data(planned.plan, planned.outputs, view);
+    const auto sim =
+        repair::simulate(planned.plan, cluster_, opts_.network, opts_.probe);
+    report.used_decoding_matrix = planned.used_decoding_matrix;
+    report.cross_rack_bytes = sim.cross_rack_bytes;
+    report.inner_rack_bytes = sim.inner_rack_bytes;
+    report.simulated_repair_time = sim.total_repair_time;
+  } else {
+    // Chaos session: kills/stragglers fire on the simulated clock, the
+    // driver re-plans around dead helpers and reuses banked partial sums.
+    repair::ResilientOptions ropts;
+    ropts.max_replans = opts_.max_replans;
+    ropts.probe = opts_.probe;
+    for (NodeId node = 0; node < cluster_.total_nodes(); ++node) {
+      if (!alive_[node]) ropts.unavailable.insert(node);
+    }
+    const repair::ResilientOutcome out = repair::simulate_resilient(
+        problem, planner, view, opts_.network, opts_.chaos, ropts);
+    rebuilt = out.outputs;
+    destinations = out.destinations;
+    report.used_decoding_matrix = out.used_decoding_matrix;
+    report.cross_rack_bytes = out.cross_rack_bytes;
+    report.inner_rack_bytes = out.inner_rack_bytes;
+    report.simulated_repair_time =
+        static_cast<util::SimTime>(out.total_time_s *
+                                   static_cast<double>(util::kNsPerSec));
+    report.replans = out.replans;
+    report.retries = out.retries;
+    report.faults_injected = out.faults_injected;
+    report.reused_values = out.reused_values;
+  }
 
+  // Verified commit: a rebuilt block is installed only when its bytes hash
+  // to the digest recorded at encode time — a wrong repair must never
+  // replace good data with garbage.
   for (std::size_t i = 0; i < failed.size(); ++i) {
-    store_[replacements[i]].put(stripe, failed[i], std::move(rebuilt[i]));
-    s.node_of_block[failed[i]] = replacements[i];
+    const auto dg = digest_.find({stripe, failed[i]});
+    if (dg != digest_.end() && util::fnv1a64(rebuilt[i]) != dg->second) {
+      throw std::runtime_error(
+          "repair: rebuilt block " + std::to_string(failed[i]) +
+          " failed digest verification; not committing");
+    }
+  }
+  report.verified = true;
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    // Drop any corrupt stale copy still sitting at the old location.
+    const NodeId old_node = placement.node_of(failed[i]);
+    if (alive_[old_node]) store_[old_node].erase(stripe, failed[i]);
+    store_[destinations[i]].put(stripe, failed[i], std::move(rebuilt[i]));
+    s.node_of_block[failed[i]] = destinations[i];
     report.repaired_blocks.push_back(failed[i]);
   }
   return report;
 }
 
 std::vector<RepairReport> StorageSystem::repair_all() {
+  // Chaos corruptions are normally applied lazily by repair(); surface them
+  // here too so the damage scan below sees corrupt blocks as lost.
+  apply_chaos_corruptions();
   std::vector<RepairReport> reports;
   for (const auto& [id, s] : stripes_) {
     if (lost_blocks(id).empty()) continue;

@@ -15,6 +15,20 @@
 //                    RPR), execute the plan, write the rebuilt blocks onto
 //                    rack-local replacement nodes and update the stripe map.
 //                    Reports per-repair traffic and simulated repair time.
+//
+// Durability invariants (this layer's robustness contract):
+//
+//   * every block's FNV-1a digest is recorded at encode time; a stored block
+//     whose bytes no longer match (silent bit rot, corrupt_block()) is
+//     detected at read/repair time and treated as one more erasure — corrupt
+//     bytes never reach the decoder;
+//   * repair commits are verified: a rebuilt block is installed only after
+//     its digest matches the one recorded at encode time (a wrong repair
+//     throws instead of silently replacing good data with garbage);
+//   * with a chaos schedule (options.chaos) the repair runs as a resilient
+//     session (repair::simulate_resilient): helpers killed mid-repair cause
+//     equation-patching re-plans, stragglers slow transfers, and the report
+//     carries replans/retries/faults alongside the usual traffic numbers.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +37,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.h"
 #include "repair/executor_sim.h"
 #include "repair/planner.h"
 #include "rs/rs_code.h"
@@ -47,6 +62,12 @@ struct StorageOptions {
   /// records into it (counters and histograms accumulate across repairs).
   /// Both pointers null (the default) disables telemetry entirely.
   obs::Probe probe{};
+  /// Faults injected into every repair (kill/straggle on the simulated
+  /// clock; corruptions are applied to the stored bytes once, before the
+  /// first repair). Empty = fault-free repairs on the plain executor.
+  fault::FaultSchedule chaos{};
+  /// Re-plan budget for chaos repairs.
+  std::size_t max_replans = 8;
 };
 
 struct RepairReport {
@@ -57,6 +78,14 @@ struct RepairReport {
   std::uint64_t cross_rack_bytes = 0;
   std::uint64_t inner_rack_bytes = 0;
   util::SimTime simulated_repair_time = 0;
+  /// True once every rebuilt block's digest matched its encode-time digest
+  /// (always true when the report is returned — a mismatch throws).
+  bool verified = false;
+  /// Chaos-session statistics (all zero for fault-free repairs).
+  std::size_t replans = 0;
+  std::size_t retries = 0;
+  std::size_t faults_injected = 0;
+  std::size_t reused_values = 0;
 };
 
 class StorageSystem {
@@ -90,8 +119,15 @@ class StorageSystem {
     return alive_[node];
   }
 
-  /// Blocks of `stripe` currently lost (on dead nodes).
+  /// Blocks of `stripe` currently lost: on dead nodes, missing from their
+  /// store, or failing their encode-time digest (silent corruption is an
+  /// erasure).
   [[nodiscard]] std::vector<std::size_t> lost_blocks(StripeId stripe) const;
+
+  /// Silently corrupts the stored bytes of one block in place (seeded,
+  /// deterministic). The next read/repair detects it via the digest and
+  /// treats the block as lost. Throws if the block is not currently stored.
+  void corrupt_block(StripeId stripe, std::size_t block);
 
   /// Repairs one stripe with the configured scheme. No-op (empty report)
   /// when nothing is lost; throws if the stripe is unrecoverable.
@@ -126,6 +162,10 @@ class StorageSystem {
       const Stripe& s, topology::RackId rack) const;
   [[nodiscard]] std::vector<rs::Block> stripe_view(StripeId id,
                                                    const Stripe& s) const;
+  /// Stored, digest-verified block presence check.
+  [[nodiscard]] bool block_intact(StripeId id, std::size_t block,
+                                  topology::NodeId node) const;
+  void apply_chaos_corruptions();
 
   StorageOptions opts_;
   rs::RSCode code_;
@@ -134,7 +174,11 @@ class StorageSystem {
   std::vector<BlockStore> store_;   // per node
   std::vector<bool> alive_;         // per node
   std::map<StripeId, Stripe> stripes_;
+  /// Encode-time digest of every block's true contents (updated when a
+  /// verified repair installs a block; survives node failures).
+  std::map<std::pair<StripeId, std::size_t>, std::uint64_t> digest_;
   StripeId next_stripe_ = 0;
+  bool chaos_corruptions_applied_ = false;
 };
 
 }  // namespace rpr::storage

@@ -1,0 +1,27 @@
+// FNV-1a 64-bit hashing — the repo's integrity primitive.
+//
+// Used by the archive manifest (per-block checksums on disk), the storage
+// layer's verified commit (digest recorded at encode time, re-checked before
+// a repaired block is installed), and corrupted-source detection. One shared
+// implementation so every layer agrees on the digest of a given byte string.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rpr::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t hash = kFnv1aOffset;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+}  // namespace rpr::util

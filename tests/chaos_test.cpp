@@ -1,0 +1,425 @@
+// Chaos integration tests: helpers die mid-repair on every execution engine
+// (discrete-event simulator, threaded testbed, TCP loopback) and the
+// resilient driver re-plans to a byte-identical, checksum-verified result;
+// stragglers trigger bounded retry without a re-plan; the storage layer
+// commits only verified blocks; failure injection honours the k-erasure
+// recoverability boundary.
+#include "repair/resilient.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "net/tcp_runtime.h"
+#include "obs/metrics.h"
+#include "repair/planner.h"
+#include "runtime/testbed.h"
+#include "storage/failure.h"
+#include "storage/storage_system.h"
+#include "test_support.h"
+#include "topology/placement.h"
+#include "util/hash.h"
+
+using rpr::fault::FaultSchedule;
+using rpr::repair::OpId;
+using rpr::repair::OpKind;
+using rpr::repair::RepairPlan;
+using rpr::rs::Block;
+using rpr::topology::NodeId;
+
+namespace {
+
+/// One single-failure RPR repair over a (6,3) placed stripe. `plan_block`
+/// drives simulated/paced timing; `data_bytes` is the materialized payload
+/// (the simulator decouples them, the threaded engines ship real bytes so
+/// callers pass equal values there).
+struct RepairCase {
+  rpr::rs::RSCode code{rpr::rs::CodeConfig{6, 3}};
+  rpr::topology::PlacedStripe placed = rpr::topology::make_placed_stripe(
+      {6, 3}, rpr::topology::PlacementPolicy::kRpr);
+  std::vector<Block> stripe;
+  rpr::repair::RepairProblem problem;
+  std::unique_ptr<rpr::repair::Planner> planner =
+      rpr::repair::make_planner(rpr::repair::Scheme::kRpr);
+
+  RepairCase(std::uint64_t plan_block, std::size_t data_bytes) {
+    stripe = rpr::testing::random_stripe(code, data_bytes, 21);
+    problem.code = &code;
+    problem.placement = &placed.placement;
+    problem.block_size = plan_block;
+    problem.failed = {0};
+    problem.choose_default_replacements();
+  }
+
+  /// Source node of the first cross-rack transfer: guaranteed to still be
+  /// busy when an early kill fires, because its paced/simulated transfer
+  /// lasts at least one full cross-rack block time.
+  [[nodiscard]] NodeId cross_send_source() const {
+    const auto planned = planner->plan(problem);
+    for (const auto& op : planned.plan.ops) {
+      if (op.kind != OpKind::kSend) continue;
+      const NodeId from = planned.plan.node_of(op.inputs[0]);
+      if (placed.cluster.rack_of(from) != placed.cluster.rack_of(op.node)) {
+        return from;
+      }
+    }
+    throw std::runtime_error("plan has no cross-rack send");
+  }
+};
+
+void expect_verified_output(const rpr::repair::ResilientOutcome& outcome,
+                            const std::vector<Block>& stripe) {
+  ASSERT_EQ(outcome.outputs.size(), 1u);
+  EXPECT_EQ(outcome.outputs[0], stripe[0]) << "rebuilt block not identical";
+  EXPECT_EQ(rpr::util::fnv1a64(outcome.outputs[0]),
+            rpr::util::fnv1a64(stripe[0]));
+}
+
+}  // namespace
+
+// --- simulator ------------------------------------------------------------
+
+TEST(ChaosSimnet, HelperDeathMidRepairTriggersReplan) {
+  // 64 MiB timing blocks: every transfer spans tens of simulated
+  // milliseconds, so a 10 ms kill always lands mid-plan.
+  RepairCase c(64ull << 20, 4096);
+  const NodeId victim = c.cross_send_source();
+  FaultSchedule chaos;
+  chaos.kills.push_back({victim, 0.010});
+
+  rpr::obs::MetricsRegistry registry;
+  rpr::repair::ResilientOptions ropts;
+  ropts.probe.metrics = &registry;
+  const auto outcome = rpr::repair::simulate_resilient(
+      c.problem, *c.planner, c.stripe, rpr::topology::NetworkParams{}, chaos,
+      ropts);
+
+  expect_verified_output(outcome, c.stripe);
+  EXPECT_GE(outcome.replans, 1u);
+  EXPECT_GE(outcome.faults_injected, 1u);
+  const auto* replans = registry.find_counter("repair.replans");
+  ASSERT_NE(replans, nullptr);
+  EXPECT_GE(replans->value(), 1u);
+  // The dead helper must not end up holding the rebuilt block.
+  EXPECT_EQ(std::count(outcome.destinations.begin(),
+                       outcome.destinations.end(), victim),
+            0);
+}
+
+TEST(ChaosSimnet, StragglerSlowsRepairWithoutReplan) {
+  RepairCase c(64ull << 20, 4096);
+  const NodeId victim = c.cross_send_source();
+
+  const auto baseline = rpr::repair::simulate_resilient(
+      c.problem, *c.planner, c.stripe, rpr::topology::NetworkParams{},
+      FaultSchedule{}, {});
+  EXPECT_EQ(baseline.replans, 0u);
+  EXPECT_EQ(baseline.faults_injected, 0u);
+
+  FaultSchedule chaos;
+  chaos.stragglers.push_back({victim, 4.0, /*attempts=*/
+                              std::numeric_limits<std::size_t>::max()});
+  const auto outcome = rpr::repair::simulate_resilient(
+      c.problem, *c.planner, c.stripe, rpr::topology::NetworkParams{}, chaos,
+      {});
+
+  expect_verified_output(outcome, c.stripe);
+  EXPECT_EQ(outcome.replans, 0u);
+  EXPECT_GE(outcome.faults_injected, 1u);
+  EXPECT_GT(outcome.total_time_s, baseline.total_time_s)
+      << "a straggling helper must lengthen the repair";
+}
+
+TEST(ChaosSimnet, ChaosRunsAreSeedStableAndReproducible) {
+  RepairCase c(64ull << 20, 4096);
+  const NodeId victim = c.cross_send_source();
+  FaultSchedule chaos;
+  chaos.kills.push_back({victim, 0.010});
+  chaos.seed = 777;
+
+  const auto a = rpr::repair::simulate_resilient(
+      c.problem, *c.planner, c.stripe, rpr::topology::NetworkParams{}, chaos,
+      {});
+  const auto b = rpr::repair::simulate_resilient(
+      c.problem, *c.planner, c.stripe, rpr::topology::NetworkParams{}, chaos,
+      {});
+
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.destinations, b.destinations);
+  EXPECT_EQ(a.replans, b.replans);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.reused_values, b.reused_values);
+  EXPECT_DOUBLE_EQ(a.total_time_s, b.total_time_s);
+  EXPECT_EQ(a.cross_rack_bytes, b.cross_rack_bytes);
+  EXPECT_EQ(a.inner_rack_bytes, b.inner_rack_bytes);
+}
+
+// --- threaded testbed -----------------------------------------------------
+
+TEST(ChaosTestbed, HelperDeathMidRepairTriggersReplan) {
+  // 1 MiB at 1 Gb/s cross: the victim's cross transfer is paced over
+  // >= 8 ms of wall time, so a 2 ms kill always lands mid-transfer.
+  RepairCase c(1 << 20, 1 << 20);
+  const NodeId victim = c.cross_send_source();
+
+  rpr::runtime::TestbedParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  p.faults.kills.push_back({victim, 0.002});
+  p.retry.base_backoff_s = 0.001;
+  rpr::runtime::Testbed bed(c.placed.cluster, p);
+
+  rpr::obs::MetricsRegistry registry;
+  rpr::repair::ResilientOptions ropts;
+  ropts.probe.metrics = &registry;
+  const auto outcome = rpr::repair::execute_resilient_with(
+      bed, c.problem, *c.planner, c.stripe, ropts);
+
+  expect_verified_output(outcome, c.stripe);
+  EXPECT_GE(outcome.replans, 1u);
+  EXPECT_GE(outcome.faults_injected, 1u);
+  const auto* replans = registry.find_counter("repair.replans");
+  ASSERT_NE(replans, nullptr);
+  EXPECT_GE(replans->value(), 1u);
+  EXPECT_TRUE(bed.dead_nodes().count(victim));
+}
+
+TEST(ChaosTestbed, TransientStragglerRetriesWithoutReplan) {
+  RepairCase c(1 << 20, 1 << 20);
+  const NodeId victim = c.cross_send_source();
+
+  rpr::runtime::TestbedParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  // One afflicted attempt, detected quickly, then the link recovers: the
+  // retry path must succeed with no re-plan.
+  p.faults.stragglers.push_back({victim, 50.0, /*attempts=*/1});
+  p.retry.straggler_threshold = 1.5;
+  p.retry.base_backoff_s = 0.001;
+  rpr::runtime::Testbed bed(c.placed.cluster, p);
+
+  rpr::obs::MetricsRegistry registry;
+  rpr::repair::ResilientOptions ropts;
+  ropts.probe.metrics = &registry;
+  const auto outcome = rpr::repair::execute_resilient_with(
+      bed, c.problem, *c.planner, c.stripe, ropts);
+
+  expect_verified_output(outcome, c.stripe);
+  EXPECT_EQ(outcome.replans, 0u);
+  EXPECT_GE(outcome.retries, 1u);
+  EXPECT_GE(outcome.faults_injected, 1u);
+  const auto* retries = registry.find_counter("repair.retries");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_GE(retries->value(), 1u);
+  EXPECT_TRUE(bed.dead_nodes().empty());
+}
+
+// --- TCP loopback ---------------------------------------------------------
+
+TEST(ChaosTcp, HelperDeathMidRepairTriggersReplan) {
+  RepairCase c(1 << 20, 1 << 20);
+  const NodeId victim = c.cross_send_source();
+
+  rpr::net::TcpRuntimeParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  p.faults.kills.push_back({victim, 0.002});
+  p.retry.base_backoff_s = 0.001;
+  p.retry.op_deadline_s = 5.0;  // dead peers error out fast in tests
+  rpr::net::TcpRuntime rt(c.placed.cluster, p);
+
+  rpr::obs::MetricsRegistry registry;
+  rpr::repair::ResilientOptions ropts;
+  ropts.probe.metrics = &registry;
+  const auto outcome = rpr::repair::execute_resilient_with(
+      rt, c.problem, *c.planner, c.stripe, ropts);
+
+  expect_verified_output(outcome, c.stripe);
+  EXPECT_GE(outcome.replans, 1u);
+  EXPECT_GE(outcome.faults_injected, 1u);
+  const auto* replans = registry.find_counter("repair.replans");
+  ASSERT_NE(replans, nullptr);
+  EXPECT_GE(replans->value(), 1u);
+  EXPECT_TRUE(rt.dead_nodes().count(victim));
+}
+
+TEST(ChaosTcp, TransientStragglerRetriesWithoutReplan) {
+  RepairCase c(1 << 20, 1 << 20);
+  const NodeId victim = c.cross_send_source();
+
+  rpr::net::TcpRuntimeParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  p.faults.stragglers.push_back({victim, 50.0, /*attempts=*/1});
+  p.retry.straggler_threshold = 1.5;
+  p.retry.base_backoff_s = 0.001;
+  p.retry.op_deadline_s = 5.0;
+  rpr::net::TcpRuntime rt(c.placed.cluster, p);
+
+  const auto outcome = rpr::repair::execute_resilient_with(
+      rt, c.problem, *c.planner, c.stripe, {});
+
+  expect_verified_output(outcome, c.stripe);
+  EXPECT_EQ(outcome.replans, 0u);
+  EXPECT_GE(outcome.retries, 1u);
+  EXPECT_TRUE(rt.dead_nodes().empty());
+}
+
+// --- storage layer --------------------------------------------------------
+
+namespace {
+
+std::vector<std::uint8_t> random_object(std::size_t size,
+                                        std::uint64_t seed) {
+  rpr::util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> v(size);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  return v;
+}
+
+rpr::storage::StorageOptions chaos_storage_opts() {
+  rpr::storage::StorageOptions o;
+  o.code = {6, 3};
+  // Large enough that a cross-rack transfer spans several simulated
+  // milliseconds — a 2 ms kill lands mid-repair.
+  o.block_size = 1 << 20;
+  return o;
+}
+
+}  // namespace
+
+TEST(ChaosStorage, KilledHelperReplansAndCommitsVerifiedBlock) {
+  const auto obj = random_object(6 << 20, 31);
+
+  // Discovery pass: placement is deterministic, so a twin system tells us
+  // where the stripe's blocks will land before we pick a victim.
+  rpr::storage::StorageSystem twin(chaos_storage_opts());
+  const auto layout = twin.stripe_nodes(twin.put(obj));
+
+  auto opts = chaos_storage_opts();
+  // Block 3 is a selected helper (XOR survivor set for a failed data
+  // block), so its node always forwards its value somewhere; the earliest
+  // such transfer still takes ~0.8 simulated ms (1 MiB inner-rack), so a
+  // 0.5 ms kill is guaranteed to land before the node finishes its work.
+  opts.chaos.kills.push_back({layout[3], 0.0005});
+  rpr::storage::StorageSystem sys(opts);
+  const auto id = sys.put(obj);
+  ASSERT_EQ(sys.stripe_nodes(id), layout);
+
+  sys.fail_node(layout[0]);
+  const auto report = sys.repair(id);
+
+  EXPECT_TRUE(report.verified);
+  EXPECT_GE(report.replans, 1u);
+  EXPECT_GE(report.faults_injected, 1u);
+  EXPECT_TRUE(sys.lost_blocks(id).empty());
+  EXPECT_EQ(sys.get(id), obj);
+  // The rebuilt block must not live on the killed helper.
+  EXPECT_NE(sys.stripe_nodes(id)[0], layout[3]);
+}
+
+TEST(ChaosStorage, ChaosCorruptionIsDetectedAndRepaired) {
+  const auto obj = random_object(6 << 20, 32);
+  auto opts = chaos_storage_opts();
+  opts.chaos.corruptions.push_back({2});
+  rpr::storage::StorageSystem sys(opts);
+  const auto id = sys.put(obj);
+
+  const auto reports = sys.repair_all();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].verified);
+  EXPECT_EQ(reports[0].repaired_blocks, std::vector<std::size_t>{2});
+  EXPECT_TRUE(sys.lost_blocks(id).empty());
+  EXPECT_EQ(sys.get(id), obj);
+}
+
+TEST(ChaosStorage, CorruptBlockIsAnErasureAtReadAndRepairTime) {
+  const auto obj = random_object(6 << 10, 33);
+  rpr::storage::StorageOptions o;
+  o.code = {6, 3};
+  o.block_size = 1024;
+  rpr::storage::StorageSystem sys(o);
+  const auto id = sys.put(obj);
+
+  sys.corrupt_block(id, 1);
+  EXPECT_EQ(sys.lost_blocks(id), std::vector<std::size_t>{1});
+  // Degraded read must decode around the corrupt copy, never return it.
+  EXPECT_EQ(sys.get(id), obj);
+
+  const auto report = sys.repair(id);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.repaired_blocks, std::vector<std::size_t>{1});
+  EXPECT_TRUE(sys.lost_blocks(id).empty());
+  EXPECT_EQ(sys.get(id), obj);
+}
+
+// --- failure injection at the recoverability boundary ---------------------
+
+TEST(ChaosInjector, RecoverableModeStopsAtTheKMissingBoundary) {
+  rpr::storage::StorageOptions o;
+  o.code = {6, 3};
+  o.block_size = 1024;
+  rpr::storage::StorageSystem sys(o);
+  const auto obj = random_object(6 * 1024, 41);
+  const auto id = sys.put(obj);
+
+  rpr::storage::FailureInjector injector(&sys, 9001);
+  while (injector.fail_random_node(/*keep_recoverable=*/true).has_value()) {
+    EXPECT_LE(sys.lost_blocks(id).size(), 3u)
+        << "recoverable mode crossed the k-erasure boundary";
+  }
+  // Saturated: no further node is safe to fail, but everything written is
+  // still readable and repairable.
+  EXPECT_FALSE(injector.fail_random_node(true).has_value());
+  EXPECT_EQ(sys.get(id), obj);
+  const auto reports = sys.repair_all();
+  EXPECT_TRUE(sys.lost_blocks(id).empty());
+  for (const auto& r : reports) EXPECT_TRUE(r.verified);
+  EXPECT_EQ(sys.get(id), obj);
+}
+
+TEST(ChaosInjector, UnrestrictedModeReachesDataLoss) {
+  rpr::storage::StorageOptions o;
+  o.code = {6, 3};
+  o.block_size = 1024;
+  rpr::storage::StorageSystem sys(o);
+  const auto obj = random_object(6 * 1024, 42);
+  const auto id = sys.put(obj);
+
+  // Unrestricted mode may kill every node — the data-loss regime the
+  // recoverable mode exists to avoid.
+  while (sys.lost_blocks(id).size() <= 3) {
+    const auto node =
+        rpr::storage::FailureInjector(&sys, 5).fail_random_node(false);
+    ASSERT_TRUE(node.has_value());
+  }
+  EXPECT_GT(sys.lost_blocks(id).size(), 3u);
+  EXPECT_THROW((void)sys.get(id), std::runtime_error);
+  EXPECT_THROW((void)sys.repair(id), std::runtime_error);
+}
+
+TEST(ChaosInjector, SameSeedFailsTheSameNodes) {
+  const auto obj = random_object(6 * 1024, 43);
+  rpr::storage::StorageOptions o;
+  o.code = {6, 3};
+  o.block_size = 1024;
+
+  rpr::storage::StorageSystem a(o);
+  rpr::storage::StorageSystem b(o);
+  a.put(obj);
+  b.put(obj);
+  rpr::storage::FailureInjector ia(&a, 1234);
+  rpr::storage::FailureInjector ib(&b, 1234);
+  EXPECT_EQ(ia.fail_random_nodes(4), ib.fail_random_nodes(4));
+}

@@ -1,0 +1,256 @@
+// Fault-model unit tests: schedule parsing/round-trips, deterministic
+// corruption, retry policy arithmetic, and the equation-patching re-plan
+// math (leaf contributions, source substitution, remainder planning).
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "gf/gf256.h"
+#include "repair/executor_data.h"
+#include "repair/planner.h"
+#include "repair/replan.h"
+#include "test_support.h"
+#include "topology/placement.h"
+
+using rpr::fault::FaultSchedule;
+using rpr::fault::RetryPolicy;
+using rpr::repair::LeafTerms;
+using rpr::repair::OpId;
+using rpr::repair::RepairPlan;
+using rpr::rs::Block;
+
+namespace {
+
+/// Evaluates a sparse linear combination of stripe blocks — the invariant
+/// leaf_contributions() and substitute_source() must preserve.
+Block evaluate(const LeafTerms& terms, std::span<const Block> stripe) {
+  Block acc(stripe[0].size(), 0);
+  for (const auto& [block, coeff] : terms) {
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc[i] ^= rpr::gf::mul(coeff, stripe[block][i]);
+    }
+  }
+  return acc;
+}
+
+LeafTerms terms_of(const rpr::rs::RepairEquation& eq) {
+  LeafTerms terms;
+  for (std::size_t i = 0; i < eq.sources.size(); ++i) {
+    if (eq.coefficients[i] != 0) terms[eq.sources[i]] = eq.coefficients[i];
+  }
+  return terms;
+}
+
+}  // namespace
+
+TEST(FaultSchedule, ParsesAllKinds) {
+  const auto s = FaultSchedule::parse(
+      "kill:3@1.5; straggle:2*4.5x2, corrupt:1; seed:99; straggle:7*8");
+  ASSERT_EQ(s.kills.size(), 1u);
+  EXPECT_EQ(s.kills[0].node, 3u);
+  EXPECT_DOUBLE_EQ(s.kills[0].at_s, 1.5);
+  ASSERT_EQ(s.stragglers.size(), 2u);
+  EXPECT_EQ(s.stragglers[0].node, 2u);
+  EXPECT_DOUBLE_EQ(s.stragglers[0].factor, 4.5);
+  EXPECT_EQ(s.stragglers[0].attempts, 2u);
+  EXPECT_TRUE(s.stragglers[0].transient());
+  EXPECT_FALSE(s.stragglers[1].transient());
+  ASSERT_EQ(s.corruptions.size(), 1u);
+  EXPECT_EQ(s.corruptions[0].block, 1u);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(FaultSchedule::parse("").empty());
+}
+
+TEST(FaultSchedule, DescribeRoundTrips) {
+  const auto original = FaultSchedule::parse(
+      "kill:14@0.25;straggle:6*8x3;corrupt:2;seed:1234");
+  const auto reparsed = FaultSchedule::parse(original.describe());
+  ASSERT_EQ(reparsed.kills.size(), 1u);
+  EXPECT_EQ(reparsed.kills[0].node, 14u);
+  EXPECT_DOUBLE_EQ(reparsed.kills[0].at_s, 0.25);
+  ASSERT_EQ(reparsed.stragglers.size(), 1u);
+  EXPECT_DOUBLE_EQ(reparsed.stragglers[0].factor, 8.0);
+  EXPECT_EQ(reparsed.stragglers[0].attempts, 3u);
+  ASSERT_EQ(reparsed.corruptions.size(), 1u);
+  EXPECT_EQ(reparsed.corruptions[0].block, 2u);
+  EXPECT_EQ(reparsed.seed, 1234u);
+}
+
+TEST(FaultSchedule, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultSchedule::parse("kill:3"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("kill:x@1"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("kill:3@-1"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("straggle:2"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("straggle:2*0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("straggle:2*4x0"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("corrupt:abc"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("flood:1@2"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("kill3@2"), std::invalid_argument);
+}
+
+TEST(FaultSchedule, LookupHelpers) {
+  const auto s = FaultSchedule::parse("kill:3@1;straggle:5*2;corrupt:0");
+  ASSERT_NE(s.kill_of(3), nullptr);
+  EXPECT_EQ(s.kill_of(4), nullptr);
+  ASSERT_NE(s.straggle_of(5), nullptr);
+  EXPECT_EQ(s.straggle_of(3), nullptr);
+  EXPECT_EQ(s.corrupt_blocks(), std::vector<std::size_t>{0});
+}
+
+TEST(FaultCorrupt, DeterministicAndNeverANoOp) {
+  const std::vector<std::uint8_t> original(512, 0xAB);
+  auto a = original;
+  auto b = original;
+  rpr::fault::corrupt_bytes(a, 42);
+  rpr::fault::corrupt_bytes(b, 42);
+  EXPECT_EQ(a, b) << "same seed must corrupt identically";
+  EXPECT_NE(a, original) << "corruption must change the bytes";
+  auto c = original;
+  rpr::fault::corrupt_bytes(c, 43);
+  EXPECT_NE(c, original);
+  std::vector<std::uint8_t> empty;
+  rpr::fault::corrupt_bytes(empty, 42);  // must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultRetryPolicy, ExponentialBackoff) {
+  RetryPolicy p;
+  p.base_backoff_s = 0.01;
+  p.backoff_multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(p.backoff_s(0), 0.01);
+  EXPECT_DOUBLE_EQ(p.backoff_s(1), 0.02);
+  EXPECT_DOUBLE_EQ(p.backoff_s(3), 0.08);
+}
+
+TEST(Replan, LeafContributionsWalkTheDag) {
+  RepairPlan plan;
+  plan.block_size = 16;
+  const OpId r0 = plan.read(0, 2, 3);          // 3 * b2 at node 0
+  const OpId r1 = plan.read(1, 4, 1);          // b4 at node 1
+  const OpId s1 = plan.send(r1, 1, 0);
+  const OpId sum = plan.combine_scaled(0, {r0, s1}, {1, 5});
+
+  const auto contrib = rpr::repair::leaf_contributions(plan);
+  ASSERT_EQ(contrib.size(), plan.ops.size());
+  EXPECT_EQ(contrib[r0], (LeafTerms{{2, 3}}));
+  EXPECT_EQ(contrib[s1], (LeafTerms{{4, 1}}));  // sends copy their input
+  // combine: 1 * (3*b2) + 5 * b4
+  EXPECT_EQ(contrib[sum], (LeafTerms{{2, 3}, {4, 5}}));
+}
+
+TEST(Replan, SubstituteSourcePreservesTheEquation) {
+  for (const auto& cfg : rpr::testing::paper_configs()) {
+    const rpr::rs::RSCode code(cfg);
+    const auto stripe = rpr::testing::random_stripe(code, 256, 7);
+
+    // Repair equation for block 0 over the next n blocks.
+    std::vector<std::size_t> selected;
+    for (std::size_t b = 1; b <= cfg.n; ++b) selected.push_back(b);
+    const std::array<std::size_t, 1> failed = {0};
+    auto terms =
+        terms_of(code.repair_equations(failed, selected).at(0));
+    ASSERT_EQ(evaluate(terms, stripe), stripe[0]);
+
+    // Helper holding block 1 dies: patch it out. The equation must still
+    // evaluate to the lost block and never reference block 1 again.
+    rpr::repair::substitute_source(code, terms, 1, {0, 1});
+    EXPECT_EQ(terms.count(1), 0u);
+    EXPECT_EQ(evaluate(terms, stripe), stripe[0])
+        << "patched equation broken for " << rpr::testing::config_name(cfg);
+
+    // A second death on top of the patched equation — only where the code
+    // tolerates a third erasure (failed block + two dead helpers).
+    if (cfg.k >= 3) {
+      rpr::repair::substitute_source(code, terms, 2, {0, 1, 2});
+      EXPECT_EQ(terms.count(2), 0u);
+      EXPECT_EQ(evaluate(terms, stripe), stripe[0]);
+    }
+  }
+}
+
+TEST(Replan, SubstituteSourceThrowsWhenUnrecoverable) {
+  const rpr::rs::CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode code(cfg);
+  std::vector<std::size_t> selected;
+  for (std::size_t b = 1; b <= cfg.n; ++b) selected.push_back(b);
+  const std::array<std::size_t, 1> failed = {0};
+  auto terms = terms_of(code.repair_equations(failed, selected).at(0));
+  // 0,1,2,3 unusable = 4 losses > k = 3: no n healthy blocks remain.
+  EXPECT_THROW(
+      rpr::repair::substitute_source(code, terms, 1, {0, 1, 2, 3}),
+      std::runtime_error);
+}
+
+TEST(Replan, PlanRemainderEvaluatesTheEquation) {
+  const rpr::rs::CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode code(cfg);
+  const auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 512, 11);
+
+  std::vector<std::size_t> selected;
+  for (std::size_t b = 1; b <= cfg.n; ++b) selected.push_back(b);
+  const std::array<std::size_t, 1> failed = {0};
+  auto terms = terms_of(code.repair_equations(failed, selected).at(0));
+  rpr::repair::substitute_source(code, terms, 3, {0, 3});
+
+  rpr::repair::RemainderEquation eq;
+  eq.failed_block = 0;
+  eq.terms = terms;
+  eq.destination = placed.cluster.spare(0, 0);
+  eq.with_matrix = true;
+
+  RepairPlan plan;
+  plan.block_size = 512;
+  const OpId out = rpr::repair::plan_remainder(plan, placed.placement, eq,
+                                               rpr::repair::RprOptions{}, 0);
+  EXPECT_NO_THROW(rpr::repair::validate(plan, placed.cluster));
+  EXPECT_EQ(plan.node_of(out), eq.destination);
+  const std::array<OpId, 1> outputs = {out};
+  const auto values = rpr::repair::execute_on_data(plan, outputs, stripe);
+  EXPECT_EQ(values.at(0), stripe[0]);
+}
+
+TEST(Replan, PlanRemainderFoldsInAPartial) {
+  const rpr::rs::CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode code(cfg);
+  const auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  auto stripe = rpr::testing::random_stripe(code, 512, 13);
+
+  std::vector<std::size_t> selected;
+  for (std::size_t b = 1; b <= cfg.n; ++b) selected.push_back(b);
+  const std::array<std::size_t, 1> failed = {0};
+  auto terms = terms_of(code.repair_equations(failed, selected).at(0));
+
+  // Pretend blocks 1 and 2 were already delivered and summed at the
+  // destination: bank coeff1*b1 + coeff2*b2 as a partial, drop the terms.
+  rpr::repair::RemainderEquation eq;
+  eq.failed_block = 0;
+  eq.destination = placed.cluster.spare(0, 0);
+  Block partial(512, 0);
+  for (const std::size_t b : {std::size_t{1}, std::size_t{2}}) {
+    const auto coeff = terms.at(b);
+    for (std::size_t i = 0; i < partial.size(); ++i) {
+      partial[i] ^= rpr::gf::mul(coeff, stripe[b][i]);
+    }
+    terms.erase(b);
+  }
+  eq.terms = terms;
+  eq.has_partial = true;
+  eq.partial_slot = stripe.size();
+  stripe.push_back(partial);  // pseudo stripe slot holding the partial
+
+  RepairPlan plan;
+  plan.block_size = 512;
+  const OpId out = rpr::repair::plan_remainder(plan, placed.placement, eq,
+                                               rpr::repair::RprOptions{}, 0);
+  EXPECT_NO_THROW(rpr::repair::validate(plan, placed.cluster));
+  const std::array<OpId, 1> outputs = {out};
+  const auto values = rpr::repair::execute_on_data(plan, outputs, stripe);
+  EXPECT_EQ(values.at(0), stripe[0]);
+}

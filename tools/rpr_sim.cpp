@@ -14,9 +14,21 @@
 //     --trace FILE          write a Chrome trace of the schedule
 //     --metrics FILE        write a metrics snapshot (JSON)
 //     --metrics-csv FILE    write a metrics snapshot (CSV)
+//     --chaos SPEC          inject faults (kill:N@T;straggle:N*F[xA];
+//                           corrupt:B;seed:S) and run a resilient session
+//     --fail-helper-at T    shorthand: kill the first helper node at T
+//                           seconds (simulated for simnet, wall for --tcp)
+//     --straggler N,F[,A]   shorthand: slow node N's transfers by factor F
+//                           (clearing after A afflicted attempts if given)
 //
 // Prints repair time, traffic and the transfer schedule — the library's
 // planners and simulators behind a single adoptable command.
+//
+// With any fault flag the repair runs as a resilient session (bounded retry
+// with backoff, equation-patching re-plans on helper loss) and the rebuilt
+// blocks are verified byte-identical against the encoded stripe. Exit codes:
+// 0 success, 1 runtime error, 2 usage, 3 repair impossible (more failures
+// than the code tolerates).
 //
 // --trace works with every engine: the port simulator and the fluid model
 // emit simulated-time spans (the fluid model additionally samples rack
@@ -30,12 +42,17 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <set>
+
+#include "fault/fault.h"
 #include "net/tcp_runtime.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/sinks.h"
 #include "repair/executor_sim.h"
 #include "repair/planner.h"
+#include "repair/resilient.h"
 #include "runtime/region_net.h"
 #include "simnet/fluid.h"
 #include "simnet/trace_export.h"
@@ -51,7 +68,9 @@ int usage() {
       "               [--failed i,j,...] [--placement contiguous|rpr|flat]\n"
       "               [--block BYTES] [--inner GBPS] [--cross GBPS]\n"
       "               [--fluid | --tcp] [--time-scale X]\n"
-      "               [--trace FILE] [--metrics FILE] [--metrics-csv FILE]\n");
+      "               [--trace FILE] [--metrics FILE] [--metrics-csv FILE]\n"
+      "               [--chaos SPEC] [--fail-helper-at T]\n"
+      "               [--straggler NODE,FACTOR[,ATTEMPTS]]\n");
   return 2;
 }
 
@@ -78,6 +97,18 @@ double parse_positive(const char* flag, const char* s) {
   char* end = nullptr;
   const double v = std::strtod(s, &end);
   if (errno != 0 || end == s || *end != '\0' || !(v > 0.0)) {
+    die_bad_value(flag, s);
+  }
+  return v;
+}
+
+/// Parses a non-negative double (fault times; 0 = dead from the start).
+double parse_nonneg(const char* flag, const char* s) {
+  if (*s == '\0') die_bad_value(flag, s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || !(v >= 0.0)) {
     die_bad_value(flag, s);
   }
   return v;
@@ -120,6 +151,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string metrics_csv_path;
+  fault::FaultSchedule chaos;
+  double fail_helper_at = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
@@ -167,6 +200,45 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (a == "--metrics-csv") {
       metrics_csv_path = next();
+    } else if (a == "--chaos") {
+      const char* spec = next();
+      try {
+        const auto parsed = fault::FaultSchedule::parse(spec);
+        chaos.kills.insert(chaos.kills.end(), parsed.kills.begin(),
+                           parsed.kills.end());
+        chaos.stragglers.insert(chaos.stragglers.end(),
+                                parsed.stragglers.begin(),
+                                parsed.stragglers.end());
+        chaos.corruptions.insert(chaos.corruptions.end(),
+                                 parsed.corruptions.begin(),
+                                 parsed.corruptions.end());
+        chaos.seed = parsed.seed;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "rpr_sim: --chaos: %s\n", e.what());
+        return usage();
+      }
+    } else if (a == "--fail-helper-at") {
+      fail_helper_at = parse_nonneg("--fail-helper-at", next());
+    } else if (a == "--straggler") {
+      const std::string spec = next();
+      std::vector<std::string> parts(1);
+      for (const char c : spec) {
+        if (c == ',') parts.emplace_back();
+        else parts.back().push_back(c);
+      }
+      if (parts.size() < 2 || parts.size() > 3) {
+        die_bad_value("--straggler", spec.c_str());
+      }
+      fault::Straggle s;
+      s.node = static_cast<topology::NodeId>(
+          parse_u64("--straggler", parts[0].c_str()));
+      s.factor = parse_positive("--straggler", parts[1].c_str());
+      if (s.factor <= 1.0) die_bad_value("--straggler", spec.c_str());
+      if (parts.size() == 3) {
+        s.attempts = static_cast<std::size_t>(
+            parse_u64("--straggler", parts[2].c_str()));
+      }
+      chaos.stragglers.push_back(s);
     } else {
       std::fprintf(stderr, "rpr_sim: unknown option '%s'\n", argv[i]);
       return usage();
@@ -175,6 +247,33 @@ int main(int argc, char** argv) {
   if (fluid && tcp) {
     std::fprintf(stderr, "rpr_sim: --fluid and --tcp are exclusive\n");
     return usage();
+  }
+  const bool wants_chaos = !chaos.empty() || fail_helper_at >= 0.0;
+  if (wants_chaos && fluid) {
+    std::fprintf(stderr,
+                 "rpr_sim: chaos runs are not supported on the fluid model "
+                 "(use the port simulator or --tcp)\n");
+    return usage();
+  }
+
+  // Corrupt source blocks are checksum-detected at read time and treated as
+  // erasures (the storage layer's convention), so they count against the
+  // code's fault tolerance like any other failure.
+  for (const std::size_t b : chaos.corrupt_blocks()) {
+    if (std::find(failed.begin(), failed.end(), b) == failed.end()) {
+      failed.push_back(b);
+    }
+  }
+
+  // A stripe with more than k blocks gone is beyond the code's fault
+  // tolerance: no planner, retry policy or re-plan can bring it back.
+  // Distinct exit code so scripts can tell "impossible" from "crashed".
+  if (failed.size() > cfg.k) {
+    std::fprintf(stderr,
+                 "rpr_sim: %zu failed blocks exceed RS(%zu,%zu)'s fault "
+                 "tolerance of %zu erasures: repair impossible\n",
+                 failed.size(), cfg.n, cfg.k, cfg.k);
+    return 3;
   }
 
   try {
@@ -195,6 +294,19 @@ int main(int argc, char** argv) {
     const auto planner = repair::make_planner(scheme);
     const auto planned = planner->plan(problem);
 
+    if (fail_helper_at >= 0.0) {
+      // Kill the first helper: a node the plan reads a source block on that
+      // is not one of the replacement destinations.
+      const std::set<topology::NodeId> dests(problem.replacements.begin(),
+                                             problem.replacements.end());
+      for (const auto& op : planned.plan.ops) {
+        if (op.kind == repair::OpKind::kRead && dests.count(op.node) == 0) {
+          chaos.kills.push_back({op.node, fail_helper_at});
+          break;
+        }
+      }
+    }
+
     std::printf("RS(%zu,%zu) %s placement, scheme %s, %zu failure(s), "
                 "block %.1f MiB\n", cfg.n, cfg.k,
                 policy == topology::PlacementPolicy::kContiguous ? "contiguous"
@@ -212,7 +324,73 @@ int main(int argc, char** argv) {
     }
     if (!trace_path.empty()) probe.trace = &recorder;
 
-    if (tcp) {
+    bool used_matrix = planned.used_decoding_matrix;
+
+    if (wants_chaos) {
+      std::printf("chaos schedule    : %s\n", chaos.describe().c_str());
+      // Resilient sessions run on real bytes so the rebuilt blocks can be
+      // verified against the encoded stripe. Simulated timing still follows
+      // --block; the materialized data is capped so huge simulated blocks
+      // don't allocate huge buffers (TCP actually ships the bytes, so there
+      // the cap is the block size itself).
+      const std::uint64_t data_bytes =
+          tcp ? block : std::min<std::uint64_t>(block, 4ull << 20);
+      util::Xoshiro256 rng(42);
+      std::vector<rs::Block> stripe(cfg.total());
+      for (std::size_t b = 0; b < cfg.n; ++b) {
+        stripe[b].resize(data_bytes);
+        for (auto& byte : stripe[b]) {
+          byte = static_cast<std::uint8_t>(rng());
+        }
+      }
+      code.encode_stripe(stripe);
+
+      repair::ResilientOptions ropts;
+      ropts.probe = probe;
+
+      repair::ResilientOutcome outcome;
+      if (tcp) {
+        net::TcpRuntimeParams tp;
+        tp.net = runtime::RegionNet::uniform(placed.cluster.racks(),
+                                             params.inner, params.cross);
+        tp.time_scale = time_scale;
+        tp.decode_matrix_dim = cfg.n;
+        tp.recorder = probe.trace;
+        tp.faults = chaos;
+        net::TcpRuntime rt(placed.cluster, tp);
+        outcome = repair::execute_resilient_with(rt, problem, *planner,
+                                                 stripe, ropts);
+        std::printf("link model: real TCP loopback (time-scale %.0fx)\n",
+                    time_scale);
+        std::printf("wall-clock time   : %.3f s\n", outcome.total_time_s);
+      } else {
+        outcome = repair::simulate_resilient(problem, *planner, stripe,
+                                             params, chaos, ropts);
+        std::printf("link model: store-and-forward ports\n");
+        std::printf("total repair time : %.2f s\n", outcome.total_time_s);
+      }
+      used_matrix = outcome.used_decoding_matrix;
+      std::printf("re-plans          : %zu\n", outcome.replans);
+      std::printf("retries           : %zu\n", outcome.retries);
+      std::printf("faults injected   : %zu\n", outcome.faults_injected);
+      std::printf("reused values     : %zu\n", outcome.reused_values);
+      std::printf("cross-rack traffic: %.1f MB\n",
+                  static_cast<double>(outcome.cross_rack_bytes) / 1e6);
+      std::printf("inner-rack traffic: %.1f MB\n",
+                  static_cast<double>(outcome.inner_rack_bytes) / 1e6);
+
+      bool ok = outcome.outputs.size() == failed.size();
+      for (std::size_t i = 0; ok && i < failed.size(); ++i) {
+        ok = outcome.outputs[i] == stripe[failed[i]];
+      }
+      std::printf("rebuilt blocks    : %s\n",
+                  ok ? "verified byte-identical" : "MISMATCH");
+      if (!ok) {
+        std::fprintf(stderr,
+                     "error: rebuilt blocks differ from the originals\n");
+        return 1;
+      }
+    } else if (tcp) {
       // Real execution: random stripe contents, loopback sockets, paced at
       // the configured bandwidths sped up by time_scale.
       util::Xoshiro256 rng(42);
@@ -267,7 +445,7 @@ int main(int argc, char** argv) {
                   static_cast<double>(outcome.inner_rack_bytes) / 1e6);
     }
     std::printf("decoding matrix   : %s\n",
-                planned.used_decoding_matrix ? "built" : "avoided (XOR path)");
+                used_matrix ? "built" : "avoided (XOR path)");
 
     if (!trace_path.empty()) {
       obs::write_chrome_trace(recorder, trace_path);

@@ -8,15 +8,23 @@
 //   XOR path    — coefficients all 1 (surviving data + P0): word-wide XORs;
 //   matrix path — invert the survivor submatrix, then general table-lookup
 //                 passes for every coefficient, including 1s (how a generic
-//                 decoder like Jerasure's applies its decoding matrix).
+//                 decoder like Jerasure's applies its decoding matrix);
+//   fused path  — the same repair equation through mul_region_add_multi,
+//                 all sources accumulated in one destination pass.
+//
+// Each path is swept across the SIMD dispatch tiers the host supports
+// (ArgName "tier": 0=scalar, 1=ssse3, 2=avx2, 3=neon).
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "gf/gf_region.h"
 #include "matrix/matrix.h"
 #include "rs/rs_code.h"
 #include "util/rng.h"
+
+namespace gf = rpr::gf;
 
 namespace {
 
@@ -32,7 +40,28 @@ std::vector<rpr::rs::Block> make_stripe(const rpr::rs::RSCode& code,
   return stripe;
 }
 
+bool select_tier(benchmark::State& state, std::int64_t tier_arg) {
+  const auto tier = static_cast<gf::SimdTier>(tier_arg);
+  if (!gf::set_tier(tier)) {
+    state.SkipWithError((std::string(gf::tier_name(tier)) +
+                          " unsupported on this CPU").c_str());
+    return false;
+  }
+  state.SetLabel(gf::tier_name(tier));
+  return true;
+}
+
+void for_each_supported_tier(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"bytes", "tier"});
+  for (const auto bytes : {1 << 20, 16 << 20}) {
+    for (const gf::SimdTier tier : gf::supported_tiers()) {
+      b->Args({bytes, static_cast<std::int64_t>(tier)});
+    }
+  }
+}
+
 void BM_DecodeXorPath(benchmark::State& state) {
+  if (!select_tier(state, state.range(1))) return;
   const rpr::rs::CodeConfig cfg{12, 4};
   const rpr::rs::RSCode code(cfg);
   const auto block = static_cast<std::size_t>(state.range(0));
@@ -45,8 +74,7 @@ void BM_DecodeXorPath(benchmark::State& state) {
   for (auto _ : state) {
     std::fill(out.begin(), out.end(), 0);
     for (std::size_t i = 0; i < eq.sources.size(); ++i) {
-      rpr::gf::mul_region_add(eq.coefficients[i], out,
-                              stripe[eq.sources[i]]);
+      gf::mul_region_add(eq.coefficients[i], out, stripe[eq.sources[i]]);
     }
     benchmark::DoNotOptimize(out.data());
   }
@@ -54,9 +82,10 @@ void BM_DecodeXorPath(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) *
       static_cast<std::int64_t>(block * eq.sources.size()));
 }
-BENCHMARK(BM_DecodeXorPath)->Arg(1 << 20)->Arg(16 << 20);
+BENCHMARK(BM_DecodeXorPath)->Apply(for_each_supported_tier);
 
 void BM_DecodeMatrixPath(benchmark::State& state) {
+  if (!select_tier(state, state.range(1))) return;
   const rpr::rs::CodeConfig cfg{12, 4};
   const rpr::rs::RSCode code(cfg);
   const auto block = static_cast<std::size_t>(state.range(0));
@@ -73,8 +102,8 @@ void BM_DecodeMatrixPath(benchmark::State& state) {
     const auto eq = code.repair_equations(failed, selected)[0];
     std::fill(out.begin(), out.end(), 0);
     for (std::size_t i = 0; i < eq.sources.size(); ++i) {
-      rpr::gf::mul_region_add_general(eq.coefficients[i], out,
-                                      stripe[eq.sources[i]]);
+      gf::mul_region_add_general(eq.coefficients[i], out,
+                                 stripe[eq.sources[i]]);
     }
     benchmark::DoNotOptimize(out.data());
   }
@@ -82,7 +111,58 @@ void BM_DecodeMatrixPath(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) *
       static_cast<std::int64_t>(block * selected.size()));
 }
-BENCHMARK(BM_DecodeMatrixPath)->Arg(1 << 20)->Arg(16 << 20);
+BENCHMARK(BM_DecodeMatrixPath)->Apply(for_each_supported_tier);
+
+// Same repair equation as the XOR path, but evaluated through the fused
+// multi-source kernel: every destination cache line written once total
+// instead of once per source.
+void BM_DecodeFusedPath(benchmark::State& state) {
+  if (!select_tier(state, state.range(1))) return;
+  const rpr::rs::CodeConfig cfg{12, 4};
+  const rpr::rs::RSCode code(cfg);
+  const auto block = static_cast<std::size_t>(state.range(0));
+  const auto stripe = make_stripe(code, block);
+  const std::vector<std::size_t> failed = {1};
+  const auto selected = code.default_selection(failed);
+  const auto eq = code.repair_equations(failed, selected)[0];
+
+  std::vector<const std::uint8_t*> srcs;
+  for (const std::size_t s : eq.sources) srcs.push_back(stripe[s].data());
+  rpr::rs::Block out(block);
+  std::uint8_t* dst = out.data();
+  for (auto _ : state) {
+    gf::encode_regions(eq.coefficients, 1, srcs.size(), srcs.data(), &dst,
+                       block);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(block * eq.sources.size()));
+}
+BENCHMARK(BM_DecodeFusedPath)->Apply(for_each_supported_tier);
+
+// Production decode entry point: sharded across the thread pool on the
+// dispatch default tier.
+void BM_DecodeFullBlock(benchmark::State& state) {
+  gf::set_tier(gf::best_tier());
+  const rpr::rs::CodeConfig cfg{12, 4};
+  const rpr::rs::RSCode code(cfg);
+  const auto block = static_cast<std::size_t>(state.range(0));
+  const auto original = make_stripe(code, block);
+  const std::vector<std::size_t> failed = {1};
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto stripe = original;
+    stripe[1].assign(block, 0);
+    state.ResumeTiming();
+    const bool ok = code.decode(stripe, failed);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block * cfg.n));
+  state.SetLabel(std::string("RS(12,4) ") + gf::tier_name(gf::active_tier()));
+}
+BENCHMARK(BM_DecodeFullBlock)->Arg(1 << 20)->Arg(16 << 20);
 
 }  // namespace
 

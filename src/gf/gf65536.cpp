@@ -5,6 +5,8 @@
 #include <cstring>
 #include <memory>
 
+#include "gf/gf_kernels.h"
+
 namespace rpr::gf16 {
 
 namespace {
@@ -67,7 +69,25 @@ void mul_region_add(std::uint16_t c, std::span<std::uint8_t> dst,
   assert(dst.size() % 2 == 0 && "16-bit elements");
   if (c == 0) return;
 
-  // Split tables: for x = hi<<8 | lo, c*x = lo_tab[lo] ^ hi_tab[hi].
+  // SIMD path: 4-bit split tables in the byte-planar layout the vector
+  // kernels shuffle with (x = n3<<12|n2<<8|n1<<4|n0, c*x = XOR of four
+  // 16-entry lookups). Building them costs 64 field multiplies — noise
+  // against a block-sized region pass.
+  if (auto* const kern = gf::detail::active_kernels().gf16_mul_region_add) {
+    gf::detail::Gf16SplitTables t;
+    for (unsigned j = 0; j < 4; ++j) {
+      for (unsigned v = 0; v < 16; ++v) {
+        const std::uint16_t p =
+            mul(c, static_cast<std::uint16_t>(v << (4 * j)));
+        t.t[2 * j][v] = static_cast<std::uint8_t>(p & 0xFF);
+        t.t[2 * j + 1][v] = static_cast<std::uint8_t>(p >> 8);
+      }
+    }
+    kern(t, dst.data(), src.data(), dst.size());
+    return;
+  }
+
+  // Scalar path: for x = hi<<8 | lo, c*x = lo_tab[lo] ^ hi_tab[hi].
   std::array<std::uint16_t, 256> lo_tab;
   std::array<std::uint16_t, 256> hi_tab;
   for (unsigned i = 0; i < 256; ++i) {

@@ -1,64 +1,168 @@
+// Dispatch front-end for the GF region kernels.
+//
+// Tier selection happens once, on the first region operation: probe the CPU
+// (via __builtin_cpu_supports on x86; AdvSIMD is unconditional on AArch64),
+// then honor an RPR_GF_FORCE=scalar|ssse3|avx2|neon override if it names a
+// supported tier. After that every call is one relaxed atomic load plus an
+// indirect call — negligible against block-sized region passes.
 #include "gf/gf_region.h"
 
+#include <atomic>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "gf/gf256.h"
+#include "gf/gf_kernels.h"
 
 namespace rpr::gf {
 
+namespace detail {
+
 namespace {
 
-// Per-coefficient split tables: for a byte b = hi<<4 | lo,
-//   c * b = lo_table[lo] ^ hi_table[hi]
-// because multiplication distributes over XOR and b = (hi<<4) ^ lo.
-struct SplitTables {
-  std::uint8_t lo[16];
-  std::uint8_t hi[16];
-};
-
-SplitTables make_split(std::uint8_t c) {
-  SplitTables t;
-  for (unsigned i = 0; i < 16; ++i) {
-    t.lo[i] = mul(c, static_cast<std::uint8_t>(i));
-    t.hi[i] = mul(c, static_cast<std::uint8_t>(i << 4));
+const Kernels* kernels_for(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return &scalar_kernels();
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdTier::kSsse3:
+      return &ssse3_kernels();
+    case SimdTier::kAvx2:
+      return &avx2_kernels();
+#endif
+#if defined(__aarch64__)
+    case SimdTier::kNeon:
+      return &neon_kernels();
+#endif
+    default:
+      return nullptr;
   }
-  return t;
 }
 
-// Full 256-entry product table for one coefficient, built from the split
-// tables. One L1-resident lookup per byte; on scalar hardware this is the
-// fastest portable approach.
-struct ProductTable {
-  std::uint8_t p[256];
-};
+// The active kernel table. Never null after init(); stores are release so a
+// reader that observes the pointer also observes the tier value set with it.
+std::atomic<const Kernels*> g_active{nullptr};
+std::atomic<SimdTier> g_tier{SimdTier::kScalar};
 
-ProductTable make_product(std::uint8_t c) {
-  const SplitTables s = make_split(c);
-  ProductTable t;
-  for (unsigned b = 0; b < 256; ++b) {
-    t.p[b] = static_cast<std::uint8_t>(s.lo[b & 0xF] ^ s.hi[b >> 4]);
+void store_tier(SimdTier tier) noexcept {
+  g_tier.store(tier, std::memory_order_relaxed);
+  g_active.store(kernels_for(tier), std::memory_order_release);
+}
+
+const Kernels* init() noexcept {
+  SimdTier tier = best_tier();
+  if (const char* force = std::getenv("RPR_GF_FORCE")) {
+    const auto parsed = parse_tier(force);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "rpr: ignoring unrecognized RPR_GF_FORCE=%s "
+                   "(want scalar|ssse3|avx2|neon)\n",
+                   force);
+    } else if (!tier_supported(*parsed)) {
+      std::fprintf(stderr,
+                   "rpr: RPR_GF_FORCE=%s not supported on this CPU, using %s\n",
+                   force, tier_name(tier));
+    } else {
+      tier = *parsed;
+    }
   }
-  return t;
+  store_tier(tier);
+  return g_active.load(std::memory_order_relaxed);
 }
 
 }  // namespace
 
+const Kernels& active_kernels() noexcept {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) k = init();
+  return *k;
+}
+
+}  // namespace detail
+
+SimdTier active_tier() noexcept {
+  detail::active_kernels();  // ensure selection happened
+  return detail::g_tier.load(std::memory_order_relaxed);
+}
+
+bool tier_supported(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdTier::kSsse3:
+      return __builtin_cpu_supports("ssse3") != 0;
+    case SimdTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case SimdTier::kNeon:
+      return false;
+#elif defined(__aarch64__)
+    case SimdTier::kNeon:
+      return true;
+    case SimdTier::kSsse3:
+    case SimdTier::kAvx2:
+      return false;
+#else
+    default:
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdTier best_tier() noexcept {
+#if defined(__aarch64__)
+  return SimdTier::kNeon;
+#else
+  if (tier_supported(SimdTier::kAvx2)) return SimdTier::kAvx2;
+  if (tier_supported(SimdTier::kSsse3)) return SimdTier::kSsse3;
+  return SimdTier::kScalar;
+#endif
+}
+
+std::vector<SimdTier> supported_tiers() {
+  std::vector<SimdTier> tiers;
+  for (SimdTier t : {SimdTier::kScalar, SimdTier::kSsse3, SimdTier::kAvx2,
+                     SimdTier::kNeon}) {
+    if (tier_supported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+bool set_tier(SimdTier tier) noexcept {
+  if (!tier_supported(tier)) return false;
+  detail::store_tier(tier);
+  return true;
+}
+
+const char* tier_name(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSsse3:
+      return "ssse3";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<SimdTier> parse_tier(std::string_view spec) noexcept {
+  if (spec == "scalar") return SimdTier::kScalar;
+  if (spec == "ssse3") return SimdTier::kSsse3;
+  if (spec == "avx2") return SimdTier::kAvx2;
+  if (spec == "neon") return SimdTier::kNeon;
+  return std::nullopt;
+}
+
 void xor_region(std::span<std::uint8_t> dst,
                 std::span<const std::uint8_t> src) {
   assert(dst.size() == src.size());
-  std::size_t i = 0;
-  const std::size_t n = dst.size();
-  // Word-wide main loop. memcpy keeps this strict-aliasing clean; the
-  // compiler lowers it to plain loads/stores.
-  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
-    std::uint64_t a, b;
-    std::memcpy(&a, dst.data() + i, sizeof(a));
-    std::memcpy(&b, src.data() + i, sizeof(b));
-    a ^= b;
-    std::memcpy(dst.data() + i, &a, sizeof(a));
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  detail::active_kernels().xor_region(dst.data(), src.data(), dst.size());
 }
 
 void mul_region(std::uint8_t c, std::span<std::uint8_t> dst,
@@ -74,9 +178,9 @@ void mul_region(std::uint8_t c, std::span<std::uint8_t> dst,
     }
     return;
   }
-  const ProductTable t = make_product(c);
-  const std::size_t n = dst.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] = t.p[src[i]];
+  const std::uint8_t* s = src.data();
+  detail::active_kernels().mul_region_multi(&c, 1, &s, dst.data(), dst.size(),
+                                            /*accumulate=*/false);
 }
 
 void mul_region_add(std::uint8_t c, std::span<std::uint8_t> dst,
@@ -87,25 +191,38 @@ void mul_region_add(std::uint8_t c, std::span<std::uint8_t> dst,
     xor_region(dst, src);
     return;
   }
-  mul_region_add_general(c, dst, src);
+  detail::active_kernels().mul_region_add(c, dst.data(), src.data(),
+                                          dst.size());
 }
 
 void mul_region_add_general(std::uint8_t c, std::span<std::uint8_t> dst,
                             std::span<const std::uint8_t> src) {
   assert(dst.size() == src.size());
   if (c == 0) return;
-  const ProductTable t = make_product(c);
-  const std::size_t n = dst.size();
-  std::size_t i = 0;
-  // Unroll by 4 to give the scalar pipeline some ILP between dependent
-  // table loads.
-  for (; i + 4 <= n; i += 4) {
-    dst[i] ^= t.p[src[i]];
-    dst[i + 1] ^= t.p[src[i + 1]];
-    dst[i + 2] ^= t.p[src[i + 2]];
-    dst[i + 3] ^= t.p[src[i + 3]];
+  // Deliberately no c == 1 shortcut: this models the traditional decoder's
+  // uniform multiply pass (still dispatched, so each tier pays its own
+  // multiply cost rather than the XOR fast path's).
+  detail::active_kernels().mul_region_add(c, dst.data(), src.data(),
+                                          dst.size());
+}
+
+void mul_region_add_multi(std::span<const std::uint8_t> coeffs,
+                          const std::uint8_t* const* srcs,
+                          std::span<std::uint8_t> dst) {
+  detail::active_kernels().mul_region_multi(coeffs.data(), coeffs.size(), srcs,
+                                            dst.data(), dst.size(),
+                                            /*accumulate=*/true);
+}
+
+void encode_regions(std::span<const std::uint8_t> matrix, std::size_t rows,
+                    std::size_t cols, const std::uint8_t* const* srcs,
+                    std::uint8_t* const* dsts, std::size_t len) {
+  assert(matrix.size() >= rows * cols);
+  const detail::Kernels& k = detail::active_kernels();
+  for (std::size_t r = 0; r < rows; ++r) {
+    k.mul_region_multi(matrix.data() + r * cols, cols, srcs, dsts[r], len,
+                       /*accumulate=*/false);
   }
-  for (; i < n; ++i) dst[i] ^= t.p[src[i]];
 }
 
 namespace ref {
@@ -120,6 +237,16 @@ void mul_region_add(std::uint8_t c, std::span<std::uint8_t> dst,
                     std::span<const std::uint8_t> src) {
   assert(dst.size() == src.size());
   for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= mul(c, src[i]);
+}
+
+void mul_region_add_multi(std::span<const std::uint8_t> coeffs,
+                          const std::uint8_t* const* srcs,
+                          std::span<std::uint8_t> dst) {
+  for (std::size_t s = 0; s < coeffs.size(); ++s) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] ^= mul(coeffs[s], srcs[s][i]);
+    }
+  }
 }
 
 }  // namespace ref

@@ -1,0 +1,48 @@
+// Shared lookup tables for the GF region kernels.
+//
+// Lives in a base-ISA translation unit so the SIMD kernel files (compiled
+// with -mssse3 / -mavx2) contain nothing but dispatch-reached code. Both
+// tables are built once behind a thread-safe function-local static; at
+// 8 KiB (split) + 64 KiB (product) they are a fixed cost paid on first
+// region operation, not per call.
+#include "gf/gf_kernels.h"
+
+#include "gf/gf256.h"
+
+namespace rpr::gf::detail {
+
+namespace {
+
+struct AllTables {
+  SplitTable split[256];
+  std::uint8_t product[256][256];
+};
+
+AllTables build() {
+  AllTables t;
+  for (unsigned c = 0; c < 256; ++c) {
+    auto cc = static_cast<std::uint8_t>(c);
+    for (unsigned i = 0; i < 16; ++i) {
+      t.split[c].lo[i] = mul(cc, static_cast<std::uint8_t>(i));
+      t.split[c].hi[i] = mul(cc, static_cast<std::uint8_t>(i << 4));
+    }
+    for (unsigned b = 0; b < 256; ++b) {
+      t.product[c][b] = static_cast<std::uint8_t>(t.split[c].lo[b & 0xF] ^
+                                                  t.split[c].hi[b >> 4]);
+    }
+  }
+  return t;
+}
+
+const AllTables& tables() {
+  static const AllTables t = build();
+  return t;
+}
+
+}  // namespace
+
+const SplitTable* split_tables() { return tables().split; }
+
+const std::uint8_t (*product_tables())[256] { return tables().product; }
+
+}  // namespace rpr::gf::detail

@@ -319,23 +319,31 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
         break;
       }
       case OpKind::kCombine: {
+        // Same split as the in-process testbed: matrix-cost combines pay
+        // per-source general passes (the traditional decoder cost model);
+        // optimized combines aggregate every source in one fused pass.
         if (op.with_matrix_cost) {
           build_and_invert_matrix(params_.decode_matrix_dim);
         }
-        Block acc;
-        {
-          const Block first = state.take_copy(op.inputs[0]);
-          acc.assign(first.size(), 0);
-        }
-        for (std::size_t i = 0; i < op.inputs.size(); ++i) {
-          const Block in = state.take_copy(op.inputs[i]);
-          const std::uint8_t c =
-              op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
-          if (op.with_matrix_cost) {
-            gf::mul_region_add_general(c, acc, in);
-          } else {
-            gf::mul_region_add(c, acc, in);
+        std::vector<Block> ins;
+        ins.reserve(op.inputs.size());
+        for (const OpId in : op.inputs) ins.push_back(state.take_copy(in));
+        Block acc(ins[0].size(), 0);
+        if (op.with_matrix_cost) {
+          for (std::size_t i = 0; i < ins.size(); ++i) {
+            const std::uint8_t c =
+                op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
+            gf::mul_region_add_general(c, acc, ins[i]);
           }
+        } else {
+          std::vector<std::uint8_t> coeffs(ins.size());
+          std::vector<const std::uint8_t*> srcs(ins.size());
+          for (std::size_t i = 0; i < ins.size(); ++i) {
+            coeffs[i] =
+                op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
+            srcs[i] = ins[i].data();
+          }
+          gf::mul_region_add_multi(coeffs, srcs.data(), acc);
         }
         op_bytes = acc.size() * op.inputs.size();  // one region pass per input
         if (is_dead(op.node)) {

@@ -1,8 +1,11 @@
 #include "repair/executor_data.h"
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "gf/gf_region.h"
+#include "util/thread_pool.h"
 
 namespace rpr::repair {
 
@@ -29,13 +32,25 @@ std::vector<rs::Block> execute_on_data(const RepairPlan& plan,
         value[id] = value[op.inputs[0]];
         break;
       case OpKind::kCombine: {
-        const rs::Block& first = value[op.inputs[0]];
-        value[id].assign(first.size(), 0);
+        // Fused aggregation: every output cache line is written once per
+        // combine, sharded across the thread pool for large blocks.
+        const std::size_t size = value[op.inputs[0]].size();
+        std::vector<std::uint8_t> coeffs(op.inputs.size());
+        std::vector<const std::uint8_t*> srcs(op.inputs.size());
         for (std::size_t i = 0; i < op.inputs.size(); ++i) {
-          const std::uint8_t c =
+          coeffs[i] =
               op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
-          gf::mul_region_add(c, value[id], value[op.inputs[i]]);
+          srcs[i] = value[op.inputs[i]].data();
         }
+        value[id].resize(size);
+        util::ThreadPool::shared().parallel_for(
+            size, 64, 128 << 10, [&](std::size_t b, std::size_t e) {
+              std::vector<const std::uint8_t*> s(srcs.size());
+              for (std::size_t j = 0; j < srcs.size(); ++j) s[j] = srcs[j] + b;
+              std::uint8_t* d = value[id].data() + b;
+              gf::encode_regions(coeffs, 1, coeffs.size(), s.data(), &d,
+                                 e - b);
+            });
         break;
       }
     }

@@ -1,8 +1,11 @@
 #include "rs/partial.h"
 
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 #include "gf/gf_region.h"
+#include "util/thread_pool.h"
 
 namespace rpr::rs {
 
@@ -20,11 +23,24 @@ Block make_intermediate(std::span<const Block* const> blocks,
                         std::span<const std::uint8_t> coeffs,
                         std::size_t block_size) {
   assert(blocks.size() == coeffs.size());
-  Block acc(block_size, 0);
+  // Fused: one pass over all sources per destination cache line, sharded
+  // across the thread pool for large blocks.
+  std::vector<std::uint8_t> cs;
+  std::vector<const std::uint8_t*> srcs;
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     if (coeffs[i] == 0) continue;
-    accumulate(acc, *blocks[i], coeffs[i]);
+    assert(blocks[i]->size() == block_size);
+    cs.push_back(coeffs[i]);
+    srcs.push_back(blocks[i]->data());
   }
+  Block acc(block_size);
+  util::ThreadPool::shared().parallel_for(
+      block_size, 64, 128 << 10, [&](std::size_t b, std::size_t e) {
+        std::vector<const std::uint8_t*> s(srcs.size());
+        for (std::size_t j = 0; j < srcs.size(); ++j) s[j] = srcs[j] + b;
+        std::uint8_t* d = acc.data() + b;
+        gf::encode_regions(cs, 1, cs.size(), s.data(), &d, e - b);
+      });
   return acc;
 }
 

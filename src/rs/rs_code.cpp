@@ -6,8 +6,19 @@
 
 #include "gf/gf256.h"
 #include "gf/gf_region.h"
+#include "util/thread_pool.h"
 
 namespace rpr::rs {
+
+namespace {
+
+// Blocks at least this large are sharded across the process thread pool;
+// smaller ones run inline (the pool round-trip would dominate). Chunks are
+// cut at cache-line multiples so no two shards share a destination line.
+constexpr std::size_t kShardMinBytes = 128 << 10;
+constexpr std::size_t kShardAlign = 64;
+
+}  // namespace
 
 bool RepairEquation::xor_only() const {
   return std::all_of(coefficients.begin(), coefficients.end(),
@@ -49,12 +60,31 @@ void RSCode::encode(std::span<const Block> data,
       throw std::invalid_argument("encode: data blocks must be equal-sized");
     }
   }
+  // Fused matrix application: every parity cache line is written once per
+  // stripe (not once per data block), sharded across the thread pool for
+  // large blocks.
+  std::vector<std::uint8_t> matrix(cfg_.k * cfg_.n);
   for (std::size_t i = 0; i < cfg_.k; ++i) {
-    parity[i].assign(block_size, 0);
     for (std::size_t j = 0; j < cfg_.n; ++j) {
-      gf::mul_region_add(coding_.at(i, j), parity[i], data[j]);
+      matrix[i * cfg_.n + j] = coding_.at(i, j);
     }
   }
+  std::vector<const std::uint8_t*> srcs(cfg_.n);
+  for (std::size_t j = 0; j < cfg_.n; ++j) srcs[j] = data[j].data();
+  std::vector<std::uint8_t*> dsts(cfg_.k);
+  for (std::size_t i = 0; i < cfg_.k; ++i) {
+    parity[i].resize(block_size);
+    dsts[i] = parity[i].data();
+  }
+  util::ThreadPool::shared().parallel_for(
+      block_size, kShardAlign, kShardMinBytes,
+      [&](std::size_t b, std::size_t e) {
+        std::vector<const std::uint8_t*> s(cfg_.n);
+        for (std::size_t j = 0; j < cfg_.n; ++j) s[j] = srcs[j] + b;
+        std::vector<std::uint8_t*> d(cfg_.k);
+        for (std::size_t i = 0; i < cfg_.k; ++i) d[i] = dsts[i] + b;
+        gf::encode_regions(matrix, cfg_.k, cfg_.n, s.data(), d.data(), e - b);
+      });
 }
 
 void RSCode::encode_stripe(std::vector<Block>& blocks) const {
@@ -197,11 +227,24 @@ Block RSCode::evaluate(const RepairEquation& eq,
       break;
     }
   }
-  Block acc(block_size, 0);
+  // Fused single-output matrix application (encode_regions with one row):
+  // the accumulator is produced in one pass over all sources.
+  std::vector<std::uint8_t> coeffs;
+  std::vector<const std::uint8_t*> srcs;
   for (std::size_t i = 0; i < eq.sources.size(); ++i) {
     if (eq.coefficients[i] == 0) continue;
-    gf::mul_region_add(eq.coefficients[i], acc, stripe[eq.sources[i]]);
+    coeffs.push_back(eq.coefficients[i]);
+    srcs.push_back(stripe[eq.sources[i]].data());
   }
+  Block acc(block_size);
+  util::ThreadPool::shared().parallel_for(
+      block_size, kShardAlign, kShardMinBytes,
+      [&](std::size_t b, std::size_t e) {
+        std::vector<const std::uint8_t*> s(srcs.size());
+        for (std::size_t j = 0; j < srcs.size(); ++j) s[j] = srcs[j] + b;
+        std::uint8_t* d = acc.data() + b;
+        gf::encode_regions(coeffs, 1, coeffs.size(), s.data(), &d, e - b);
+      });
   return acc;
 }
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <optional>
+#include <span>
 #include <stdexcept>
 
 #include "gf/gf65536.h"
+#include "util/thread_pool.h"
 
 namespace rpr::rs {
 
@@ -112,12 +114,21 @@ void WideRSCode::encode(std::span<const Block> data,
       throw std::invalid_argument("WideRSCode: unequal block sizes");
     }
   }
-  for (std::size_t i = 0; i < cfg_.k; ++i) {
-    parity[i].assign(block_size, 0);
-    for (std::size_t j = 0; j < cfg_.n; ++j) {
-      gf16::mul_region_add(coding_[i * cfg_.n + j], parity[i], data[j]);
-    }
-  }
+  for (std::size_t i = 0; i < cfg_.k; ++i) parity[i].assign(block_size, 0);
+  // Shard the region passes across the thread pool; chunk boundaries are
+  // cache-line (and element) aligned, and each worker sweeps all sources
+  // over its own destination range so parity chunks stay cache-hot.
+  util::ThreadPool::shared().parallel_for(
+      block_size, 64, 128 << 10, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = 0; i < cfg_.k; ++i) {
+          const std::span<std::uint8_t> dst(parity[i].data() + b, e - b);
+          for (std::size_t j = 0; j < cfg_.n; ++j) {
+            gf16::mul_region_add(
+                coding_[i * cfg_.n + j], dst,
+                std::span<const std::uint8_t>(data[j].data() + b, e - b));
+          }
+        }
+      });
 }
 
 void WideRSCode::encode_stripe(std::vector<Block>& blocks) const {
@@ -161,7 +172,7 @@ bool WideRSCode::decode(std::vector<Block>& blocks,
   const std::size_t block_size = blocks[selected[0]].size();
   for (const std::size_t f : failed) {
     // coefficients = g_f * inv, over the selected blocks.
-    Block out(block_size, 0);
+    std::vector<std::uint16_t> coeffs(cfg_.n);
     for (std::size_t s = 0; s < cfg_.n; ++s) {
       std::uint16_t coeff = 0;
       if (f < cfg_.n) {
@@ -173,8 +184,18 @@ bool WideRSCode::decode(std::vector<Block>& blocks,
               gf16::mul(coding_[(f - cfg_.n) * cfg_.n + l], inv->at(l, s)));
         }
       }
-      gf16::mul_region_add(coeff, out, blocks[selected[s]]);
+      coeffs[s] = coeff;
     }
+    Block out(block_size, 0);
+    util::ThreadPool::shared().parallel_for(
+        block_size, 64, 128 << 10, [&](std::size_t b, std::size_t e) {
+          const std::span<std::uint8_t> dst(out.data() + b, e - b);
+          for (std::size_t s = 0; s < cfg_.n; ++s) {
+            gf16::mul_region_add(coeffs[s], dst,
+                                 std::span<const std::uint8_t>(
+                                     blocks[selected[s]].data() + b, e - b));
+          }
+        });
     blocks[f] = std::move(out);
   }
   return true;

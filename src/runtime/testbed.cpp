@@ -303,21 +303,29 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
       }
       case OpKind::kCombine: {
         // Matrix-path decodes pay the real unoptimized-path cost: a matrix
-        // inversion plus general (table-lookup) region passes even for unit
-        // coefficients. XOR-path combines use the fast word-wide kernel.
+        // inversion plus per-source general (multiply-path) region passes
+        // even for unit coefficients. The optimized path aggregates all
+        // sources in one fused pass, writing each output cache line once.
         if (op.with_matrix_cost) build_and_invert_matrix(params_.decode_matrix_dim);
-        Block first = state.take_copy(op.inputs[0]);
-        Block acc(first.size(), 0);
-        for (std::size_t i = 0; i < op.inputs.size(); ++i) {
-          const Block in =
-              i == 0 ? std::move(first) : state.take_copy(op.inputs[i]);
-          const std::uint8_t c =
-              op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
-          if (op.with_matrix_cost) {
-            gf::mul_region_add_general(c, acc, in);
-          } else {
-            gf::mul_region_add(c, acc, in);
+        std::vector<Block> ins;
+        ins.reserve(op.inputs.size());
+        for (const OpId in : op.inputs) ins.push_back(state.take_copy(in));
+        Block acc(ins[0].size(), 0);
+        if (op.with_matrix_cost) {
+          for (std::size_t i = 0; i < ins.size(); ++i) {
+            const std::uint8_t c =
+                op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
+            gf::mul_region_add_general(c, acc, ins[i]);
           }
+        } else {
+          std::vector<std::uint8_t> coeffs(ins.size());
+          std::vector<const std::uint8_t*> srcs(ins.size());
+          for (std::size_t i = 0; i < ins.size(); ++i) {
+            coeffs[i] =
+                op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
+            srcs[i] = ins[i].data();
+          }
+          gf::mul_region_add_multi(coeffs, srcs.data(), acc);
         }
         op_bytes = acc.size() * op.inputs.size();  // one region pass per input
         if (is_dead(op.node)) {

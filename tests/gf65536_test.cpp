@@ -1,13 +1,17 @@
-// GF(2^16) field tests: axioms, table consistency, region kernel.
+// GF(2^16) field tests: axioms, table consistency, region kernel — the
+// latter swept across every SIMD dispatch tier this CPU supports.
 #include "gf/gf65536.h"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "gf/gf_region.h"
 #include "util/rng.h"
 
+namespace gf = rpr::gf;
 namespace gf16 = rpr::gf16;
 
 namespace {
@@ -110,6 +114,103 @@ TEST(GF65536, RegionKernelZeroCoeffIsNoop) {
   gf16::mul_region_add(0, dst, src);
   EXPECT_EQ(dst, (std::vector<std::uint8_t>{1, 2, 3, 4}));
 }
+
+// Per-tier sweep: the SIMD byte-planar GF(2^16) kernels must agree with a
+// scalar element-wise reference over odd sizes (sub-vector tails), unaligned
+// starts and a spread of coefficients, on every tier the CPU supports.
+class Gf16TierTest : public ::testing::TestWithParam<gf::SimdTier> {
+ protected:
+  void SetUp() override {
+    saved_ = gf::active_tier();
+    if (!gf::set_tier(GetParam())) {
+      GTEST_SKIP() << "tier " << gf::tier_name(GetParam())
+                   << " unsupported on this CPU";
+    }
+  }
+  void TearDown() override { gf::set_tier(saved_); }
+
+ private:
+  gf::SimdTier saved_ = gf::SimdTier::kScalar;
+};
+
+namespace {
+
+void check_region(std::uint16_t c, std::size_t elements, std::uint64_t seed,
+                  std::size_t byte_offset = 0) {
+  rpr::util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> dst_full(2 * elements + byte_offset + 2);
+  std::vector<std::uint8_t> src_full(2 * elements + byte_offset + 2);
+  for (auto& b : dst_full) b = static_cast<std::uint8_t>(rng());
+  for (auto& b : src_full) b = static_cast<std::uint8_t>(rng());
+  const auto dst_orig = dst_full;
+
+  gf16::mul_region_add(
+      c, std::span<std::uint8_t>(dst_full).subspan(byte_offset, 2 * elements),
+      std::span<const std::uint8_t>(src_full)
+          .subspan(byte_offset, 2 * elements));
+
+  for (std::size_t b = 0; b < byte_offset; ++b) {
+    ASSERT_EQ(dst_full[b], dst_orig[b]) << "prefix clobbered at " << b;
+  }
+  for (std::size_t i = 0; i < elements; ++i) {
+    std::uint16_t d0, s, d1;
+    std::memcpy(&d0, dst_orig.data() + byte_offset + 2 * i, 2);
+    std::memcpy(&s, src_full.data() + byte_offset + 2 * i, 2);
+    std::memcpy(&d1, dst_full.data() + byte_offset + 2 * i, 2);
+    ASSERT_EQ(d1, static_cast<std::uint16_t>(d0 ^ gf16::mul(c, s)))
+        << "c=" << c << " elements=" << elements << " off=" << byte_offset
+        << " i=" << i;
+  }
+  for (std::size_t b = byte_offset + 2 * elements; b < dst_full.size(); ++b) {
+    ASSERT_EQ(dst_full[b], dst_orig[b]) << "suffix clobbered at " << b;
+  }
+}
+
+}  // namespace
+
+TEST_P(Gf16TierTest, RegionKernelMatchesScalarAllSizes) {
+  // Element counts straddling the 16/32-element vector strides plus tails.
+  for (const std::size_t elements :
+       {0u, 1u, 2u, 7u, 8u, 15u, 16u, 17u, 31u, 32u, 33u, 100u, 255u, 256u,
+        1000u, 2048u}) {
+    check_region(0xABCD, elements, 40 + elements);
+  }
+}
+
+TEST_P(Gf16TierTest, RegionKernelCoefficientSweep) {
+  // One coefficient per nibble pattern class, plus structured edge values.
+  for (const std::uint16_t c :
+       {std::uint16_t{1}, std::uint16_t{2}, std::uint16_t{0x0010},
+        std::uint16_t{0x0100}, std::uint16_t{0x1000}, std::uint16_t{0x00FF},
+        std::uint16_t{0xFF00}, std::uint16_t{0x1234}, std::uint16_t{0x8001},
+        std::uint16_t{0xFFFF}}) {
+    check_region(c, 533, 50 + c);
+  }
+}
+
+TEST_P(Gf16TierTest, RegionKernelUnalignedStart) {
+  // Element-aligned but not vector-aligned starting offsets.
+  for (const std::size_t off : {2u, 6u, 10u, 14u, 18u, 30u}) {
+    check_region(0x4D2F, 777, 60 + off, off);
+  }
+}
+
+TEST_P(Gf16TierTest, RegionKernelRandomized) {
+  rpr::util::Xoshiro256 rng(70);
+  for (std::uint64_t iter = 0; iter < 200; ++iter) {
+    const auto c = static_cast<std::uint16_t>(rng());
+    const std::size_t elements = rng() % 600;
+    check_region(c, elements, 71 + iter);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTiers, Gf16TierTest,
+    ::testing::Values(gf::SimdTier::kScalar, gf::SimdTier::kSsse3,
+                      gf::SimdTier::kAvx2, gf::SimdTier::kNeon),
+    [](const ::testing::TestParamInfo<gf::SimdTier>& param_info) {
+      return std::string(gf::tier_name(param_info.param));
+    });
 
 TEST(GF65536, LinearityOfRegionAccumulation) {
   rpr::util::Xoshiro256 rng(6);

@@ -1,12 +1,19 @@
 // Utility-module tests: RNG determinism and distribution sanity, unit
-// types, combination enumeration, table rendering.
+// types, combination enumeration, table rendering, thread-pool sharding.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <set>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/combinatorics.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace util = rpr::util;
@@ -127,6 +134,103 @@ TEST(Combinatorics, CountMatchesEnumeration) {
     }
   }
   EXPECT_EQ(util::n_choose_r(16, 4), 1820u);
+}
+
+namespace {
+
+// Collects the [begin, end) chunks a parallel_for produced and verifies they
+// tile `total` exactly once, with every internal boundary `align`-aligned.
+void check_partition(std::vector<std::pair<std::size_t, std::size_t>> chunks,
+                     std::size_t total, std::size_t align) {
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t cursor = 0;
+  for (const auto& [b, e] : chunks) {
+    ASSERT_EQ(b, cursor) << "gap or overlap at " << b;
+    ASSERT_LT(b, e) << "empty chunk";
+    if (e != total) {
+      ASSERT_EQ(e % align, 0u) << "unaligned boundary " << e;
+    }
+    cursor = e;
+  }
+  ASSERT_EQ(cursor, total) << "range not fully covered";
+}
+
+}  // namespace
+
+TEST(ThreadPoolSharded, CoversRangeExactlyOnce) {
+  util::ThreadPool pool(3);
+  for (const std::size_t total : {0u, 1u, 63u, 64u, 65u, 1000u, 4096u,
+                                  (1u << 20) + 17u}) {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(total, 64, 256, [&](std::size_t b, std::size_t e) {
+      const std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    if (total == 0) {
+      EXPECT_TRUE(chunks.empty());
+    } else {
+      check_partition(std::move(chunks), total, 64);
+    }
+  }
+}
+
+TEST(ThreadPoolSharded, EveryByteTouchedExactlyOnce) {
+  util::ThreadPool pool(4);
+  const std::size_t total = (1u << 20) + 333;  // odd tail past the last chunk
+  std::vector<std::uint8_t> hits(total, 0);
+  pool.parallel_for(total, 64, 4096, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(hits[i], 1) << "byte " << i;
+  }
+}
+
+TEST(ThreadPoolSharded, SmallRangeRunsInline) {
+  util::ThreadPool pool(4);
+  // total below min_chunk: must be one inline chunk covering everything.
+  std::atomic<int> calls{0};
+  pool.parallel_for(100, 64, 1024, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolSharded, ActuallyRunsConcurrently) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  // Many minimum-size chunks so the queue outlasts the caller's first chunk
+  // and workers demonstrably participate.
+  pool.parallel_for(1 << 16, 64, 64, [&](std::size_t, std::size_t) {
+    const std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 1u);  // >=2 typically, but never flaky on 1 core
+}
+
+TEST(ThreadPoolSharded, ReusableAcrossManyJobs) {
+  util::ThreadPool pool(2);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(10000, 8, 128, [&](std::size_t b, std::size_t e) {
+      std::size_t local = 0;
+      for (std::size_t i = b; i < e; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 10000u * 9999u / 2);
+  }
+}
+
+TEST(ThreadPoolSharded, SharedPoolSingleton) {
+  util::ThreadPool& a = util::ThreadPool::shared();
+  util::ThreadPool& b = util::ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
 }
 
 TEST(Table, RendersAlignedColumns) {

@@ -120,3 +120,34 @@ TEST(WideCode, AgreesWithNarrowCodeOnXorParity) {
   wide.encode_stripe(stripe16);
   EXPECT_EQ(stripe8[6], stripe16[6]);  // P0
 }
+
+// Large blocks force the encode/decode region passes to shard across the
+// thread pool; the element-wise structure of RS means a window of the
+// sharded parity must equal the encode of that window alone, and decode
+// must still round-trip.
+TEST(WideCode, ShardedLargeBlockEncodeAndDecode) {
+  const WideRSCode code({6, 3});
+  constexpr std::size_t kLarge = 1u << 20;
+  const auto stripe = random_wide_stripe(code, kLarge, 7);
+
+  constexpr std::size_t kOff = 200 * 1024 + 14;  // element-aligned (even)
+  constexpr std::size_t kLen = 96 * 1024 + 10;
+  std::vector<Block> window(stripe.size());
+  for (std::size_t b = 0; b < 6; ++b) {
+    window[b].assign(stripe[b].begin() + kOff, stripe[b].begin() + kOff + kLen);
+  }
+  code.encode_stripe(window);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Block got(stripe[6 + i].begin() + kOff,
+                    stripe[6 + i].begin() + kOff + kLen);
+    ASSERT_EQ(got, window[6 + i]) << "parity " << i;
+  }
+
+  auto damaged = stripe;
+  const std::vector<std::size_t> failed = {0, 5, 8};
+  for (std::size_t f : failed) damaged[f].assign(kLarge, 0xEE);
+  ASSERT_TRUE(code.decode(damaged, failed));
+  for (std::size_t f : failed) {
+    ASSERT_EQ(damaged[f], stripe[f]) << "block " << f;
+  }
+}

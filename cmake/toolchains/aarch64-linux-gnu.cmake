@@ -1,0 +1,20 @@
+# Cross toolchain for the CI aarch64 leg: build with the GNU aarch64 cross
+# compiler, run the test binaries under user-mode qemu. With
+# CMAKE_CROSSCOMPILING_EMULATOR set, gtest_discover_tests enumerates tests
+# through qemu at build time and ctest runs them the same way — so the NEON
+# GF kernels (and the runtime dispatcher's aarch64 path) are exercised end
+# to end without aarch64 hardware.
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+set(CMAKE_CROSSCOMPILING_EMULATOR qemu-aarch64-static;-L;/usr/aarch64-linux-gnu)
+
+# Libraries and headers come from the target sysroot only; build tools from
+# the host.
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE BOTH)

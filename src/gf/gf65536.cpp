@@ -71,29 +71,52 @@ void mul_region_add(std::uint16_t c, std::span<std::uint8_t> dst,
 
   // SIMD path: 4-bit split tables in the byte-planar layout the vector
   // kernels shuffle with (x = n3<<12|n2<<8|n1<<4|n0, c*x = XOR of four
-  // 16-entry lookups). Building them costs 64 field multiplies — noise
-  // against a block-sized region pass.
+  // 16-entry lookups). Coding loops reuse a small set of coefficients across
+  // many region passes (one per matrix entry, repeated for every block of
+  // every stripe), so the tables are kept in a per-thread direct-mapped
+  // cache keyed by the coefficient instead of being rebuilt each call.
+  // c == 0 never reaches here, so 0 marks an empty cache line.
   if (auto* const kern = gf::detail::active_kernels().gf16_mul_region_add) {
-    gf::detail::Gf16SplitTables t;
-    for (unsigned j = 0; j < 4; ++j) {
-      for (unsigned v = 0; v < 16; ++v) {
-        const std::uint16_t p =
-            mul(c, static_cast<std::uint16_t>(v << (4 * j)));
-        t.t[2 * j][v] = static_cast<std::uint8_t>(p & 0xFF);
-        t.t[2 * j + 1][v] = static_cast<std::uint8_t>(p >> 8);
+    struct CacheLine {
+      std::uint16_t coeff = 0;
+      gf::detail::Gf16SplitTables tables;
+    };
+    thread_local std::array<CacheLine, 64> cache;
+    CacheLine& line = cache[c & (cache.size() - 1)];
+    if (line.coeff != c) {
+      for (unsigned j = 0; j < 4; ++j) {
+        for (unsigned v = 0; v < 16; ++v) {
+          const std::uint16_t p =
+              mul(c, static_cast<std::uint16_t>(v << (4 * j)));
+          line.tables.t[2 * j][v] = static_cast<std::uint8_t>(p & 0xFF);
+          line.tables.t[2 * j + 1][v] = static_cast<std::uint8_t>(p >> 8);
+        }
       }
+      line.coeff = c;
     }
-    kern(t, dst.data(), src.data(), dst.size());
+    kern(line.tables, dst.data(), src.data(), dst.size());
     return;
   }
 
-  // Scalar path: for x = hi<<8 | lo, c*x = lo_tab[lo] ^ hi_tab[hi].
-  std::array<std::uint16_t, 256> lo_tab;
-  std::array<std::uint16_t, 256> hi_tab;
-  for (unsigned i = 0; i < 256; ++i) {
-    lo_tab[i] = mul(c, static_cast<std::uint16_t>(i));
-    hi_tab[i] = mul(c, static_cast<std::uint16_t>(i << 8));
+  // Scalar path: for x = hi<<8 | lo, c*x = lo_tab[lo] ^ hi_tab[hi]. The
+  // 512-entry tables get the same coefficient-keyed caching (fewer lines —
+  // they are 8x the size of the split tables).
+  struct ScalarLine {
+    std::uint16_t coeff = 0;
+    std::array<std::uint16_t, 256> lo_tab;
+    std::array<std::uint16_t, 256> hi_tab;
+  };
+  thread_local std::array<ScalarLine, 8> scalar_cache;
+  ScalarLine& sl = scalar_cache[c & (scalar_cache.size() - 1)];
+  if (sl.coeff != c) {
+    for (unsigned i = 0; i < 256; ++i) {
+      sl.lo_tab[i] = mul(c, static_cast<std::uint16_t>(i));
+      sl.hi_tab[i] = mul(c, static_cast<std::uint16_t>(i << 8));
+    }
+    sl.coeff = c;
   }
+  const auto& lo_tab = sl.lo_tab;
+  const auto& hi_tab = sl.hi_tab;
 
   const std::size_t elements = dst.size() / 2;
   for (std::size_t i = 0; i < elements; ++i) {

@@ -40,8 +40,9 @@ const std::uint8_t (*product_tables())[256];
 //   c*x = T0[n0] ^ T1[n1] ^ T2[n2] ^ T3[n3]
 // where each Tj holds 16 uint16 products. t[2*j] holds the low bytes of
 // Tj and t[2*j+1] the high bytes, so every plane is a 16-byte shuffle
-// table. Built per call by gf65536.cpp (64 field multiplies — cheap
-// against a block-sized region pass).
+// table. gf65536.cpp builds them on demand and keeps them in a per-thread
+// coefficient-keyed cache, so repeated region passes with the same
+// coefficient (the coding-loop common case) skip the 64 field multiplies.
 struct Gf16SplitTables {
   alignas(16) std::uint8_t t[8][16];
 };

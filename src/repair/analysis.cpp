@@ -1,6 +1,9 @@
 #include "repair/analysis.h"
 
 #include <cassert>
+#include <stdexcept>
+
+#include "util/contracts.h"
 
 namespace rpr::repair::analysis {
 
@@ -47,6 +50,114 @@ double multi_worst_improvement(std::size_t n, std::size_t k) {
   const std::size_t q = (n + k + k - 1) / k;
   const double steps = static_cast<double>(rpr_multi_cross_timesteps(q, k));
   return 1.0 - steps / static_cast<double>(n);
+}
+
+PredictedTraffic predicted_equation_traffic(
+    const topology::Placement& placement, const LeafTerms& terms,
+    topology::NodeId destination,
+    const std::map<std::size_t, topology::NodeId>* pseudo_nodes) {
+  const topology::Cluster& cluster = placement.cluster();
+  const topology::RackId recovery = cluster.rack_of(destination);
+  const std::size_t total = placement.code().total();
+
+  const auto node_of = [&](std::size_t b) -> topology::NodeId {
+    if (b < total) return placement.node_of(b);
+    if (pseudo_nodes == nullptr || pseudo_nodes->count(b) == 0) {
+      throw std::invalid_argument(
+          "predicted_equation_traffic: pseudo slot with unknown location");
+    }
+    return pseudo_nodes->at(b);
+  };
+
+  std::map<topology::RackId, std::size_t> per_rack;  // non-recovery racks
+  std::size_t recovery_count = 0;
+  bool root_at_destination = false;
+  const auto visit = [&](std::size_t b) {
+    const topology::NodeId node = node_of(b);
+    const topology::RackId rack = cluster.rack_of(node);
+    if (rack == recovery) {
+      // The rack reduction roots at the first value; it stays put while
+      // every later value merges into it.
+      if (recovery_count == 0) root_at_destination = node == destination;
+      ++recovery_count;
+    } else {
+      ++per_rack[rack];
+    }
+  };
+  // Banked partials seed the destination rack's reduction ahead of the real
+  // reads (plan_remainder pushes the partial first), so visit them first.
+  for (const auto& [b, c] : terms) {
+    (void)c;
+    if (b >= total) visit(b);
+  }
+  for (const auto& [b, c] : terms) {
+    (void)c;
+    if (b < total) visit(b);
+  }
+
+  PredictedTraffic t;
+  for (const auto& [rack, m] : per_rack) {
+    (void)rack;
+    ++t.cross_transfers;         // the rack's intermediate crosses once, and
+                                 // every pipeline merge consumes one value
+    t.inner_transfers += m - 1;  // pairwise merges within the rack
+  }
+  if (recovery_count > 0) {
+    t.inner_transfers += recovery_count - 1;
+    if (!root_at_destination) ++t.inner_transfers;  // hop to the destination
+  }
+  return t;
+}
+
+PredictedTraffic predicted_traditional_traffic(
+    const topology::Placement& placement,
+    std::span<const std::size_t> selected,
+    std::span<const topology::NodeId> replacements) {
+  RPR_REQUIRE(!replacements.empty(),
+              "traditional traffic needs at least one replacement node");
+  const topology::Cluster& cluster = placement.cluster();
+  const topology::NodeId sink = replacements[0];
+
+  PredictedTraffic t;
+  const auto count_edge = [&](topology::NodeId from, topology::NodeId to) {
+    if (from == to) return;  // local, free
+    if (cluster.same_rack(from, to)) {
+      ++t.inner_transfers;
+    } else {
+      ++t.cross_transfers;
+    }
+  };
+  for (const std::size_t b : selected) {
+    count_edge(placement.node_of(b), sink);
+  }
+  for (std::size_t e = 1; e < replacements.size(); ++e) {
+    count_edge(sink, replacements[e]);  // forward the rebuilt block
+  }
+  return t;
+}
+
+PredictedTraffic predicted_traffic(Scheme scheme, const RepairProblem& problem,
+                                   const PlannedRepair& planned) {
+  RPR_REQUIRE(problem.placement != nullptr, "problem must carry a placement");
+  RPR_REQUIRE(planned.equations.size() == problem.replacements.size(),
+              "one equation per replacement node");
+  if (scheme == Scheme::kTraditional) {
+    return predicted_traditional_traffic(*problem.placement, planned.selected,
+                                         problem.replacements);
+  }
+  PredictedTraffic t;
+  for (std::size_t e = 0; e < planned.equations.size(); ++e) {
+    const rs::RepairEquation& eq = planned.equations[e];
+    LeafTerms terms;
+    for (std::size_t i = 0; i < eq.sources.size(); ++i) {
+      if (eq.coefficients[i] != 0) terms[eq.sources[i]] = eq.coefficients[i];
+    }
+    const PredictedTraffic one = predicted_equation_traffic(
+        *problem.placement, terms, problem.replacements[e]);
+    t.cross_transfers += one.cross_transfers;
+    t.inner_transfers += one.inner_transfers;
+  }
+  return t;
 }
 
 }  // namespace rpr::repair::analysis

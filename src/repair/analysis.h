@@ -15,7 +15,10 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 
+#include "repair/planner.h"
+#include "repair/replan.h"
 #include "util/units.h"
 
 namespace rpr::repair::analysis {
@@ -59,5 +62,60 @@ struct Params {
 /// multi-failure worst case, 1 - ceil(log2 q) * k / n (0 when q <= 3 and
 /// n = ceil(log2 3)*k, i.e. no improvement for storage overhead >= 50%).
 [[nodiscard]] double multi_worst_improvement(std::size_t n, std::size_t k);
+
+// ---------------------------------------------------------------------------
+// Exact per-plan traffic predictions (conservation invariants).
+//
+// The formulas above are the paper's worst-case bounds; the functions below
+// predict the *exact* transfer counts a planner must emit for a concrete
+// selection and placement. The plan verifier (src/verify) checks every
+// emitted plan against them: a plan that moves more bytes than the closed
+// form silently gives back the paper's traffic savings, one that moves
+// fewer cannot be computing the full equation.
+
+/// Transfer counts by link class; bytes = count * block_size.
+struct PredictedTraffic {
+  std::size_t cross_transfers = 0;
+  std::size_t inner_transfers = 0;
+
+  friend bool operator==(const PredictedTraffic&,
+                         const PredictedTraffic&) = default;
+};
+
+/// Exact traffic of one rack-aware partial-decoding equation (the shape
+/// shared by CAR, RPR and the mid-repair remainder planner):
+///
+///   cross = number of involved racks other than the destination's rack
+///           (each rack contributes exactly one intermediate, and every
+///           merge step of either the pipelined or the starred cross-rack
+///           reduction moves exactly one value across the aggregation
+///           switch);
+///   inner = sum over racks of (survivors - 1) pairwise merges, plus one
+///           hop of the destination rack's intermediate to the destination
+///           node unless the rack reduction already roots there (it does
+///           exactly when the first term in map order lives at the
+///           destination — the re-planner's banked partial).
+///
+/// `terms` maps block index -> coefficient; indices >= n+k are pseudo slots
+/// (banked partials) whose location is given by `pseudo_nodes`.
+[[nodiscard]] PredictedTraffic predicted_equation_traffic(
+    const topology::Placement& placement, const LeafTerms& terms,
+    topology::NodeId destination,
+    const std::map<std::size_t, topology::NodeId>* pseudo_nodes = nullptr);
+
+/// Exact traffic of the traditional scheme: every selected survivor ships
+/// raw to the first replacement node, and each additional rebuilt block is
+/// forwarded from there to its own replacement.
+[[nodiscard]] PredictedTraffic predicted_traditional_traffic(
+    const topology::Placement& placement,
+    std::span<const std::size_t> selected,
+    std::span<const topology::NodeId> replacements);
+
+/// Exact traffic for a planned repair under `scheme`: dispatches to the
+/// traditional closed form or sums `predicted_equation_traffic` over the
+/// planned sub-equations.
+[[nodiscard]] PredictedTraffic predicted_traffic(Scheme scheme,
+                                                 const RepairProblem& problem,
+                                                 const PlannedRepair& planned);
 
 }  // namespace rpr::repair::analysis

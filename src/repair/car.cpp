@@ -17,6 +17,7 @@
 
 #include "repair/planner.h"
 #include "repair/reduction.h"
+#include "verify/plan_verifier.h"
 
 namespace rpr::repair {
 
@@ -70,6 +71,10 @@ PlannedRepair CarPlanner::plan(const RepairProblem& p) const {
       detail::kCrossCost, "cross");
   out.outputs = {out.plan.combine(replacement, {final_value.op},
                                   /*with_matrix_cost=*/true, "decode")};
+  if (verify::verify_plans_enabled()) {
+    verify::throw_if_violated(verify::verify_planned_repair(out, p, Scheme::kCar),
+                              "car planner");
+  }
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace rpr::repair {
 
 OpId RepairPlan::read(topology::NodeId node, std::size_t block,
@@ -18,6 +20,10 @@ OpId RepairPlan::read(topology::NodeId node, std::size_t block,
 
 OpId RepairPlan::send(OpId value, topology::NodeId from, topology::NodeId to,
                       std::string label) {
+  // Deliberately no further checks here: the builders stay permissive so
+  // validate() (and tests exercising it) can see malformed plans; this one
+  // guards the only out-of-bounds index a builder could itself introduce.
+  RPR_REQUIRE(value < ops.size(), "send of a value that does not exist yet");
   PlanOp op;
   op.kind = OpKind::kSend;
   op.from = from;

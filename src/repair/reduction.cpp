@@ -1,7 +1,8 @@
 #include "repair/reduction.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/contracts.h"
 
 namespace rpr::repair::detail {
 
@@ -16,7 +17,7 @@ std::string phase_label(const char* phase, const char* op) {
 Value star_aggregate(RepairPlan& plan, std::vector<Value> values,
                      topology::NodeId aggregator, bool at_recovery,
                      double link_cost, const char* phase) {
-  assert(!values.empty());
+  RPR_REQUIRE(!values.empty(), "star_aggregate needs at least one value");
   std::vector<OpId> inputs;
   inputs.reserve(values.size());
   double ready = 0.0;
@@ -43,7 +44,7 @@ Value star_aggregate(RepairPlan& plan, std::vector<Value> values,
 
 Value pairwise_tree(RepairPlan& plan, std::vector<Value> values,
                     double link_cost) {
-  assert(!values.empty());
+  RPR_REQUIRE(!values.empty(), "pairwise_tree needs at least one value");
   while (values.size() > 1) {
     std::vector<Value> next;
     next.reserve((values.size() + 1) / 2);
@@ -68,7 +69,7 @@ Value cross_reduce(RepairPlan& plan, std::vector<Value> values,
                    topology::NodeId replacement,
                    const topology::Cluster& cluster,
                    const CrossCostFn& cost) {
-  assert(!values.empty());
+  RPR_REQUIRE(!values.empty(), "cross_reduce needs at least one value");
   const auto link_cost = [&](topology::NodeId a, topology::NodeId b) {
     if (!cost) return kCrossCost;
     return cost(cluster.rack_of(a), cluster.rack_of(b));
@@ -80,7 +81,8 @@ Value cross_reduce(RepairPlan& plan, std::vector<Value> values,
   std::vector<Value> sources;
   for (Value& v : values) {
     if (v.at_recovery) {
-      assert(!have_recovery && "at most one recovery-resident intermediate");
+      RPR_INVARIANT(!have_recovery,
+                    "at most one recovery-resident intermediate per equation");
       recovery = v;
       have_recovery = true;
     } else {
@@ -149,6 +151,8 @@ Value cross_reduce(RepairPlan& plan, std::vector<Value> values,
       sources.push_back(Value{comb, partner.node, best_finish, false});
     }
   }
+  RPR_ENSURE(have_recovery && recovery.node == replacement,
+             "cross reduction must terminate at the replacement node");
   return recovery;
 }
 

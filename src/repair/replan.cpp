@@ -6,6 +6,7 @@
 
 #include "gf/gf256.h"
 #include "repair/reduction.h"
+#include "util/contracts.h"
 
 namespace rpr::repair {
 
@@ -41,6 +42,8 @@ std::vector<LeafTerms> leaf_contributions(const RepairPlan& plan) {
 void substitute_source(const rs::RSCode& code, LeafTerms& terms,
                        std::size_t lost_block,
                        const std::set<std::size_t>& unusable) {
+  RPR_REQUIRE(unusable.count(lost_block) != 0,
+              "the substituted block must itself be marked unusable");
   const auto it = terms.find(lost_block);
   if (it == terms.end()) return;
   const std::uint8_t c_lost = it->second;
@@ -79,6 +82,8 @@ void substitute_source(const rs::RSCode& code, LeafTerms& terms,
     terms[d.sources[i]] ^= gf::mul(c_lost, d.coefficients[i]);
   }
   std::erase_if(terms, [](const auto& kv) { return kv.second == 0; });
+  RPR_ENSURE(terms.count(lost_block) == 0,
+             "patched equation must not reference the lost block");
 }
 
 OpId plan_remainder(RepairPlan& plan, const topology::Placement& placement,

@@ -9,7 +9,9 @@
 #include "repair/executor_data.h"
 #include "repair/plan.h"
 #include "simnet/simnet.h"
+#include "util/contracts.h"
 #include "util/units.h"
+#include "verify/plan_verifier.h"
 
 namespace rpr::repair {
 
@@ -198,6 +200,8 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
     }
 
     if (a.completed) {
+      RPR_INVARIANT(a.outputs.size() == cur_outputs.size(),
+                    "a completed attempt delivers every requested output");
       for (std::size_t i = 0; i < cur_outputs.size(); ++i) {
         EqState& s = eqs[eq_of_output[i]];
         s.result = a.outputs[i];
@@ -254,6 +258,7 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
     next_plan.block_size = problem.block_size;
     std::vector<OpId> next_outputs;
     std::vector<std::size_t> next_eq_of_output;
+    std::vector<verify::RemainderCheck> audit;
     ext_stripe.assign(stripe.begin(), stripe.end());
 
     for (std::size_t e = 0; e < eqs.size(); ++e) {
@@ -307,6 +312,15 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
       next_outputs.push_back(plan_remainder(next_plan, placement, req,
                                             opts.planner, next_round_index++));
       next_eq_of_output.push_back(e);
+      audit.push_back(
+          verify::RemainderCheck{req, next_outputs.back(), s.banked});
+    }
+
+    if (!next_outputs.empty() && verify::verify_plans_enabled()) {
+      verify::throw_if_violated(
+          verify::verify_remainder_plan(next_plan, placement, code, audit,
+                                        unusable),
+          "mid-repair re-plan, round " + std::to_string(round));
     }
 
     if (next_outputs.empty()) break;  // everything finished before the fault

@@ -34,6 +34,7 @@
 
 #include "repair/planner.h"
 #include "repair/reduction.h"
+#include "verify/plan_verifier.h"
 
 namespace rpr::repair {
 
@@ -142,6 +143,12 @@ PlannedRead plan_degraded_read(const rs::RSCode& code,
   out.used_decoding_matrix = !(opts.prefer_xor_set && it->xor_only());
   out.output = plan_one_equation(out.plan, p, *it, destination, opts,
                                  out.used_decoding_matrix, 0);
+  if (verify::verify_plans_enabled()) {
+    verify::throw_if_violated(
+        verify::verify_planned_read(out, code, placement, lost, target,
+                                    destination),
+        "plan_degraded_read b" + std::to_string(target));
+  }
   return out;
 }
 
@@ -187,6 +194,10 @@ PlannedRepair RprPlanner::plan(const RepairProblem& p) const {
     out.outputs[e] = plan_one_equation(
         out.plan, p, out.equations[e], p.replacements[e], opts_,
         out.used_decoding_matrix, e);
+  }
+  if (verify::verify_plans_enabled()) {
+    verify::throw_if_violated(verify::verify_planned_repair(out, p, Scheme::kRpr),
+                              "rpr planner");
   }
   return out;
 }

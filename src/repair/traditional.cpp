@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "repair/planner.h"
+#include "verify/plan_verifier.h"
 
 namespace rpr::repair {
 
@@ -57,6 +58,11 @@ PlannedRepair TraditionalPlanner::plan(const RepairProblem& p) const {
       out.outputs[e] =
           out.plan.send(rebuilt, sink, p.replacements[e], "forward");
     }
+  }
+  if (verify::verify_plans_enabled()) {
+    verify::throw_if_violated(
+        verify::verify_planned_repair(out, p, Scheme::kTraditional),
+        "traditional planner");
   }
   return out;
 }

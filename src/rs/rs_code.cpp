@@ -1,11 +1,11 @@
 #include "rs/rs_code.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 #include "gf/gf256.h"
 #include "gf/gf_region.h"
+#include "util/contracts.h"
 #include "util/thread_pool.h"
 
 namespace rpr::rs {
@@ -52,8 +52,8 @@ RSCode::RSCode(CodeConfig cfg, MatrixKind kind)
 
 void RSCode::encode(std::span<const Block> data,
                     std::span<Block> parity) const {
-  assert(data.size() == cfg_.n);
-  assert(parity.size() == cfg_.k);
+  RPR_REQUIRE(data.size() == cfg_.n, "encode takes exactly n data blocks");
+  RPR_REQUIRE(parity.size() == cfg_.k, "encode fills exactly k parity blocks");
   const std::size_t block_size = data.empty() ? 0 : data[0].size();
   for (const auto& d : data) {
     if (d.size() != block_size) {
@@ -146,7 +146,8 @@ std::vector<RepairEquation> RSCode::repair_equations(
   // selected rows and project each failed block's generator row through it.
   const matrix::Matrix sub = generator_.select_rows(selected);
   const auto inv = sub.inverted();
-  assert(inv.has_value() && "MDS code: any n survivor rows are invertible");
+  RPR_INVARIANT(inv.has_value(),
+                "MDS code: any n survivor rows are invertible");
 
   for (std::size_t f : failed) {
     // g_f (1 x n) * M'^-1 (n x n) -> coefficients over the selected blocks.
@@ -163,6 +164,8 @@ std::vector<RepairEquation> RSCode::repair_equations(
     }
     eqs.push_back(std::move(eq));
   }
+  RPR_ENSURE(eqs.size() == failed.size(),
+             "one repair equation per failed block");
   return eqs;
 }
 
@@ -190,7 +193,7 @@ std::vector<std::size_t> RSCode::default_selection(
       if (!is_failed(b)) sel.push_back(b);
     }
     sel.push_back(p0_index(cfg_));
-    assert(sel.size() == cfg_.n);
+    RPR_ENSURE(sel.size() == cfg_.n, "XOR set selects exactly n survivors");
     return sel;
   }
 
@@ -219,7 +222,8 @@ bool RSCode::decode(std::vector<Block>& blocks,
 
 Block RSCode::evaluate(const RepairEquation& eq,
                        std::span<const Block> stripe) const {
-  assert(eq.sources.size() == eq.coefficients.size());
+  RPR_REQUIRE(eq.sources.size() == eq.coefficients.size(),
+              "equation coefficients must parallel its sources");
   std::size_t block_size = 0;
   for (std::size_t i = 0; i < eq.sources.size(); ++i) {
     if (eq.coefficients[i] != 0) {

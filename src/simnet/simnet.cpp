@@ -1,9 +1,10 @@
 #include "simnet/simnet.h"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
 #include <stdexcept>
+
+#include "util/contracts.h"
 
 namespace rpr::simnet {
 
@@ -122,6 +123,8 @@ RunResult SimNetwork::run() {
       running;
 
   auto enqueue_ready = [&](TaskId id, SimTime when) {
+    RPR_INVARIANT(tasks_[id].unmet_deps == 0,
+                  "a task becomes ready only once all dependencies finished");
     result.tasks[id].ready = when;
     pending.push_back(Pending{when, id});
     std::push_heap(pending.begin(), pending.end(),
@@ -236,6 +239,14 @@ RunResult SimNetwork::run() {
         "SimNetwork::run: task graph has a cycle or unreachable tasks");
   }
   result.makespan = now;
+#if RPR_CONTRACTS_ENABLED
+  for (const TaskStats& st : result.tasks) {
+    RPR_ENSURE(st.finish <= result.makespan,
+               "no task may finish after the makespan");
+    RPR_ENSURE(st.start >= st.ready,
+               "no task may start before its dependencies finished");
+  }
+#endif
   return result;
 }
 

@@ -1,0 +1,62 @@
+// Contract macros: executable pre/postconditions and invariants.
+//
+//   RPR_REQUIRE(cond, msg)   — precondition at function entry
+//   RPR_ENSURE(cond, msg)    — postcondition before returning
+//   RPR_INVARIANT(cond, msg) — mid-function / loop invariant
+//
+// Debug builds (and any build with -DRPR_CONTRACTS): a failed contract
+// prints the condition, location and message to stderr and calls
+// std::abort(). abort() is intercepted by ASan/UBSan/TSan, so a violated
+// contract under the sanitizer CI legs comes with a symbolized stack trace
+// instead of sailing on into undefined behaviour.
+//
+// Release builds (NDEBUG without RPR_CONTRACTS): contracts compile to a
+// never-executed `false && (cond)` so the condition still type-checks and
+// its operands count as used (no -Wunused warnings), but no code is
+// generated. Conditions must therefore be side-effect free.
+//
+// These deliberately differ from assert(): they are on in every Debug CI
+// leg regardless of sanitizer, they carry a human message, and grepping for
+// RPR_REQUIRE distinguishes a documented API contract from an internal
+// sanity check.
+#pragma once
+
+#if !defined(NDEBUG) || defined(RPR_CONTRACTS)
+#define RPR_CONTRACTS_ENABLED 1
+#else
+#define RPR_CONTRACTS_ENABLED 0
+#endif
+
+#if RPR_CONTRACTS_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rpr::util::detail {
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* cond,
+                                         const char* file, int line,
+                                         const char* msg) {
+  std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n  %s\n", kind, cond, file,
+               line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rpr::util::detail
+
+#define RPR_CONTRACT_IMPL_(kind, cond, msg)                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::rpr::util::detail::contract_failed(kind, #cond, __FILE__,   \
+                                                 __LINE__, msg))
+
+#else
+
+#define RPR_CONTRACT_IMPL_(kind, cond, msg) \
+  static_cast<void>(false && (cond))
+
+#endif
+
+#define RPR_REQUIRE(cond, msg) RPR_CONTRACT_IMPL_("RPR_REQUIRE", cond, msg)
+#define RPR_ENSURE(cond, msg) RPR_CONTRACT_IMPL_("RPR_ENSURE", cond, msg)
+#define RPR_INVARIANT(cond, msg) RPR_CONTRACT_IMPL_("RPR_INVARIANT", cond, msg)

@@ -1,0 +1,388 @@
+// Mutation self-test of the static plan verifier: every corruption class
+// the verifier claims to catch is seeded into a known-good plan and must be
+// detected, and every clean planner/re-planner output must pass. The
+// verifier is only trustworthy if it both accepts the true positives and
+// rejects the seeded negatives — a lint that never fires is
+// indistinguishable from one that is wired to nothing.
+#include "verify/plan_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "gf/gf256.h"
+#include "repair/planner.h"
+#include "repair/replan.h"
+#include "repair/resilient.h"
+#include "rs/rs_code.h"
+#include "test_support.h"
+#include "topology/placement.h"
+#include "util/rng.h"
+
+using rpr::repair::LeafTerms;
+using rpr::repair::OpId;
+using rpr::repair::OpKind;
+using rpr::repair::PlannedRepair;
+using rpr::repair::RepairProblem;
+using rpr::repair::Scheme;
+using rpr::verify::InvariantClass;
+using rpr::verify::VerifyReport;
+
+namespace {
+
+/// One planned single-failure repair to mutate. CAR keeps the traditional
+/// matrix decode, so its plans carry arbitrary (non-unit) coefficients —
+/// the harder case for the algebraic fold.
+struct Case {
+  rpr::rs::RSCode code{rpr::rs::CodeConfig{6, 3}};
+  rpr::topology::PlacedStripe placed = rpr::topology::make_placed_stripe(
+      {6, 3}, rpr::topology::PlacementPolicy::kContiguous);
+  RepairProblem problem;
+  PlannedRepair planned;
+  Scheme scheme;
+
+  explicit Case(Scheme s, std::vector<std::size_t> failed = {0}) : scheme(s) {
+    problem.code = &code;
+    problem.placement = &placed.placement;
+    problem.block_size = 1 << 20;
+    problem.failed = std::move(failed);
+    problem.choose_default_replacements();
+    planned = rpr::repair::make_planner(s)->plan(problem);
+  }
+
+  [[nodiscard]] VerifyReport verify() const {
+    return rpr::verify::verify_planned_repair(planned, problem, scheme);
+  }
+
+  [[nodiscard]] OpId find_op(OpKind kind, std::size_t min_inputs = 0) {
+    for (OpId id = 0; id < planned.plan.ops.size(); ++id) {
+      if (planned.plan.ops[id].kind == kind &&
+          planned.plan.ops[id].inputs.size() >= min_inputs) {
+        return id;
+      }
+    }
+    ADD_FAILURE() << "plan has no such op";
+    return rpr::repair::kNoOp;
+  }
+
+  /// Any node in a different rack than `node` (same slot position).
+  [[nodiscard]] rpr::topology::NodeId other_rack_node(
+      rpr::topology::NodeId node) const {
+    const auto& cluster = placed.cluster;
+    const auto rack = cluster.rack_of(node);
+    const auto other = rack == 0 ? rpr::topology::RackId{1}
+                                 : rpr::topology::RackId{0};
+    return other * cluster.nodes_per_rack() + node % cluster.nodes_per_rack();
+  }
+};
+
+bool generator_identity(const rpr::rs::RSCode& code, const LeafTerms& terms,
+                        std::size_t failed_block) {
+  const auto& g = code.generator();
+  for (std::size_t j = 0; j < g.cols(); ++j) {
+    std::uint8_t sum = 0;
+    for (const auto& [b, c] : terms) {
+      sum ^= rpr::gf::mul(c, g.at(b, j));
+    }
+    if (sum != g.at(failed_block, j)) return false;
+  }
+  return true;
+}
+
+/// Scoped RPR_VERIFY_PLANS so one test cannot leak the debug mode into the
+/// rest of the binary.
+struct ScopedVerifyEnv {
+  explicit ScopedVerifyEnv(const char* value) {
+    ::setenv("RPR_VERIFY_PLANS", value, 1);
+  }
+  ~ScopedVerifyEnv() { ::unsetenv("RPR_VERIFY_PLANS"); }
+};
+
+}  // namespace
+
+// --- clean plans pass ------------------------------------------------------
+
+TEST(PlanVerifier, CleanPlansPassEveryScheme) {
+  for (const Scheme s :
+       {Scheme::kTraditional, Scheme::kCar, Scheme::kRpr}) {
+    Case c(s);
+    const auto report = c.verify();
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(PlanVerifier, CleanMultiFailurePlansPass) {
+  for (const Scheme s : {Scheme::kTraditional, Scheme::kRpr}) {
+    Case c(s, {0, 7});
+    const auto report = c.verify();
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(PlanVerifier, CleanDegradedReadPasses) {
+  Case c(Scheme::kRpr);
+  const std::vector<std::size_t> lost = {0};
+  const auto destination = c.placed.cluster.spare(1);
+  const auto planned = rpr::repair::plan_degraded_read(
+      c.code, c.placed.placement, 1 << 20, lost, 0, destination);
+  const auto report = rpr::verify::verify_planned_read(
+      planned, c.code, c.placed.placement, lost, 0, destination);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// --- mutation class 1: flipped read coefficient ----------------------------
+
+TEST(PlanVerifierMutation, DetectsFlippedReadCoefficient) {
+  Case c(Scheme::kCar);
+  const OpId read = c.find_op(OpKind::kRead);
+  auto& coeff = c.planned.plan.ops[read].coeff;
+  coeff = static_cast<std::uint8_t>(coeff == 1 ? 2 : 1);
+
+  const auto report = c.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.count(InvariantClass::kAlgebraic), 1u)
+      << report.to_string();
+}
+
+TEST(PlanVerifierMutation, EquationMismatchRendersReadableDiff) {
+  Case c(Scheme::kCar);
+  const OpId read = c.find_op(OpKind::kRead);
+  auto& coeff = c.planned.plan.ops[read].coeff;
+  coeff = static_cast<std::uint8_t>(coeff == 1 ? 2 : 1);
+
+  const std::string report = c.verify().to_string();
+  EXPECT_NE(report.find("expected"), std::string::npos) << report;
+  EXPECT_NE(report.find("actual"), std::string::npos) << report;
+  EXPECT_NE(report.find("diff"), std::string::npos) << report;
+  EXPECT_NE(report.find("op "), std::string::npos) << report;
+  EXPECT_NE(report.find("rack "), std::string::npos) << report;
+}
+
+// --- mutation class 2: dropped combine input -------------------------------
+
+TEST(PlanVerifierMutation, DetectsDroppedCombineInput) {
+  Case c(Scheme::kRpr);
+  const OpId comb = c.find_op(OpKind::kCombine, /*min_inputs=*/2);
+  auto& op = c.planned.plan.ops[comb];
+  op.inputs.pop_back();
+  if (!op.input_coeffs.empty()) op.input_coeffs.pop_back();
+
+  const auto report = c.verify();
+  ASSERT_FALSE(report.ok());
+  // The output expression loses the dropped subtree's terms (algebraic) and
+  // the subtree's root is now produced but never consumed (topological).
+  EXPECT_GE(report.count(InvariantClass::kAlgebraic), 1u)
+      << report.to_string();
+  EXPECT_GE(report.count(InvariantClass::kTopological), 1u)
+      << report.to_string();
+}
+
+// --- mutation class 3: rerouted send ---------------------------------------
+
+TEST(PlanVerifierMutation, DetectsReroutedSendDestination) {
+  Case c(Scheme::kRpr);
+  const OpId send = c.find_op(OpKind::kSend, /*min_inputs=*/1);
+  auto& op = c.planned.plan.ops[send];
+  op.node = c.other_rack_node(op.node);
+
+  const auto report = c.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.count(InvariantClass::kTopological), 1u)
+      << report.to_string();
+}
+
+// --- mutation class 4: read on the wrong node ------------------------------
+
+TEST(PlanVerifierMutation, DetectsReadOnWrongRackNode) {
+  Case c(Scheme::kRpr);
+  const OpId read = c.find_op(OpKind::kRead);
+  auto& op = c.planned.plan.ops[read];
+  op.node = c.other_rack_node(op.node);
+
+  const auto report = c.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.count(InvariantClass::kTopological), 1u)
+      << report.to_string();
+}
+
+// --- conservation ----------------------------------------------------------
+
+TEST(PlanVerifierMutation, DetectsRedundantTransfer) {
+  Case c(Scheme::kRpr);
+  // Bolt a gratuitous round-trip onto an intermediate: its value leaves the
+  // node and comes back, changing no output but moving extra bytes.
+  const OpId send = c.find_op(OpKind::kSend, /*min_inputs=*/1);
+  auto& plan = c.planned.plan;
+  const auto home = plan.ops[send].node;
+  const auto away = c.other_rack_node(home);
+  const OpId out = plan.send(send, home, away, "detour");
+  plan.send(out, away, home, "return");
+
+  const auto report = c.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.count(InvariantClass::kConservation), 1u)
+      << report.to_string();
+}
+
+TEST(PlanVerifierMutation, DetectsForbiddenBlockRead) {
+  Case c(Scheme::kRpr);
+  const OpId read = c.find_op(OpKind::kRead);
+  // Redirect the read at the failed block itself, on its (dead) node.
+  auto& op = c.planned.plan.ops[read];
+  op.block = c.problem.failed[0];
+  op.node = c.placed.placement.node_of(op.block);
+
+  const auto report = c.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.count(InvariantClass::kTopological), 1u)
+      << report.to_string();
+}
+
+// --- property: equation patching keeps the generator identity --------------
+
+TEST(PlanVerifierProperty, SubstituteSourcePreservesGeneratorIdentity) {
+  for (const auto cfg :
+       {rpr::rs::CodeConfig{6, 3}, rpr::rs::CodeConfig{9, 6}}) {
+    const rpr::rs::RSCode code(cfg);
+    rpr::util::Xoshiro256 rng(0xBADC0DE + cfg.n);
+
+    for (int trial = 0; trial < 32; ++trial) {
+      const std::size_t failed = rng() % cfg.total();
+      std::set<std::size_t> unusable = {failed};
+      const std::vector<std::size_t> failed_v = {failed};
+      auto selected = code.default_selection(failed_v);
+      auto eqs = code.repair_equations(failed_v, selected);
+      LeafTerms terms;
+      for (std::size_t i = 0; i < eqs[0].sources.size(); ++i) {
+        if (eqs[0].coefficients[i] != 0) {
+          terms[eqs[0].sources[i]] = eqs[0].coefficients[i];
+        }
+      }
+      ASSERT_TRUE(generator_identity(code, terms, failed));
+
+      // Kill up to k-1 random additional blocks; after every patch the
+      // remaining expression must still reconstruct the failed block.
+      for (std::size_t kills = 0; kills + 1 < cfg.k; ++kills) {
+        const std::size_t victim = rng() % cfg.total();
+        if (unusable.count(victim) != 0) continue;
+        unusable.insert(victim);
+        rpr::repair::substitute_source(code, terms, victim, unusable);
+        EXPECT_TRUE(generator_identity(code, terms, failed))
+            << "identity lost after killing block " << victim;
+        for (const auto& [b, coeff] : terms) {
+          (void)coeff;
+          EXPECT_EQ(unusable.count(b), 0u)
+              << "patched equation references unusable block " << b;
+        }
+      }
+    }
+  }
+}
+
+// --- property: remainder plans pass the full verifier ----------------------
+
+TEST(PlanVerifierProperty, RemainderPlansVerifyAcrossRandomKills) {
+  const rpr::rs::CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode code(cfg);
+  const auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  rpr::util::Xoshiro256 rng(0x5EED);
+
+  for (int trial = 0; trial < 48; ++trial) {
+    const std::size_t failed = rng() % cfg.total();
+    std::set<std::size_t> unusable = {failed};
+    const std::vector<std::size_t> failed_v = {failed};
+    auto eqs = code.repair_equations(failed_v,
+                                     code.default_selection(failed_v));
+    LeafTerms terms;
+    for (std::size_t i = 0; i < eqs[0].sources.size(); ++i) {
+      if (eqs[0].coefficients[i] != 0) {
+        terms[eqs[0].sources[i]] = eqs[0].coefficients[i];
+      }
+    }
+    if (const std::size_t victim = rng() % cfg.total();
+        unusable.count(victim) == 0) {
+      unusable.insert(victim);
+      rpr::repair::substitute_source(code, terms, victim, unusable);
+    }
+
+    rpr::repair::RemainderEquation req;
+    req.failed_block = failed;
+    req.terms = terms;
+    req.destination =
+        placed.cluster.spare(placed.placement.rack_of(failed));
+    req.with_matrix = true;
+
+    rpr::repair::RepairPlan plan;
+    plan.block_size = 1 << 20;
+    const OpId output = rpr::repair::plan_remainder(plan, placed.placement,
+                                                    req, {}, 0);
+
+    const rpr::verify::RemainderCheck check{req, output, {}};
+    const auto report = rpr::verify::verify_remainder_plan(
+        plan, placed.placement, code, {&check, 1}, unusable);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+// --- debug mode ------------------------------------------------------------
+
+TEST(VerifyPlansEnv, TogglesPerCall) {
+  EXPECT_FALSE(rpr::verify::verify_plans_enabled());
+  {
+    ScopedVerifyEnv on("1");
+    EXPECT_TRUE(rpr::verify::verify_plans_enabled());
+  }
+  {
+    ScopedVerifyEnv off("0");
+    EXPECT_FALSE(rpr::verify::verify_plans_enabled());
+  }
+  EXPECT_FALSE(rpr::verify::verify_plans_enabled());
+}
+
+TEST(VerifyPlansEnv, ResilientSessionsVerifyEveryReplan) {
+  // With the debug mode on, every planner output AND every mid-repair
+  // patched plan is verified before execution; any violation throws. The
+  // randomized kill schedules exercise the re-plan paths (banked partials,
+  // substituted sources, moved destinations).
+  ScopedVerifyEnv on("1");
+  const rpr::rs::CodeConfig cfg{6, 3};
+  const rpr::rs::RSCode code(cfg);
+  const auto placed = rpr::topology::make_placed_stripe(
+      cfg, rpr::topology::PlacementPolicy::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 4096, 99);
+  rpr::util::Xoshiro256 rng(0xD15EA5E);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    RepairProblem problem;
+    problem.code = &code;
+    problem.placement = &placed.placement;
+    problem.block_size = 64ull << 20;
+    problem.failed = {rng() % cfg.total()};
+    problem.choose_default_replacements();
+
+    const auto planner = rpr::repair::make_planner(Scheme::kRpr);
+    // Kill a random helper mid-flight (10 ms into a plan whose transfers
+    // span tens of milliseconds, so the kill lands mid-repair).
+    const auto planned = planner->plan(problem);
+    std::vector<rpr::topology::NodeId> helpers;
+    for (const auto& op : planned.plan.ops) {
+      if (op.kind == OpKind::kRead &&
+          op.node != problem.replacements[0]) {
+        helpers.push_back(op.node);
+      }
+    }
+    ASSERT_FALSE(helpers.empty());
+    rpr::fault::FaultSchedule chaos;
+    chaos.kills.push_back({helpers[rng() % helpers.size()], 0.010});
+
+    const auto outcome = rpr::repair::simulate_resilient(
+        problem, *planner, stripe, rpr::topology::NetworkParams{}, chaos,
+        {});
+    ASSERT_EQ(outcome.outputs.size(), 1u);
+    EXPECT_EQ(outcome.outputs[0], stripe[problem.failed[0]]);
+  }
+}

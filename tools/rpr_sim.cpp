@@ -20,6 +20,11 @@
 //                           seconds (simulated for simnet, wall for --tcp)
 //     --straggler N,F[,A]   shorthand: slow node N's transfers by factor F
 //                           (clearing after A afflicted attempts if given)
+//     --verify              exhaustive plan lint: run the static verifier
+//                           over every (code, placement, failure set, scheme)
+//                           combination of a fixed grid and report any plan
+//                           that violates an algebraic, topological or
+//                           conservation invariant
 //
 // Prints repair time, traffic and the transfer schedule — the library's
 // planners and simulators behind a single adoptable command.
@@ -28,7 +33,7 @@
 // with backoff, equation-patching re-plans on helper loss) and the rebuilt
 // blocks are verified byte-identical against the encoded stripe. Exit codes:
 // 0 success, 1 runtime error, 2 usage, 3 repair impossible (more failures
-// than the code tolerates).
+// than the code tolerates), 4 a --verify sweep found a violated invariant.
 //
 // --trace works with every engine: the port simulator and the fluid model
 // emit simulated-time spans (the fluid model additionally samples rack
@@ -58,6 +63,7 @@
 #include "simnet/trace_export.h"
 #include "topology/placement.h"
 #include "util/rng.h"
+#include "verify/plan_verifier.h"
 
 namespace {
 
@@ -70,7 +76,8 @@ int usage() {
       "               [--fluid | --tcp] [--time-scale X]\n"
       "               [--trace FILE] [--metrics FILE] [--metrics-csv FILE]\n"
       "               [--chaos SPEC] [--fail-helper-at T]\n"
-      "               [--straggler NODE,FACTOR[,ATTEMPTS]]\n");
+      "               [--straggler NODE,FACTOR[,ATTEMPTS]]\n"
+      "       rpr_sim --verify\n");
   return 2;
 }
 
@@ -131,6 +138,82 @@ std::vector<std::size_t> parse_list(const char* flag, const char* s) {
   }
   if (out.empty()) die_bad_value(flag, s);
   return out;
+}
+
+/// --verify: exhaustive static lint of every planner over a fixed grid of
+/// codes x placements x failure sets x schemes. Every emitted plan runs
+/// through the PlanVerifier; a violation prints the full report (op index,
+/// rack, expected-vs-actual equation diff) and the sweep exits 4 at the end.
+int run_verify_sweep() {
+  using namespace rpr;
+
+  const std::vector<rs::CodeConfig> codes = {{6, 3}, {9, 6}, {14, 10}};
+  const std::vector<std::pair<topology::PlacementPolicy, const char*>>
+      policies = {{topology::PlacementPolicy::kContiguous, "contiguous"},
+                  {topology::PlacementPolicy::kRpr, "rpr"},
+                  {topology::PlacementPolicy::kFlat, "flat"}};
+  const std::size_t max_failures = 3;
+
+  std::size_t plans = 0;
+  std::size_t violated = 0;
+
+  for (const rs::CodeConfig& cfg : codes) {
+    const rs::RSCode code(cfg);
+    for (const auto& [policy, policy_name] : policies) {
+      const auto placed = topology::make_placed_stripe(cfg, policy);
+
+      // Every failure set of size 1..min(3, k), enumerated by combination.
+      const std::size_t total = cfg.total();
+      for (std::size_t f = 1; f <= std::min(max_failures, cfg.k); ++f) {
+        std::vector<std::size_t> idx(f);
+        for (std::size_t i = 0; i < f; ++i) idx[i] = i;
+        for (;;) {
+          repair::RepairProblem problem;
+          problem.code = &code;
+          problem.placement = &placed.placement;
+          problem.block_size = 1 << 20;
+          problem.failed = idx;
+          problem.choose_default_replacements();
+
+          for (const repair::Scheme scheme :
+               {repair::Scheme::kTraditional, repair::Scheme::kCar,
+                repair::Scheme::kRpr}) {
+            if (scheme == repair::Scheme::kCar && f != 1) continue;
+            const auto planner = repair::make_planner(scheme);
+            const auto planned = planner->plan(problem);
+            const auto report =
+                verify::verify_planned_repair(planned, problem, scheme);
+            ++plans;
+            if (!report.ok()) {
+              ++violated;
+              std::string failset;
+              for (const std::size_t b : idx) {
+                if (!failset.empty()) failset += ",";
+                failset += std::to_string(b);
+              }
+              std::fprintf(stderr,
+                           "VIOLATION: RS(%zu,%zu) %s placement, scheme %s, "
+                           "failed {%s}:\n%s",
+                           cfg.n, cfg.k, policy_name,
+                           planner->name().c_str(), failset.c_str(),
+                           report.to_string().c_str());
+            }
+          }
+
+          // Next combination (lexicographic).
+          std::size_t i = f;
+          while (i > 0 && idx[i - 1] == total - f + (i - 1)) --i;
+          if (i == 0) break;
+          ++idx[i - 1];
+          for (std::size_t j = i; j < f; ++j) idx[j] = idx[j - 1] + 1;
+        }
+      }
+    }
+  }
+
+  std::printf("verify sweep: %zu plans checked, %zu with violations\n", plans,
+              violated);
+  return violated == 0 ? 0 : 4;
 }
 
 }  // namespace
@@ -219,6 +302,8 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--fail-helper-at") {
       fail_helper_at = parse_nonneg("--fail-helper-at", next());
+    } else if (a == "--verify") {
+      return run_verify_sweep();
     } else if (a == "--straggler") {
       const std::string spec = next();
       std::vector<std::string> parts(1);

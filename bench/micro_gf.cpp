@@ -1,7 +1,8 @@
 // Microbenchmarks for the GF(2^8) region kernels and RS encode throughput.
 //
 // Every kernel benchmark is swept across the SIMD dispatch tiers the host
-// supports (ArgName "tier": 0=scalar, 1=ssse3, 2=avx2, 3=neon) so one run
+// supports (ArgName "tier": 0=scalar, 1=ssse3, 2=avx2, 3=neon, 4=avx512,
+// 5=gfni) so one run
 // captures the scalar baseline and each vector tier side by side — that
 // ratio is the headline number of the SIMD work, and BENCH_gf.json at the
 // repo root is a checked-in capture of this binary's --benchmark_out.

@@ -35,6 +35,14 @@ const SplitTable* split_tables();
 /// rebuilt 256 entries on every invocation).
 const std::uint8_t (*product_tables())[256];
 
+/// 256 8x8 GF(2) bit matrices (2 KiB), one per coefficient, in the operand
+/// layout `vgf2p8affineqb` consumes: the affine transform with matrix [c]
+/// computes c * b over this field's polynomial 0x11D for every byte lane.
+/// (The instruction's fused-reduction sibling `vgf2p8mulb` is hardwired to
+/// the AES polynomial 0x11B and is therefore useless here.) Built once on
+/// first use.
+const std::uint64_t* gfni_matrices();
+
 // Split-nibble tables for one GF(2^16) coefficient, byte-planar layout:
 // an element x = n3<<12 | n2<<8 | n1<<4 | n0 satisfies
 //   c*x = T0[n0] ^ T1[n1] ^ T2[n2] ^ T3[n3]
@@ -83,6 +91,12 @@ const Kernels& scalar_kernels();
 #if defined(__x86_64__) || defined(__i386__)
 const Kernels& ssse3_kernels();
 const Kernels& avx2_kernels();
+const Kernels& avx512_kernels();
+const Kernels& gfni_kernels();
+/// Whether gf_kernels_avx512.cpp was actually built with AVX-512BW/VL+GFNI
+/// codegen (the per-file flags require compiler support; without it the TU
+/// compiles to stubs and the dispatcher must not offer these tiers).
+bool avx512_tu_compiled() noexcept;
 #endif
 #if defined(__aarch64__)
 const Kernels& neon_kernels();

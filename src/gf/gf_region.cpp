@@ -2,8 +2,8 @@
 //
 // Tier selection happens once, on the first region operation: probe the CPU
 // (via __builtin_cpu_supports on x86; AdvSIMD is unconditional on AArch64),
-// then honor an RPR_GF_FORCE=scalar|ssse3|avx2|neon override if it names a
-// supported tier. After that every call is one relaxed atomic load plus an
+// then honor an RPR_GF_FORCE=scalar|ssse3|avx2|neon|avx512|gfni override if
+// it names a supported tier. After that every call is one relaxed atomic load plus an
 // indirect call — negligible against block-sized region passes.
 #include "gf/gf_region.h"
 
@@ -31,6 +31,10 @@ const Kernels* kernels_for(SimdTier tier) noexcept {
       return &ssse3_kernels();
     case SimdTier::kAvx2:
       return &avx2_kernels();
+    case SimdTier::kAvx512:
+      return &avx512_kernels();
+    case SimdTier::kGfni:
+      return &gfni_kernels();
 #endif
 #if defined(__aarch64__)
     case SimdTier::kNeon:
@@ -58,7 +62,7 @@ const Kernels* init() noexcept {
     if (!parsed.has_value()) {
       std::fprintf(stderr,
                    "rpr: ignoring unrecognized RPR_GF_FORCE=%s "
-                   "(want scalar|ssse3|avx2|neon)\n",
+                   "(want scalar|ssse3|avx2|neon|avx512|gfni)\n",
                    force);
     } else if (!tier_supported(*parsed)) {
       std::fprintf(stderr,
@@ -96,6 +100,15 @@ bool tier_supported(SimdTier tier) noexcept {
       return __builtin_cpu_supports("ssse3") != 0;
     case SimdTier::kAvx2:
       return __builtin_cpu_supports("avx2") != 0;
+    case SimdTier::kAvx512:
+      // BW for byte shuffles/masks, VL because the TU freely mixes vector
+      // widths; both gated on the TU actually carrying AVX-512 codegen.
+      return detail::avx512_tu_compiled() &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
+    case SimdTier::kGfni:
+      return tier_supported(SimdTier::kAvx512) &&
+             __builtin_cpu_supports("gfni") != 0;
     case SimdTier::kNeon:
       return false;
 #elif defined(__aarch64__)
@@ -103,6 +116,8 @@ bool tier_supported(SimdTier tier) noexcept {
       return true;
     case SimdTier::kSsse3:
     case SimdTier::kAvx2:
+    case SimdTier::kAvx512:
+    case SimdTier::kGfni:
       return false;
 #else
     default:
@@ -116,6 +131,8 @@ SimdTier best_tier() noexcept {
 #if defined(__aarch64__)
   return SimdTier::kNeon;
 #else
+  if (tier_supported(SimdTier::kGfni)) return SimdTier::kGfni;
+  if (tier_supported(SimdTier::kAvx512)) return SimdTier::kAvx512;
   if (tier_supported(SimdTier::kAvx2)) return SimdTier::kAvx2;
   if (tier_supported(SimdTier::kSsse3)) return SimdTier::kSsse3;
   return SimdTier::kScalar;
@@ -125,7 +142,7 @@ SimdTier best_tier() noexcept {
 std::vector<SimdTier> supported_tiers() {
   std::vector<SimdTier> tiers;
   for (SimdTier t : {SimdTier::kScalar, SimdTier::kSsse3, SimdTier::kAvx2,
-                     SimdTier::kNeon}) {
+                     SimdTier::kNeon, SimdTier::kAvx512, SimdTier::kGfni}) {
     if (tier_supported(t)) tiers.push_back(t);
   }
   return tiers;
@@ -147,6 +164,10 @@ const char* tier_name(SimdTier tier) noexcept {
       return "avx2";
     case SimdTier::kNeon:
       return "neon";
+    case SimdTier::kAvx512:
+      return "avx512";
+    case SimdTier::kGfni:
+      return "gfni";
   }
   return "unknown";
 }
@@ -156,6 +177,8 @@ std::optional<SimdTier> parse_tier(std::string_view spec) noexcept {
   if (spec == "ssse3") return SimdTier::kSsse3;
   if (spec == "avx2") return SimdTier::kAvx2;
   if (spec == "neon") return SimdTier::kNeon;
+  if (spec == "avx512") return SimdTier::kAvx512;
+  if (spec == "gfni") return SimdTier::kGfni;
   return std::nullopt;
 }
 

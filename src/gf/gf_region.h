@@ -12,6 +12,12 @@
 //    shuffle performs 16 parallel 4-bit table lookups, the technique used
 //    by ISA-L, GF-Complete and production erasure codecs.
 //  * neon — AArch64 `tbl`, the same scheme on ARM.
+//  * avx512 — the split-nibble scheme on 64-byte vectors (`vpshufb` on zmm).
+//  * gfni — `vgf2p8affineqb`: one affine instruction multiplies 64 bytes by
+//    an arbitrary coefficient (as an 8x8 GF(2) bit matrix), replacing the
+//    whole split-nibble dance. The instruction's built-in reduction is tied
+//    to the AES polynomial 0x11B, not this field's 0x11D, so the affine
+//    form (matrix per coefficient, 2 KiB table) is the usable one.
 //
 // Beyond the single-source kernels there are fused multi-source forms
 // (`mul_region_add_multi`, `encode_regions`) that keep the destination in
@@ -34,7 +40,14 @@
 namespace rpr::gf {
 
 /// Instruction-set tiers of the region kernels, in increasing preference.
-enum class SimdTier : int { kScalar = 0, kSsse3 = 1, kAvx2 = 2, kNeon = 3 };
+enum class SimdTier : int {
+  kScalar = 0,
+  kSsse3 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+  kAvx512 = 4,
+  kGfni = 5,
+};
 
 /// The tier region operations currently dispatch to. First call selects it:
 /// the best CPU-supported tier, unless RPR_GF_FORCE names another.
@@ -55,7 +68,7 @@ std::vector<SimdTier> supported_tiers();
 /// care to attribute to a specific tier.
 bool set_tier(SimdTier tier) noexcept;
 
-/// "scalar", "ssse3", "avx2" or "neon".
+/// "scalar", "ssse3", "avx2", "neon", "avx512" or "gfni".
 const char* tier_name(SimdTier tier) noexcept;
 
 /// Parse a tier spec as accepted by RPR_GF_FORCE.

@@ -1,10 +1,11 @@
 // Shared lookup tables for the GF region kernels.
 //
 // Lives in a base-ISA translation unit so the SIMD kernel files (compiled
-// with -mssse3 / -mavx2) contain nothing but dispatch-reached code. Both
-// tables are built once behind a thread-safe function-local static; at
-// 8 KiB (split) + 64 KiB (product) they are a fixed cost paid on first
-// region operation, not per call.
+// with -mssse3 / -mavx2 / -mavx512bw) contain nothing but dispatch-reached
+// code. All tables are built once behind a thread-safe function-local
+// static; at 8 KiB (split) + 64 KiB (product) + 2 KiB (GFNI affine
+// matrices) they are a fixed cost paid on first region operation, not per
+// call.
 #include "gf/gf_kernels.h"
 
 #include "gf/gf256.h"
@@ -16,7 +17,25 @@ namespace {
 struct AllTables {
   SplitTable split[256];
   std::uint8_t product[256][256];
+  std::uint64_t affine[256];
 };
+
+// The 8x8 bit matrix M_c with M_c * b = c * b (GF(2^8)/0x11D), laid out for
+// vgf2p8affineqb. Intel's semantics: result bit i of a lane is
+// parity(matrix_byte[7-i] AND src_byte), so matrix byte (7-i), bit j must
+// hold bit i of c * 2^j — column j of M_c is the product c * x^j.
+std::uint64_t affine_matrix(std::uint8_t c) {
+  std::uint8_t bytes[8] = {};
+  for (unsigned j = 0; j < 8; ++j) {
+    const std::uint8_t p = mul(c, static_cast<std::uint8_t>(1u << j));
+    for (unsigned i = 0; i < 8; ++i) {
+      if ((p >> i) & 1u) bytes[7 - i] |= static_cast<std::uint8_t>(1u << j);
+    }
+  }
+  std::uint64_t m = 0;
+  for (unsigned k = 0; k < 8; ++k) m |= std::uint64_t{bytes[k]} << (8 * k);
+  return m;
+}
 
 AllTables build() {
   AllTables t;
@@ -30,6 +49,7 @@ AllTables build() {
       t.product[c][b] = static_cast<std::uint8_t>(t.split[c].lo[b & 0xF] ^
                                                   t.split[c].hi[b >> 4]);
     }
+    t.affine[c] = affine_matrix(cc);
   }
   return t;
 }
@@ -44,5 +64,7 @@ const AllTables& tables() {
 const SplitTable* split_tables() { return tables().split; }
 
 const std::uint8_t (*product_tables())[256] { return tables().product; }
+
+const std::uint64_t* gfni_matrices() { return tables().affine; }
 
 }  // namespace rpr::gf::detail

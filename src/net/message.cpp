@@ -6,18 +6,19 @@
 
 namespace rpr::net {
 
-bool send_value(Socket& sock, std::uint64_t op_id,
-                std::span<const std::uint8_t> payload, std::size_t pace_chunk,
-                std::uint64_t chunk_delay_ns,
-                const std::function<bool()>& cancel) {
-  if (cancel && cancel()) return false;
+void send_header(Socket& sock, std::uint64_t op_id,
+                 std::uint64_t payload_len) {
   MessageHeader h;
   h.op_id = op_id;
-  h.payload_len = payload.size();
+  h.payload_len = payload_len;
   std::uint8_t buf[sizeof(MessageHeader)];
   std::memcpy(buf, &h, sizeof(h));
   sock.write_all({buf, sizeof(buf)});
+}
 
+bool send_payload_chunk(Socket& sock, std::span<const std::uint8_t> payload,
+                        std::size_t pace_chunk, std::uint64_t chunk_delay_ns,
+                        const std::function<bool()>& cancel) {
   if (pace_chunk == 0 && !cancel) {
     sock.write_all(payload);
     return true;
@@ -38,7 +39,16 @@ bool send_value(Socket& sock, std::uint64_t op_id,
   return true;
 }
 
-ReceivedValue recv_value(Socket& sock, std::uint64_t max_payload) {
+bool send_value(Socket& sock, std::uint64_t op_id,
+                std::span<const std::uint8_t> payload, std::size_t pace_chunk,
+                std::uint64_t chunk_delay_ns,
+                const std::function<bool()>& cancel) {
+  if (cancel && cancel()) return false;
+  send_header(sock, op_id, payload.size());
+  return send_payload_chunk(sock, payload, pace_chunk, chunk_delay_ns, cancel);
+}
+
+ValueHeader recv_header(Socket& sock, std::uint64_t max_payload) {
   std::uint8_t buf[sizeof(MessageHeader)];
   sock.read_exact({buf, sizeof(buf)});
   MessageHeader h;
@@ -49,6 +59,11 @@ ReceivedValue recv_value(Socket& sock, std::uint64_t max_payload) {
   if (h.payload_len > max_payload) {
     throw std::runtime_error("recv_value: oversized payload");
   }
+  return {h.op_id, h.payload_len};
+}
+
+ReceivedValue recv_value(Socket& sock, std::uint64_t max_payload) {
+  const ValueHeader h = recv_header(sock, max_payload);
   ReceivedValue v;
   v.op_id = h.op_id;
   v.payload.resize(h.payload_len);

@@ -38,10 +38,36 @@ bool send_value(Socket& sock, std::uint64_t op_id,
                 std::size_t pace_chunk = 0, std::uint64_t chunk_delay_ns = 0,
                 const std::function<bool()>& cancel = {});
 
+/// Writes just the framing header, declaring a `payload_len`-byte payload
+/// to follow. Slice-pipelined senders use this once per message, then
+/// stream the payload with send_payload_chunk as input slices arrive.
+void send_header(Socket& sock, std::uint64_t op_id, std::uint64_t payload_len);
+
+/// Streams one contiguous piece of a message payload already framed by
+/// send_header, with the same pacing/cancellation contract as send_value.
+/// Returns false iff `cancel` fired (the stream is then abandoned
+/// mid-payload and the socket must be discarded).
+bool send_payload_chunk(Socket& sock, std::span<const std::uint8_t> payload,
+                        std::size_t pace_chunk = 0,
+                        std::uint64_t chunk_delay_ns = 0,
+                        const std::function<bool()>& cancel = {});
+
 struct ReceivedValue {
   std::uint64_t op_id = 0;
   std::vector<std::uint8_t> payload;
 };
+
+/// A validated frame header; the payload (payload_len bytes) is still on
+/// the wire, to be drained by the caller — typically straight into the op's
+/// pre-sized accumulator, which is what lets the receiver skip the
+/// per-message scratch buffer recv_value allocates.
+struct ValueHeader {
+  std::uint64_t op_id = 0;
+  std::uint64_t payload_len = 0;
+};
+
+/// Receives and validates one frame header; throws on malformed input.
+[[nodiscard]] ValueHeader recv_header(Socket& sock, std::uint64_t max_payload);
 
 /// Receives exactly one framed value; throws on malformed input.
 [[nodiscard]] ReceivedValue recv_value(Socket& sock,

@@ -2,17 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <thread>
 
 #include "gf/gf256.h"
 #include "gf/gf_region.h"
-#include "matrix/matrix.h"
 #include "net/message.h"
 #include "net/socket.h"
+#include "runtime/combine_stream.h"
+#include "runtime/exec_state.h"
 #include "runtime/op_trace.h"
+#include "util/thread_pool.h"
 
 namespace rpr::net {
 
@@ -21,83 +23,6 @@ using repair::OpKind;
 using repair::PlanOp;
 using repair::RepairPlan;
 using rs::Block;
-
-namespace {
-
-/// Per-op execution state; an op is pending, done, or failed. The first
-/// resolution wins (a send may be failed by its sender and published by its
-/// acceptor in a race — whichever happens first sticks).
-struct ExecState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<Block> value;
-  std::vector<bool> done;
-  std::vector<bool> failed;
-
-  explicit ExecState(std::size_t ops)
-      : value(ops), done(ops, false), failed(ops, false) {}
-
-  /// Blocks until every input is done or any input failed; true = all done.
-  bool wait_for(const std::vector<OpId>& ids) {
-    std::unique_lock lock(mu);
-    cv.wait(lock, [&] {
-      for (OpId id : ids) {
-        if (failed[id]) return true;
-      }
-      for (OpId id : ids) {
-        if (!done[id]) return false;
-      }
-      return true;
-    });
-    for (OpId id : ids) {
-      if (failed[id]) return false;
-    }
-    return true;
-  }
-
-  Block take_copy(OpId id) {
-    std::unique_lock lock(mu);
-    return value[id];
-  }
-
-  void publish(OpId id, Block b) {
-    {
-      std::unique_lock lock(mu);
-      if (done[id] || failed[id]) return;
-      value[id] = std::move(b);
-      done[id] = true;
-    }
-    cv.notify_all();
-  }
-
-  void fail(OpId id) {
-    {
-      std::unique_lock lock(mu);
-      if (done[id] || failed[id]) return;
-      failed[id] = true;
-    }
-    cv.notify_all();
-  }
-
-  bool resolved(OpId id) {
-    std::unique_lock lock(mu);
-    return done[id] || failed[id];
-  }
-};
-
-void build_and_invert_matrix(std::size_t dim) {
-  matrix::Matrix m(dim, dim);
-  for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t j = 0; j < dim; ++j) {
-      m.at(i, j) = gf::inv(static_cast<std::uint8_t>(i ^ (dim + j)));
-    }
-  }
-  if (!m.inverted().has_value()) {
-    throw std::logic_error("tcp_runtime: decode-matrix inversion failed");
-  }
-}
-
-}  // namespace
 
 TcpRuntime::TcpRuntime(topology::Cluster cluster, TcpRuntimeParams params)
     : cluster_(cluster),
@@ -123,7 +48,22 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
                                            std::span<const OpId> outputs,
                                            std::span<const Block> stripe) {
   repair::validate(plan, cluster_);
-  ExecState state(plan.ops.size());
+  runtime::detail::ExecState state(plan.ops.size(), plan.block_size,
+                                   params_.slice_size);
+  const bool sliced = state.slices() > 1;
+  if (sliced) {
+    // Slice framing derives offsets from plan.block_size; every streamed
+    // value must be exactly that long.
+    for (const PlanOp& op : plan.ops) {
+      if (op.kind == OpKind::kRead &&
+          stripe[op.block].size() != plan.block_size) {
+        throw std::invalid_argument(
+            "TcpRuntime: slice mode requires stripe blocks of "
+            "plan.block_size");
+      }
+    }
+  }
+  runtime::detail::SliceMetrics metrics(params_.metrics, "tcp");
 
   // Which ops each node receives over the wire, and which node runs which
   // ops (sends run on the sender).
@@ -149,6 +89,14 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
     listener[n] = std::make_unique<Listener>();
     port[n] = listener[n]->port();
   }
+
+  // TX serialization in slice mode: concurrent streams out of one node
+  // interleave at slice granularity instead of implicitly queueing on the
+  // node's single worker thread (which no longer exists — one thread per
+  // op). One ingest at a time per op keeps a retried stream from racing
+  // the broken stream it replaces.
+  std::vector<std::mutex> tx_mu(cluster_.total_nodes());
+  std::vector<std::mutex> ingest_mu(plan.ops.size());
 
   std::atomic<std::uint64_t> cross_bytes{0};
   std::atomic<std::uint64_t> inner_bytes{0};
@@ -198,35 +146,74 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
 
   auto run_op = [&](OpId id) {
     const PlanOp& op = plan.ops[id];
-    if (!state.wait_for(op.inputs)) {
-      state.fail(id);
-      return;
-    }
     const topology::NodeId self =
         op.kind == OpKind::kSend ? op.from : op.node;
-    if (is_dead(self)) {
-      blame(self);
-      state.fail(id);
-      return;
-    }
-    const auto op_start = runtime::detail::TraceClock::now();
+    auto op_start = runtime::detail::TraceClock::now();
     std::uint64_t op_bytes = 0;
     switch (op.kind) {
       case OpKind::kRead: {
+        if (is_dead(self)) {
+          blame(self);
+          state.fail(id);
+          return;
+        }
         const Block& src = stripe[op.block];
-        Block out(src.size(), 0);
-        gf::mul_region_add(op.coeff, out, src);
         op_bytes = src.size();
-        state.publish(id, std::move(out));
+        if (!sliced) {
+          Block out(src.size(), 0);
+          gf::mul_region_add(op.coeff, out, src);
+          state.publish(id, std::move(out));
+        } else {
+          // Reads are local and instant: materialize the whole value, all
+          // slices become available at once.
+          Block& out = state.storage(id);
+          gf::mul_region_add(op.coeff, out, src);
+          state.publish_all(id);
+        }
         break;
       }
       case OpKind::kSend: {
-        Block payload = state.take_copy(op.inputs[0]);
-        op_bytes = payload.size();
-        if (op.from == op.node) {
-          state.publish(id, std::move(payload));
+        if (op.from == op.node) {  // local move: forward slices as they land
+          if (!sliced) {
+            if (!state.wait_inputs_done(op.inputs)) {
+              state.fail(id);
+              return;
+            }
+            op_start = runtime::detail::TraceClock::now();
+            if (is_dead(self)) {
+              blame(self);
+              state.fail(id);
+              return;
+            }
+            Block payload = state.take_copy(op.inputs[0]);
+            op_bytes = payload.size();
+            state.publish(id, std::move(payload));
+            break;
+          }
+          Block& out = state.storage(id);
+          op_bytes = out.size();
+          for (std::size_t s = 0; s < state.slices(); ++s) {
+            if (!state.wait_inputs_slice(op.inputs, s)) {
+              state.fail(id);
+              return;
+            }
+            if (s == 0) {
+              op_start = runtime::detail::TraceClock::now();
+              if (is_dead(self)) {
+                blame(self);
+                state.fail(id);
+                return;
+              }
+            }
+            const std::size_t off = state.slice_offset(s);
+            std::memcpy(out.data() + off,
+                        state.value[op.inputs[0]].data() + off,
+                        state.slice_len(s));
+            state.publish_slices(id, s + 1);
+          }
           break;
         }
+
         const auto rf = cluster_.rack_of(op.from);
         const auto rt = cluster_.rack_of(op.node);
         const util::Bandwidth bw = params_.net.between_racks(rf, rt);
@@ -235,9 +222,6 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
             static_cast<double>(params_.pace_chunk) /
             (bw.as_bytes_per_sec() * params_.time_scale);
         const auto delay_ns = static_cast<std::uint64_t>(chunk_sec * 1e9);
-        const double expected_s =
-            static_cast<double>(payload.size()) /
-            (bw.as_bytes_per_sec() * params_.time_scale);
         const fault::Straggle* straggle =
             params_.faults.straggle_of(op.from);
         // Returns the endpoint that died, if either did (sender first).
@@ -246,6 +230,118 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
           if (is_dead(op.node)) return op.node;
           return fault::kNoNode;
         };
+
+        if (!sliced) {
+          // Whole-block store-and-forward (the historical path).
+          if (!state.wait_inputs_done(op.inputs)) {
+            state.fail(id);
+            return;
+          }
+          op_start = runtime::detail::TraceClock::now();
+          if (is_dead(self)) {
+            blame(self);
+            state.fail(id);
+            return;
+          }
+          Block payload = state.take_copy(op.inputs[0]);
+          op_bytes = payload.size();
+          const double expected_s =
+              static_cast<double>(payload.size()) /
+              (bw.as_bytes_per_sec() * params_.time_scale);
+
+          bool sent = false;
+          for (std::size_t attempt = 0;
+               attempt < params_.retry.max_attempts && !sent; ++attempt) {
+            if (const topology::NodeId d = endpoint_dead();
+                d != fault::kNoNode) {
+              blame(d);
+              state.fail(id);
+              return;
+            }
+            // A straggling sender's stream crawls; the straggler detector
+            // abandons the attempt at threshold x the expected duration and
+            // the op is retried after backoff (speculative re-fetch).
+            bool afflicted = false;
+            if (straggle != nullptr) {
+              std::scoped_lock lock(fault_mu_);
+              if (afflicted_[op.from] < straggle->attempts) {
+                ++afflicted_[op.from];
+                afflicted = true;
+              }
+            }
+            if (afflicted) {
+              ++faults;
+              const double stall_s =
+                  std::min(expected_s * straggle->factor,
+                           std::min(expected_s *
+                                        params_.retry.straggler_threshold,
+                                    params_.retry.op_deadline_s));
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(stall_s));
+              if (attempt + 1 < params_.retry.max_attempts) {
+                ++retries;
+                std::this_thread::sleep_for(std::chrono::duration<double>(
+                    params_.retry.backoff_s(attempt)));
+              }
+              continue;
+            }
+            try {
+              Socket sock =
+                  connect_local(port[op.node], params_.retry.op_deadline_s);
+              metrics.begin_flight(payload.size());
+              const bool ok = send_value(
+                  sock, id, payload, params_.pace_chunk, delay_ns,
+                  [&] { return endpoint_dead() != fault::kNoNode; });
+              metrics.end_flight(payload.size());
+              if (!ok) {
+                // Abandoned mid-stream: closing the socket gives the
+                // receiver a short read it tolerates.
+                const topology::NodeId d = endpoint_dead();
+                blame(d != fault::kNoNode ? d : op.node);
+                state.fail(id);
+                return;
+              }
+              (rf == rt ? inner_bytes : cross_bytes) += payload.size();
+              sent = true;
+            } catch (const std::exception&) {
+              // Connect/send error: the receiver may be gone or not
+              // accepting; retry within budget.
+              if (attempt + 1 < params_.retry.max_attempts) {
+                ++retries;
+                std::this_thread::sleep_for(std::chrono::duration<double>(
+                    params_.retry.backoff_s(attempt)));
+              }
+            }
+          }
+          if (!sent) {
+            // Every attempt failed: the receiver is unreachable — lost.
+            declare_lost(op.node);
+            state.fail(id);
+            return;
+          }
+          // The receiver's acceptor publishes the value; nothing to do
+          // here.
+          break;
+        }
+
+        // Slice-pipelined send: one frame header declaring the full
+        // payload, then each slice streamed the moment the input published
+        // it — the receiver ingests and republishes slice by slice, so the
+        // whole downstream chain overlaps with this transfer. A retried
+        // attempt resends from slice 0 (content-identical); the receiver
+        // skips whatever prefix it already published.
+        op_bytes = state.value_size();
+        const double expected_s =
+            static_cast<double>(state.value_size()) /
+            (bw.as_bytes_per_sec() * params_.time_scale);
+        if (!state.wait_inputs_slice(op.inputs, 0)) {
+          state.fail(id);
+          return;
+        }
+        op_start = runtime::detail::TraceClock::now();
+        // Stable once slice 0 published: slice-mode producers stream into
+        // a pre-sized accumulator that is never reallocated.
+        const std::uint8_t* src = state.value[op.inputs[0]].data();
 
         bool sent = false;
         for (std::size_t attempt = 0;
@@ -256,9 +352,6 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
             state.fail(id);
             return;
           }
-          // A straggling sender's stream crawls; the straggler detector
-          // abandons the attempt at threshold x the expected duration and
-          // the op is retried after backoff (speculative re-fetch).
           bool afflicted = false;
           if (straggle != nullptr) {
             std::scoped_lock lock(fault_mu_);
@@ -286,22 +379,35 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
           try {
             Socket sock =
                 connect_local(port[op.node], params_.retry.op_deadline_s);
-            const bool ok = send_value(
-                sock, id, payload, params_.pace_chunk, delay_ns,
-                [&] { return endpoint_dead() != fault::kNoNode; });
+            send_header(sock, id, state.value_size());
+            bool ok = true;
+            std::uint64_t attempt_bytes = 0;
+            for (std::size_t s = 0; s < state.slices() && ok; ++s) {
+              if (!state.wait_inputs_slice(op.inputs, s)) {
+                state.fail(id);
+                return;
+              }
+              const std::size_t off = state.slice_offset(s);
+              const std::size_t len = state.slice_len(s);
+              metrics.begin_flight(len);
+              {
+                std::scoped_lock tx(tx_mu[op.from]);
+                ok = send_payload_chunk(
+                    sock, {src + off, len}, params_.pace_chunk, delay_ns,
+                    [&] { return endpoint_dead() != fault::kNoNode; });
+              }
+              metrics.end_flight(len);
+              if (ok) attempt_bytes += len;
+            }
             if (!ok) {
-              // Abandoned mid-stream: closing the socket gives the
-              // receiver a short read it tolerates.
               const topology::NodeId d = endpoint_dead();
               blame(d != fault::kNoNode ? d : op.node);
               state.fail(id);
               return;
             }
-            (rf == rt ? inner_bytes : cross_bytes) += payload.size();
+            (rf == rt ? inner_bytes : cross_bytes) += attempt_bytes;
             sent = true;
           } catch (const std::exception&) {
-            // Connect/send error: the receiver may be gone or not
-            // accepting; retry within budget.
             if (attempt + 1 < params_.retry.max_attempts) {
               ++retries;
               std::this_thread::sleep_for(std::chrono::duration<double>(
@@ -310,48 +416,78 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
           }
         }
         if (!sent) {
-          // Every attempt failed: the receiver is unreachable — lost.
           declare_lost(op.node);
           state.fail(id);
           return;
         }
-        // The receiver's acceptor publishes the value; nothing to do here.
         break;
       }
       case OpKind::kCombine: {
-        // Same split as the in-process testbed: matrix-cost combines pay
-        // per-source general passes (the traditional decoder cost model);
-        // optimized combines aggregate every source in one fused pass.
-        if (op.with_matrix_cost) {
-          build_and_invert_matrix(params_.decode_matrix_dim);
-        }
-        std::vector<Block> ins;
-        ins.reserve(op.inputs.size());
-        for (const OpId in : op.inputs) ins.push_back(state.take_copy(in));
-        Block acc(ins[0].size(), 0);
-        if (op.with_matrix_cost) {
-          for (std::size_t i = 0; i < ins.size(); ++i) {
-            const std::uint8_t c =
-                op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
-            gf::mul_region_add_general(c, acc, ins[i]);
+        if (!sliced) {
+          // Whole-block combine, inputs read in place from the shared
+          // state (final once done — the historical per-input scratch
+          // copies are gone), optimized pass sharded across the process
+          // thread pool.
+          if (!state.wait_inputs_done(op.inputs)) {
+            state.fail(id);
+            return;
           }
-        } else {
-          std::vector<std::uint8_t> coeffs(ins.size());
-          std::vector<const std::uint8_t*> srcs(ins.size());
-          for (std::size_t i = 0; i < ins.size(); ++i) {
+          op_start = runtime::detail::TraceClock::now();
+          if (is_dead(self)) {
+            blame(self);
+            state.fail(id);
+            return;
+          }
+          if (op.with_matrix_cost) {
+            runtime::detail::build_and_invert_matrix(
+                params_.decode_matrix_dim);
+          }
+          const std::size_t nin = op.inputs.size();
+          Block acc(state.value[op.inputs[0]].size(), 0);
+          std::vector<std::uint8_t> coeffs(nin);
+          std::vector<const std::uint8_t*> srcs(nin);
+          for (std::size_t i = 0; i < nin; ++i) {
             coeffs[i] =
                 op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
-            srcs[i] = ins[i].data();
+            srcs[i] = state.value[op.inputs[i]].data();
           }
-          gf::mul_region_add_multi(coeffs, srcs.data(), acc);
+          if (op.with_matrix_cost) {
+            // Traditional-decoder cost model: serial per-source passes.
+            for (std::size_t i = 0; i < nin; ++i) {
+              gf::mul_region_add_general(coeffs[i], acc,
+                                         {srcs[i], acc.size()});
+            }
+          } else {
+            util::ThreadPool::shared().parallel_for(
+                acc.size(), 64, 128 << 10,
+                [&](std::size_t b, std::size_t e) {
+                  std::vector<const std::uint8_t*> sub(nin);
+                  for (std::size_t i = 0; i < nin; ++i) sub[i] = srcs[i] + b;
+                  gf::mul_region_add_multi({coeffs.data(), nin}, sub.data(),
+                                           {acc.data() + b, e - b});
+                });
+          }
+          op_bytes = acc.size() * nin;  // one region pass per input
+          if (is_dead(op.node)) {
+            blame(op.node);
+            state.fail(id);
+            return;
+          }
+          state.publish(id, std::move(acc));
+          break;
         }
-        op_bytes = acc.size() * op.inputs.size();  // one region pass per input
-        if (is_dead(op.node)) {
-          blame(op.node);
-          state.fail(id);
-          return;
-        }
-        state.publish(id, std::move(acc));
+        op_bytes = state.value_size() * op.inputs.size();
+        const bool done = runtime::detail::stream_combine(
+            state, op, id, params_.decode_matrix_dim, metrics,
+            [&] {
+              if (is_dead(op.node)) {
+                blame(op.node);
+                return true;
+              }
+              return false;
+            },
+            op_start);
+        if (!done) return;
         break;
       }
     }
@@ -361,17 +497,91 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
                                     op_bytes);
   };
 
+  // Ingests one slice-streamed connection: reads the frame header, then
+  // drains slice-sized chunks straight into the op's accumulator and
+  // publishes each one. A resumed (retried) stream re-reads the published
+  // prefix into scratch — those regions are concurrently read by consumers
+  // and must not be rewritten, and the resent bytes are content-identical
+  // anyway. Tolerated stream errors return normally (the sender retries or
+  // has already failed the op).
+  auto ingest_stream = [&](topology::NodeId n, Socket peer) {
+    ValueHeader h;
+    try {
+      peer.set_recv_timeout(params_.retry.op_deadline_s);
+      h = recv_header(peer, max_payload);
+    } catch (const std::exception&) {
+      return;  // broken/abandoned before framing
+    }
+    if (h.op_id >= plan.ops.size()) {
+      throw std::runtime_error("tcp_runtime: bogus op id on wire");
+    }
+    const OpId id = h.op_id;
+    const bool cross =
+        cluster_.rack_of(plan.ops[id].from) != cluster_.rack_of(plan.ops[id].node);
+    if (h.payload_len != state.value_size()) {
+      // Not slice-framed as expected; fall back to a whole-value read.
+      try {
+        Block b(h.payload_len);
+        peer.read_exact(b);
+        if (!is_dead(n)) state.publish(id, std::move(b));
+      } catch (const std::exception&) {
+      }
+      return;
+    }
+    std::scoped_lock op_lock(ingest_mu[id]);
+    Block& out = state.storage(id);
+    std::size_t s = state.progress(id);
+    try {
+      const std::size_t skip =
+          std::min(state.slice_offset(s), state.value_size());
+      if (skip > 0) {
+        std::vector<std::uint8_t> scratch(
+            std::min<std::size_t>(skip, 256u << 10));
+        std::size_t left = skip;
+        while (left > 0) {
+          const std::size_t l = std::min(left, scratch.size());
+          peer.read_exact({scratch.data(), l});
+          left -= l;
+        }
+      }
+      for (; s < state.slices(); ++s) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::size_t len = state.slice_len(s);
+        peer.read_exact({out.data() + state.slice_offset(s), len});
+        if (is_dead(n)) {
+          blame(n);
+          state.fail(id);
+          return;
+        }
+        metrics.transfer_slice(
+            cross,
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count(),
+            len);
+        state.publish_slices(id, s + 1);
+      }
+    } catch (const std::exception&) {
+      // Short read / timeout mid-stream: keep the published prefix; the
+      // sender retries (and the resumed stream picks up past it) or has
+      // failed the op itself.
+    }
+  };
+
   std::vector<std::thread> threads;
 
   // Acceptors: each ingests connections until every op it is owed is done
   // or failed (a sender that gave up fails the op itself), or until its own
   // node dies — then the unresolved remainder fails. Accept polls with a
-  // short timeout so the exit conditions are re-checked; per-connection
-  // recv errors (peer died mid-message) are tolerated.
+  // short timeout so the exit conditions are re-checked. In whole-block
+  // mode ingestion is inline (one connection at a time — RX serialization);
+  // in slice mode each connection gets an ingest thread so concurrent
+  // streams into one node make progress independently.
   constexpr double kAcceptPollS = 0.01;
   for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
     if (incoming_of_node[n].empty()) continue;
     threads.emplace_back([&, n] {
+      std::vector<std::thread> ingests;
       try {
         const std::vector<OpId>& owed = incoming_of_node[n];
         auto all_resolved = [&] {
@@ -386,38 +596,88 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
           }
           Socket peer = listener[n]->accept(kAcceptPollS);
           if (!peer.valid()) continue;  // poll timeout: re-check conditions
+          if (sliced) {
+            ingests.emplace_back([&, p = std::move(peer)]() mutable {
+              try {
+                ingest_stream(n, std::move(p));
+              } catch (const std::exception& e) {
+                record_error(e.what());
+              }
+            });
+            continue;
+          }
           peer.set_recv_timeout(params_.retry.op_deadline_s);
-          ReceivedValue v;
+          ValueHeader h;
           try {
-            v = recv_value(peer, max_payload);
+            h = recv_header(peer, max_payload);
           } catch (const std::exception&) {
             continue;  // broken/abandoned stream; the sender retries
           }
-          if (v.op_id >= plan.ops.size()) {
+          if (h.op_id >= plan.ops.size()) {
             throw std::runtime_error("tcp_runtime: bogus op id on wire");
           }
-          if (is_dead(n)) {
-            blame(n);
-            for (OpId id : owed) state.fail(id);
-            break;
+          if (h.payload_len == state.value_size() && !state.resolved(h.op_id)) {
+            // The common case: read the payload straight into the op's
+            // pre-sized accumulator — no per-message scratch buffer.
+            Block& out = state.storage(h.op_id);
+            try {
+              peer.read_exact(out);
+            } catch (const std::exception&) {
+              continue;
+            }
+            if (is_dead(n)) {
+              blame(n);
+              for (OpId id : owed) state.fail(id);
+              break;
+            }
+            state.publish_all(h.op_id);
+          } else {
+            // Odd-sized value or duplicate of a resolved op: drain into
+            // scratch (publish is first-wins / a no-op on duplicates).
+            Block b(h.payload_len);
+            try {
+              peer.read_exact(b);
+            } catch (const std::exception&) {
+              continue;
+            }
+            if (is_dead(n)) {
+              blame(n);
+              for (OpId id : owed) state.fail(id);
+              break;
+            }
+            state.publish(h.op_id, std::move(b));
           }
-          state.publish(v.op_id, Block(v.payload.begin(), v.payload.end()));
         }
       } catch (const std::exception& e) {
         record_error(e.what());
       }
+      for (auto& t : ingests) t.join();
     });
   }
-  // Workers.
-  for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
-    if (ops_of_node[n].empty()) continue;
-    threads.emplace_back([&, n] {
-      try {
-        for (OpId id : ops_of_node[n]) run_op(id);
-      } catch (const std::exception& e) {
-        record_error(e.what());
-      }
-    });
+  // Workers. Slice mode runs one thread per op so a node's ops stream
+  // through each other; whole-block keeps the historical one worker per
+  // node.
+  if (sliced) {
+    for (OpId id = 0; id < plan.ops.size(); ++id) {
+      threads.emplace_back([&, id] {
+        try {
+          run_op(id);
+        } catch (const std::exception& e) {
+          record_error(e.what());
+        }
+      });
+    }
+  } else {
+    for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
+      if (ops_of_node[n].empty()) continue;
+      threads.emplace_back([&, n] {
+        try {
+          for (OpId id : ops_of_node[n]) run_op(id);
+        } catch (const std::exception& e) {
+          record_error(e.what());
+        }
+      });
+    }
   }
   for (auto& t : threads) t.join();
   const auto end = std::chrono::steady_clock::now();

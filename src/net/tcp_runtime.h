@@ -57,6 +57,21 @@ struct TcpRuntimeParams {
   /// Retry/backoff/straggler-detection policy; op_deadline_s bounds every
   /// connect and recv so dead peers produce errors, not hangs.
   fault::RetryPolicy retry;
+  /// Slice-pipelined streaming: a sender writes one frame header and then
+  /// streams the payload in units of this many bytes as its input's slices
+  /// publish; the receiver ingests each slice straight into the op's
+  /// pre-sized accumulator and publishes it immediately, so downstream
+  /// combines/sends overlap with the transfer. Each op then runs on its own
+  /// thread and a receiving node ingests connections concurrently (one
+  /// ingest thread per connection); the sender's TX port stays serialized
+  /// at slice granularity, RX serialization is relaxed — loopback has no
+  /// real RX port, the calibrated contention models live in runtime::Testbed
+  /// and simnet. 0 = whole-block store-and-forward (historical behavior).
+  /// Defaults from the RPR_SLICE_SIZE environment variable.
+  std::size_t slice_size = runtime::default_slice_size();
+  /// Optional registry for per-slice latency histograms, slice counters and
+  /// the peak bytes-in-flight gauge (under "tcp."). Must outlive execute().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class TcpRuntime {

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "repair/lowering.h"
 #include "simnet/fluid.h"
 #include "simnet/instrument.h"
 
@@ -9,7 +10,9 @@ namespace rpr::repair {
 
 namespace {
 
-/// Lowers the plan into any network type exposing the SimNetwork task API.
+/// Lowers the plan into any network type exposing the SimNetwork task API
+/// (one task per op, or one per slice when params.slice_size is set — see
+/// repair/lowering.h).
 template <typename Network>
 simnet::RunResult lower_and_run(const RepairPlan& plan,
                                 const topology::Cluster& cluster,
@@ -22,37 +25,7 @@ simnet::RunResult lower_and_run(const RepairPlan& plan,
   if constexpr (requires { net.set_recorder(probe.trace); }) {
     net.set_recorder(probe.trace);
   }
-
-  std::vector<simnet::TaskId> task_of(plan.ops.size());
-  for (OpId id = 0; id < plan.ops.size(); ++id) {
-    const PlanOp& op = plan.ops[id];
-    std::vector<simnet::TaskId> deps;
-    deps.reserve(op.inputs.size());
-    for (OpId in : op.inputs) deps.push_back(task_of[in]);
-
-    switch (op.kind) {
-      case OpKind::kRead:
-        task_of[id] = net.add_compute(op.node, 0, std::move(deps), op.label);
-        break;
-      case OpKind::kSend:
-        task_of[id] = net.add_transfer(op.from, op.node, plan.block_size,
-                                       std::move(deps), op.label);
-        break;
-      case OpKind::kCombine: {
-        // Merging m buffers costs m-1 block passes (each pass is one
-        // xor_region / mul_region_add over the block); a single-input
-        // combine is the planner's "final decode" marker and is charged one
-        // pass at the tagged speed.
-        const std::uint64_t passes =
-            op.inputs.size() >= 2 ? op.inputs.size() - 1 : 1;
-        task_of[id] = net.add_compute(
-            op.node,
-            net.decode_duration(plan.block_size * passes, op.with_matrix_cost),
-            std::move(deps), op.label);
-        break;
-      }
-    }
-  }
+  detail::lower_plan(net, plan, params.slice_size);
   simnet::RunResult result = net.run();
   record_run(result, cluster, probe);
   return result;

@@ -29,6 +29,11 @@ struct SimOutcome {
 ///  * kSend  -> block transfer over node ports (+ rack ports when crossing);
 ///  * kCombine -> compute charged at the XOR-decode or matrix-decode speed.
 ///
+/// With params.slice_size set, every op instead lowers to one task per
+/// slice with slice-overlap dependencies (repair pipelining) — see
+/// repair/lowering.h. Traffic totals are unchanged; the makespan of chained
+/// plans collapses toward the slowest stage.
+///
 /// `probe` (optional) taps the run into the obs layer: spans and metrics
 /// derived from the per-task stats (simnet/instrument.h). A default
 /// (empty) probe records nothing and costs nothing.

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "repair/executor_data.h"
+#include "repair/lowering.h"
 #include "repair/plan.h"
 #include "simnet/simnet.h"
 #include "util/contracts.h"
@@ -360,33 +361,11 @@ class SimChaosEngine {
       if (straggles_counted_.insert(st.node).second) ++straggler_faults_;
     }
 
-    // Lower op-for-task so TaskStats index back to plan ops.
-    std::vector<simnet::TaskId> task_of(plan.ops.size());
-    for (OpId id = 0; id < plan.ops.size(); ++id) {
-      const PlanOp& op = plan.ops[id];
-      std::vector<simnet::TaskId> deps;
-      deps.reserve(op.inputs.size());
-      for (OpId in : op.inputs) deps.push_back(task_of[in]);
-      switch (op.kind) {
-        case OpKind::kRead:
-          task_of[id] = sim.add_compute(op.node, 0, std::move(deps), op.label);
-          break;
-        case OpKind::kSend:
-          task_of[id] = sim.add_transfer(op.from, op.node, plan.block_size,
-                                         std::move(deps), op.label);
-          break;
-        case OpKind::kCombine: {
-          const std::uint64_t passes =
-              op.inputs.size() >= 2 ? op.inputs.size() - 1 : 1;
-          task_of[id] = sim.add_compute(
-              op.node,
-              sim.decode_duration(plan.block_size * passes,
-                                  op.with_matrix_cost),
-              std::move(deps), op.label);
-          break;
-        }
-      }
-    }
+    // Shared lowering (repair/lowering.h): per-op task ranges index the
+    // TaskStats back to plan ops — one task per op, or one per slice when
+    // the params enable slice pipelining.
+    const detail::LoweredPlan lowered =
+        detail::lower_plan(sim, plan, net_.slice_size);
     const simnet::RunResult run = sim.run();
 
     // Earliest kill that actually bites this attempt: some task touching the
@@ -400,12 +379,14 @@ class SimChaosEngine {
           static_cast<util::SimTime>(rel_s * util::kNsPerSec);
       if (kill_cut >= run.makespan) continue;
       bool touches = false;
-      for (OpId id = 0; id < plan.ops.size(); ++id) {
-        const simnet::TaskStats& st = run.tasks[task_of[id]];
-        if ((st.node == kill.node || st.from == kill.node) &&
-            st.finish > kill_cut) {
-          touches = true;
-          break;
+      for (OpId id = 0; id < plan.ops.size() && !touches; ++id) {
+        for (const simnet::TaskId t : lowered.slice_tasks[id]) {
+          const simnet::TaskStats& st = run.tasks[t];
+          if ((st.node == kill.node || st.from == kill.node) &&
+              st.finish > kill_cut) {
+            touches = true;
+            break;
+          }
         }
       }
       if (!touches) {
@@ -438,15 +419,26 @@ class SimChaosEngine {
     a.elapsed_s = util::to_sec(cut);
     clock_s_ += a.elapsed_s;
 
-    // Values fully materialized by the cut, excluding any at a dead node,
-    // and truncated traffic accounting.
+    // Values fully materialized by the cut — every slice of the op landed —
+    // excluding any at a dead node. Traffic is counted per slice task, so a
+    // transfer interrupted mid-stream still accounts the slices that made
+    // it across before the kill (a banked *value* stays all-or-nothing; the
+    // real engines likewise discard partially-streamed buffers on abort).
     std::vector<OpId> done_ops;
     for (OpId id = 0; id < plan.ops.size(); ++id) {
-      const simnet::TaskStats& st = run.tasks[task_of[id]];
-      if (st.finish > cut) continue;
-      if (st.kind == simnet::TaskKind::kTransfer && st.from != st.node) {
-        (st.cross_rack ? a.cross_rack_bytes : a.inner_rack_bytes) += st.bytes;
+      bool all_done = true;
+      for (const simnet::TaskId t : lowered.slice_tasks[id]) {
+        const simnet::TaskStats& st = run.tasks[t];
+        if (st.finish > cut) {
+          all_done = false;
+          continue;
+        }
+        if (st.kind == simnet::TaskKind::kTransfer && st.from != st.node) {
+          (st.cross_rack ? a.cross_rack_bytes : a.inner_rack_bytes) +=
+              st.bytes;
+        }
       }
+      if (!all_done) continue;
       if (dead_.count(plan.ops[id].node) != 0) continue;
       done_ops.push_back(id);
     }

@@ -1,0 +1,109 @@
+// Internal helper: the slice-streamed combine loop shared by the real
+// executors (runtime::Testbed and net::TcpRuntime).
+//
+// A combine consumes one slice from every input as soon as all of them
+// published it, accumulates into the op's pre-sized buffer, and publishes
+// the result slice immediately — downstream sends start forwarding while
+// later slices are still being computed. The optimized path runs one fused
+// multi-source pass per slice, sharded across the process thread pool
+// (util::ThreadPool) so wide combines are no longer pinned to the node's
+// single worker; the matrix-cost path deliberately keeps the per-source
+// general multiply passes (the paper's unoptimized-decoder cost model) and
+// is not sharded, so its measured cost stays comparable across PRs.
+//
+// Whole-block mode is the one-slice degenerate case: a single wait on all
+// inputs, one fused pass — which also fixes the historical behavior of
+// copying every input into scratch buffers before combining (inputs are
+// now read in place from the shared state).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "gf/gf256.h"
+#include "gf/gf_region.h"
+#include "matrix/matrix.h"
+#include "repair/plan.h"
+#include "runtime/exec_state.h"
+#include "util/thread_pool.h"
+
+namespace rpr::runtime::detail {
+
+/// Real matrix-build cost of the unoptimized decode path: constructs and
+/// inverts a dim x dim GF matrix (a Cauchy matrix, guaranteed invertible).
+inline void build_and_invert_matrix(std::size_t dim) {
+  matrix::Matrix m(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      m.at(i, j) = gf::inv(static_cast<std::uint8_t>(i ^ (dim + j)));
+    }
+  }
+  if (!m.inverted().has_value()) {
+    throw std::logic_error("combine: decode-matrix inversion failed");
+  }
+}
+
+/// Runs one combine op slice by slice. `is_node_dead` is polled before each
+/// slice; returning true (the caller blames the node there) aborts the op.
+/// On success every slice is published and true is returned; on input
+/// failure or node death the op is failed and false is returned.
+/// `op_start` is set when the first slice's inputs became ready, so the
+/// recorded span excludes the dependency wait like the historical path.
+template <typename IsNodeDead>
+bool stream_combine(ExecState& state, const repair::PlanOp& op,
+                    repair::OpId id, std::size_t decode_matrix_dim,
+                    SliceMetrics& metrics, IsNodeDead&& is_node_dead,
+                    std::chrono::steady_clock::time_point& op_start) {
+  if (op.with_matrix_cost) build_and_invert_matrix(decode_matrix_dim);
+  rs::Block& out = state.storage(id);
+  const std::size_t nin = op.inputs.size();
+  std::vector<std::uint8_t> coeffs(nin);
+  for (std::size_t i = 0; i < nin; ++i) {
+    coeffs[i] = op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
+  }
+  std::vector<const std::uint8_t*> srcs(nin);
+  for (std::size_t s = 0; s < state.slices(); ++s) {
+    if (!state.wait_inputs_slice(op.inputs, s)) {
+      state.fail(id);
+      return false;
+    }
+    if (s == 0) op_start = std::chrono::steady_clock::now();
+    if (is_node_dead()) {
+      state.fail(id);
+      return false;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t off = state.slice_offset(s);
+    const std::size_t len = state.slice_len(s);
+    // Input buffers are final once their first slice is published; reading
+    // the published regions in place is race-free (see exec_state.h).
+    for (std::size_t i = 0; i < nin; ++i) {
+      srcs[i] = state.value[op.inputs[i]].data() + off;
+    }
+    if (op.with_matrix_cost) {
+      for (std::size_t i = 0; i < nin; ++i) {
+        gf::mul_region_add_general(coeffs[i], {out.data() + off, len},
+                                   {srcs[i], len});
+      }
+    } else {
+      util::ThreadPool::shared().parallel_for(
+          len, 64, 32 << 10, [&](std::size_t b, std::size_t e) {
+            std::vector<const std::uint8_t*> sub(nin);
+            for (std::size_t i = 0; i < nin; ++i) sub[i] = srcs[i] + b;
+            gf::mul_region_add_multi({coeffs.data(), nin}, sub.data(),
+                                     {out.data() + off + b, e - b});
+          });
+    }
+    metrics.combine_slice(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count(),
+        len);
+    state.publish_slices(id, s + 1);
+  }
+  return true;
+}
+
+}  // namespace rpr::runtime::detail

@@ -1,0 +1,237 @@
+// Slice-aware shared execution state for the real executors
+// (runtime::Testbed and net::TcpRuntime).
+//
+// Both engines run one producer per op and many consumers waiting on op
+// values. Historically a value was an all-or-nothing Block; slice
+// pipelining (Li et al., "Repair Pipelining for Erasure-Coded Storage")
+// cuts every value into fixed-size slices that become visible to consumers
+// one by one, so a downstream combine/send can start the moment slice 0
+// lands instead of buffering the whole intermediate. This header carries
+// the state machine both engines share:
+//
+//  * every op value is one pre-sized accumulator buffer, allocated lazily
+//    by its producer and never reallocated afterwards — consumers read
+//    published regions by reference (no per-message scratch copies);
+//  * slices complete strictly in order per op (each op has exactly one
+//    producer thread), so per-op progress is a single counter;
+//  * publication is mutex-protected: a consumer that observed
+//    `slices_done[id] > s` under the lock reads slice s's bytes
+//    happens-after the producer wrote them. Producers write slice bytes
+//    *outside* the lock (disjoint from every published region);
+//  * resolution is first-wins (a TCP send can be failed by its sender and
+//    published by its acceptor in a race; whichever lands first sticks).
+//
+// Whole-block mode is the degenerate case slice_count == 1; engines built
+// on this state keep their historical store-and-forward behavior there.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "repair/plan.h"
+#include "rs/rs_code.h"
+#include "util/slice.h"
+
+namespace rpr::runtime {
+
+// The slice arithmetic lives in util/slice.h so the simulator's lowering
+// cuts values identically; re-exported here for the engine params' defaults.
+using util::default_slice_size;
+using util::slice_count;
+
+namespace detail {
+
+/// Null-safe per-slice telemetry: latency histograms per phase, slice
+/// counters, and a high-water gauge of payload bytes concurrently in
+/// flight across transfers. All hooks are no-ops without a registry.
+class SliceMetrics {
+ public:
+  SliceMetrics(obs::MetricsRegistry* reg, const char* prefix) {
+    if (reg == nullptr) return;
+    const std::string p(prefix);
+    cross_ = &reg->histogram(p + ".slice.cross_latency_s");
+    inner_ = &reg->histogram(p + ".slice.inner_latency_s");
+    combine_ = &reg->histogram(p + ".slice.combine_latency_s");
+    slices_ = &reg->counter(p + ".slice.count");
+    bytes_ = &reg->counter(p + ".slice.bytes");
+    peak_ = &reg->gauge(p + ".bytes_in_flight_peak");
+  }
+
+  void transfer_slice(bool cross_rack, double seconds, std::size_t len) {
+    if (slices_ == nullptr) return;
+    (cross_rack ? cross_ : inner_)->observe(seconds);
+    slices_->increment();
+    bytes_->add(len);
+  }
+
+  void combine_slice(double seconds, std::size_t len) {
+    if (slices_ == nullptr) return;
+    combine_->observe(seconds);
+    slices_->increment();
+    bytes_->add(len);
+  }
+
+  /// Call around a transfer's in-flight window; keeps the peak gauge.
+  void begin_flight(std::size_t len) {
+    if (peak_ == nullptr) return;
+    const std::uint64_t now =
+        in_flight_.fetch_add(len, std::memory_order_relaxed) + len;
+    std::uint64_t seen = peak_bytes_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak_bytes_.compare_exchange_weak(seen, now,
+                                              std::memory_order_relaxed)) {
+    }
+    peak_->set(static_cast<double>(
+        peak_bytes_.load(std::memory_order_relaxed)));
+  }
+  void end_flight(std::size_t len) {
+    if (peak_ == nullptr) return;
+    in_flight_.fetch_sub(len, std::memory_order_relaxed);
+  }
+
+ private:
+  obs::Histogram* cross_ = nullptr;
+  obs::Histogram* inner_ = nullptr;
+  obs::Histogram* combine_ = nullptr;
+  obs::Counter* slices_ = nullptr;
+  obs::Counter* bytes_ = nullptr;
+  obs::Gauge* peak_ = nullptr;
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> peak_bytes_{0};
+};
+
+/// Shared per-run execution state (see file comment).
+class ExecState {
+ public:
+  ExecState(std::size_t ops, std::size_t value_size, std::size_t slice_size)
+      : value(ops),
+        slices_done(ops, 0),
+        done(ops, false),
+        failed(ops, false),
+        value_size_(value_size),
+        slice_size_(slice_size == 0 ? value_size : slice_size),
+        slices_(slice_count(value_size, slice_size)) {}
+
+  /// Slices every value is cut into (1 = whole-block mode).
+  [[nodiscard]] std::size_t slices() const noexcept { return slices_; }
+  [[nodiscard]] std::size_t value_size() const noexcept { return value_size_; }
+
+  /// Byte offset of slice s.
+  [[nodiscard]] std::size_t slice_offset(std::size_t s) const noexcept {
+    return s * slice_size_;
+  }
+  /// Byte length of slice s (the last slice absorbs the tail).
+  [[nodiscard]] std::size_t slice_len(std::size_t s) const noexcept {
+    const std::size_t off = slice_offset(s);
+    return off >= value_size_
+               ? 0
+               : (s + 1 == slices_ ? value_size_ - off : slice_size_);
+  }
+
+  /// The op's accumulator buffer, sized on first call. Only the op's
+  /// producer may call this before publication; the returned reference
+  /// (and the buffer's data pointer) is stable for the run.
+  rs::Block& storage(repair::OpId id) {
+    std::unique_lock lock(mu);
+    if (value[id].size() != value_size_) value[id].assign(value_size_, 0);
+    return value[id];
+  }
+
+  /// Blocks until every input has published slice s (true) or any input
+  /// failed (false).
+  bool wait_inputs_slice(const std::vector<repair::OpId>& ids,
+                         std::size_t s) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] {
+      for (repair::OpId id : ids) {
+        if (failed[id]) return true;
+      }
+      for (repair::OpId id : ids) {
+        if (slices_done[id] <= s) return false;
+      }
+      return true;
+    });
+    for (repair::OpId id : ids) {
+      if (failed[id]) return false;
+    }
+    return true;
+  }
+
+  /// Blocks until every input is fully done (true) or any failed (false).
+  bool wait_inputs_done(const std::vector<repair::OpId>& ids) {
+    return slices_ == 0 ? true : wait_inputs_slice(ids, slices_ - 1);
+  }
+
+  /// Marks slices [0, upto) of `id` published (producer wrote their bytes
+  /// before calling). Monotonic; no-op on a resolved op (first-wins).
+  void publish_slices(repair::OpId id, std::size_t upto) {
+    {
+      std::unique_lock lock(mu);
+      if (failed[id] || slices_done[id] >= upto) return;
+      slices_done[id] = upto;
+      if (upto >= slices_) done[id] = true;
+    }
+    cv.notify_all();
+  }
+
+  /// Publishes a complete value in one step (whole-block producers).
+  void publish(repair::OpId id, rs::Block b) {
+    {
+      std::unique_lock lock(mu);
+      if (done[id] || failed[id]) return;
+      value[id] = std::move(b);
+      slices_done[id] = slices_;
+      done[id] = true;
+    }
+    cv.notify_all();
+  }
+
+  /// Marks a fully-published op done without replacing its buffer (the
+  /// producer streamed slices directly into storage()).
+  void publish_all(repair::OpId id) { publish_slices(id, slices_); }
+
+  void fail(repair::OpId id) {
+    {
+      std::unique_lock lock(mu);
+      if (done[id] || failed[id]) return;
+      failed[id] = true;
+    }
+    cv.notify_all();
+  }
+
+  [[nodiscard]] bool resolved(repair::OpId id) {
+    std::unique_lock lock(mu);
+    return done[id] || failed[id];
+  }
+
+  /// Published-slice progress (for resuming an interrupted ingest).
+  [[nodiscard]] std::size_t progress(repair::OpId id) {
+    std::unique_lock lock(mu);
+    return slices_done[id];
+  }
+
+  rs::Block take_copy(repair::OpId id) {
+    std::unique_lock lock(mu);
+    return value[id];
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<rs::Block> value;
+  std::vector<std::size_t> slices_done;
+  std::vector<bool> done;
+  std::vector<bool> failed;
+
+ private:
+  std::size_t value_size_;
+  std::size_t slice_size_;
+  std::size_t slices_;
+};
+
+}  // namespace detail
+}  // namespace rpr::runtime

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
 
 #include "gf/gf256.h"
 #include "gf/gf_region.h"
-#include "matrix/matrix.h"
+#include "runtime/combine_stream.h"
+#include "runtime/exec_state.h"
 #include "runtime/op_trace.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace rpr::runtime {
 
@@ -22,80 +24,11 @@ using rs::Block;
 
 namespace {
 
-/// Shared execution state: one slot per op, guarded by a single mutex
-/// (contention is negligible — threads spend their time in paced transfers
-/// and region kernels, not on the lock). An op is either pending, done
-/// (value published) or failed; failures propagate to every dependent.
-struct ExecState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<Block> value;
-  std::vector<bool> done;
-  std::vector<bool> failed;
-
-  explicit ExecState(std::size_t ops)
-      : value(ops), done(ops, false), failed(ops, false) {}
-
-  /// Blocks until every input is done or any input failed; true = all done.
-  bool wait_for(const std::vector<OpId>& ids) {
-    std::unique_lock lock(mu);
-    cv.wait(lock, [&] {
-      for (OpId id : ids) {
-        if (failed[id]) return true;
-      }
-      for (OpId id : ids) {
-        if (!done[id]) return false;
-      }
-      return true;
-    });
-    for (OpId id : ids) {
-      if (failed[id]) return false;
-    }
-    return true;
-  }
-
-  Block take_copy(OpId id) {
-    std::unique_lock lock(mu);
-    return value[id];
-  }
-
-  void publish(OpId id, Block b) {
-    {
-      std::unique_lock lock(mu);
-      value[id] = std::move(b);
-      done[id] = true;
-    }
-    cv.notify_all();
-  }
-
-  void fail(OpId id) {
-    {
-      std::unique_lock lock(mu);
-      failed[id] = true;
-    }
-    cv.notify_all();
-  }
-};
-
 /// Paced sleep emulating a transfer of `bytes` at `bw * scale`.
 void pace(std::uint64_t bytes, util::Bandwidth bw, double scale) {
   const double sec =
       static_cast<double>(bytes) / (bw.as_bytes_per_sec() * scale);
   std::this_thread::sleep_for(std::chrono::duration<double>(sec));
-}
-
-/// Real matrix-build cost of the unoptimized decode path: constructs and
-/// inverts a dim x dim GF matrix (a Cauchy matrix, guaranteed invertible).
-void build_and_invert_matrix(std::size_t dim) {
-  matrix::Matrix m(dim, dim);
-  for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t j = 0; j < dim; ++j) {
-      m.at(i, j) = gf::inv(static_cast<std::uint8_t>(i ^ (dim + j)));
-    }
-  }
-  if (!m.inverted().has_value()) {
-    throw std::logic_error("testbed: decode-matrix inversion failed");
-  }
 }
 
 }  // namespace
@@ -124,10 +57,27 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
                                std::span<const OpId> outputs,
                                std::span<const Block> stripe) {
   repair::validate(plan, cluster_);
-  ExecState state(plan.ops.size());
+  detail::ExecState state(plan.ops.size(), plan.block_size,
+                          params_.slice_size);
+  const bool sliced = state.slices() > 1;
+  if (sliced) {
+    // Slice offsets are derived from plan.block_size; every streamed value
+    // must be exactly that long.
+    for (const PlanOp& op : plan.ops) {
+      if (op.kind == OpKind::kRead &&
+          stripe[op.block].size() != plan.block_size) {
+        throw std::invalid_argument(
+            "Testbed: slice mode requires stripe blocks of plan.block_size");
+      }
+    }
+  }
+  detail::SliceMetrics metrics(params_.metrics, "testbed");
 
   // Port mutexes. Acquisition order: node TX -> rack TX -> rack RX -> node
   // RX. A thread holding a later-stage lock never waits on an earlier one.
+  // In slice mode they are taken per slice, so concurrent streams through
+  // one port interleave at slice granularity instead of blocking for a
+  // whole block.
   std::vector<std::mutex> node_tx(cluster_.total_nodes());
   std::vector<std::mutex> node_rx(cluster_.total_nodes());
   std::vector<std::mutex> rack_tx(cluster_.racks());
@@ -194,67 +144,174 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
     return true;
   };
 
-  // Assign ops to worker nodes: sends run on the sender, everything else on
-  // the op's node.
-  std::vector<std::vector<OpId>> ops_of_node(cluster_.total_nodes());
-  for (OpId id = 0; id < plan.ops.size(); ++id) {
-    const PlanOp& op = plan.ops[id];
-    const topology::NodeId worker =
-        op.kind == OpKind::kSend ? op.from : op.node;
-    ops_of_node[worker].push_back(id);
-  }
-
   detail::name_node_tracks(cluster_, params_.recorder);
   const auto start = detail::TraceClock::now();
 
   auto run_op = [&](OpId id) {
     const PlanOp& op = plan.ops[id];
-    if (!state.wait_for(op.inputs)) {
-      state.fail(id);
-      return;
-    }
     const topology::NodeId self =
         op.kind == OpKind::kSend ? op.from : op.node;
-    if (is_dead(self)) {
-      blame(self);
-      state.fail(id);
-      return;
-    }
-    const auto op_start = detail::TraceClock::now();
+    auto op_start = detail::TraceClock::now();
     std::uint64_t op_bytes = 0;
     switch (op.kind) {
       case OpKind::kRead: {
+        if (is_dead(self)) {
+          blame(self);
+          state.fail(id);
+          return;
+        }
         const Block& src = stripe[op.block];
-        Block out(src.size(), 0);
-        gf::mul_region_add(op.coeff, out, src);
         op_bytes = src.size();
-        state.publish(id, std::move(out));
+        if (!sliced) {
+          Block out(src.size(), 0);
+          gf::mul_region_add(op.coeff, out, src);
+          state.publish(id, std::move(out));
+        } else {
+          // Reads are local and instant: materialize the whole value, all
+          // slices become available at once.
+          Block& out = state.storage(id);
+          gf::mul_region_add(op.coeff, out, src);
+          state.publish_all(id);
+        }
         break;
       }
       case OpKind::kSend: {
-        Block payload = state.take_copy(op.inputs[0]);
-        op_bytes = payload.size();
-        if (op.from == op.node) {  // local move
-          state.publish(id, std::move(payload));
+        if (op.from == op.node) {  // local move: forward slices as they land
+          if (!sliced) {
+            if (!state.wait_inputs_done(op.inputs)) {
+              state.fail(id);
+              return;
+            }
+            op_start = detail::TraceClock::now();
+            if (is_dead(self)) {
+              blame(self);
+              state.fail(id);
+              return;
+            }
+            Block payload = state.take_copy(op.inputs[0]);
+            op_bytes = payload.size();
+            state.publish(id, std::move(payload));
+            break;
+          }
+          Block& out = state.storage(id);
+          op_bytes = out.size();
+          for (std::size_t s = 0; s < state.slices(); ++s) {
+            if (!state.wait_inputs_slice(op.inputs, s)) {
+              state.fail(id);
+              return;
+            }
+            if (s == 0) {
+              op_start = detail::TraceClock::now();
+              if (is_dead(self)) {
+                blame(self);
+                state.fail(id);
+                return;
+              }
+            }
+            const std::size_t off = state.slice_offset(s);
+            std::memcpy(out.data() + off,
+                        state.value[op.inputs[0]].data() + off,
+                        state.slice_len(s));
+            state.publish_slices(id, s + 1);
+          }
           break;
         }
+
         const topology::RackId rf = cluster_.rack_of(op.from);
         const topology::RackId rt = cluster_.rack_of(op.node);
         const util::Bandwidth bw = params_.net.between_racks(rf, rt);
-        const auto bytes = static_cast<std::uint64_t>(payload.size());
-        const double expected_s =
-            static_cast<double>(bytes) /
-            (bw.as_bytes_per_sec() * params_.time_scale);
-        const fault::Straggle* straggle =
-            params_.faults.straggle_of(op.from);
+        const fault::Straggle* straggle = params_.faults.straggle_of(op.from);
 
+        if (!sliced) {
+          // Whole-block store-and-forward (the historical path).
+          if (!state.wait_inputs_done(op.inputs)) {
+            state.fail(id);
+            return;
+          }
+          op_start = detail::TraceClock::now();
+          if (is_dead(self)) {
+            blame(self);
+            state.fail(id);
+            return;
+          }
+          Block payload = state.take_copy(op.inputs[0]);
+          op_bytes = payload.size();
+          const auto bytes = static_cast<std::uint64_t>(payload.size());
+          const double expected_s =
+              static_cast<double>(bytes) /
+              (bw.as_bytes_per_sec() * params_.time_scale);
+
+          bool sent = false;
+          for (std::size_t attempt = 0;
+               attempt < params_.retry.max_attempts && !sent; ++attempt) {
+            // A straggling sender's transfer crawls at factor x; the
+            // straggler detector abandons the attempt at threshold x the
+            // expected duration (speculative re-fetch), so an afflicted
+            // attempt costs the deadline, not the crawl.
+            bool afflicted = false;
+            if (straggle != nullptr) {
+              std::scoped_lock lock(fault_mu_);
+              if (afflicted_[op.from] < straggle->attempts) {
+                ++afflicted_[op.from];
+                afflicted = true;
+              }
+            }
+            if (afflicted) {
+              ++faults;
+              const double stall_s =
+                  std::min(expected_s * straggle->factor,
+                           std::min(expected_s *
+                                        params_.retry.straggler_threshold,
+                                    params_.retry.op_deadline_s));
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(stall_s));
+              if (attempt + 1 < params_.retry.max_attempts) {
+                ++retries;
+                std::this_thread::sleep_for(std::chrono::duration<double>(
+                    params_.retry.backoff_s(attempt)));
+              }
+              continue;
+            }
+            metrics.begin_flight(bytes);
+            if (rf == rt) {
+              std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
+              sent = paced_transfer(bytes, bw, op.from, op.node);
+              if (sent) inner_bytes += bytes;
+            } else {
+              std::scoped_lock ports(node_tx[op.from], rack_tx[rf],
+                                     rack_rx[rt], node_rx[op.node]);
+              sent = paced_transfer(bytes, bw, op.from, op.node);
+              if (sent) cross_bytes += bytes;
+            }
+            metrics.end_flight(bytes);
+            if (!sent) break;  // endpoint died: retrying cannot help
+          }
+          if (!sent) {
+            // Either an endpoint died mid-transfer (blamed already) or
+            // every attempt hit the straggler deadline — the sender is
+            // lost.
+            if (first_dead.load() == fault::kNoNode) declare_lost(op.from);
+            state.fail(id);
+            return;
+          }
+          state.publish(id, std::move(payload));
+          break;
+        }
+
+        // Slice-pipelined transfer: forward each slice the moment the
+        // input published it, holding the ports only for that slice's
+        // paced duration. Straggle/retry stay op-granular; a retried
+        // attempt resumes from the first unforwarded slice.
+        Block& out = state.storage(id);
+        op_bytes = out.size();
+        const double expected_s =
+            static_cast<double>(out.size()) /
+            (bw.as_bytes_per_sec() * params_.time_scale);
         bool sent = false;
+        bool endpoint_died = false;
+        std::size_t next_slice = 0;
         for (std::size_t attempt = 0;
              attempt < params_.retry.max_attempts && !sent; ++attempt) {
-          // A straggling sender's transfer crawls at factor x; the
-          // straggler detector abandons the attempt at threshold x the
-          // expected duration (speculative re-fetch), so an afflicted
-          // attempt costs the deadline, not the crawl.
           bool afflicted = false;
           if (straggle != nullptr) {
             std::scoped_lock lock(fault_mu_);
@@ -279,73 +336,153 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
             }
             continue;
           }
-          if (rf == rt) {
-            std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
-            sent = paced_transfer(bytes, bw, op.from, op.node);
-            if (sent) inner_bytes += bytes;
-          } else {
-            std::scoped_lock ports(node_tx[op.from], rack_tx[rf],
-                                   rack_rx[rt], node_rx[op.node]);
-            sent = paced_transfer(bytes, bw, op.from, op.node);
-            if (sent) cross_bytes += bytes;
+          bool ok = true;
+          for (std::size_t s = next_slice; s < state.slices() && ok; ++s) {
+            if (!state.wait_inputs_slice(op.inputs, s)) {
+              state.fail(id);
+              return;
+            }
+            if (s == 0) op_start = detail::TraceClock::now();
+            const std::size_t off = state.slice_offset(s);
+            const std::size_t len = state.slice_len(s);
+            const auto t0 = std::chrono::steady_clock::now();
+            metrics.begin_flight(len);
+            if (rf == rt) {
+              std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
+              ok = paced_transfer(len, bw, op.from, op.node);
+            } else {
+              std::scoped_lock ports(node_tx[op.from], rack_tx[rf],
+                                     rack_rx[rt], node_rx[op.node]);
+              ok = paced_transfer(len, bw, op.from, op.node);
+            }
+            metrics.end_flight(len);
+            if (!ok) break;
+            (rf == rt ? inner_bytes : cross_bytes) += len;
+            metrics.transfer_slice(
+                rf != rt,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count(),
+                len);
+            std::memcpy(out.data() + off,
+                        state.value[op.inputs[0]].data() + off, len);
+            state.publish_slices(id, s + 1);
+            next_slice = s + 1;
           }
-          if (!sent) break;  // endpoint died: retrying cannot help
+          if (ok) {
+            sent = true;
+          } else {
+            endpoint_died = true;  // paced_transfer blamed the endpoint
+            break;
+          }
         }
         if (!sent) {
-          // Either an endpoint died mid-transfer (blamed already) or every
-          // attempt hit the straggler deadline — the sender is lost.
-          if (first_dead.load() == fault::kNoNode) declare_lost(op.from);
+          if (!endpoint_died && first_dead.load() == fault::kNoNode) {
+            declare_lost(op.from);
+          }
           state.fail(id);
           return;
         }
-        state.publish(id, std::move(payload));
+        state.publish_all(id);
         break;
       }
       case OpKind::kCombine: {
-        // Matrix-path decodes pay the real unoptimized-path cost: a matrix
-        // inversion plus per-source general (multiply-path) region passes
-        // even for unit coefficients. The optimized path aggregates all
-        // sources in one fused pass, writing each output cache line once.
-        if (op.with_matrix_cost) build_and_invert_matrix(params_.decode_matrix_dim);
-        std::vector<Block> ins;
-        ins.reserve(op.inputs.size());
-        for (const OpId in : op.inputs) ins.push_back(state.take_copy(in));
-        Block acc(ins[0].size(), 0);
-        if (op.with_matrix_cost) {
-          for (std::size_t i = 0; i < ins.size(); ++i) {
-            const std::uint8_t c =
-                op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
-            gf::mul_region_add_general(c, acc, ins[i]);
+        if (!sliced) {
+          // Whole-block combine. Inputs are read in place from the shared
+          // state (they are final once done) — the historical per-input
+          // scratch copies are gone — and the optimized fused pass is
+          // sharded across the process thread pool.
+          if (!state.wait_inputs_done(op.inputs)) {
+            state.fail(id);
+            return;
           }
-        } else {
-          std::vector<std::uint8_t> coeffs(ins.size());
-          std::vector<const std::uint8_t*> srcs(ins.size());
-          for (std::size_t i = 0; i < ins.size(); ++i) {
+          op_start = detail::TraceClock::now();
+          if (is_dead(self)) {
+            blame(self);
+            state.fail(id);
+            return;
+          }
+          if (op.with_matrix_cost) {
+            detail::build_and_invert_matrix(params_.decode_matrix_dim);
+          }
+          const std::size_t nin = op.inputs.size();
+          Block acc(state.value[op.inputs[0]].size(), 0);
+          std::vector<std::uint8_t> coeffs(nin);
+          std::vector<const std::uint8_t*> srcs(nin);
+          for (std::size_t i = 0; i < nin; ++i) {
             coeffs[i] =
                 op.input_coeffs.empty() ? std::uint8_t{1} : op.input_coeffs[i];
-            srcs[i] = ins[i].data();
+            srcs[i] = state.value[op.inputs[i]].data();
           }
-          gf::mul_region_add_multi(coeffs, srcs.data(), acc);
+          if (op.with_matrix_cost) {
+            // The traditional decoder's per-source multiply passes; kept
+            // serial so the modeled cost stays comparable.
+            for (std::size_t i = 0; i < nin; ++i) {
+              gf::mul_region_add_general(coeffs[i], acc,
+                                         {srcs[i], acc.size()});
+            }
+          } else {
+            util::ThreadPool::shared().parallel_for(
+                acc.size(), 64, 128 << 10,
+                [&](std::size_t b, std::size_t e) {
+                  std::vector<const std::uint8_t*> sub(nin);
+                  for (std::size_t i = 0; i < nin; ++i) sub[i] = srcs[i] + b;
+                  gf::mul_region_add_multi({coeffs.data(), nin}, sub.data(),
+                                           {acc.data() + b, e - b});
+                });
+          }
+          op_bytes = acc.size() * nin;  // one region pass per input
+          if (is_dead(op.node)) {
+            blame(op.node);
+            state.fail(id);
+            return;
+          }
+          state.publish(id, std::move(acc));
+          break;
         }
-        op_bytes = acc.size() * op.inputs.size();  // one region pass per input
-        if (is_dead(op.node)) {
-          blame(op.node);
-          state.fail(id);
-          return;
-        }
-        state.publish(id, std::move(acc));
+        op_bytes = state.value_size() * op.inputs.size();
+        const bool done = detail::stream_combine(
+            state, op, id, params_.decode_matrix_dim, metrics,
+            [&] {
+              if (is_dead(op.node)) {
+                blame(op.node);
+                return true;
+              }
+              return false;
+            },
+            op_start);
+        if (!done) return;
         break;
       }
     }
     detail::record_op_span(params_.recorder, op, id, cluster_, start,
                            op_start, detail::TraceClock::now(), op_bytes);
   };
+
   std::vector<std::thread> workers;
-  for (topology::NodeId node = 0; node < cluster_.total_nodes(); ++node) {
-    if (ops_of_node[node].empty()) continue;
-    workers.emplace_back([&, node] {
-      for (OpId id : ops_of_node[node]) run_op(id);
-    });
+  if (sliced) {
+    // One thread per op: a node's combines and sends overlap, streaming
+    // slices through each other, instead of queueing on one node worker.
+    workers.reserve(plan.ops.size());
+    for (OpId id = 0; id < plan.ops.size(); ++id) {
+      workers.emplace_back([&, id] { run_op(id); });
+    }
+  } else {
+    // Assign ops to worker nodes: sends run on the sender, everything else
+    // on the op's node.
+    std::vector<std::vector<OpId>> ops_of_node(cluster_.total_nodes());
+    for (OpId id = 0; id < plan.ops.size(); ++id) {
+      const PlanOp& op = plan.ops[id];
+      const topology::NodeId worker =
+          op.kind == OpKind::kSend ? op.from : op.node;
+      ops_of_node[worker].push_back(id);
+    }
+    for (topology::NodeId node = 0; node < cluster_.total_nodes(); ++node) {
+      if (ops_of_node[node].empty()) continue;
+      workers.emplace_back([&, ids = ops_of_node[node]] {
+        for (OpId id : ids) run_op(id);
+      });
+    }
   }
   for (auto& w : workers) w.join();
   const auto end = std::chrono::steady_clock::now();

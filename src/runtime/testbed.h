@@ -44,9 +44,11 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "repair/plan.h"
 #include "rs/rs_code.h"
+#include "runtime/exec_state.h"
 #include "runtime/region_net.h"
 #include "topology/cluster.h"
 
@@ -68,6 +70,18 @@ struct TestbedParams {
   fault::FaultSchedule faults;
   /// Retry/backoff/straggler-detection policy for transfers.
   fault::RetryPolicy retry;
+  /// Slice-pipelined streaming: values move through the dataplane in units
+  /// of this many bytes — a combine/forward starts on a slice the moment
+  /// every input published it, instead of buffering whole intermediates.
+  /// Each op then runs on its own thread (a node is no longer serialized to
+  /// one op at a time; the port mutexes still serialize its links at slice
+  /// granularity). 0 = whole-block store-and-forward (the historical
+  /// behavior). Defaults from the RPR_SLICE_SIZE environment variable.
+  std::size_t slice_size = default_slice_size();
+  /// Optional registry for per-slice latency histograms, slice counters and
+  /// the peak bytes-in-flight gauge (under "testbed."). Must outlive
+  /// execute().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Why and where an execute() gave up, plus everything it salvaged.

@@ -39,6 +39,11 @@ struct NetworkParams {
   /// The paper's closed-form analysis (§4.1) neglects it; analysis-replica
   /// benches switch it off.
   bool charge_compute = true;
+  /// Slice-pipelined repair: blocks move and decode in units of this many
+  /// bytes, with slice s of every op overlapping slice s+1 of its
+  /// producers (repair pipelining, cf. Li et al.). 0 = whole-block
+  /// store-and-forward (the historical model).
+  std::size_t slice_size = 0;
 
   /// The paper's simulator setup: inner 1 Gb/s (Simics default node NIC),
   /// cross 0.1 Gb/s (wondershaper-throttled), 10:1 ratio (§5.1).

@@ -1,0 +1,45 @@
+// Slice-pipelining arithmetic shared by every execution engine.
+//
+// A repair value of `value_size` bytes is cut into fixed-size slices of
+// `slice_size` bytes (the last slice absorbs the tail); slice_size 0 means
+// whole-block (exactly one slice). The discrete-event simulator, the
+// threaded testbed and the TCP runtime all derive their slice geometry from
+// these helpers so a sliced run is cut identically everywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace rpr::util {
+
+/// Engine-wide default slice size: the RPR_SLICE_SIZE environment variable
+/// when set (bytes; 0 = whole-block), else 0. Lets CI flip entire suites
+/// into slice mode without test edits.
+inline std::size_t default_slice_size() {
+  if (const char* env = std::getenv("RPR_SLICE_SIZE")) {
+    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 0;
+}
+
+/// Slices per value: ceil(value_size / slice_size), with 0 meaning
+/// whole-block (one slice). A zero-byte value still counts one slice so
+/// every op publishes at least once.
+inline std::size_t slice_count(std::size_t value_size,
+                               std::size_t slice_size) noexcept {
+  if (slice_size == 0 || value_size <= slice_size) return 1;
+  return (value_size + slice_size - 1) / slice_size;
+}
+
+/// Byte length of slice `s` (the last slice absorbs the tail; 0 for slices
+/// past the end).
+inline std::size_t slice_len(std::size_t value_size, std::size_t slice_size,
+                             std::size_t s) noexcept {
+  const std::size_t n = slice_count(value_size, slice_size);
+  if (s >= n) return 0;
+  if (n == 1) return value_size;
+  const std::size_t off = s * slice_size;
+  return s + 1 == n ? value_size - off : slice_size;
+}
+
+}  // namespace rpr::util

@@ -157,6 +157,28 @@ TEST(ChaosSimnet, ChaosRunsAreSeedStableAndReproducible) {
   EXPECT_EQ(a.inner_rack_bytes, b.inner_rack_bytes);
 }
 
+TEST(ChaosSimnet, SliceModeHelperDeathMidStreamTriggersReplan) {
+  // Slice-pipelined lowering: the kill lands while the victim's stream is
+  // partially delivered; partial slices are charged as traffic but the op
+  // only banks when every slice task finished before the cut.
+  RepairCase c(64ull << 20, 4096);
+  const NodeId victim = c.cross_send_source();
+  FaultSchedule chaos;
+  chaos.kills.push_back({victim, 0.010});
+
+  rpr::topology::NetworkParams net;
+  net.slice_size = 4 << 20;  // 16 slices per 64 MiB block
+  const auto outcome = rpr::repair::simulate_resilient(
+      c.problem, *c.planner, c.stripe, net, chaos, {});
+
+  expect_verified_output(outcome, c.stripe);
+  EXPECT_GE(outcome.replans, 1u);
+  EXPECT_GE(outcome.faults_injected, 1u);
+  EXPECT_EQ(std::count(outcome.destinations.begin(),
+                       outcome.destinations.end(), victim),
+            0);
+}
+
 // --- threaded testbed -----------------------------------------------------
 
 TEST(ChaosTestbed, HelperDeathMidRepairTriggersReplan) {
@@ -221,6 +243,35 @@ TEST(ChaosTestbed, TransientStragglerRetriesWithoutReplan) {
   EXPECT_TRUE(bed.dead_nodes().empty());
 }
 
+TEST(ChaosTestbed, SliceModeHelperDeathMidStreamTriggersReplan) {
+  // Slice-pipelined execution: the victim dies while its cross-rack stream
+  // is mid-flight (some slices published, the rest never arriving). The
+  // driver must bank every fully-finished value on surviving nodes, re-plan
+  // around the hole, and still produce byte-identical output.
+  RepairCase c(1 << 20, 1 << 20);
+  const NodeId victim = c.cross_send_source();
+
+  rpr::runtime::TestbedParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  p.slice_size = 64 << 10;  // 16 slices per block
+  p.faults.kills.push_back({victim, 0.002});
+  p.retry.base_backoff_s = 0.001;
+  rpr::runtime::Testbed bed(c.placed.cluster, p);
+
+  const auto outcome = rpr::repair::execute_resilient_with(
+      bed, c.problem, *c.planner, c.stripe, {});
+
+  expect_verified_output(outcome, c.stripe);
+  EXPECT_GE(outcome.replans, 1u);
+  EXPECT_GE(outcome.faults_injected, 1u);
+  EXPECT_GE(outcome.reused_values, 1u)
+      << "banked values from before the kill must survive the re-plan";
+  EXPECT_TRUE(bed.dead_nodes().count(victim));
+}
+
 // --- TCP loopback ---------------------------------------------------------
 
 TEST(ChaosTcp, HelperDeathMidRepairTriggersReplan) {
@@ -274,6 +325,34 @@ TEST(ChaosTcp, TransientStragglerRetriesWithoutReplan) {
   EXPECT_EQ(outcome.replans, 0u);
   EXPECT_GE(outcome.retries, 1u);
   EXPECT_TRUE(rt.dead_nodes().empty());
+}
+
+TEST(ChaosTcp, SliceModeHelperDeathMidStreamTriggersReplan) {
+  // The kill severs the victim's streamed connection after some slices are
+  // already published into the receiver's accumulator; the partially-built
+  // op must not resolve, and the re-plan must route around the dead node
+  // while reusing banked values from surviving helpers.
+  RepairCase c(1 << 20, 1 << 20);
+  const NodeId victim = c.cross_send_source();
+
+  rpr::net::TcpRuntimeParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  p.slice_size = 64 << 10;  // 16 slices per block
+  p.faults.kills.push_back({victim, 0.002});
+  p.retry.base_backoff_s = 0.001;
+  p.retry.op_deadline_s = 5.0;
+  rpr::net::TcpRuntime rt(c.placed.cluster, p);
+
+  const auto outcome = rpr::repair::execute_resilient_with(
+      rt, c.problem, *c.planner, c.stripe, {});
+
+  expect_verified_output(outcome, c.stripe);
+  EXPECT_GE(outcome.replans, 1u);
+  EXPECT_GE(outcome.faults_injected, 1u);
+  EXPECT_TRUE(rt.dead_nodes().count(victim));
 }
 
 // --- storage layer --------------------------------------------------------

@@ -207,7 +207,8 @@ TEST_P(Gf16TierTest, RegionKernelRandomized) {
 INSTANTIATE_TEST_SUITE_P(
     AllTiers, Gf16TierTest,
     ::testing::Values(gf::SimdTier::kScalar, gf::SimdTier::kSsse3,
-                      gf::SimdTier::kAvx2, gf::SimdTier::kNeon),
+                      gf::SimdTier::kAvx2, gf::SimdTier::kNeon,
+                      gf::SimdTier::kAvx512, gf::SimdTier::kGfni),
     [](const ::testing::TestParamInfo<gf::SimdTier>& param_info) {
       return std::string(gf::tier_name(param_info.param));
     });

@@ -214,7 +214,8 @@ TEST_P(RegionTierTest, EncodeRegionsMatchesPerSourceLoop) {
 INSTANTIATE_TEST_SUITE_P(
     AllTiers, RegionTierTest,
     ::testing::Values(gf::SimdTier::kScalar, gf::SimdTier::kSsse3,
-                      gf::SimdTier::kAvx2, gf::SimdTier::kNeon),
+                      gf::SimdTier::kAvx2, gf::SimdTier::kNeon,
+                      gf::SimdTier::kAvx512, gf::SimdTier::kGfni),
     [](const ::testing::TestParamInfo<gf::SimdTier>& param_info) {
       return std::string(gf::tier_name(param_info.param));
     });
@@ -254,6 +255,8 @@ TEST(Dispatch, ParseTierAcceptsTheForceSpecs) {
   EXPECT_EQ(gf::parse_tier("ssse3"), gf::SimdTier::kSsse3);
   EXPECT_EQ(gf::parse_tier("avx2"), gf::SimdTier::kAvx2);
   EXPECT_EQ(gf::parse_tier("neon"), gf::SimdTier::kNeon);
+  EXPECT_EQ(gf::parse_tier("avx512"), gf::SimdTier::kAvx512);
+  EXPECT_EQ(gf::parse_tier("gfni"), gf::SimdTier::kGfni);
   EXPECT_FALSE(gf::parse_tier("sse9").has_value());
   EXPECT_FALSE(gf::parse_tier("").has_value());
 }

@@ -11,6 +11,11 @@
 //     --fluid               use the fair-sharing link model
 //     --tcp                 execute over real loopback TCP (wall clock)
 //     --time-scale X        multiply TCP pacing bandwidths (default 32)
+//     --slice-size BYTES    slice-pipelined streaming: values move through
+//                           the dataplane (and the simulator's timing
+//                           model) in slices of this many bytes; 0 =
+//                           whole-block store-and-forward
+//                           (default $RPR_SLICE_SIZE, else 0)
 //     --trace FILE          write a Chrome trace of the schedule
 //     --metrics FILE        write a metrics snapshot (JSON)
 //     --metrics-csv FILE    write a metrics snapshot (CSV)
@@ -63,6 +68,7 @@
 #include "simnet/trace_export.h"
 #include "topology/placement.h"
 #include "util/rng.h"
+#include "util/slice.h"
 #include "verify/plan_verifier.h"
 
 namespace {
@@ -73,7 +79,7 @@ int usage() {
       "usage: rpr_sim [--code n,k] [--scheme traditional|car|rpr]\n"
       "               [--failed i,j,...] [--placement contiguous|rpr|flat]\n"
       "               [--block BYTES] [--inner GBPS] [--cross GBPS]\n"
-      "               [--fluid | --tcp] [--time-scale X]\n"
+      "               [--fluid | --tcp] [--time-scale X] [--slice-size BYTES]\n"
       "               [--trace FILE] [--metrics FILE] [--metrics-csv FILE]\n"
       "               [--chaos SPEC] [--fail-helper-at T]\n"
       "               [--straggler NODE,FACTOR[,ATTEMPTS]]\n"
@@ -216,6 +222,27 @@ int run_verify_sweep() {
   return violated == 0 ? 0 : 4;
 }
 
+/// Per-phase slice latency summary from the engine's slice histograms
+/// (written under "<prefix>.slice."); silent when no slices were recorded.
+void print_slice_latency(const rpr::obs::MetricsRegistry& registry,
+                         const char* prefix) {
+  const std::pair<const char*, const char*> phases[] = {
+      {"cross", ".slice.cross_latency_s"},
+      {"inner", ".slice.inner_latency_s"},
+      {"combine", ".slice.combine_latency_s"},
+  };
+  for (const auto& [name, suffix] : phases) {
+    const rpr::obs::Histogram* h =
+        registry.find_histogram(std::string(prefix) + suffix);
+    if (h == nullptr || h->count() == 0) continue;
+    std::printf(
+        "slice latency     : %-7s mean %7.3f ms  max %7.3f ms  (%llu "
+        "slices)\n",
+        name, h->sum() / static_cast<double>(h->count()) * 1e3,
+        h->max() * 1e3, static_cast<unsigned long long>(h->count()));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +258,7 @@ int main(int argc, char** argv) {
   bool fluid = false;
   bool tcp = false;
   double time_scale = 32.0;
+  std::uint64_t slice_size = util::default_slice_size();
   std::string trace_path;
   std::string metrics_path;
   std::string metrics_csv_path;
@@ -277,6 +305,8 @@ int main(int argc, char** argv) {
       tcp = true;
     } else if (a == "--time-scale") {
       time_scale = parse_positive("--time-scale", next());
+    } else if (a == "--slice-size") {
+      slice_size = parse_u64("--slice-size", next());
     } else if (a == "--trace") {
       trace_path = next();
     } else if (a == "--metrics") {
@@ -375,6 +405,7 @@ int main(int argc, char** argv) {
     topology::NetworkParams params;
     params.inner = util::Bandwidth::gbps(inner_gbps);
     params.cross = util::Bandwidth::gbps(cross_gbps);
+    params.slice_size = static_cast<std::size_t>(slice_size);
 
     const auto planner = repair::make_planner(scheme);
     const auto planned = planner->plan(problem);
@@ -399,6 +430,11 @@ int main(int argc, char** argv) {
                                                                  : "flat",
                 planner->name().c_str(), failed.size(),
                 static_cast<double>(block) / (1 << 20));
+    if (slice_size > 0) {
+      std::printf("slice size        : %llu bytes (%zu slices/block)\n",
+                  static_cast<unsigned long long>(slice_size),
+                  util::slice_count(block, slice_size));
+    }
 
     // One probe feeds every engine; sinks run at the end.
     obs::MetricsRegistry registry;
@@ -442,6 +478,8 @@ int main(int argc, char** argv) {
         tp.decode_matrix_dim = cfg.n;
         tp.recorder = probe.trace;
         tp.faults = chaos;
+        tp.slice_size = static_cast<std::size_t>(slice_size);
+        tp.metrics = &registry;
         net::TcpRuntime rt(placed.cluster, tp);
         outcome = repair::execute_resilient_with(rt, problem, *planner,
                                                  stripe, ropts);
@@ -463,6 +501,7 @@ int main(int argc, char** argv) {
                   static_cast<double>(outcome.cross_rack_bytes) / 1e6);
       std::printf("inner-rack traffic: %.1f MB\n",
                   static_cast<double>(outcome.inner_rack_bytes) / 1e6);
+      if (tcp) print_slice_latency(registry, "tcp");
 
       bool ok = outcome.outputs.size() == failed.size();
       for (std::size_t i = 0; ok && i < failed.size(); ++i) {
@@ -493,6 +532,8 @@ int main(int argc, char** argv) {
       tp.time_scale = time_scale;
       tp.decode_matrix_dim = cfg.n;
       tp.recorder = probe.trace;
+      tp.slice_size = static_cast<std::size_t>(slice_size);
+      tp.metrics = &registry;
       net::TcpRuntime rt(placed.cluster, tp);
       const auto result =
           rt.execute(planned.plan, planned.outputs, stripe);
@@ -506,6 +547,7 @@ int main(int argc, char** argv) {
                   static_cast<double>(result.cross_rack_bytes) / 1e6);
       std::printf("inner-rack traffic: %.1f MB\n",
                   static_cast<double>(result.inner_rack_bytes) / 1e6);
+      print_slice_latency(registry, "tcp");
       if (probe.metrics != nullptr) {
         registry.gauge("tcp.wall_time_s").set(wall_s);
         registry.gauge("tcp.time_scale").set(time_scale);

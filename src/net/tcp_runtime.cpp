@@ -142,6 +142,11 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
   };
 
   runtime::detail::name_node_tracks(cluster_, params_.recorder);
+  // One DAG span id per plan op (0 = tracing disabled, no identity).
+  const obs::SpanId span_base =
+      params_.recorder == nullptr
+          ? 0
+          : params_.recorder->reserve_span_ids(plan.ops.size());
   const auto start = runtime::detail::TraceClock::now();
 
   auto run_op = [&](OpId id) {
@@ -150,6 +155,7 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
         op.kind == OpKind::kSend ? op.from : op.node;
     auto op_start = runtime::detail::TraceClock::now();
     std::uint64_t op_bytes = 0;
+    double op_stall_s = 0.0;  // straggler stalls + retry backoffs (wall)
     switch (op.kind) {
       case OpKind::kRead: {
         if (is_dead(self)) {
@@ -278,10 +284,12 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
                                     params_.retry.op_deadline_s));
               std::this_thread::sleep_for(
                   std::chrono::duration<double>(stall_s));
+              op_stall_s += stall_s;
               if (attempt + 1 < params_.retry.max_attempts) {
                 ++retries;
                 std::this_thread::sleep_for(std::chrono::duration<double>(
                     params_.retry.backoff_s(attempt)));
+                op_stall_s += params_.retry.backoff_s(attempt);
               }
               continue;
             }
@@ -310,6 +318,7 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
                 ++retries;
                 std::this_thread::sleep_for(std::chrono::duration<double>(
                     params_.retry.backoff_s(attempt)));
+                op_stall_s += params_.retry.backoff_s(attempt);
               }
             }
           }
@@ -369,10 +378,12 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
                                   params_.retry.op_deadline_s));
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(stall_s));
+            op_stall_s += stall_s;
             if (attempt + 1 < params_.retry.max_attempts) {
               ++retries;
               std::this_thread::sleep_for(std::chrono::duration<double>(
                   params_.retry.backoff_s(attempt)));
+              op_stall_s += params_.retry.backoff_s(attempt);
             }
             continue;
           }
@@ -412,6 +423,7 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
               ++retries;
               std::this_thread::sleep_for(std::chrono::duration<double>(
                   params_.retry.backoff_s(attempt)));
+              op_stall_s += params_.retry.backoff_s(attempt);
             }
           }
         }
@@ -494,7 +506,9 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
     runtime::detail::record_op_span(params_.recorder, op, id, cluster_, start,
                                     op_start,
                                     runtime::detail::TraceClock::now(),
-                                    op_bytes);
+                                    op_bytes, span_base,
+                                    static_cast<std::int64_t>(
+                                        op_stall_s * 1e9));
   };
 
   // Ingests one slice-streamed connection: reads the frame header, then

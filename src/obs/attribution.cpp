@@ -1,0 +1,227 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace rpr::obs {
+
+namespace {
+
+std::int64_t& cat(Attribution& a, Category c) {
+  return a.by_category[static_cast<std::size_t>(c)];
+}
+
+/// Length of the union of [start, finish) intervals.
+std::int64_t union_length(std::vector<std::pair<std::int64_t, std::int64_t>>
+                              intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  std::int64_t total = 0;
+  std::int64_t cur_lo = 0;
+  std::int64_t cur_hi = 0;
+  bool open = false;
+  for (const auto& [lo, hi] : intervals) {
+    if (hi <= lo) continue;
+    if (!open || lo > cur_hi) {
+      if (open) total += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+      open = true;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  if (open) total += cur_hi - cur_lo;
+  return total;
+}
+
+std::string format_seconds(std::int64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f s",
+                static_cast<double>(ns) / 1e9);
+  return buf;
+}
+
+std::string track_label(const CausalGraph& g, TrackId track) {
+  const auto it = g.rec->track_names().find(track);
+  if (it != g.rec->track_names().end()) return it->second;
+  return "track " + std::to_string(track);
+}
+
+}  // namespace
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kCrossPortWait: return "cross-rack port wait";
+    case Category::kInnerPortWait: return "inner-rack port wait";
+    case Category::kGfCompute: return "GF compute";
+    case Category::kPropagation: return "propagation / pacing";
+    case Category::kQueueing: return "queueing";
+    case Category::kStall: return "retry/straggler stall";
+  }
+  return "?";
+}
+
+Attribution attribute(const CausalGraph& g, const CriticalPath& cp,
+                      const AttributionOptions& opts) {
+  Attribution a;
+  a.total_ns = cp.makespan_ns;
+
+  for (const CritStep& st : cp.steps) {
+    const Span& v = g.span_of(st.node);
+
+    // Execution: stall wall time inside the span is split out pro rata (a
+    // step may charge only part of a pipelined span), the rest goes to the
+    // kind's resource.
+    std::int64_t run = st.run_ns;
+    if (v.stall_ns > 0 && v.dur_ns > 0 && run > 0) {
+      const std::int64_t contained = std::min(v.stall_ns, v.dur_ns);
+      const auto share = static_cast<std::int64_t>(
+          static_cast<double>(run) * static_cast<double>(contained) /
+          static_cast<double>(v.dur_ns));
+      const std::int64_t stall = std::min(run, share);
+      cat(a, Category::kStall) += stall;
+      run -= stall;
+    }
+    switch (v.kind) {
+      case SpanKind::kRead:
+      case SpanKind::kCompute:
+        cat(a, Category::kGfCompute) += run;
+        break;
+      case SpanKind::kStall:
+        cat(a, Category::kStall) += run;
+        break;
+      case SpanKind::kTransferInner:
+      case SpanKind::kTransferCross:
+      case SpanKind::kOther:
+        cat(a, Category::kPropagation) += run;
+        break;
+    }
+
+    // Waiting: a transfer that could not progress was blocked on ports; a
+    // compute/read was queued behind CPU or worker-thread occupancy.
+    switch (v.kind) {
+      case SpanKind::kTransferCross:
+        cat(a, Category::kCrossPortWait) += st.wait_ns;
+        if (opts.rack_of && st.wait_ns > 0) {
+          a.cross_wait_by_rack[opts.rack_of(v.track)] += st.wait_ns;
+        }
+        break;
+      case SpanKind::kTransferInner:
+        cat(a, Category::kInnerPortWait) += st.wait_ns;
+        break;
+      case SpanKind::kRead:
+      case SpanKind::kCompute:
+      case SpanKind::kStall:
+      case SpanKind::kOther:
+        cat(a, Category::kQueueing) += st.wait_ns;
+        break;
+    }
+  }
+
+  for (const auto& [rack, wait] : a.cross_wait_by_rack) {
+    if (a.bottleneck_rack < 0 ||
+        wait > a.cross_wait_by_rack.at(
+                   static_cast<std::size_t>(a.bottleneck_rack))) {
+      a.bottleneck_rack = static_cast<std::int64_t>(rack);
+    }
+  }
+
+  // Headroom: port wait on the path is recoverable only onto otherwise-idle
+  // ports, so bound it by the bottleneck rack's cross-RX idle time.
+  if (a.bottleneck_rack >= 0 && opts.rack_of) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> busy;
+    for (const CausalNode& n : g.nodes) {
+      const Span& s = g.rec->spans()[n.span];
+      if (s.kind != SpanKind::kTransferCross) continue;
+      if (opts.rack_of(s.track) !=
+          static_cast<std::size_t>(a.bottleneck_rack)) {
+        continue;
+      }
+      busy.emplace_back(s.start_ns, s.start_ns + s.dur_ns);
+    }
+    a.bottleneck_idle_ns =
+        std::max<std::int64_t>(0, g.makespan_ns() - union_length(busy));
+    const std::int64_t port_wait = a.of(Category::kCrossPortWait) +
+                                   a.of(Category::kInnerPortWait);
+    a.headroom_ns = std::min(port_wait, a.bottleneck_idle_ns);
+  }
+  return a;
+}
+
+std::string attribution_report(const CausalGraph& g, const CriticalPath& cp,
+                               const Attribution& a, std::size_t top_k) {
+  std::string out;
+  char line[256];
+
+  std::snprintf(line, sizeof(line),
+                "critical path: %zu steps over %zu spans, makespan %s\n",
+                cp.steps.size(), g.nodes.size(),
+                format_seconds(a.total_ns).c_str());
+  out += line;
+
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto c = static_cast<Category>(i);
+    const double pct =
+        a.total_ns > 0 ? 100.0 * static_cast<double>(a.of(c)) /
+                             static_cast<double>(a.total_ns)
+                       : 0.0;
+    std::snprintf(line, sizeof(line), "  %-22s %14s  %5.1f%%\n",
+                  category_name(c), format_seconds(a.of(c)).c_str(), pct);
+    out += line;
+  }
+
+  if (!a.cross_wait_by_rack.empty()) {
+    out += "cross-rack wait by destination rack:\n";
+    for (const auto& [rack, wait] : a.cross_wait_by_rack) {
+      std::snprintf(line, sizeof(line), "  rack %zu: %s%s\n", rack,
+                    format_seconds(wait).c_str(),
+                    static_cast<std::int64_t>(rack) == a.bottleneck_rack
+                        ? "  (bottleneck)"
+                        : "");
+      out += line;
+    }
+  }
+
+  // Largest wait edges: where the path actually lost time.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < cp.steps.size(); ++i) {
+    if (cp.steps[i].wait_ns > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return cp.steps[x].wait_ns > cp.steps[y].wait_ns;
+  });
+  if (order.size() > top_k) order.resize(top_k);
+  if (!order.empty()) {
+    out += "top critical wait edges:\n";
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      const CritStep& st = cp.steps[order[rank]];
+      const Span& v = g.span_of(st.node);
+      std::string where = track_label(g, v.track);
+      if (v.op >= 0) {
+        where += ", op " + std::to_string(v.op);
+        if (v.slice >= 0) where += " slice " + std::to_string(v.slice);
+      }
+      std::snprintf(line, sizeof(line), "  %zu. wait %s before %s (%s)\n",
+                    rank + 1, format_seconds(st.wait_ns).c_str(),
+                    v.name.c_str(), where.c_str());
+      out += line;
+    }
+  }
+
+  if (a.bottleneck_rack >= 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "chained-schedule headroom: >= %s (rack %lld cross-RX idle %s)\n",
+        format_seconds(a.headroom_ns).c_str(),
+        static_cast<long long>(a.bottleneck_rack),
+        format_seconds(a.bottleneck_idle_ns).c_str());
+    out += line;
+  } else {
+    out += "chained-schedule headroom: none (no critical cross-rack wait)\n";
+  }
+  return out;
+}
+
+}  // namespace rpr::obs

@@ -1,0 +1,93 @@
+// Bottleneck attribution: maps a critical path's run/wait charges onto
+// exclusive resource categories, so "why was this repair slow" has a
+// quantitative answer.
+//
+// Every nanosecond of the critical path lands in exactly one category:
+//
+//   * cross-rack port wait — gap before a cross-rack transfer made
+//     progress: its destination's RX port / rack downlink was busy with
+//     another block (the paper's §3 bottleneck);
+//   * inner-rack port wait — same, for inner-rack transfers;
+//   * GF compute          — read + combine/decode execution;
+//   * propagation/pacing  — transfer execution (bytes on the wire);
+//   * queueing            — gap before a compute/read ran (CPU or worker
+//     thread busy);
+//   * retry/straggler stall — injected stall / retry-backoff wall time,
+//     split out of the containing span's execution pro rata.
+//
+// Because the categories partition the CritStep charges and those telescope
+// (critpath.h), the six totals sum to exactly the causal makespan.
+//
+// The headroom estimate is a lower bound on what a chained (relay /
+// ECPipe-style) schedule could recover from a star-shaped one: critical-path
+// port wait can only be eliminated by moving work onto ports that are
+// otherwise idle, so headroom = min(port wait on the path, idle time of the
+// busiest cross-rack-RX rack). A chain has no critical-path port wait, so
+// its headroom is 0 — the estimate never claims recovery a schedule change
+// cannot deliver.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "obs/critpath.h"
+#include "obs/recorder.h"
+
+namespace rpr::obs {
+
+enum class Category : std::size_t {
+  kCrossPortWait = 0,
+  kInnerPortWait,
+  kGfCompute,
+  kPropagation,
+  kQueueing,
+  kStall,
+};
+
+inline constexpr std::size_t kCategoryCount = 6;
+
+[[nodiscard]] const char* category_name(Category c);
+
+struct Attribution {
+  std::int64_t total_ns = 0;  ///< == critical-path makespan
+  std::array<std::int64_t, kCategoryCount> by_category{};
+  /// Cross-rack port wait bucketed by the waiting transfer's destination
+  /// rack (needs AttributionOptions::rack_of).
+  std::map<std::size_t, std::int64_t> cross_wait_by_rack;
+  /// Destination rack with the most critical-path cross wait; -1 = none.
+  std::int64_t bottleneck_rack = -1;
+  /// Idle time of the bottleneck rack's cross-RX side over the makespan
+  /// (interval union over every cross transfer into it); 0 without one.
+  std::int64_t bottleneck_idle_ns = 0;
+  /// Lower bound (ns) a chained schedule could shave off the makespan.
+  std::int64_t headroom_ns = 0;
+
+  [[nodiscard]] std::int64_t of(Category c) const noexcept {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+};
+
+struct AttributionOptions {
+  /// Maps a recorder track (one node's row) to its rack. Optional: without
+  /// it the per-rack buckets and the headroom estimate stay empty/zero.
+  std::function<std::size_t(TrackId)> rack_of;
+};
+
+/// Attributes `cp`'s charges (categories partition the makespan exactly).
+[[nodiscard]] Attribution attribute(const CausalGraph& g,
+                                    const CriticalPath& cp,
+                                    const AttributionOptions& opts = {});
+
+/// Renders a human-readable report: per-category breakdown with
+/// percentages, per-rack cross wait, the top_k largest critical wait
+/// edges, and the chained-schedule headroom estimate.
+[[nodiscard]] std::string attribution_report(const CausalGraph& g,
+                                             const CriticalPath& cp,
+                                             const Attribution& a,
+                                             std::size_t top_k = 5);
+
+}  // namespace rpr::obs

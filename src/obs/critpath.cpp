@@ -1,0 +1,93 @@
+#include "obs/critpath.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rpr::obs {
+
+namespace {
+
+std::int64_t finish_ns(const Span& s) noexcept { return s.start_ns + s.dur_ns; }
+
+}  // namespace
+
+CausalGraph build_causal_graph(const Recorder& rec) {
+  CausalGraph g;
+  g.rec = &rec;
+
+  std::unordered_map<SpanId, std::size_t> node_of;  // span_id -> node index
+  const std::vector<Span>& spans = rec.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].span_id == 0) continue;
+    node_of.emplace(spans[i].span_id, g.nodes.size());
+    g.nodes.push_back(CausalNode{i, {}});
+  }
+  if (g.nodes.empty()) return g;
+
+  for (const Flow& f : rec.flows()) {
+    const auto from = node_of.find(f.from);
+    const auto to = node_of.find(f.to);
+    if (from == node_of.end() || to == node_of.end()) continue;
+    g.nodes[to->second].parents.push_back(from->second);
+  }
+
+  g.origin_ns = spans[g.nodes.front().span].start_ns;
+  g.end_ns = finish_ns(spans[g.nodes.front().span]);
+  for (const CausalNode& n : g.nodes) {
+    g.origin_ns = std::min(g.origin_ns, spans[n.span].start_ns);
+    g.end_ns = std::max(g.end_ns, finish_ns(spans[n.span]));
+  }
+  return g;
+}
+
+CriticalPath critical_path(const CausalGraph& g) {
+  CriticalPath cp;
+  if (g.empty()) return cp;
+  cp.makespan_ns = g.makespan_ns();
+
+  // Start from the last span to finish (ties: first recorded).
+  std::size_t cur = 0;
+  for (std::size_t i = 1; i < g.nodes.size(); ++i) {
+    if (finish_ns(g.span_of(i)) > finish_ns(g.span_of(cur))) cur = i;
+  }
+
+  // Walk back, charging run/wait with a monotonically decreasing progress
+  // time t so the charges telescope to exactly end - origin (see header).
+  // The node-count bound makes a malformed (cyclic) flow set terminate
+  // instead of looping; real engine DAGs never hit it.
+  std::int64_t t = g.end_ns;
+  for (std::size_t hops = 0; hops <= g.nodes.size(); ++hops) {
+    const Span& v = g.span_of(cur);
+    CritStep step;
+    step.node = cur;
+
+    const std::vector<std::size_t>& parents = g.nodes[cur].parents;
+    if (parents.empty()) {
+      step.run_ns = std::max<std::int64_t>(0, t - v.start_ns);
+      t = std::min(t, v.start_ns);
+      step.wait_ns = std::max<std::int64_t>(0, t - g.origin_ns);
+      t = g.origin_ns;
+      cp.steps.push_back(step);
+      break;
+    }
+    std::size_t best = parents.front();
+    for (const std::size_t p : parents) {
+      if (finish_ns(g.span_of(p)) > finish_ns(g.span_of(best))) best = p;
+    }
+    const std::int64_t pf = finish_ns(g.span_of(best));
+    // A pipelined child overlaps its parent: only charge the child its
+    // incremental tail past the parent's finish, never the overlapped part.
+    const std::int64_t floor =
+        std::max(v.start_ns, std::min(pf, t));
+    step.run_ns = std::max<std::int64_t>(0, t - floor);
+    t = std::min(t, floor);
+    step.wait_ns = std::max<std::int64_t>(0, t - pf);
+    t = std::min(t, pf);
+    cp.steps.push_back(step);
+    cur = best;
+  }
+  std::reverse(cp.steps.begin(), cp.steps.end());
+  return cp;
+}
+
+}  // namespace rpr::obs

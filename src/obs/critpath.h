@@ -1,0 +1,82 @@
+// Critical-path extraction over a recorder's causal span DAG.
+//
+// Engines that tag spans with SpanIds and record flow edges (the simulators
+// via simnet::record_spans, the testbed/TCP runtime via record_op_span)
+// leave enough structure in a Recorder to rebuild the repair DAG after the
+// fact: nodes are the id-carrying spans, edges are the recorded flows.
+// build_causal_graph() reconstructs that DAG and critical_path() walks it
+// backwards from the last span to finish, splitting the makespan into
+// per-step "run" time (the step's own execution) and "wait" time (the gap
+// between its chosen predecessor finishing and the step making progress).
+//
+// The walk is exact even for pipelined (overlapping) spans: progress time t
+// starts at the DAG's end and only ever moves backwards —
+//
+//     floor = max(v.start, min(p.finish, t))          (v.start at the root)
+//     run   = max(0, t - floor);     t = min(t, floor)
+//     wait  = max(0, t - p.finish);  t = min(t, p.finish)
+//
+// so the charges telescope and sum to exactly end - origin regardless of
+// how spans overlap. A child that streams concurrently with its parent is
+// charged only its incremental tail past the parent's finish — in a relay
+// chain A[0,100] -> B[10,110] -> C[20,120] the charges are 100/10/10, not
+// 10/10/100. attribution.h maps the steps onto resource categories (port
+// wait, GF compute, propagation, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace rpr::obs {
+
+/// One DAG node: a span (by index into Recorder::spans()) plus its causal
+/// parents (by index into CausalGraph::nodes).
+struct CausalNode {
+  std::size_t span = 0;
+  std::vector<std::size_t> parents;
+};
+
+struct CausalGraph {
+  const Recorder* rec = nullptr;
+  std::vector<CausalNode> nodes;
+  std::int64_t origin_ns = 0;  ///< earliest start among DAG spans
+  std::int64_t end_ns = 0;     ///< latest finish among DAG spans
+
+  [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+  [[nodiscard]] std::int64_t makespan_ns() const noexcept {
+    return end_ns - origin_ns;
+  }
+  [[nodiscard]] const Span& span_of(std::size_t node) const {
+    return rec->spans()[nodes[node].span];
+  }
+};
+
+/// Rebuilds the causal DAG from `rec`'s id-carrying spans and flow edges.
+/// Spans with span_id == 0 are render-only and excluded; flows whose either
+/// end was never recorded are dropped.
+[[nodiscard]] CausalGraph build_causal_graph(const Recorder& rec);
+
+/// One critical-path step: `wait_ns` elapsed after the previous step's span
+/// finished (after the origin, for the first step) before this span's
+/// charged interval, then `run_ns` of the span's own execution.
+struct CritStep {
+  std::size_t node = 0;  ///< index into CausalGraph::nodes
+  std::int64_t wait_ns = 0;
+  std::int64_t run_ns = 0;
+};
+
+struct CriticalPath {
+  std::vector<CritStep> steps;  ///< origin-to-end order
+  std::int64_t makespan_ns = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return steps.empty(); }
+};
+
+/// Extracts the critical path of `g` (empty path for an empty graph). The
+/// step charges sum to exactly g.makespan_ns().
+[[nodiscard]] CriticalPath critical_path(const CausalGraph& g);
+
+}  // namespace rpr::obs

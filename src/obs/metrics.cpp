@@ -53,6 +53,42 @@ double Histogram::max() const noexcept {
   return max_;
 }
 
+double Histogram::mean() const noexcept {
+  std::scoped_lock lock(mu_);
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q must be in [0,1]");
+  }
+  std::scoped_lock lock(mu_);
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  // Target rank in [1, count]; walk the cumulative counts to its bucket.
+  const double rank =
+      std::max(1.0, q * static_cast<double>(count_));
+  std::uint64_t cum = 0;
+  std::size_t idx = counts_.size() - 1;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= rank) {
+      idx = i;
+      break;
+    }
+  }
+  // Interpolate linearly inside the bucket. The first bucket's lower edge
+  // is the observed minimum; the overflow bucket's upper edge the maximum.
+  const double lo = idx == 0 ? min_ : bounds_[idx - 1];
+  const double hi = idx < bounds_.size() ? bounds_[idx] : max_;
+  const auto in_bucket = static_cast<double>(counts_[idx]);
+  const double before = static_cast<double>(cum) - in_bucket;
+  const double frac =
+      in_bucket <= 0.0 ? 1.0 : (rank - before) / in_bucket;
+  const double v = lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  return std::min(max_, std::max(min_, v));
+}
+
 std::vector<double> default_seconds_buckets() {
   std::vector<double> out;
   for (double b = 1e-6; b < 2000.0; b *= 4.0) out.push_back(b);
@@ -63,7 +99,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   std::scoped_lock lock(mu_);
   Entry& e = entries_[name];
   if (!e.counter) {
-    if (e.gauge || e.histogram) {
+    if (e.gauge || e.max_gauge || e.histogram) {
       throw std::invalid_argument("MetricsRegistry: " + name +
                                   " already registered with another kind");
     }
@@ -76,7 +112,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::scoped_lock lock(mu_);
   Entry& e = entries_[name];
   if (!e.gauge) {
-    if (e.counter || e.histogram) {
+    if (e.counter || e.max_gauge || e.histogram) {
       throw std::invalid_argument("MetricsRegistry: " + name +
                                   " already registered with another kind");
     }
@@ -85,12 +121,25 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   return *e.gauge;
 }
 
+MaxGauge& MetricsRegistry::max_gauge(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.max_gauge) {
+    if (e.counter || e.gauge || e.histogram) {
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another kind");
+    }
+    e.max_gauge = std::make_unique<MaxGauge>();
+  }
+  return *e.max_gauge;
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
   std::scoped_lock lock(mu_);
   Entry& e = entries_[name];
   if (!e.histogram) {
-    if (e.counter || e.gauge) {
+    if (e.counter || e.gauge || e.max_gauge) {
       throw std::invalid_argument("MetricsRegistry: " + name +
                                   " already registered with another kind");
     }
@@ -120,6 +169,13 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
   std::scoped_lock lock(mu_);
   const auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second.gauge.get();
+}
+
+const MaxGauge* MetricsRegistry::find_max_gauge(
+    const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.max_gauge.get();
 }
 
 const Histogram* MetricsRegistry::find_histogram(

@@ -54,6 +54,26 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// High-water gauge: keeps the maximum of everything observed, atomically
+/// (CAS-max), so concurrent peak tracking never loses the true maximum the
+/// way a last-write-wins Gauge can. Starts at 0 — intended for non-negative
+/// peaks (bytes in flight, queue depths).
+class MaxGauge {
+ public:
+  void observe(double v) noexcept {
+    double seen = value_.load(std::memory_order_relaxed);
+    while (v > seen && !value_.compare_exchange_weak(
+                           seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 /// Fixed-bucket histogram. Bucket i counts observations with
 /// v <= bounds[i] (first matching bucket); an implicit overflow bucket
 /// catches everything above the last bound. Bounds must be strictly
@@ -73,6 +93,12 @@ class Histogram {
   [[nodiscard]] double sum() const noexcept;
   [[nodiscard]] double min() const noexcept;  ///< +inf when empty
   [[nodiscard]] double max() const noexcept;  ///< -inf when empty
+
+  /// Arithmetic mean of the observations; NaN when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// containing bucket, clamped to the observed [min, max]; NaN when empty.
+  [[nodiscard]] double quantile(double q) const;
 
  private:
   std::vector<double> bounds_;
@@ -95,6 +121,7 @@ class MetricsRegistry {
   /// different histogram bounds) throws std::invalid_argument.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  MaxGauge& max_gauge(const std::string& name);
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_bounds);
   Histogram& histogram(const std::string& name) {
@@ -106,6 +133,7 @@ class MetricsRegistry {
 
   [[nodiscard]] const Counter* find_counter(const std::string& name) const;
   [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const MaxGauge* find_max_gauge(const std::string& name) const;
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
 
  private:
@@ -113,6 +141,7 @@ class MetricsRegistry {
     // Exactly one is set; unique_ptr keeps addresses stable across inserts.
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<MaxGauge> max_gauge;
     std::unique_ptr<Histogram> histogram;
   };
 

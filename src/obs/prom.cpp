@@ -1,0 +1,195 @@
+#include "obs/prom.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace rpr::obs {
+
+namespace {
+
+void append_value(std::string& out, double v) {
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+/// Bucket bounds are labels, not measurements: use the shortest float form
+/// ("0.1", not "0.10000000000000001") so scrapers and humans agree on them.
+void append_bound(std::string& out, double v) {
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+void append_sample(std::string& out, const std::string& name, double v) {
+  out += name;
+  out += ' ';
+  append_value(out, v);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out += ok ? ch : '_';
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& reg) {
+  std::string out;
+  for (const std::string& name : reg.names()) {
+    const std::string pname = prometheus_name(name);
+    if (const Counter* c = reg.find_counter(name); c != nullptr) {
+      out += "# TYPE " + pname + " counter\n";
+      append_sample(out, pname, static_cast<double>(c->value()));
+    } else if (const Gauge* g = reg.find_gauge(name); g != nullptr) {
+      out += "# TYPE " + pname + " gauge\n";
+      append_sample(out, pname, g->value());
+    } else if (const MaxGauge* m = reg.find_max_gauge(name); m != nullptr) {
+      out += "# TYPE " + pname + " gauge\n";
+      append_sample(out, pname, m->value());
+    } else if (const Histogram* h = reg.find_histogram(name); h != nullptr) {
+      out += "# TYPE " + pname + " histogram\n";
+      const std::vector<std::uint64_t> counts = h->bucket_counts();
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+        cum += counts[i];
+        out += pname + "_bucket{le=\"";
+        append_bound(out, h->bounds()[i]);
+        out += "\"} ";
+        append_value(out, static_cast<double>(cum));
+        out += '\n';
+      }
+      cum += counts.back();
+      out += pname + "_bucket{le=\"+Inf\"} ";
+      append_value(out, static_cast<double>(cum));
+      out += '\n';
+      append_sample(out, pname + "_sum", h->sum());
+      append_sample(out, pname + "_count", static_cast<double>(h->count()));
+    }
+  }
+  return out;
+}
+
+PromExporter::PromExporter(const MetricsRegistry& reg, Options opts)
+    : reg_(reg), opts_(opts) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("prom: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("prom: cannot bind loopback port " +
+                             std::to_string(opts_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+PromExporter::PromExporter(const MetricsRegistry& reg)
+    : PromExporter(reg, Options()) {}
+
+PromExporter::~PromExporter() { stop(); }
+
+void PromExporter::stop() {
+  const bool was_stopped = stop_.exchange(true);
+  if (!was_stopped && thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+std::string PromExporter::body() {
+  const auto now = std::chrono::steady_clock::now();
+  std::unique_lock lock(cache_mu_);
+  if (!have_cache_ ||
+      std::chrono::duration<double>(now - cached_at_).count() >=
+          opts_.refresh_s) {
+    cached_ = to_prometheus(reg_);
+    cached_at_ = now;
+    have_cache_ = true;
+  }
+  return cached_;
+}
+
+void PromExporter::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, 200);
+    if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // Drain the request line/headers (best effort; everything served is
+    // the same document, so the path is not inspected beyond the read).
+    char req[4096];
+    (void)::recv(conn, req, sizeof(req), 0);
+
+    const std::string doc = body();
+    std::string resp =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(doc.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        doc;
+    std::size_t off = 0;
+    while (off < resp.size()) {
+      const ssize_t n =
+          ::send(conn, resp.data() + off, resp.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace rpr::obs

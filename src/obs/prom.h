@@ -1,0 +1,73 @@
+// Prometheus text-format export for the metrics registry, plus a tiny
+// embedded HTTP listener so a live run can be scraped while it executes.
+//
+// to_prometheus() renders every instrument in exposition format v0.0.4:
+// counters and gauges as single samples, histograms as the cumulative
+// `_bucket{le="..."}` series plus `_sum` / `_count`. Instrument names are
+// sanitized to the Prometheus charset ([a-zA-Z0-9_:]; '.' and every other
+// byte become '_').
+//
+// PromExporter binds a loopback TCP socket (port 0 = ephemeral; read the
+// bound port back with port()) and serves GET /metrics from one background
+// thread. The rendered body is cached and re-rendered at most once per
+// refresh_s, so scrapes cost the run almost nothing. The listener uses raw
+// POSIX sockets on purpose: obs stays independent of the rpr_net transport
+// layer. stop() (or destruction) shuts the thread down cleanly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace rpr::obs {
+
+/// Renders `reg` in Prometheus text exposition format (v0.0.4).
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& reg);
+
+/// Sanitizes one instrument name to the Prometheus metric-name charset.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+class PromExporter {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = pick an ephemeral loopback port
+    double refresh_s = 0.2;  ///< min age before the cached body re-renders
+  };
+
+  /// Binds and starts serving immediately; throws std::runtime_error when
+  /// the socket cannot be bound. `reg` must outlive the exporter.
+  PromExporter(const MetricsRegistry& reg, Options opts);
+  explicit PromExporter(const MetricsRegistry& reg);
+  ~PromExporter();
+
+  PromExporter(const PromExporter&) = delete;
+  PromExporter& operator=(const PromExporter&) = delete;
+
+  /// The bound TCP port (the ephemeral one when Options::port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops the listener thread and closes the socket. Idempotent.
+  void stop();
+
+ private:
+  void serve();
+  [[nodiscard]] std::string body();
+
+  const MetricsRegistry& reg_;
+  Options opts_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::mutex cache_mu_;
+  std::string cached_;
+  std::chrono::steady_clock::time_point cached_at_{};
+  bool have_cache_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rpr::obs

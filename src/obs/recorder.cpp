@@ -17,6 +17,18 @@ void Recorder::add_sample(Sample s) {
   samples_.push_back(std::move(s));
 }
 
+void Recorder::add_flow(SpanId from, SpanId to) {
+  std::scoped_lock lock(mu_);
+  flows_.push_back(Flow{from, to});
+}
+
+SpanId Recorder::reserve_span_ids(std::uint64_t n) {
+  std::scoped_lock lock(mu_);
+  const SpanId base = next_span_id_;
+  next_span_id_ += n;
+  return base;
+}
+
 void Recorder::set_track_name(TrackId track, std::string name) {
   std::scoped_lock lock(mu_);
   track_names_[track] = std::move(name);

@@ -33,6 +33,24 @@ class MetricsRegistry;
 
 using TrackId = std::uint64_t;
 
+/// Stable identity of a span inside one recorder; 0 = unassigned (the span
+/// is render-only and takes no part in the causal DAG). Producers obtain
+/// contiguous id blocks from Recorder::reserve_span_ids so ids stay unique
+/// even when several plan executions (e.g. resilient re-plans) share one
+/// recorder.
+using SpanId = std::uint64_t;
+
+/// Coarse resource class of a span, used by the critical-path analyzer to
+/// attribute run time and waiting time (critpath.h / attribution.h).
+enum class SpanKind {
+  kOther,          ///< unclassified (render-only spans, local moves)
+  kRead,           ///< source-block read
+  kTransferInner,  ///< inner-rack transfer (node ports)
+  kTransferCross,  ///< cross-rack transfer (node + rack uplink ports)
+  kCompute,        ///< GF combine / decode work
+  kStall,          ///< retry backoff / straggler stall
+};
+
 struct Span {
   std::string name;
   /// Phase/category tag ("read" | "inner" | "cross" | "decode" | ...);
@@ -44,6 +62,23 @@ struct Span {
   std::uint64_t bytes = 0;
   /// Extra numeric arguments, rendered into the trace args.
   std::vector<std::pair<std::string, double>> args;
+
+  // -- causal identity (all optional; defaults keep a span render-only) --
+  SpanId span_id = 0;       ///< DAG identity; 0 = not part of the DAG
+  std::int64_t op = -1;     ///< plan op the span executes; -1 = none
+  std::int64_t slice = -1;  ///< slice index; -1 = whole value
+  SpanKind kind = SpanKind::kOther;
+  /// Retry/straggler stall wall time contained inside [start, start+dur);
+  /// attribution charges it to the stall category instead of propagation.
+  std::int64_t stall_ns = 0;
+};
+
+/// A causal edge between two spans: `to` consumed `from`'s output. Emitted
+/// as Chrome-trace flow arrows so Perfetto draws the slice chains, and used
+/// to reconstruct the repair DAG for critical-path analysis.
+struct Flow {
+  SpanId from = 0;
+  SpanId to = 0;
 };
 
 struct Event {
@@ -63,11 +98,20 @@ class Recorder {
   void add_span(Span s);
   void add_event(Event e);
   void add_sample(Sample s);
+  /// Records a causal edge between two spans (by SpanId). Either end may
+  /// be recorded after the flow; the sinks resolve ids at export time.
+  void add_flow(SpanId from, SpanId to);
+  /// Reserves a contiguous block of `n` span ids and returns the first.
+  /// Ids start at 1, so `base + index` is always a valid (nonzero) id.
+  [[nodiscard]] SpanId reserve_span_ids(std::uint64_t n);
   /// Names a track's row in the exported trace (e.g. "rack 0 / node 3").
   void set_track_name(TrackId track, std::string name);
 
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
+  }
+  [[nodiscard]] const std::vector<Flow>& flows() const noexcept {
+    return flows_;
   }
   [[nodiscard]] const std::vector<Event>& events() const noexcept {
     return events_;
@@ -83,9 +127,11 @@ class Recorder {
  private:
   mutable std::mutex mu_;
   std::vector<Span> spans_;
+  std::vector<Flow> flows_;
   std::vector<Event> events_;
   std::vector<Sample> samples_;
   std::map<TrackId, std::string> track_names_;
+  SpanId next_span_id_ = 1;
 };
 
 /// The bundle every execution layer accepts: either pointer may be null,

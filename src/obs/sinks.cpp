@@ -1,9 +1,11 @@
 #include "obs/sinks.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace rpr::obs {
 
@@ -28,9 +30,36 @@ std::string json_number(double v) {
 
 void append_span_args(std::ostringstream& out, const Span& s) {
   out << "\"bytes\":" << s.bytes;
+  if (s.op >= 0) out << ",\"op\":" << s.op;
+  if (s.slice >= 0) out << ",\"slice\":" << s.slice;
+  if (s.stall_ns > 0) out << ",\"stall_ns\":" << s.stall_ns;
   for (const auto& [key, value] : s.args) {
     out << ",\"" << json_escape(key) << "\":" << json_number(value);
   }
+}
+
+const char* kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRead: return "read";
+    case SpanKind::kTransferInner: return "transfer_inner";
+    case SpanKind::kTransferCross: return "transfer_cross";
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kStall: return "stall";
+    case SpanKind::kOther: break;
+  }
+  return "other";
+}
+
+/// Span indices sorted by start time (stable, so same-timestamp records
+/// keep insertion order). Perfetto's importer wants monotonic timestamps.
+std::vector<std::size_t> spans_by_time(const Recorder& rec) {
+  std::vector<std::size_t> order(rec.spans().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rec.spans()[a].start_ns < rec.spans()[b].start_ns;
+                   });
+  return order;
 }
 
 }  // namespace
@@ -64,7 +93,10 @@ std::string to_chrome_trace(const Recorder& rec) {
         << json_escape(name) << "\"}}";
   }
 
-  for (const Span& s : rec.spans()) {
+  // Spans are emitted in timestamp order (producers append out of order:
+  // the simulators by task id, the real engines by completion).
+  for (const std::size_t idx : spans_by_time(rec)) {
+    const Span& s = rec.spans()[idx];
     if (s.dur_ns == 0) continue;  // zero-length: invisible anyway
     sep();
     out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.track
@@ -76,6 +108,35 @@ std::string to_chrome_trace(const Recorder& rec) {
     out << ",\"args\":{";
     append_span_args(out, s);
     out << "}}";
+  }
+
+  // Causal edges become flow arrows: an "s" (start) event at the source
+  // span's end, an "f" (finish, bp:"e") at the destination's start, tied
+  // by a shared flow id. Perfetto then draws the slice/op chains.
+  if (!rec.flows().empty()) {
+    std::unordered_map<SpanId, std::size_t> span_of;
+    span_of.reserve(rec.spans().size());
+    for (std::size_t i = 0; i < rec.spans().size(); ++i) {
+      const SpanId id = rec.spans()[i].span_id;
+      if (id != 0) span_of.emplace(id, i);
+    }
+    std::uint64_t flow_id = 0;
+    for (const Flow& f : rec.flows()) {
+      const auto from = span_of.find(f.from);
+      const auto to = span_of.find(f.to);
+      ++flow_id;
+      if (from == span_of.end() || to == span_of.end()) continue;
+      const Span& a = rec.spans()[from->second];
+      const Span& b = rec.spans()[to->second];
+      sep();
+      out << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << a.track
+          << ",\"ts\":" << (a.start_ns + a.dur_ns) / 1000
+          << ",\"id\":" << flow_id << ",\"name\":\"dep\",\"cat\":\"flow\"}";
+      sep();
+      out << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" << b.track
+          << ",\"ts\":" << b.start_ns / 1000 << ",\"id\":" << flow_id
+          << ",\"name\":\"dep\",\"cat\":\"flow\"}";
+    }
   }
 
   for (const Event& e : rec.events()) {
@@ -106,9 +167,18 @@ std::string to_jsonl(const Recorder& rec) {
     out << "{\"type\":\"span\",\"name\":\"" << json_escape(s.name)
         << "\",\"category\":\"" << json_escape(s.category)
         << "\",\"track\":" << s.track << ",\"start_ns\":" << s.start_ns
-        << ",\"dur_ns\":" << s.dur_ns << ",";
+        << ",\"dur_ns\":" << s.dur_ns;
+    if (s.span_id != 0) {
+      out << ",\"span_id\":" << s.span_id << ",\"kind\":\""
+          << kind_name(s.kind) << "\"";
+    }
+    out << ",";
     append_span_args(out, s);
     out << "}\n";
+  }
+  for (const Flow& f : rec.flows()) {
+    out << "{\"type\":\"flow\",\"from\":" << f.from << ",\"to\":" << f.to
+        << "}\n";
   }
   for (const Event& e : rec.events()) {
     out << "{\"type\":\"event\",\"name\":\"" << json_escape(e.name)
@@ -139,6 +209,12 @@ std::string to_json(const MetricsRegistry& reg) {
       if (!first_g) gauges << ",";
       first_g = false;
       gauges << "\"" << json_escape(name) << "\":" << json_number(g->value());
+    } else if (const MaxGauge* m = reg.find_max_gauge(name)) {
+      // Max gauges are gauges to every consumer; the CAS-max semantics
+      // only matter at write time.
+      if (!first_g) gauges << ",";
+      first_g = false;
+      gauges << "\"" << json_escape(name) << "\":" << json_number(m->value());
     } else if (const Histogram* h = reg.find_histogram(name)) {
       if (!first_h) histograms << ",";
       first_h = false;
@@ -157,7 +233,11 @@ std::string to_json(const MetricsRegistry& reg) {
       histograms << "],\"count\":" << h->count()
                  << ",\"sum\":" << json_number(h->sum())
                  << ",\"min\":" << json_number(h->min())
-                 << ",\"max\":" << json_number(h->max()) << "}";
+                 << ",\"max\":" << json_number(h->max())
+                 << ",\"mean\":" << json_number(h->mean())
+                 << ",\"p50\":" << json_number(h->quantile(0.50))
+                 << ",\"p95\":" << json_number(h->quantile(0.95))
+                 << ",\"p99\":" << json_number(h->quantile(0.99)) << "}";
     }
   }
   return "{\"counters\":{" + counters.str() + "},\"gauges\":{" +
@@ -179,6 +259,9 @@ std::string to_csv(const MetricsRegistry& reg) {
     } else if (const Gauge* g = reg.find_gauge(name)) {
       out << "gauge," << q(name) << ",value," << json_number(g->value())
           << "\n";
+    } else if (const MaxGauge* m = reg.find_max_gauge(name)) {
+      out << "max_gauge," << q(name) << ",value," << json_number(m->value())
+          << "\n";
     } else if (const Histogram* h = reg.find_histogram(name)) {
       const auto& bounds = h->bounds();
       const auto counts = h->bucket_counts();
@@ -199,6 +282,14 @@ std::string to_csv(const MetricsRegistry& reg) {
             << "\n";
         out << "histogram," << q(name) << ",max," << json_number(h->max())
             << "\n";
+        out << "histogram," << q(name) << ",mean," << json_number(h->mean())
+            << "\n";
+        out << "histogram," << q(name) << ",p50,"
+            << json_number(h->quantile(0.50)) << "\n";
+        out << "histogram," << q(name) << ",p95,"
+            << json_number(h->quantile(0.95)) << "\n";
+        out << "histogram," << q(name) << ",p99,"
+            << json_number(h->quantile(0.99)) << "\n";
       }
     }
   }

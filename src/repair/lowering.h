@@ -77,6 +77,15 @@ LoweredPlan lower_plan(Network& net, const RepairPlan& plan,
               std::move(deps), op.label));
           break;
       }
+      // Stamp the task with its plan identity where the network supports
+      // it, so the telemetry layer can reconstruct per-op causality.
+      if constexpr (requires {
+                      net.tag_task(mine.back(), std::int64_t{},
+                                   std::int64_t{});
+                    }) {
+        net.tag_task(mine.back(), static_cast<std::int64_t>(id),
+                     nslices == 1 ? -1 : static_cast<std::int64_t>(s));
+      }
     }
   }
   return lowered;

@@ -59,7 +59,7 @@ class SliceMetrics {
     combine_ = &reg->histogram(p + ".slice.combine_latency_s");
     slices_ = &reg->counter(p + ".slice.count");
     bytes_ = &reg->counter(p + ".slice.bytes");
-    peak_ = &reg->gauge(p + ".bytes_in_flight_peak");
+    peak_ = &reg->max_gauge(p + ".bytes_in_flight_peak");
   }
 
   void transfer_slice(bool cross_rack, double seconds, std::size_t len) {
@@ -81,13 +81,7 @@ class SliceMetrics {
     if (peak_ == nullptr) return;
     const std::uint64_t now =
         in_flight_.fetch_add(len, std::memory_order_relaxed) + len;
-    std::uint64_t seen = peak_bytes_.load(std::memory_order_relaxed);
-    while (now > seen &&
-           !peak_bytes_.compare_exchange_weak(seen, now,
-                                              std::memory_order_relaxed)) {
-    }
-    peak_->set(static_cast<double>(
-        peak_bytes_.load(std::memory_order_relaxed)));
+    peak_->observe(static_cast<double>(now));
   }
   void end_flight(std::size_t len) {
     if (peak_ == nullptr) return;
@@ -100,9 +94,8 @@ class SliceMetrics {
   obs::Histogram* combine_ = nullptr;
   obs::Counter* slices_ = nullptr;
   obs::Counter* bytes_ = nullptr;
-  obs::Gauge* peak_ = nullptr;
+  obs::MaxGauge* peak_ = nullptr;
   std::atomic<std::uint64_t> in_flight_{0};
-  std::atomic<std::uint64_t> peak_bytes_{0};
 };
 
 /// Shared per-run execution state (see file comment).

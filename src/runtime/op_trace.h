@@ -33,12 +33,20 @@ inline void name_node_tracks(const topology::Cluster& cluster,
 /// Records one executed plan op as a span. `bytes` is the payload size the
 /// op touched (block size for transfers, total region-pass bytes for
 /// combines); throughput is derived from it and the measured duration.
+///
+/// `span_base` is the id block the engine reserved for this plan
+/// (reserve_span_ids(plan.ops.size()); 0 = no DAG identity): the op's span
+/// gets id `span_base + id` and a causal flow edge from each of its inputs,
+/// so Perfetto draws the op chains and the critical-path analyzer can
+/// rebuild the repair DAG. `stall_ns` is retry/straggler stall wall time
+/// the span contains; attribution charges it to the stall category.
 inline void record_op_span(obs::Recorder* rec, const repair::PlanOp& op,
                            repair::OpId id, const topology::Cluster& cluster,
                            TraceClock::time_point run_start,
                            TraceClock::time_point start,
                            TraceClock::time_point finish,
-                           std::uint64_t bytes) {
+                           std::uint64_t bytes, obs::SpanId span_base = 0,
+                           std::int64_t stall_ns = 0) {
   if (rec == nullptr) return;
   const bool is_transfer =
       op.kind == repair::OpKind::kSend && op.from != op.node;
@@ -70,7 +78,22 @@ inline void record_op_span(obs::Recorder* rec, const repair::PlanOp& op,
       std::chrono::duration_cast<std::chrono::nanoseconds>(finish - start)
           .count();
   s.bytes = bytes;
-  s.args.emplace_back("op", static_cast<double>(id));
+  s.op = static_cast<std::int64_t>(id);
+  s.stall_ns = stall_ns;
+  switch (op.kind) {
+    case repair::OpKind::kRead:
+      s.kind = obs::SpanKind::kRead;
+      break;
+    case repair::OpKind::kSend:
+      s.kind = !is_transfer ? obs::SpanKind::kOther
+               : cross      ? obs::SpanKind::kTransferCross
+                            : obs::SpanKind::kTransferInner;
+      break;
+    case repair::OpKind::kCombine:
+      s.kind = obs::SpanKind::kCompute;
+      break;
+  }
+  if (span_base != 0) s.span_id = span_base + id;
   if (bytes > 0 && s.dur_ns > 0) {
     const double mbps = static_cast<double>(bytes) /
                         (static_cast<double>(s.dur_ns) / 1e9) / 1e6;
@@ -79,6 +102,11 @@ inline void record_op_span(obs::Recorder* rec, const repair::PlanOp& op,
         mbps);
   }
   rec->add_span(std::move(s));
+  if (span_base != 0) {
+    for (const repair::OpId in : op.inputs) {
+      rec->add_flow(span_base + in, span_base + id);
+    }
+  }
 }
 
 }  // namespace rpr::runtime::detail

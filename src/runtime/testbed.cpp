@@ -145,6 +145,11 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
   };
 
   detail::name_node_tracks(cluster_, params_.recorder);
+  // One DAG span id per plan op (0 = tracing disabled, no identity).
+  const obs::SpanId span_base =
+      params_.recorder == nullptr
+          ? 0
+          : params_.recorder->reserve_span_ids(plan.ops.size());
   const auto start = detail::TraceClock::now();
 
   auto run_op = [&](OpId id) {
@@ -153,6 +158,7 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
         op.kind == OpKind::kSend ? op.from : op.node;
     auto op_start = detail::TraceClock::now();
     std::uint64_t op_bytes = 0;
+    double op_stall_s = 0.0;  // straggler stalls + retry backoffs (wall)
     switch (op.kind) {
       case OpKind::kRead: {
         if (is_dead(self)) {
@@ -265,10 +271,12 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
                                     params_.retry.op_deadline_s));
               std::this_thread::sleep_for(
                   std::chrono::duration<double>(stall_s));
+              op_stall_s += stall_s;
               if (attempt + 1 < params_.retry.max_attempts) {
                 ++retries;
                 std::this_thread::sleep_for(std::chrono::duration<double>(
                     params_.retry.backoff_s(attempt)));
+                op_stall_s += params_.retry.backoff_s(attempt);
               }
               continue;
             }
@@ -329,10 +337,12 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
                                   params_.retry.op_deadline_s));
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(stall_s));
+            op_stall_s += stall_s;
             if (attempt + 1 < params_.retry.max_attempts) {
               ++retries;
               std::this_thread::sleep_for(std::chrono::duration<double>(
                   params_.retry.backoff_s(attempt)));
+              op_stall_s += params_.retry.backoff_s(attempt);
             }
             continue;
           }
@@ -456,7 +466,9 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
       }
     }
     detail::record_op_span(params_.recorder, op, id, cluster_, start,
-                           op_start, detail::TraceClock::now(), op_bytes);
+                           op_start, detail::TraceClock::now(), op_bytes,
+                           span_base,
+                           static_cast<std::int64_t>(op_stall_s * 1e9));
   };
 
   std::vector<std::thread> workers;

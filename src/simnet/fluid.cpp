@@ -65,6 +65,14 @@ TaskId FluidNetwork::add_compute(NodeId at, SimTime duration,
   return add_task(std::move(t));
 }
 
+void FluidNetwork::tag_task(TaskId id, std::int64_t op, std::int64_t slice) {
+  if (id >= tasks_.size()) {
+    throw std::invalid_argument("tag_task: unknown task");
+  }
+  tasks_[id].op = op;
+  tasks_[id].slice = slice;
+}
+
 SimTime FluidNetwork::decode_duration(std::uint64_t bytes,
                                       bool with_matrix) const {
   if (!params_.charge_compute) return 0;
@@ -185,6 +193,10 @@ RunResult FluidNetwork::run() {
     st.kind = t.kind;
     st.label = t.label;
     st.node = t.to;
+    st.from = t.from;
+    st.op = t.op;
+    st.slice = t.slice;
+    st.deps = t.deps;
     st.ready = static_cast<SimTime>(now * 1e9);
     st.start = st.ready;
     if (t.kind == TaskKind::kTransfer) {

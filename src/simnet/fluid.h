@@ -41,6 +41,9 @@ class FluidNetwork {
                       std::string label = {});
   TaskId add_compute(topology::NodeId at, util::SimTime duration,
                      std::vector<TaskId> deps, std::string label = {});
+  /// Stamps a task with the plan op/slice it was lowered from (see
+  /// SimNetwork::tag_task).
+  void tag_task(TaskId id, std::int64_t op, std::int64_t slice);
   [[nodiscard]] util::SimTime decode_duration(std::uint64_t bytes,
                                               bool with_matrix) const;
 
@@ -58,6 +61,8 @@ class FluidNetwork {
     double remaining = 0;  // bytes (transfers) or cpu-seconds (computes)
     std::vector<TaskId> deps;
     std::string label;
+    std::int64_t op = -1;
+    std::int64_t slice = -1;
     std::size_t unmet_deps = 0;
     std::vector<TaskId> dependents;
   };

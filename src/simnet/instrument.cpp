@@ -93,6 +93,9 @@ void record_spans(const RunResult& result, const topology::Cluster& cluster,
     rec.set_track_name(n, "rack " + std::to_string(cluster.rack_of(n)) +
                               " / node " + std::to_string(n));
   }
+  // One id per task, from a contiguous block so ids stay unique when
+  // several runs (e.g. resilient re-plans) share the recorder.
+  const obs::SpanId base = rec.reserve_span_ids(result.tasks.size());
   for (std::size_t id = 0; id < result.tasks.size(); ++id) {
     const TaskStats& t = result.tasks[id];
     obs::Span s;
@@ -102,11 +105,23 @@ void record_spans(const RunResult& result, const topology::Cluster& cluster,
     s.start_ns = t.start;
     s.dur_ns = t.finish - t.start;
     s.bytes = t.bytes;
+    s.span_id = base + id;
+    s.op = t.op;
+    s.slice = t.slice;
+    if (t.kind == TaskKind::kTransfer) {
+      s.kind = t.from == t.node ? obs::SpanKind::kOther
+               : t.cross_rack  ? obs::SpanKind::kTransferCross
+                               : obs::SpanKind::kTransferInner;
+    } else {
+      s.kind = phase_of(t) == Phase::kRead ? obs::SpanKind::kRead
+                                           : obs::SpanKind::kCompute;
+    }
     s.args.emplace_back("task", static_cast<double>(id));
     if (t.start > t.ready) {
       s.args.emplace_back("queue_wait_s", util::to_sec(t.start - t.ready));
     }
     rec.add_span(std::move(s));
+    for (const TaskId d : t.deps) rec.add_flow(base + d, base + id);
   }
 }
 

@@ -65,6 +65,14 @@ TaskId SimNetwork::add_compute(NodeId at, SimTime duration,
   return add_task(std::move(t));
 }
 
+void SimNetwork::tag_task(TaskId id, std::int64_t op, std::int64_t slice) {
+  if (id >= tasks_.size()) {
+    throw std::invalid_argument("tag_task: unknown task");
+  }
+  tasks_[id].op = op;
+  tasks_[id].slice = slice;
+}
+
 void SimNetwork::slow_node(NodeId node, double factor) {
   if (node >= cluster_.total_nodes()) {
     throw std::invalid_argument("slow_node: node out of range");
@@ -101,6 +109,13 @@ RunResult SimNetwork::run() {
   result.tasks.resize(tasks_.size());
   result.rack_upload_bytes.assign(cluster_.racks(), 0);
   result.rack_download_bytes.assign(cluster_.racks(), 0);
+  // Static identity is copied up front (timing fields are filled as tasks
+  // are scheduled below).
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    result.tasks[id].op = tasks_[id].op;
+    result.tasks[id].slice = tasks_[id].slice;
+    result.tasks[id].deps = tasks_[id].deps;
+  }
 
   struct Pending {
     SimTime ready;

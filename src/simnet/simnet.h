@@ -51,6 +51,13 @@ struct TaskStats {
   util::SimTime finish = 0;  ///< done
   bool cross_rack = false;
   std::uint64_t bytes = 0;
+  /// Plan-op / slice identity stamped by the lowering (tag_task); -1 when
+  /// the task was submitted directly rather than lowered from a plan.
+  std::int64_t op = -1;
+  std::int64_t slice = -1;
+  /// The task ids this task waited on — the causal edges the instrument
+  /// layer turns into trace flow arrows and the critical-path DAG.
+  std::vector<TaskId> deps;
 };
 
 struct RunResult {
@@ -85,6 +92,11 @@ class SimNetwork {
   [[nodiscard]] util::SimTime decode_duration(std::uint64_t bytes,
                                               bool with_matrix) const;
 
+  /// Stamps a task with the plan op (and slice) it was lowered from, so
+  /// post-run telemetry can reconstruct per-op causality. slice = -1 means
+  /// whole-value.
+  void tag_task(TaskId id, std::int64_t op, std::int64_t slice);
+
   /// Straggler mode: every transfer departing `node` takes `factor` times
   /// longer (a degraded NIC or flapping TOR port). factor must be >= 1.
   void slow_node(topology::NodeId node, double factor);
@@ -111,6 +123,8 @@ class SimNetwork {
     util::SimTime duration = 0;  // computes only
     std::vector<TaskId> deps;
     std::string label;
+    std::int64_t op = -1;
+    std::int64_t slice = -1;
     std::size_t unmet_deps = 0;
     std::vector<TaskId> dependents;
   };

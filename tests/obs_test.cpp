@@ -7,6 +7,7 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -41,6 +42,36 @@ TEST(Gauge, LastWriteWins) {
   EXPECT_DOUBLE_EQ(reg.gauge("g").value(), -2.0);
 }
 
+TEST(MaxGauge, KeepsMaximumUnderConcurrency) {
+  MetricsRegistry reg;
+  auto& m = reg.max_gauge("peak");
+  EXPECT_DOUBLE_EQ(m.value(), 0.0);
+  m.observe(3.0);
+  m.observe(1.0);  // lower observation never regresses the peak
+  EXPECT_DOUBLE_EQ(m.value(), 3.0);
+
+  // Hammer from several threads; the final value must be the true max.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&m, t] {
+      for (int i = 0; i < 10000; ++i) {
+        m.observe(static_cast<double>(t * 10000 + i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(m.value(), 39999.0);
+}
+
+TEST(MaxGauge, RegistryKindIsDistinct) {
+  MetricsRegistry reg;
+  reg.max_gauge("peak");
+  EXPECT_THROW(reg.gauge("peak"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("peak"), std::invalid_argument);
+  EXPECT_NE(reg.find_max_gauge("peak"), nullptr);
+  EXPECT_EQ(reg.find_gauge("peak"), nullptr);
+}
+
 TEST(Histogram, RejectsBadBounds) {
   EXPECT_THROW(Histogram({}), std::invalid_argument);
   EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
@@ -71,6 +102,32 @@ TEST(Histogram, EmptyHasInfiniteMinAndNegativeInfiniteMax) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_TRUE(std::isinf(h.min()) && h.min() > 0);
   EXPECT_TRUE(std::isinf(h.max()) && h.max() < 0);
+}
+
+TEST(Histogram, MeanAndQuantiles) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+
+  for (int i = 0; i < 90; ++i) h.observe(0.5);  // bucket 0
+  for (int i = 0; i < 10; ++i) h.observe(50.0); // bucket 2
+  EXPECT_DOUBLE_EQ(h.mean(), (90 * 0.5 + 10 * 50.0) / 100.0);
+
+  // p50 lands inside bucket 0, so the estimate is clamped to >= min and
+  // stays at or below the bucket bound.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 1.0);
+  // p95 lands in bucket 2 (bounds 10..100).
+  const double p95 = h.quantile(0.95);
+  EXPECT_GE(p95, 10.0);
+  EXPECT_LE(p95, 50.0);  // clamped to the observed max
+  // Extremes clamp to the observed range.
+  EXPECT_GE(h.quantile(0.0), 0.5);
+  EXPECT_LT(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+  EXPECT_THROW((void)h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)h.quantile(1.1), std::invalid_argument);
 }
 
 TEST(MetricsRegistry, KindMismatchThrows) {
@@ -135,22 +192,31 @@ TEST(Sinks, MetricsJsonAndCsvCoverEveryMetric) {
   MetricsRegistry reg;
   reg.counter("c").add(7);
   reg.gauge("g").set(2.5);
+  reg.max_gauge("peak").observe(9.0);
   reg.histogram("h", {1.0, 2.0}).observe(1.5);
   const std::string json = rpr::obs::to_json(reg);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
   for (const char* key : {"\"counters\"", "\"gauges\"", "\"histograms\"",
                           "\"c\"", "\"g\"", "\"h\"", "\"bounds\"",
-                          "\"counts\""}) {
+                          "\"counts\"", "\"peak\"", "\"mean\"", "\"p50\"",
+                          "\"p95\"", "\"p99\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+  // The max gauge exports as a plain gauge value.
+  EXPECT_NE(json.find("\"peak\":9"), std::string::npos);
   const std::string csv = rpr::obs::to_csv(reg);
   EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
   EXPECT_NE(csv.find("counter,\"c\",value,7"), std::string::npos);
   EXPECT_NE(csv.find("gauge,\"g\",value,2.5"), std::string::npos);
+  EXPECT_NE(csv.find("max_gauge,\"peak\",value,9"), std::string::npos);
   EXPECT_NE(csv.find("histogram,\"h\",le=1,0"), std::string::npos);
   EXPECT_NE(csv.find("histogram,\"h\",le=2,1"), std::string::npos);
   EXPECT_NE(csv.find("histogram,\"h\",le=+inf,0"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,\"h\",mean,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,\"h\",p50,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,\"h\",p95,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,\"h\",p99,1.5"), std::string::npos);
 }
 
 TEST(Sinks, ChromeTraceNamesTracksAndSkipsZeroDurationSlices) {

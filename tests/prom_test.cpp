@@ -1,0 +1,177 @@
+// Prometheus text-format rendering and live HTTP exporter tests.
+#include "obs/prom.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_runtime.h"
+#include "repair/planner.h"
+#include "rs/rs_code.h"
+#include "runtime/region_net.h"
+#include "topology/placement.h"
+#include "util/rng.h"
+
+namespace {
+
+using rpr::obs::MetricsRegistry;
+using rpr::obs::PromExporter;
+using rpr::obs::prometheus_name;
+using rpr::obs::to_prometheus;
+
+TEST(PromFormat, SanitizesNames) {
+  EXPECT_EQ(prometheus_name("tcp.slice.count"), "tcp_slice_count");
+  EXPECT_EQ(prometheus_name("sim.rack.0.upload_bytes"),
+            "sim_rack_0_upload_bytes");
+  EXPECT_EQ(prometheus_name("ok_name:sub"), "ok_name:sub");
+  // A leading digit is not a valid metric-name start.
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+}
+
+TEST(PromFormat, RendersEveryInstrumentKind) {
+  MetricsRegistry reg;
+  reg.counter("tcp.slice.count").add(42);
+  reg.gauge("tcp.wall_time_s").set(1.25);
+  reg.max_gauge("tcp.bytes_in_flight_peak").observe(4096.0);
+  auto& h = reg.histogram("tcp.slice.cross_latency_s", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE tcp_slice_count counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcp_slice_count 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tcp_wall_time_s gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("tcp_wall_time_s 1.25\n"), std::string::npos);
+  EXPECT_NE(text.find("tcp_bytes_in_flight_peak 4096\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tcp_slice_cross_latency_s histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("tcp_slice_cross_latency_s_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcp_slice_cross_latency_s_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcp_slice_cross_latency_s_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcp_slice_cross_latency_s_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcp_slice_cross_latency_s_sum"), std::string::npos);
+}
+
+/// Minimal loopback HTTP GET; returns the full response (headers + body).
+std::string http_get(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const char req[] = "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, req, sizeof(req) - 1, 0);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(PromExporterTest, ServesRegistryOverHttp) {
+  MetricsRegistry reg;
+  reg.counter("demo.requests").add(3);
+  PromExporter::Options opts;
+  opts.port = 0;  // ephemeral
+  PromExporter exporter(reg, opts);
+  ASSERT_NE(exporter.port(), 0);
+
+  const std::string resp = http_get(exporter.port());
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(resp.find("# TYPE demo_requests counter"), std::string::npos);
+  EXPECT_NE(resp.find("demo_requests 3"), std::string::npos);
+  exporter.stop();
+  // stop() is idempotent and the destructor tolerates a stopped exporter.
+  exporter.stop();
+}
+
+// End-to-end: scrape the endpoint *while* a sliced TCP repair executes, and
+// again after it finishes — the snapshot must always be well-formed and the
+// final one must carry the runtime's slice metrics.
+TEST(PromExporterTest, ScrapesDuringSlicedTcpRepair) {
+  using namespace rpr;
+  const rs::CodeConfig cfg{6, 3};
+  const rs::RSCode code(cfg);
+  const auto placed =
+      topology::make_placed_stripe(cfg, topology::PlacementPolicy::kRpr);
+  repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 1 << 20;
+  problem.failed = {0};
+  problem.choose_default_replacements();
+  const auto planned =
+      repair::make_planner(repair::Scheme::kRpr)->plan(problem);
+
+  util::Xoshiro256 rng(5);
+  std::vector<rs::Block> stripe(cfg.total());
+  for (std::size_t b = 0; b < cfg.n; ++b) {
+    stripe[b].resize(problem.block_size);
+    for (auto& byte : stripe[b]) byte = static_cast<std::uint8_t>(rng());
+  }
+  code.encode_stripe(stripe);
+
+  obs::MetricsRegistry reg;
+  PromExporter::Options opts;
+  opts.port = 0;
+  opts.refresh_s = 0.0;  // always render fresh
+  PromExporter exporter(reg, opts);
+
+  net::TcpRuntimeParams tp;
+  tp.net = runtime::RegionNet::uniform(placed.cluster.racks(),
+                                       util::Bandwidth::gbps(1.0),
+                                       util::Bandwidth::gbps(0.5));
+  tp.time_scale = 16.0;
+  tp.slice_size = 1 << 16;
+  tp.metrics = &reg;
+  net::TcpRuntime rt(placed.cluster, tp);
+
+  std::thread repair([&] {
+    (void)rt.execute(planned.plan, planned.outputs, stripe);
+  });
+  // Scrape concurrently with the repair; every snapshot must parse.
+  std::size_t scrapes = 0;
+  while (scrapes < 5) {
+    const std::string resp = http_get(exporter.port());
+    ASSERT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+    ++scrapes;
+  }
+  repair.join();
+
+  const std::string final_resp = http_get(exporter.port());
+  EXPECT_NE(final_resp.find("# TYPE tcp_slice_count counter"),
+            std::string::npos);
+  EXPECT_NE(final_resp.find("tcp_slice_bytes"), std::string::npos);
+  EXPECT_NE(final_resp.find("tcp_bytes_in_flight_peak"), std::string::npos);
+  EXPECT_NE(final_resp.find("tcp_slice_cross_latency_s_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -6,6 +6,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/recorder.h"
+#include "obs/sinks.h"
+
 using rpr::simnet::SimNetwork;
 using rpr::topology::Cluster;
 using rpr::topology::NetworkParams;
@@ -50,6 +53,69 @@ TEST(TraceExport, EscapesQuotesInLabels) {
     if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) ++quotes;
   }
   EXPECT_EQ(quotes % 2, 0u);
+}
+
+// The obs sink must emit X slices in timestamp order even when producers
+// append out of order (real engines append by completion, simulators by
+// task id) — Perfetto's importer wants monotonic timestamps.
+TEST(TraceExport, EmitsSlicesInTimestampOrder) {
+  rpr::obs::Recorder rec;
+  rec.add_span({"late", "inner", 0, 9'000'000, 1'000'000, 0, {}});
+  rec.add_span({"early", "inner", 1, 1'000'000, 1'000'000, 0, {}});
+  rec.add_span({"middle", "inner", 2, 5'000'000, 1'000'000, 0, {}});
+  const std::string json = rpr::obs::to_chrome_trace(rec);
+  const auto early = json.find("\"early\"");
+  const auto middle = json.find("\"middle\"");
+  const auto late = json.find("\"late\"");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(middle, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, middle);
+  EXPECT_LT(middle, late);
+}
+
+// Backslashes and quotes in span and track names must be escaped — a raw
+// backslash in a name (e.g. a Windows-ish path label) breaks the JSON.
+TEST(TraceExport, EscapesBackslashesInSpanAndTrackNames) {
+  rpr::obs::Recorder rec;
+  rec.set_track_name(0, "rack\\0 \"A\"");
+  rec.add_span({"combine [a\\b]", "decode", 0, 0, 1'000'000, 0, {}});
+  const std::string json = rpr::obs::to_chrome_trace(rec);
+  EXPECT_NE(json.find("combine [a\\\\b]"), std::string::npos);
+  EXPECT_NE(json.find("rack\\\\0 \\\"A\\\""), std::string::npos);
+  // No raw (unescaped) backslash survives: every '\' is followed by
+  // another '\' or a '"'.
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] != '\\') continue;
+    ASSERT_LT(i + 1, json.size());
+    EXPECT_TRUE(json[i + 1] == '\\' || json[i + 1] == '"') << i;
+    ++i;  // skip the escaped character
+  }
+}
+
+// Flow edges between id-carrying spans become s/f arrow pairs.
+TEST(TraceExport, EmitsFlowArrowsForCausalEdges) {
+  rpr::obs::Recorder rec;
+  const rpr::obs::SpanId base = rec.reserve_span_ids(2);
+  rpr::obs::Span a{"produce", "inner", 0, 0, 1'000'000, 0, {}};
+  a.span_id = base;
+  rpr::obs::Span b{"consume", "inner", 1, 1'000'000, 1'000'000, 0, {}};
+  b.span_id = base + 1;
+  rec.add_span(a);
+  rec.add_span(b);
+  rec.add_flow(base, base + 1);
+  // A dangling flow (unknown span id) must be skipped, not crash or emit.
+  rec.add_flow(base + 7, base + 8);
+  const std::string json = rpr::obs::to_chrome_trace(rec);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // Exactly one arrow pair: the dangling flow contributed nothing.
+  std::size_t starts = 0;
+  for (std::size_t at = json.find("\"ph\":\"s\""); at != std::string::npos;
+       at = json.find("\"ph\":\"s\"", at + 1)) {
+    ++starts;
+  }
+  EXPECT_EQ(starts, 1u);
 }
 
 TEST(TraceExport, WritesFile) {

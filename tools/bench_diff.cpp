@@ -1,0 +1,195 @@
+// bench_diff: compares a fresh benchmark JSON artifact against a checked-in
+// baseline and flags regressions, so CI can gate on them.
+//
+// Usage:
+//   bench_diff [--warn-only] [--threshold-pct P] BASELINE.json FRESH.json
+//
+// Both files follow the repo's benchmark schema: a top-level "benchmarks"
+// array of row objects with a unique "name". Rows are matched by name; for
+// every numeric field both sides share (except obviously non-measurements
+// like indices and iteration counts), the relative change is computed and
+// compared against the threshold. The comparison direction is inferred from
+// the field name — throughput-like fields ("speedup", "per_second", "MBps",
+// "throughput") regress when they drop, time-like fields ("time", "wall",
+// "_s", "ns") regress when they grow; everything else is informational.
+//
+// A baseline row may carry "threshold_pct" to override --threshold-pct for
+// that row (e.g. the plan-verifier sweep timings use a wide one so shared
+// CI runners don't flap).
+//
+// Exit codes: 0 = no regressions, 1 = regressions found (0 with
+// --warn-only), 2 = usage / IO / parse error.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using rpr::util::JsonValue;
+using rpr::util::parse_json;
+
+enum class Direction { kLowerBetter, kHigherBetter, kInfo };
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// Infers which way a metric regresses from its field name.
+Direction direction_of(const std::string& field) {
+  if (contains(field, "speedup") || contains(field, "per_second") ||
+      contains(field, "MBps") || contains(field, "throughput")) {
+    return Direction::kHigherBetter;
+  }
+  if (contains(field, "time") || contains(field, "wall") ||
+      contains(field, "_ns") || field == "ns" ||
+      (field.size() >= 2 && field.compare(field.size() - 2, 2, "_s") == 0)) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kInfo;
+}
+
+/// Fields that are bookkeeping, not measurements.
+bool skip_field(const std::string& field) {
+  return field == "threshold_pct" || field == "family_index" ||
+         field == "per_family_instance_index" || field == "repetitions" ||
+         field == "repetition_index" || field == "iterations" ||
+         field == "threads" || field == "slice_size";
+}
+
+JsonValue load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_json(buf.str());
+}
+
+std::map<std::string, const JsonValue*> rows_by_name(const JsonValue& doc,
+                                                     const std::string& path) {
+  const JsonValue* rows = doc.find("benchmarks");
+  if (rows == nullptr) {
+    throw std::runtime_error(path + ": no \"benchmarks\" array");
+  }
+  std::map<std::string, const JsonValue*> out;
+  for (const JsonValue& row : rows->as_array()) {
+    const JsonValue* name = row.find("name");
+    if (name == nullptr) continue;
+    out.emplace(name->as_string(), &row);
+  }
+  return out;
+}
+
+struct Options {
+  bool warn_only = false;
+  double threshold_pct = 10.0;
+  std::string baseline;
+  std::string fresh;
+};
+
+int run(const Options& opt) {
+  // The row maps point into the documents; keep both alive for the scan.
+  const JsonValue base_doc = load(opt.baseline);
+  const JsonValue fresh_doc = load(opt.fresh);
+  const std::map<std::string, const JsonValue*> base =
+      rows_by_name(base_doc, opt.baseline);
+  const std::map<std::string, const JsonValue*> fresh =
+      rows_by_name(fresh_doc, opt.fresh);
+
+  int regressions = 0;
+  int compared = 0;
+  int missing = 0;
+  for (const auto& [name, brow] : base) {
+    const auto it = fresh.find(name);
+    if (it == fresh.end()) {
+      std::printf("MISSING  %s (in baseline, not in fresh run)\n",
+                  name.c_str());
+      ++missing;
+      continue;
+    }
+    double threshold = opt.threshold_pct;
+    if (const JsonValue* t = brow->find("threshold_pct"); t != nullptr) {
+      threshold = t->as_number();
+    }
+    for (const auto& [field, bval] : brow->as_object()) {
+      if (bval.kind() != JsonValue::Kind::kNumber || skip_field(field)) {
+        continue;
+      }
+      const JsonValue* fval = it->second->find(field);
+      if (fval == nullptr || fval->kind() != JsonValue::Kind::kNumber) {
+        continue;
+      }
+      const Direction dir = direction_of(field);
+      if (dir == Direction::kInfo) continue;
+      const double b = bval.as_number();
+      const double f = fval->as_number();
+      if (!(std::fabs(b) > 0.0)) continue;
+      ++compared;
+      // Signed change in the "worse" direction, as a percentage.
+      const double worse_pct = dir == Direction::kLowerBetter
+                                   ? (f - b) / std::fabs(b) * 100.0
+                                   : (b - f) / std::fabs(b) * 100.0;
+      if (worse_pct > threshold) {
+        std::printf(
+            "REGRESS  %s %s: baseline %.6g -> fresh %.6g (%+.1f%% worse, "
+            "threshold %.1f%%)\n",
+            name.c_str(), field.c_str(), b, f, worse_pct, threshold);
+        ++regressions;
+      }
+    }
+  }
+  std::printf(
+      "bench_diff: %d comparison(s), %d regression(s), %d missing row(s)\n",
+      compared, regressions, missing);
+  if (regressions == 0 && missing == 0) return 0;
+  if (opt.warn_only) {
+    std::printf("bench_diff: --warn-only set, not failing\n");
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--warn-only") {
+      opt.warn_only = true;
+    } else if (arg == "--threshold-pct") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_diff: --threshold-pct needs a value\n");
+        return 2;
+      }
+      opt.threshold_pct = std::stod(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_diff [--warn-only] [--threshold-pct P] "
+          "BASELINE.json FRESH.json\n");
+      return 0;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--warn-only] [--threshold-pct P] "
+                 "BASELINE.json FRESH.json\n");
+    return 2;
+  }
+  opt.baseline = positional[0];
+  opt.fresh = positional[1];
+  try {
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

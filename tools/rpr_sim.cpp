@@ -19,6 +19,15 @@
 //     --trace FILE          write a Chrome trace of the schedule
 //     --metrics FILE        write a metrics snapshot (JSON)
 //     --metrics-csv FILE    write a metrics snapshot (CSV)
+//     --critpath            reconstruct the repair's causal DAG from the
+//                           recorded spans, print the critical path's
+//                           per-category makespan breakdown (port waits,
+//                           GF compute, propagation, queueing, stalls),
+//                           the top critical wait edges, and the idle-port
+//                           headroom a chained schedule could recover
+//     --prom-port N         serve live metrics in Prometheus text format
+//                           on 127.0.0.1:N (0 = pick an ephemeral port)
+//                           for the duration of the run
 //     --chaos SPEC          inject faults (kill:N@T;straggle:N*F[xA];
 //                           corrupt:B;seed:S) and run a resilient session
 //     --fail-helper-at T    shorthand: kill the first helper node at T
@@ -30,6 +39,9 @@
 //                           combination of a fixed grid and report any plan
 //                           that violates an algebraic, topological or
 //                           conservation invariant
+//     --verify-json FILE    with --verify: also write per-cell wall-clock
+//                           timings as bench_diff-compatible JSON (the CI
+//                           regression gate compares them to BENCH_verify.json)
 //
 // Prints repair time, traffic and the transfer schedule — the library's
 // planners and simulators behind a single adoptable command.
@@ -46,6 +58,7 @@
 // spans. All use the same track layout, so traces compare side by side in
 // Perfetto / chrome://tracing.
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,9 +68,14 @@
 #include <algorithm>
 #include <set>
 
+#include <memory>
+
 #include "fault/fault.h"
 #include "net/tcp_runtime.h"
+#include "obs/attribution.h"
+#include "obs/critpath.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
 #include "obs/recorder.h"
 #include "obs/sinks.h"
 #include "repair/executor_sim.h"
@@ -81,9 +99,10 @@ int usage() {
       "               [--block BYTES] [--inner GBPS] [--cross GBPS]\n"
       "               [--fluid | --tcp] [--time-scale X] [--slice-size BYTES]\n"
       "               [--trace FILE] [--metrics FILE] [--metrics-csv FILE]\n"
+      "               [--critpath] [--prom-port N]\n"
       "               [--chaos SPEC] [--fail-helper-at T]\n"
       "               [--straggler NODE,FACTOR[,ATTEMPTS]]\n"
-      "       rpr_sim --verify\n");
+      "       rpr_sim --verify [--verify-json FILE]\n");
   return 2;
 }
 
@@ -150,7 +169,7 @@ std::vector<std::size_t> parse_list(const char* flag, const char* s) {
 /// codes x placements x failure sets x schemes. Every emitted plan runs
 /// through the PlanVerifier; a violation prints the full report (op index,
 /// rack, expected-vs-actual equation diff) and the sweep exits 4 at the end.
-int run_verify_sweep() {
+int run_verify_sweep(const char* json_path) {
   using namespace rpr;
 
   const std::vector<rs::CodeConfig> codes = {{6, 3}, {9, 6}, {14, 10}};
@@ -162,10 +181,14 @@ int run_verify_sweep() {
 
   std::size_t plans = 0;
   std::size_t violated = 0;
+  // name -> wall seconds, one row per (code, placement) sweep cell.
+  std::vector<std::pair<std::string, double>> timings;
+  const auto sweep_start = std::chrono::steady_clock::now();
 
   for (const rs::CodeConfig& cfg : codes) {
     const rs::RSCode code(cfg);
     for (const auto& [policy, policy_name] : policies) {
+      const auto cell_start = std::chrono::steady_clock::now();
       const auto placed = topology::make_placed_stripe(cfg, policy);
 
       // Every failure set of size 1..min(3, k), enumerated by combination.
@@ -214,7 +237,38 @@ int run_verify_sweep() {
           for (std::size_t j = i; j < f; ++j) idx[j] = idx[j - 1] + 1;
         }
       }
+      timings.emplace_back(
+          "verify/rs" + std::to_string(cfg.n) + "_" + std::to_string(cfg.k) +
+              "/" + policy_name,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        cell_start)
+              .count());
     }
+  }
+  timings.emplace_back(
+      "verify/total",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count());
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "rpr_sim: cannot write '%s': %s\n", json_path,
+                   std::strerror(errno));
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"wall_s\": %.6f, "
+                   "\"threshold_pct\": 300.0}%s\n",
+                   timings[i].first.c_str(), timings[i].second,
+                   i + 1 < timings.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("verify timings   : %s\n", json_path);
   }
 
   std::printf("verify sweep: %zu plans checked, %zu with violations\n", plans,
@@ -236,11 +290,69 @@ void print_slice_latency(const rpr::obs::MetricsRegistry& registry,
         registry.find_histogram(std::string(prefix) + suffix);
     if (h == nullptr || h->count() == 0) continue;
     std::printf(
-        "slice latency     : %-7s mean %7.3f ms  max %7.3f ms  (%llu "
-        "slices)\n",
-        name, h->sum() / static_cast<double>(h->count()) * 1e3,
-        h->max() * 1e3, static_cast<unsigned long long>(h->count()));
+        "slice latency     : %-7s mean %7.3f ms  p50 %7.3f ms  p95 %7.3f "
+        "ms  p99 %7.3f ms  max %7.3f ms  (%llu slices)\n",
+        name, h->mean() * 1e3, h->quantile(0.5) * 1e3,
+        h->quantile(0.95) * 1e3, h->quantile(0.99) * 1e3, h->max() * 1e3,
+        static_cast<unsigned long long>(h->count()));
   }
+}
+
+/// Simulated-time phase latency summary from the simulator's duration
+/// histograms (record_metrics); printed with --metrics on simulator runs.
+void print_sim_phase_latency(const rpr::obs::MetricsRegistry& registry) {
+  const std::pair<const char*, const char*> phases[] = {
+      {"queue wait", "sim.queue_wait_s"},
+      {"inner xfer", "sim.inner_transfer_s"},
+      {"cross xfer", "sim.cross_transfer_s"},
+      {"compute", "sim.compute_s"},
+  };
+  for (const auto& [name, metric] : phases) {
+    const rpr::obs::Histogram* h = registry.find_histogram(metric);
+    if (h == nullptr || h->count() == 0) continue;
+    std::printf(
+        "phase latency     : %-10s mean %8.3f s  p50 %8.3f s  p95 %8.3f "
+        "s  p99 %8.3f s  (%llu tasks)\n",
+        name, h->mean(), h->quantile(0.5), h->quantile(0.95),
+        h->quantile(0.99), static_cast<unsigned long long>(h->count()));
+  }
+}
+
+/// --critpath: rebuild the causal DAG left in the recorder, attribute the
+/// makespan, print the report, and mirror the headline numbers into the
+/// registry (when metrics are on) so sinks and the Prometheus endpoint
+/// carry them too.
+void report_critical_path(const rpr::obs::Recorder& recorder,
+                          const rpr::topology::Cluster& cluster,
+                          rpr::obs::MetricsRegistry* registry) {
+  namespace obs = rpr::obs;
+  const obs::CausalGraph graph = obs::build_causal_graph(recorder);
+  if (graph.empty()) {
+    std::printf("critical path     : no causal spans recorded\n");
+    return;
+  }
+  const obs::CriticalPath cp = obs::critical_path(graph);
+  obs::AttributionOptions aopts;
+  aopts.rack_of = [&cluster](obs::TrackId t) -> std::size_t {
+    const auto node = static_cast<rpr::topology::NodeId>(t);
+    return node < cluster.total_nodes() ? cluster.rack_of(node) : 0;
+  };
+  const obs::Attribution attr = obs::attribute(graph, cp, aopts);
+  std::fputs(obs::attribution_report(graph, cp, attr).c_str(), stdout);
+  if (registry == nullptr) return;
+  static constexpr const char* kSlugs[obs::kCategoryCount] = {
+      "cross_port_wait_s", "inner_port_wait_s", "gf_compute_s",
+      "propagation_s",     "queueing_s",        "stall_s"};
+  registry->gauge("critpath.makespan_s")
+      .set(static_cast<double>(attr.total_ns) / 1e9);
+  for (std::size_t i = 0; i < obs::kCategoryCount; ++i) {
+    registry->gauge(std::string("critpath.") + kSlugs[i])
+        .set(static_cast<double>(attr.by_category[i]) / 1e9);
+  }
+  registry->gauge("critpath.headroom_s")
+      .set(static_cast<double>(attr.headroom_ns) / 1e9);
+  registry->gauge("critpath.bottleneck_rack")
+      .set(static_cast<double>(attr.bottleneck_rack));
 }
 
 }  // namespace
@@ -262,6 +374,10 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string metrics_csv_path;
+  bool critpath = false;
+  long prom_port = -1;  // -1 = no exporter; 0 = ephemeral port
+  bool verify_sweep = false;
+  const char* verify_json = nullptr;
   fault::FaultSchedule chaos;
   double fail_helper_at = -1.0;
 
@@ -313,6 +429,13 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (a == "--metrics-csv") {
       metrics_csv_path = next();
+    } else if (a == "--critpath") {
+      critpath = true;
+    } else if (a == "--prom-port") {
+      const char* v = next();
+      const std::uint64_t port = parse_u64("--prom-port", v);
+      if (port > 65535) die_bad_value("--prom-port", v);
+      prom_port = static_cast<long>(port);
     } else if (a == "--chaos") {
       const char* spec = next();
       try {
@@ -333,7 +456,10 @@ int main(int argc, char** argv) {
     } else if (a == "--fail-helper-at") {
       fail_helper_at = parse_nonneg("--fail-helper-at", next());
     } else if (a == "--verify") {
-      return run_verify_sweep();
+      verify_sweep = true;
+    } else if (a == "--verify-json") {
+      verify_sweep = true;
+      verify_json = next();
     } else if (a == "--straggler") {
       const std::string spec = next();
       std::vector<std::string> parts(1);
@@ -359,6 +485,7 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  if (verify_sweep) return run_verify_sweep(verify_json);
   if (fluid && tcp) {
     std::fprintf(stderr, "rpr_sim: --fluid and --tcp are exclusive\n");
     return usage();
@@ -436,14 +563,26 @@ int main(int argc, char** argv) {
                   util::slice_count(block, slice_size));
     }
 
-    // One probe feeds every engine; sinks run at the end.
+    // One probe feeds every engine; sinks run at the end. --critpath needs
+    // the recorder and --prom-port the registry even when no file sink asked
+    // for them.
     obs::MetricsRegistry registry;
     obs::Recorder recorder;
     obs::Probe probe;
-    if (!metrics_path.empty() || !metrics_csv_path.empty()) {
+    if (!metrics_path.empty() || !metrics_csv_path.empty() ||
+        prom_port >= 0) {
       probe.metrics = &registry;
     }
-    if (!trace_path.empty()) probe.trace = &recorder;
+    if (!trace_path.empty() || critpath) probe.trace = &recorder;
+
+    std::unique_ptr<obs::PromExporter> prom;
+    if (prom_port >= 0) {
+      obs::PromExporter::Options popts;
+      popts.port = static_cast<std::uint16_t>(prom_port);
+      prom = std::make_unique<obs::PromExporter>(registry, popts);
+      std::printf("prometheus        : http://127.0.0.1:%u/metrics\n",
+                  static_cast<unsigned>(prom->port()));
+    }
 
     bool used_matrix = planned.used_decoding_matrix;
 
@@ -501,7 +640,11 @@ int main(int argc, char** argv) {
                   static_cast<double>(outcome.cross_rack_bytes) / 1e6);
       std::printf("inner-rack traffic: %.1f MB\n",
                   static_cast<double>(outcome.inner_rack_bytes) / 1e6);
-      if (tcp) print_slice_latency(registry, "tcp");
+      if (tcp) {
+        print_slice_latency(registry, "tcp");
+      } else if (probe.metrics != nullptr) {
+        print_sim_phase_latency(registry);
+      }
 
       bool ok = outcome.outputs.size() == failed.size();
       for (std::size_t i = 0; ok && i < failed.size(); ++i) {
@@ -570,9 +713,14 @@ int main(int argc, char** argv) {
       std::printf("inner-rack traffic: %zu transfers, %.1f MB\n",
                   outcome.inner_rack_transfers,
                   static_cast<double>(outcome.inner_rack_bytes) / 1e6);
+      if (probe.metrics != nullptr) print_sim_phase_latency(registry);
     }
     std::printf("decoding matrix   : %s\n",
                 used_matrix ? "built" : "avoided (XOR path)");
+
+    if (critpath) {
+      report_critical_path(recorder, placed.cluster, probe.metrics);
+    }
 
     if (!trace_path.empty()) {
       obs::write_chrome_trace(recorder, trace_path);

@@ -37,6 +37,9 @@ TcpRuntime::TcpRuntime(topology::Cluster cluster, TcpRuntimeParams params)
   if (params_.retry.max_attempts == 0 || params_.retry.op_deadline_s <= 0.0) {
     throw std::invalid_argument("TcpRuntime: bad retry policy");
   }
+  // Whole-rack deaths lower to per-node kills; the abort machinery then
+  // reports the whole failure domain in one shot.
+  params_.faults.expand_racks(cluster_);
 }
 
 std::set<topology::NodeId> TcpRuntime::dead_nodes() const {
@@ -103,7 +106,37 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
   std::atomic<std::size_t> retries{0};
   std::atomic<std::size_t> faults{0};
   std::atomic<topology::NodeId> first_dead{fault::kNoNode};
+  // First partition that exhausted an op's retries (the endpoints are
+  // alive; nobody is declared lost).
+  std::atomic<const fault::Partition*> first_cut{nullptr};
   const std::uint64_t max_payload = plan.block_size + 4096;
+
+  auto elapsed_s = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         session_start_)
+        .count();
+  };
+  // Active partition separating two racks right now, or nullptr. The cut is
+  // injected at connection granularity: loopback has no real fabric, so a
+  // cross-cut attempt simply fails and is retried with backoff.
+  auto active_partition = [&](topology::RackId a, topology::RackId b)
+      -> const fault::Partition* {
+    if (a == b || params_.faults.partitions.empty()) return nullptr;
+    const double t = elapsed_s();
+    for (const auto& p : params_.faults.partitions) {
+      if (p.active_at(t) && p.separates(a, b)) return &p;
+    }
+    return nullptr;
+  };
+  auto note_partition = [&](const fault::Partition* p) {
+    const fault::Partition* expected = nullptr;
+    first_cut.compare_exchange_strong(expected, p);
+  };
+  // Deterministic jitter key: schedule seed + retrying op + sender.
+  auto jitter_key = [&](OpId id, topology::NodeId node) -> std::uint64_t {
+    return params_.faults.seed ^ (static_cast<std::uint64_t>(id) << 24) ^
+           static_cast<std::uint64_t>(node);
+  };
 
   auto is_dead = [&](topology::NodeId node) {
     std::scoped_lock lock(fault_mu_);
@@ -162,6 +195,19 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
           blame(self);
           state.fail(id);
           return;
+        }
+        if (const fault::SlowDisk* slow = params_.faults.slowdisk_of(self)) {
+          // A degraded disk serves the read at 1/factor of the inner link
+          // rate instead of instantly.
+          const topology::RackId r = cluster_.rack_of(self);
+          const double stall_s =
+              static_cast<double>(stripe[op.block].size()) * slow->factor /
+              (params_.net.between_racks(r, r).as_bytes_per_sec() *
+               params_.time_scale);
+          std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
+          op_stall_s += stall_s;
+          std::scoped_lock lock(fault_mu_);
+          if (slowdisk_counted_.insert(self).second) ++faults;
         }
         const Block& src = stripe[op.block];
         op_bytes = src.size();
@@ -264,6 +310,19 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
               state.fail(id);
               return;
             }
+            if (active_partition(rf, rt) != nullptr) {
+              // The cut drops the connection: back off and retry — a later
+              // attempt may find the fabric healed.
+              if (attempt + 1 < params_.retry.max_attempts) {
+                ++retries;
+                const double backoff = params_.retry.backoff_jittered_s(
+                    attempt, jitter_key(id, op.from));
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+                op_stall_s += backoff;
+              }
+              continue;
+            }
             // A straggling sender's stream crawls; the straggler detector
             // abandons the attempt at threshold x the expected duration and
             // the op is retried after backoff (speculative re-fetch).
@@ -287,9 +346,11 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
               op_stall_s += stall_s;
               if (attempt + 1 < params_.retry.max_attempts) {
                 ++retries;
-                std::this_thread::sleep_for(std::chrono::duration<double>(
-                    params_.retry.backoff_s(attempt)));
-                op_stall_s += params_.retry.backoff_s(attempt);
+                const double backoff = params_.retry.backoff_jittered_s(
+                    attempt, jitter_key(id, op.from));
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+                op_stall_s += backoff;
               }
               continue;
             }
@@ -316,15 +377,24 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
               // accepting; retry within budget.
               if (attempt + 1 < params_.retry.max_attempts) {
                 ++retries;
-                std::this_thread::sleep_for(std::chrono::duration<double>(
-                    params_.retry.backoff_s(attempt)));
-                op_stall_s += params_.retry.backoff_s(attempt);
+                const double backoff = params_.retry.backoff_jittered_s(
+                    attempt, jitter_key(id, op.from));
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+                op_stall_s += backoff;
               }
             }
           }
           if (!sent) {
-            // Every attempt failed: the receiver is unreachable — lost.
-            declare_lost(op.node);
+            if (const auto* p = active_partition(rf, rt)) {
+              // Retries ran out while the split was still active: the
+              // receiver is alive — report a partition, declare no one
+              // lost.
+              note_partition(p);
+            } else {
+              // Every attempt failed: the receiver is unreachable — lost.
+              declare_lost(op.node);
+            }
             state.fail(id);
             return;
           }
@@ -361,6 +431,19 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
             state.fail(id);
             return;
           }
+          if (active_partition(rf, rt) != nullptr) {
+            // The cut drops the connection: back off and retry — a later
+            // attempt may find the fabric healed.
+            if (attempt + 1 < params_.retry.max_attempts) {
+              ++retries;
+              const double backoff = params_.retry.backoff_jittered_s(
+                  attempt, jitter_key(id, op.from));
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(backoff));
+              op_stall_s += backoff;
+            }
+            continue;
+          }
           bool afflicted = false;
           if (straggle != nullptr) {
             std::scoped_lock lock(fault_mu_);
@@ -381,9 +464,11 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
             op_stall_s += stall_s;
             if (attempt + 1 < params_.retry.max_attempts) {
               ++retries;
-              std::this_thread::sleep_for(std::chrono::duration<double>(
-                  params_.retry.backoff_s(attempt)));
-              op_stall_s += params_.retry.backoff_s(attempt);
+              const double backoff = params_.retry.backoff_jittered_s(
+                  attempt, jitter_key(id, op.from));
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(backoff));
+              op_stall_s += backoff;
             }
             continue;
           }
@@ -421,14 +506,20 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
           } catch (const std::exception&) {
             if (attempt + 1 < params_.retry.max_attempts) {
               ++retries;
-              std::this_thread::sleep_for(std::chrono::duration<double>(
-                  params_.retry.backoff_s(attempt)));
-              op_stall_s += params_.retry.backoff_s(attempt);
+              const double backoff = params_.retry.backoff_jittered_s(
+                  attempt, jitter_key(id, op.from));
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(backoff));
+              op_stall_s += backoff;
             }
           }
         }
         if (!sent) {
-          declare_lost(op.node);
+          if (const auto* p = active_partition(rf, rt)) {
+            note_partition(p);
+          } else {
+            declare_lost(op.node);
+          }
           state.fail(id);
           return;
         }
@@ -719,11 +810,34 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
     return result;
   }
 
-  if (first_dead.load() == fault::kNoNode) {
+  const fault::Partition* cut = first_cut.load();
+  if (first_dead.load() == fault::kNoNode && cut == nullptr) {
     throw std::logic_error("tcp_runtime: output failed with no node to blame");
   }
   runtime::TestbedAbort abort;
-  abort.dead_node = first_dead.load();
+  if (first_dead.load() != fault::kNoNode) {
+    abort.dead_node = first_dead.load();
+    // Sweep the schedule: every node whose kill time has passed is dead
+    // now — a TOR death reports the whole rack in one abort.
+    const double now_s = elapsed_s();
+    std::scoped_lock fl(fault_mu_);
+    for (const auto& kill : params_.faults.kills) {
+      if (kill.at_s <= now_s) dead_.insert(kill.node);
+    }
+    abort.dead_nodes.assign(dead_.begin(), dead_.end());
+  } else {
+    // A fabric split, not a death: nobody is declared lost, and the caller
+    // learns how long until the cut heals (< 0 = permanent).
+    abort.partitioned = true;
+    abort.heal_wait_s =
+        cut->heals()
+            ? std::max(0.0, (cut->at_s + cut->heal_after_s) - elapsed_s())
+            : -1.0;
+    abort.partition_side.resize(cluster_.total_nodes(), 0);
+    for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
+      abort.partition_side[n] = cut->side_of(cluster_.rack_of(n));
+    }
+  }
   {
     std::scoped_lock fl(fault_mu_);
     std::unique_lock lock(state.mu);

@@ -23,6 +23,13 @@
 // backoff, and an execute() whose outputs became unreachable returns an
 // abort for repair::execute_resilient_with to re-plan around. Dead nodes
 // persist across execute() calls on one TcpRuntime.
+//
+// Failure domains mirror runtime::Testbed: rack kills expand to per-node
+// kills at construction and an abort reports every node dead at the cut; a
+// fabric partition fails cross-cut connections as retryable errors
+// (jittered backoff can ride out a healing cut) and exhausting retries
+// while the split is active aborts `partitioned` without declaring anyone
+// lost; slow disks stall reads at 1/factor of the inner-link rate.
 #pragma once
 
 #include <chrono>
@@ -101,6 +108,8 @@ class TcpRuntime {
   mutable std::mutex fault_mu_;
   std::set<topology::NodeId> dead_;
   std::map<topology::NodeId, std::size_t> afflicted_;
+  /// Slow-disk nodes already counted as an injected fault this session.
+  std::set<topology::NodeId> slowdisk_counted_;
 };
 
 }  // namespace rpr::net

@@ -1,6 +1,7 @@
 #include "repair/analysis.h"
 
 #include <cassert>
+#include <set>
 #include <stdexcept>
 
 #include "util/contracts.h"
@@ -69,8 +70,11 @@ PredictedTraffic predicted_equation_traffic(
     return pseudo_nodes->at(b);
   };
 
-  std::map<topology::RackId, std::size_t> per_rack;  // non-recovery racks
-  std::size_t recovery_count = 0;
+  // Per-rack distinct *nodes*: co-located values (a banked partial plus a
+  // re-read at its own node) merge locally before the reduction, so only
+  // transfers between distinct nodes move bytes.
+  std::map<topology::RackId, std::set<topology::NodeId>> per_rack;
+  std::set<topology::NodeId> recovery_nodes;
   bool root_at_destination = false;
   const auto visit = [&](std::size_t b) {
     const topology::NodeId node = node_of(b);
@@ -78,10 +82,10 @@ PredictedTraffic predicted_equation_traffic(
     if (rack == recovery) {
       // The rack reduction roots at the first value; it stays put while
       // every later value merges into it.
-      if (recovery_count == 0) root_at_destination = node == destination;
-      ++recovery_count;
+      if (recovery_nodes.empty()) root_at_destination = node == destination;
+      recovery_nodes.insert(node);
     } else {
-      ++per_rack[rack];
+      per_rack[rack].insert(node);
     }
   };
   // Banked partials seed the destination rack's reduction ahead of the real
@@ -96,15 +100,46 @@ PredictedTraffic predicted_equation_traffic(
   }
 
   PredictedTraffic t;
-  for (const auto& [rack, m] : per_rack) {
+  for (const auto& [rack, nodes] : per_rack) {
     (void)rack;
-    ++t.cross_transfers;         // the rack's intermediate crosses once, and
-                                 // every pipeline merge consumes one value
-    t.inner_transfers += m - 1;  // pairwise merges within the rack
+    ++t.cross_transfers;  // the rack's intermediate crosses once, and
+                          // every pipeline merge consumes one value
+    t.inner_transfers += nodes.size() - 1;  // pairwise merges within the rack
   }
-  if (recovery_count > 0) {
-    t.inner_transfers += recovery_count - 1;
+  if (!recovery_nodes.empty()) {
+    t.inner_transfers += recovery_nodes.size() - 1;
     if (!root_at_destination) ++t.inner_transfers;  // hop to the destination
+  }
+  return t;
+}
+
+PredictedTraffic predicted_direct_equation_traffic(
+    const topology::Placement& placement, const LeafTerms& terms,
+    topology::NodeId destination,
+    const std::map<std::size_t, topology::NodeId>* pseudo_nodes) {
+  const topology::Cluster& cluster = placement.cluster();
+  const std::size_t total = placement.code().total();
+  const auto node_of = [&](std::size_t b) -> topology::NodeId {
+    if (b < total) return placement.node_of(b);
+    if (pseudo_nodes == nullptr || pseudo_nodes->count(b) == 0) {
+      throw std::invalid_argument(
+          "predicted_direct_equation_traffic: pseudo slot with unknown "
+          "location");
+    }
+    return pseudo_nodes->at(b);
+  };
+  PredictedTraffic t;
+  std::set<topology::NodeId> seen;  // co-located values ship as one
+  for (const auto& [b, c] : terms) {
+    (void)c;
+    const topology::NodeId node = node_of(b);
+    if (node == destination) continue;   // already in place
+    if (!seen.insert(node).second) continue;
+    if (cluster.same_rack(node, destination)) {
+      ++t.inner_transfers;
+    } else {
+      ++t.cross_transfers;
+    }
   }
   return t;
 }

@@ -90,15 +90,28 @@ struct PredictedTraffic {
 ///           merge step of either the pipelined or the starred cross-rack
 ///           reduction moves exactly one value across the aggregation
 ///           switch);
-///   inner = sum over racks of (survivors - 1) pairwise merges, plus one
-///           hop of the destination rack's intermediate to the destination
-///           node unless the rack reduction already roots there (it does
-///           exactly when the first term in map order lives at the
-///           destination — the re-planner's banked partial).
+///   inner = sum over racks of (distinct contributing nodes - 1) pairwise
+///           merges — co-located values (a banked partial plus a patched
+///           re-read at its own node) merge locally and move nothing —
+///           plus one hop of the destination rack's intermediate to the
+///           destination node unless the rack reduction already roots
+///           there (it does exactly when the first term in map order lives
+///           at the destination — the re-planner's banked partial).
 ///
 /// `terms` maps block index -> coefficient; indices >= n+k are pseudo slots
 /// (banked partials) whose location is given by `pseudo_nodes`.
 [[nodiscard]] PredictedTraffic predicted_equation_traffic(
+    const topology::Placement& placement, const LeafTerms& terms,
+    topology::NodeId destination,
+    const std::map<std::size_t, topology::NodeId>* pseudo_nodes = nullptr);
+
+/// Exact traffic of one *direct-shipping* remainder equation (the
+/// traditional shape a scheme-switching re-plan may fall back to): every
+/// value — real term at its storage node, pseudo partial at its banked
+/// node — moves straight to the destination with no per-rack aggregation:
+/// one cross transfer per off-rack node, one inner transfer per same-rack
+/// non-destination node (co-located values merge locally and ship once).
+[[nodiscard]] PredictedTraffic predicted_direct_equation_traffic(
     const topology::Placement& placement, const LeafTerms& terms,
     topology::NodeId destination,
     const std::map<std::size_t, topology::NodeId>* pseudo_nodes = nullptr);

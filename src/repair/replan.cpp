@@ -93,13 +93,26 @@ OpId plan_remainder(RepairPlan& plan, const topology::Placement& placement,
   const auto& cluster = placement.cluster();
   const topology::RackId recovery_rack = cluster.rack_of(eq.destination);
 
+  // Partials in ascending slot order, destination-resident ones first: the
+  // traffic closed forms (predicted_equation_traffic) visit pseudo slots in
+  // slot order and root the recovery rack at its first-visited value, so a
+  // destination partial must seed the recovery rack's reduction (its bytes
+  // then never move and the pairwise merges land at the destination).
+  std::vector<RemainderPartial> parts = eq.partials;
+  std::sort(parts.begin(), parts.end(),
+            [&](const RemainderPartial& a, const RemainderPartial& b) {
+              const bool da = a.node == eq.destination;
+              const bool db = b.node == eq.destination;
+              if (da != db) return da;
+              return a.slot < b.slot;
+            });
+
   std::map<topology::RackId, std::vector<Value>> by_rack;
-  // The partial seeds the recovery rack's reduction first, so the pairwise
-  // merges land at the destination and the partial's bytes never move.
-  if (eq.has_partial) {
-    const OpId r = plan.read(eq.destination, eq.partial_slot, 1,
+  for (const auto& p : parts) {
+    const OpId r = plan.read(p.node, p.slot, 1,
                              "partial b" + std::to_string(eq.failed_block));
-    by_rack[recovery_rack].push_back(Value{r, eq.destination, 0.0, true});
+    by_rack[cluster.rack_of(p.node)].push_back(
+        Value{r, p.node, 0.0, p.node == eq.destination});
   }
   for (const auto& [b, coeff] : eq.terms) {
     const topology::NodeId node = placement.node_of(b);
@@ -108,6 +121,45 @@ OpId plan_remainder(RepairPlan& plan, const topology::Placement& placement,
   }
   if (by_rack.empty()) {
     throw std::invalid_argument("plan_remainder: empty remainder equation");
+  }
+
+  // Co-located values merge before any reduction: a banked partial often
+  // shares its node with a patched re-read of the block stored there (a
+  // substitution re-weighted a term the partial already absorbed once).
+  // The local combine moves no bytes, leaves one value per node, and is
+  // the invariant the traffic closed forms assume.
+  for (auto& [rack, values] : by_rack) {
+    (void)rack;
+    std::vector<Value> merged;
+    merged.reserve(values.size());
+    for (const Value& v : values) {
+      auto it = std::find_if(
+          merged.begin(), merged.end(),
+          [&](const Value& m) { return m.node == v.node; });
+      if (it == merged.end()) {
+        merged.push_back(v);
+        continue;
+      }
+      it->op = plan.combine(v.node, {it->op, v.op}, false, "local:merge");
+      it->ready = std::max(it->ready, v.ready);
+      it->at_recovery = it->at_recovery || v.at_recovery;
+    }
+    values = std::move(merged);
+  }
+
+  if (eq.scheme == RemainderScheme::kDirect) {
+    // Traditional shape: every value ships straight to the destination and
+    // is XOR-reduced there — no per-rack aggregation at all.
+    std::vector<Value> values;
+    for (auto& [rack, rack_values] : by_rack) {
+      (void)rack;
+      for (auto& v : rack_values) values.push_back(v);
+    }
+    Value final_value = detail::star_aggregate(
+        plan, std::move(values), eq.destination, true, detail::kCrossCost,
+        "direct");
+    return plan.combine(eq.destination, {final_value.op}, eq.with_matrix,
+                        "finalize b" + std::to_string(eq.failed_block));
   }
 
   std::vector<Value> intermediates;
@@ -128,7 +180,9 @@ OpId plan_remainder(RepairPlan& plan, const topology::Placement& placement,
   }
 
   Value final_value;
-  if (opts.pipeline_cross) {
+  const bool pipeline =
+      eq.scheme == RemainderScheme::kPipeline && opts.pipeline_cross;
+  if (pipeline) {
     final_value =
         detail::cross_reduce(plan, std::move(intermediates), eq.destination,
                              cluster, opts.cross_cost);
@@ -139,6 +193,32 @@ OpId plan_remainder(RepairPlan& plan, const topology::Placement& placement,
   }
   return plan.combine(eq.destination, {final_value.op}, eq.with_matrix,
                       "finalize b" + std::to_string(eq.failed_block));
+}
+
+RemainderScheme choose_remainder_scheme(const topology::Placement& placement,
+                                        const RemainderEquation& eq) {
+  const auto& cluster = placement.cluster();
+  const topology::RackId recovery_rack = cluster.rack_of(eq.destination);
+  std::map<topology::RackId, std::size_t> per_rack;
+  for (const auto& p : eq.partials) ++per_rack[cluster.rack_of(p.node)];
+  for (const auto& [b, coeff] : eq.terms) {
+    (void)coeff;
+    ++per_rack[cluster.rack_of(placement.node_of(b))];
+  }
+  std::size_t outside_racks = 0;
+  std::size_t outside_values = 0;
+  for (const auto& [rack, count] : per_rack) {
+    if (rack == recovery_rack) continue;
+    ++outside_racks;
+    outside_values += count;
+  }
+  // One value per outside rack: per-rack aggregation buys nothing, so ship
+  // directly (traditional). Several aggregatable racks: pipeline the
+  // cross-rack chain (RPR). One heavy outside rack: star into the
+  // destination (CAR).
+  if (outside_values == outside_racks) return RemainderScheme::kDirect;
+  if (outside_racks >= 2) return RemainderScheme::kPipeline;
+  return RemainderScheme::kStar;
 }
 
 }  // namespace rpr::repair

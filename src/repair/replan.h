@@ -60,28 +60,56 @@ void substitute_source(const rs::RSCode& code, LeafTerms& terms,
                        std::size_t lost_block,
                        const std::set<std::size_t>& unusable);
 
+/// A banked partial sum living at some node: pseudo stripe slot `slot`
+/// (coefficient 1) read at `node`. After a destination relocation or a
+/// partition heal, partials may live away from the current destination —
+/// each is read where it resides and joins that rack's reduction.
+struct RemainderPartial {
+  std::size_t slot = 0;
+  topology::NodeId node = 0;
+};
+
+/// Cross-rack reduction shape for a remainder plan — the scheme-switch
+/// lever the resilient driver pulls when the recovery rack degrades.
+enum class RemainderScheme {
+  kPipeline,  ///< RPR: per-rack Algorithm 1, pipelined cross-rack chain
+  kStar,      ///< CAR: per-rack aggregation, starred into the destination
+  kDirect,    ///< traditional: every value shipped straight to destination
+};
+
 /// What is still to be computed for one failed block mid-repair.
 struct RemainderEquation {
   std::size_t failed_block = 0;
   /// Real stripe blocks still to be fetched (patched coefficients).
   LeafTerms terms;
-  /// A partial sum already accumulated at `destination` (pseudo stripe slot
-  /// `partial_slot`, coefficient 1), when any prior work was reusable.
-  bool has_partial = false;
-  std::size_t partial_slot = 0;
+  /// Partial sums already accumulated (pseudo stripe slots, coefficient 1),
+  /// when any prior work was reusable. Sorted by slot; a partial resident at
+  /// `destination` must carry the lowest slot so the recovery-rack reduction
+  /// roots at the destination (traffic closed forms depend on it).
+  std::vector<RemainderPartial> partials;
   topology::NodeId destination = 0;
   /// Charge the final combine at matrix-decode speed.
   bool with_matrix = false;
+  /// Cross-rack reduction shape (scheme-switching re-plans override this).
+  RemainderScheme scheme = RemainderScheme::kPipeline;
 };
 
 /// Plans the evaluation of a remainder equation with the planner's
-/// rack-aware machinery (Algorithm 1 per rack, pipelined or starred
-/// cross-rack reduction rooted at the destination). The partial, if any, is
-/// read at the destination and seeds the recovery rack's reduction. Returns
-/// the op producing the finished block at eq.destination. `round` staggers
+/// rack-aware machinery (Algorithm 1 per rack, then the cross-rack shape
+/// selected by eq.scheme, rooted at the destination). Partials are read at
+/// their resident nodes and seed their racks' reductions. Returns the op
+/// producing the finished block at eq.destination. `round` staggers
 /// readiness estimates exactly as in multi-failure planning.
 OpId plan_remainder(RepairPlan& plan, const topology::Placement& placement,
                     const RemainderEquation& eq, const RprOptions& opts,
                     std::size_t round);
+
+/// Picks the cheapest cross-rack shape for a remainder equation given where
+/// its values (terms at their placement nodes + partials) reside relative
+/// to `recovery_rack`: one value per outside rack -> direct shipping
+/// (traditional), >= 2 outside racks with aggregatable groups -> pipeline
+/// (RPR), else star (CAR).
+[[nodiscard]] RemainderScheme choose_remainder_scheme(
+    const topology::Placement& placement, const RemainderEquation& eq);
 
 }  // namespace rpr::repair

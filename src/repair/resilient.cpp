@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <optional>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "repair/executor_data.h"
 #include "repair/lowering.h"
@@ -20,22 +24,31 @@ namespace {
 
 constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
 
+/// One banked partial sum: `value` equals XOR over `terms` of
+/// coeff * block, resident at `node`, exposed to plans as pseudo stripe
+/// slot `slot`. Partials may live away from the destination — a partition
+/// survivor's rack aggregate stays banked at the helper that built it.
+struct BankedPartial {
+  rs::Block value;
+  LeafTerms terms;
+  topology::NodeId node = 0;
+  std::size_t slot = kNoSlot;
+};
+
 /// Session state for one outstanding equation (one failed block).
 struct EqState {
   std::size_t failed_block = 0;
   /// Terms still to be fetched from their storage nodes.
   LeafTerms remaining;
-  /// Terms whose contribution is already in `partial` at `destination`.
-  LeafTerms banked;
-  rs::Block partial;  ///< empty = no banked work
-  /// Pseudo stripe slot the partial occupied in the attempted plan.
-  std::size_t slot = kNoSlot;
+  /// Partial sums already accumulated somewhere alive.
+  std::vector<BankedPartial> partials;
   topology::NodeId destination = 0;
   bool with_matrix = false;
+  /// Cross-rack shape for the next remainder plan; switched when the
+  /// destination is relocated (recovery rack died or cannot commit).
+  RemainderScheme scheme = RemainderScheme::kPipeline;
   bool done = false;
   rs::Block result;
-
-  [[nodiscard]] bool has_partial() const { return !partial.empty(); }
 };
 
 void drop_zero_terms(LeafTerms& terms) {
@@ -43,29 +56,39 @@ void drop_zero_terms(LeafTerms& terms) {
 }
 
 /// Banks every reusable finished value of the failed attempt into the
-/// equation's partial: a value at the destination is folded in when its
+/// equation's partial set: a value at any alive node is folded in when its
 /// leaf contributions exactly match a subset of the outstanding terms
-/// (including the previous round's partial via its pseudo slot), leaves
-/// disjoint across accepted values. Returns how many values were folded.
+/// (including prior partials via their pseudo slots), leaves disjoint
+/// across accepted values. Accepted values merge per resident node into
+/// one partial each. Returns how many values were folded.
 std::size_t fold_finished_values(
     EqState& s, const RepairPlan& plan,
     const std::vector<LeafTerms>& contrib,
-    const std::vector<std::pair<OpId, rs::Block>>& finished) {
-  // What the destination still owes us, with the existing partial appearing
-  // as one more pseudo term.
+    const std::vector<std::pair<OpId, rs::Block>>& finished,
+    const std::set<topology::NodeId>& dead) {
+  // What is still owed, with every existing partial appearing as one more
+  // pseudo term.
   LeafTerms owed = s.remaining;
-  if (s.has_partial() && s.slot != kNoSlot) owed[s.slot] = 1;
+  std::map<std::size_t, std::size_t> partial_of_slot;
+  for (std::size_t i = 0; i < s.partials.size(); ++i) {
+    if (s.partials[i].slot == kNoSlot) continue;
+    owed[s.partials[i].slot] = 1;
+    partial_of_slot[s.partials[i].slot] = i;
+  }
 
-  // Candidates: finished values resident at the destination, largest leaf
-  // set first so one big intermediate beats the reads it was built from.
+  // Candidates: finished values on alive nodes. Destination-resident
+  // values first, then largest leaf set, so one big intermediate beats the
+  // reads it was built from and the destination keeps priority.
   std::vector<const std::pair<OpId, rs::Block>*> candidates;
   for (const auto& f : finished) {
-    if (plan.ops[f.first].node == s.destination && !contrib[f.first].empty()) {
-      candidates.push_back(&f);
-    }
+    if (dead.count(plan.ops[f.first].node) != 0) continue;
+    if (!contrib[f.first].empty()) candidates.push_back(&f);
   }
   std::sort(candidates.begin(), candidates.end(),
             [&](const auto* a, const auto* b) {
+              const bool da = plan.ops[a->first].node == s.destination;
+              const bool db = plan.ops[b->first].node == s.destination;
+              if (da != db) return da;
               const std::size_t ca = contrib[a->first].size();
               const std::size_t cb = contrib[b->first].size();
               return ca != cb ? ca > cb : a->first < b->first;
@@ -85,41 +108,75 @@ std::size_t fold_finished_values(
       }
     }
     if (!usable) continue;
-    for (const auto& [leaf, coeff] : leaves) covered.insert(leaf);
+    for (const auto& [leaf, coeff] : leaves) {
+      (void)coeff;
+      covered.insert(leaf);
+    }
     accepted.push_back(cand);
   }
   if (accepted.empty()) return 0;
 
-  // New partial = XOR of accepted values, plus the old partial when no
-  // accepted value subsumed it (its bytes are still at the destination).
-  rs::Block next(accepted.front()->second.size(), 0);
-  auto xor_into = [&next](const rs::Block& src) {
-    for (std::size_t i = 0; i < next.size(); ++i) next[i] ^= src[i];
-  };
-  for (const auto* cand : accepted) xor_into(cand->second);
-  const bool partial_subsumed =
-      s.has_partial() && s.slot != kNoSlot && covered.count(s.slot) != 0;
-  if (s.has_partial() && !partial_subsumed) xor_into(s.partial);
-
-  // Move the covered real terms from remaining to banked.
-  for (const std::size_t leaf : covered) {
-    const auto it = s.remaining.find(leaf);
-    if (it == s.remaining.end()) continue;  // the pseudo partial slot
-    s.banked[leaf] ^= it->second;
-    s.remaining.erase(it);
+  // One new partial per resident node: XOR of the accepted values there,
+  // its term set the union of the real leaves they cover. An accepted
+  // value whose leaves include a prior partial's slot absorbs that partial
+  // (its bytes are already inside the value).
+  std::map<topology::NodeId, BankedPartial> grouped;
+  for (const auto* cand : accepted) {
+    const topology::NodeId node = plan.ops[cand->first].node;
+    BankedPartial& g = grouped[node];
+    g.node = node;
+    if (g.value.empty()) g.value.assign(cand->second.size(), 0);
+    for (std::size_t i = 0; i < g.value.size(); ++i) {
+      g.value[i] ^= cand->second[i];
+    }
+    for (const auto& [leaf, coeff] : contrib[cand->first]) {
+      const auto pit = partial_of_slot.find(leaf);
+      if (pit != partial_of_slot.end()) {
+        for (const auto& [b, c] : s.partials[pit->second].terms) {
+          g.terms[b] ^= c;
+        }
+      } else {
+        g.terms[leaf] ^= coeff;
+      }
+    }
+    drop_zero_terms(g.terms);
   }
-  drop_zero_terms(s.banked);
-  s.partial = std::move(next);
+
+  // Prior partials: absorbed ones drop; a survivor co-located with a new
+  // group XOR-merges into it; the rest carry over untouched.
+  std::vector<BankedPartial> next;
+  for (auto& p : s.partials) {
+    if (p.slot != kNoSlot && covered.count(p.slot) != 0) continue;
+    const auto git = grouped.find(p.node);
+    if (git != grouped.end()) {
+      BankedPartial& g = git->second;
+      for (std::size_t i = 0; i < g.value.size(); ++i) {
+        g.value[i] ^= p.value[i];
+      }
+      for (const auto& [b, c] : p.terms) g.terms[b] ^= c;
+      drop_zero_terms(g.terms);
+    } else {
+      next.push_back(std::move(p));
+    }
+  }
+  for (auto& [node, g] : grouped) {
+    (void)node;
+    next.push_back(std::move(g));
+  }
+
+  // Covered real terms move out of the outstanding equation.
+  for (const std::size_t leaf : covered) s.remaining.erase(leaf);
+  s.partials = std::move(next);
   return accepted.size();
 }
 
 topology::NodeId pick_new_destination(
     const topology::Cluster& cluster, topology::RackId preferred_rack,
-    const std::set<topology::NodeId>& dead,
+    const std::set<topology::NodeId>& avoid,
     const std::vector<EqState>& eqs, const topology::Placement& placement,
     std::size_t total_blocks) {
   auto taken = [&](topology::NodeId node) {
-    if (dead.count(node) != 0) return true;
+    if (avoid.count(node) != 0) return true;
     for (const auto& s : eqs) {
       if (s.destination == node) return true;
     }
@@ -140,6 +197,12 @@ topology::NodeId pick_new_destination(
       "execute_resilient: no healthy replacement node left");
 }
 
+/// The always-on verification gate: online by default, and RPR_VERIFY_PLANS
+/// additionally forces the full uncached algebraic fold.
+bool verification_on() {
+  return verify::online_verify_enabled() || verify::verify_plans_enabled();
+}
+
 }  // namespace
 
 ResilientOutcome execute_resilient(const RepairProblem& problem,
@@ -156,6 +219,31 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
   const std::size_t total = code.config().total();
 
   const PlannedRepair planned = planner.plan(problem);
+
+  // Online verification of the initial plan, whenever the planner's name
+  // maps to a scheme with a closed-form traffic prediction. The algebraic
+  // fold runs once per distinct plan structure (fingerprint cache);
+  // topology and conservation are checked every time.
+  if (verification_on()) {
+    const std::string name = planner.name();
+    std::optional<Scheme> scheme;
+    if (name == "rpr") {
+      scheme = Scheme::kRpr;
+    } else if (name == "car") {
+      scheme = Scheme::kCar;
+    } else if (name == "traditional") {
+      scheme = Scheme::kTraditional;
+    }
+    if (scheme.has_value()) {
+      const bool skip =
+          !verify::verify_plans_enabled() &&
+          verify::algebra_cache_check_and_insert(
+              verify::plan_fingerprint(planned.plan, planned.outputs));
+      verify::throw_if_violated(
+          verify::verify_planned_repair(planned, problem, *scheme, skip),
+          "initial " + name + " plan");
+    }
+  }
 
   ResilientOutcome out;
   out.used_decoding_matrix = planned.used_decoding_matrix;
@@ -178,12 +266,38 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
 
   std::set<std::size_t> unusable(problem.failed.begin(), problem.failed.end());
   std::set<topology::NodeId> dead = opts.unavailable;
+  /// Latest permanent partition's per-node side map (empty = none seen).
+  std::vector<int> perm_side;
 
   RepairPlan cur_plan = planned.plan;
   std::vector<OpId> cur_outputs = planned.outputs;
   std::vector<std::size_t> eq_of_output(eqs.size());
   for (std::size_t i = 0; i < eqs.size(); ++i) eq_of_output[i] = i;
   std::vector<rs::Block> ext_stripe(stripe.begin(), stripe.end());
+
+  const auto salvage_throw = [&]() {
+    std::size_t values = 0;
+    std::uint64_t bytes = 0;
+    std::ostringstream os;
+    os << "re-plan budget (" << opts.max_replans << ") exhausted after "
+       << out.replans << " re-plan(s);";
+    for (const EqState& s : eqs) {
+      if (s.done) {
+        os << " b" << s.failed_block << ": rebuilt;";
+        continue;
+      }
+      values += s.partials.size();
+      std::uint64_t eq_bytes = 0;
+      for (const auto& p : s.partials) eq_bytes += p.value.size();
+      bytes += eq_bytes;
+      os << " b" << s.failed_block << ": " << s.remaining.size()
+         << " term(s) outstanding, " << s.partials.size()
+         << " banked partial(s), " << eq_bytes << " byte(s) salvageable";
+      for (const auto& p : s.partials) os << " @node" << p.node;
+      os << ";";
+    }
+    throw ReplanBudgetExhausted(out.replans, values, bytes, os.str());
+  };
 
   for (std::size_t round = 0;; ++round) {
     const AttemptOutcome a = attempt(cur_plan, cur_outputs, ext_stripe);
@@ -211,31 +325,91 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
       break;
     }
 
-    if (a.dead_node == fault::kNoNode) {
+    if (!a.partitioned && a.dead_node == fault::kNoNode) {
       throw std::runtime_error(
           "execute_resilient: attempt aborted without naming a dead node");
     }
     if (round >= opts.max_replans) {
-      throw std::runtime_error("execute_resilient: re-plan budget exhausted");
+      // Budget gone — but the aborting attempt's finished work still counts.
+      // Bank it (and drop partials stranded on the casualties) so the
+      // salvage report describes exactly what a future session can reuse.
+      if (!a.partitioned) {
+        for (const auto n : a.dead_nodes) dead.insert(n);
+        if (a.dead_nodes.empty()) dead.insert(a.dead_node);
+      }
+      const auto contrib = leaf_contributions(cur_plan);
+      for (std::size_t i = 0; i < cur_outputs.size(); ++i) {
+        EqState& s = eqs[eq_of_output[i]];
+        for (const auto& f : a.finished) {
+          if (f.first == cur_outputs[i]) {
+            s.result = f.second;
+            s.done = true;
+            break;
+          }
+        }
+      }
+      for (EqState& s : eqs) {
+        if (s.done) continue;
+        for (auto it = s.partials.begin(); it != s.partials.end();) {
+          if (dead.count(it->node) != 0) {
+            for (const auto& [b, c] : it->terms) s.remaining[b] ^= c;
+            it = s.partials.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        drop_zero_terms(s.remaining);
+        fold_finished_values(s, cur_plan, contrib, a.finished, dead);
+      }
+      salvage_throw();
     }
     ++out.replans;
     ++out.faults_injected;
-    dead.insert(a.dead_node);
+
+    const bool heal_expected = a.partitioned && a.heal_wait_s >= 0.0;
+    std::vector<topology::NodeId> casualties;
+    if (!a.partitioned) {
+      casualties = a.dead_nodes;
+      if (casualties.empty()) casualties.push_back(a.dead_node);
+      for (const auto n : casualties) dead.insert(n);
+    } else if (heal_expected) {
+      ++out.partition_waits;
+    } else if (!a.partition_side.empty()) {
+      perm_side = a.partition_side;
+    }
+
     if (opts.probe.metrics) {
       opts.probe.metrics->counter("repair.replans").increment();
       opts.probe.metrics->counter("repair.faults_injected").increment();
+      if (a.partitioned) {
+        opts.probe.metrics->counter("repair.partition_aborts").increment();
+      }
     }
     if (opts.probe.trace) {
       obs::Span span;
-      span.name = "replan (node " + std::to_string(a.dead_node) + " lost)";
+      if (a.partitioned) {
+        span.name = heal_expected
+                        ? "replan (partition, waiting " +
+                              std::to_string(a.heal_wait_s) + "s for heal)"
+                        : "replan (partition, permanent: rerouting)";
+        span.track = 0;
+      } else if (casualties.size() > 1) {
+        span.name = "replan (" + std::to_string(casualties.size()) +
+                    " nodes lost, failure domain)";
+        span.track = a.dead_node;
+      } else {
+        span.name = "replan (node " + std::to_string(a.dead_node) + " lost)";
+        span.track = a.dead_node;
+      }
       span.category = "replan";
-      span.track = a.dead_node;
       span.start_ns = static_cast<std::int64_t>(out.total_time_s * 1e9);
       span.dur_ns = 0;
       opts.probe.trace->add_span(std::move(span));
     }
 
-    // Every block on a dead node is gone for good.
+    // Every block on a dead node is gone for good. Partitioned helpers are
+    // NOT dead: their blocks stay candidates (usable after heal, or
+    // near-side sources under a permanent split).
     for (std::size_t b = 0; b < total; ++b) {
       if (dead.count(placement.node_of(b)) != 0) unusable.insert(b);
     }
@@ -266,65 +440,133 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
       EqState& s = eqs[e];
       if (s.done) continue;
 
-      if (dead.count(s.destination) != 0) {
-        // The replacement node itself died: its partial is gone — move the
-        // banked terms back into the outstanding equation and start a fresh
-        // partial at a new destination.
-        for (const auto& [b, c] : s.banked) s.remaining[b] ^= c;
-        drop_zero_terms(s.remaining);
-        s.banked.clear();
-        s.partial.clear();
-        s.slot = kNoSlot;
+      // Partials on dead nodes are gone: their terms go back outstanding.
+      for (auto it = s.partials.begin(); it != s.partials.end();) {
+        if (dead.count(it->node) != 0) {
+          for (const auto& [b, c] : it->terms) s.remaining[b] ^= c;
+          it = s.partials.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      drop_zero_terms(s.remaining);
+
+      // Bank freshly finished values wherever they survived — including a
+      // partitioned helper's rack aggregate; unreachable is not lost.
+      out.reused_values +=
+          fold_finished_values(s, cur_plan, contrib, a.finished, dead);
+
+      // Relocate the destination when it died or cannot commit; this is
+      // the scheme-switch point — the new recovery rack may favor a
+      // different cross-rack shape.
+      bool relocated = false;
+      if (dead.count(s.destination) != 0 ||
+          opts.no_commit.count(s.destination) != 0) {
+        std::set<topology::NodeId> avoid = dead;
+        avoid.insert(opts.no_commit.begin(), opts.no_commit.end());
         s.destination = pick_new_destination(
-            cluster, cluster.rack_of(s.destination), dead, eqs, placement,
+            cluster, cluster.rack_of(s.destination), avoid, eqs, placement,
             total);
         out.destinations[e] = s.destination;
-      } else {
-        out.reused_values +=
-            fold_finished_values(s, cur_plan, contrib, a.finished);
+        relocated = true;
+      }
+
+      // A permanent fabric split: blocks and partials on the far side of
+      // this equation's destination are unreachable for good — but only
+      // for routing; the helpers stay alive and undeclared-lost.
+      std::set<std::size_t> eq_unusable = unusable;
+      if (!perm_side.empty()) {
+        const int near = perm_side[s.destination];
+        for (auto it = s.partials.begin(); it != s.partials.end();) {
+          if (perm_side[it->node] != near) {
+            for (const auto& [b, c] : it->terms) s.remaining[b] ^= c;
+            it = s.partials.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        drop_zero_terms(s.remaining);
+        for (std::size_t b = 0; b < total; ++b) {
+          if (perm_side[placement.node_of(b)] != near) eq_unusable.insert(b);
+        }
       }
 
       // Patch the outstanding equation around every unusable block.
       std::vector<std::size_t> bad;
       for (const auto& [b, c] : s.remaining) {
         (void)c;
-        if (unusable.count(b) != 0) bad.push_back(b);
+        if (eq_unusable.count(b) != 0) bad.push_back(b);
       }
       for (const std::size_t b : bad) {
-        substitute_source(code, s.remaining, b, unusable);
+        substitute_source(code, s.remaining, b, eq_unusable);
         // Patched coefficients are arbitrary: the cheap XOR-only decode
         // guarantee is void, so charge the matrix path from here on.
         s.with_matrix = true;
       }
+
+      // A destination-resident partial must take the lowest pseudo slot so
+      // the recovery-rack reduction roots at the destination (the traffic
+      // closed forms assume it).
+      std::stable_sort(s.partials.begin(), s.partials.end(),
+                       [&](const BankedPartial& x, const BankedPartial& y) {
+                         return static_cast<int>(x.node == s.destination) >
+                                static_cast<int>(y.node == s.destination);
+                       });
 
       RemainderEquation req;
       req.failed_block = s.failed_block;
       req.terms = s.remaining;
       req.destination = s.destination;
       req.with_matrix = s.with_matrix;
-      if (s.has_partial()) {
-        req.has_partial = true;
-        req.partial_slot = ext_stripe.size();
-        s.slot = req.partial_slot;
-        ext_stripe.push_back(s.partial);
-      } else {
-        s.slot = kNoSlot;
+      for (auto& p : s.partials) {
+        p.slot = ext_stripe.size();
+        req.partials.push_back(RemainderPartial{p.slot, p.node});
+        ext_stripe.push_back(p.value);
       }
+      if (relocated && !req.terms.empty()) {
+        const RemainderScheme chosen =
+            choose_remainder_scheme(placement, req);
+        if (chosen != s.scheme) {
+          ++out.scheme_switches;
+          s.scheme = chosen;
+          if (opts.probe.metrics) {
+            opts.probe.metrics->counter("repair.scheme_switches").increment();
+          }
+        }
+      }
+      req.scheme = s.scheme;
+
       next_outputs.push_back(plan_remainder(next_plan, placement, req,
                                             opts.planner, next_round_index++));
       next_eq_of_output.push_back(e);
-      audit.push_back(
-          verify::RemainderCheck{req, next_outputs.back(), s.banked});
+      verify::RemainderCheck check;
+      check.eq = req;
+      check.output = next_outputs.back();
+      for (const auto& p : s.partials) {
+        check.partial_decompositions[p.slot] = p.terms;
+      }
+      audit.push_back(std::move(check));
     }
 
-    if (!next_outputs.empty() && verify::verify_plans_enabled()) {
+    if (!next_outputs.empty() && verification_on()) {
+      const bool skip =
+          !verify::verify_plans_enabled() &&
+          verify::algebra_cache_check_and_insert(
+              verify::plan_fingerprint(next_plan, next_outputs));
       verify::throw_if_violated(
           verify::verify_remainder_plan(next_plan, placement, code, audit,
-                                        unusable),
+                                        unusable, skip),
           "mid-repair re-plan, round " + std::to_string(round));
     }
 
     if (next_outputs.empty()) break;  // everything finished before the fault
+
+    // Ride out a healing partition before retrying: the banked partials of
+    // unreachable-but-alive helpers stay valid, nothing is substituted.
+    if (heal_expected && opts.wait_for_heal) {
+      opts.wait_for_heal(a.heal_wait_s);
+    }
+
     cur_plan = std::move(next_plan);
     cur_outputs = std::move(next_outputs);
     eq_of_output = std::move(next_eq_of_output);
@@ -349,16 +591,42 @@ class SimChaosEngine {
   SimChaosEngine(const topology::Cluster& cluster,
                  const topology::NetworkParams& net,
                  const fault::FaultSchedule& faults)
-      : cluster_(cluster), net_(net), faults_(faults) {}
+      : cluster_(cluster), net_(net), faults_(faults) {
+    // Whole-rack deaths lower to per-node kills; the cut machinery below
+    // then reports the whole failure domain in one abort.
+    faults_.expand_racks(cluster);
+  }
+
+  /// Advances the session clock (the driver's wait-for-heal hook).
+  void advance_clock(double seconds) {
+    if (seconds > 0.0) clock_s_ += seconds;
+  }
 
   AttemptOutcome attempt(const RepairPlan& plan,
                          std::span<const OpId> outputs,
                          std::span<const rs::Block> stripe) {
     validate(plan, cluster_);
+
+    // A healing partition active right now and cut by this plan stalls the
+    // session until the fabric heals (the driver already counted the wait
+    // when the previous attempt aborted).
+    for (const auto& p : faults_.partitions) {
+      if (!p.heals()) continue;
+      const double heal_at = p.at_s + p.heal_after_s;
+      if (clock_s_ >= p.at_s && clock_s_ < heal_at &&
+          plan_crosses(p, plan)) {
+        clock_s_ = heal_at;
+      }
+    }
+
     simnet::SimNetwork sim(cluster_, net_);
     for (const auto& st : faults_.stragglers) {
       sim.slow_node(st.node, st.factor);
-      if (straggles_counted_.insert(st.node).second) ++straggler_faults_;
+      if (straggles_counted_.insert(st.node).second) ++injected_faults_;
+    }
+    for (const auto& d : faults_.slow_disks) {
+      sim.slow_compute(d.node, d.factor);
+      if (slowdisks_counted_.insert(d.node).second) ++injected_faults_;
     }
 
     // Shared lowering (repair/lowering.h): per-op task ranges index the
@@ -368,43 +636,73 @@ class SimChaosEngine {
         detail::lower_plan(sim, plan, net_.slice_size);
     const simnet::RunResult run = sim.run();
 
-    // Earliest kill that actually bites this attempt: some task touching the
-    // killed node would still be unfinished at the cut.
-    const fault::KillNode* biting = nullptr;
-    util::SimTime cut = 0;
+    // Earliest kill that bites this attempt: some task touching the killed
+    // node would still be unfinished at the cut. Non-biting kills stay
+    // pending — they bite (and are reported) the first time a plan needs
+    // the node.
+    const fault::KillNode* biting_kill = nullptr;
+    util::SimTime kill_cut = 0;
     for (const auto& kill : faults_.kills) {
       if (dead_.count(kill.node) != 0) continue;
-      const double rel_s = std::max(0.0, kill.at_s - clock_s_);
-      const auto kill_cut =
-          static_cast<util::SimTime>(rel_s * util::kNsPerSec);
-      if (kill_cut >= run.makespan) continue;
+      const util::SimTime cut = rel_cut(kill.at_s);
+      if (cut >= run.makespan) continue;
       bool touches = false;
       for (OpId id = 0; id < plan.ops.size() && !touches; ++id) {
         for (const simnet::TaskId t : lowered.slice_tasks[id]) {
           const simnet::TaskStats& st = run.tasks[t];
           if ((st.node == kill.node || st.from == kill.node) &&
-              st.finish > kill_cut) {
+              st.finish > cut) {
             touches = true;
             break;
           }
         }
       }
-      if (!touches) {
-        // The node dies, but this plan is already past needing it.
-        dead_.insert(kill.node);
-        continue;
+      if (!touches) continue;
+      if (biting_kill == nullptr || cut < kill_cut) {
+        biting_kill = &kill;
+        kill_cut = cut;
       }
-      if (biting == nullptr || kill_cut < cut) {
-        biting = &kill;
-        cut = kill_cut;
+    }
+
+    // Earliest partition that bites: a cross-cut transfer would run while
+    // the split is active.
+    const fault::Partition* biting_part = nullptr;
+    util::SimTime part_cut = 0;
+    for (const auto& p : faults_.partitions) {
+      const double heal_rel_s =
+          p.heals() ? (p.at_s + p.heal_after_s) - clock_s_ : -1.0;
+      if (p.heals() && heal_rel_s <= 0.0) continue;  // already healed
+      const util::SimTime cut = rel_cut(p.at_s);
+      if (cut >= run.makespan) continue;
+      const util::SimTime heal_cut =
+          p.heals() ? static_cast<util::SimTime>(heal_rel_s * util::kNsPerSec)
+                    : std::numeric_limits<util::SimTime>::max();
+      bool bites = false;
+      for (const simnet::TaskStats& st : run.tasks) {
+        if (st.kind != simnet::TaskKind::kTransfer || st.from == st.node) {
+          continue;
+        }
+        if (!p.separates(cluster_.rack_of(st.from),
+                         cluster_.rack_of(st.node))) {
+          continue;
+        }
+        if (st.finish > cut && st.start < heal_cut) {
+          bites = true;
+          break;
+        }
+      }
+      if (!bites) continue;
+      if (biting_part == nullptr || cut < part_cut) {
+        biting_part = &p;
+        part_cut = cut;
       }
     }
 
     AttemptOutcome a;
-    a.faults_injected = straggler_faults_;
-    straggler_faults_ = 0;
+    a.faults_injected = injected_faults_;
+    injected_faults_ = 0;
 
-    if (biting == nullptr) {
+    if (biting_kill == nullptr && biting_part == nullptr) {
       a.completed = true;
       a.outputs = execute_on_data(plan, outputs, stripe);
       a.elapsed_s = util::to_sec(run.makespan);
@@ -414,9 +712,38 @@ class SimChaosEngine {
       return a;
     }
 
-    dead_.insert(biting->node);
-    a.dead_node = biting->node;
-    a.elapsed_s = util::to_sec(cut);
+    // Ties go to the kill: a node death explains more than a reachability
+    // loss at the same instant.
+    const bool partition_wins =
+        biting_part != nullptr &&
+        (biting_kill == nullptr || part_cut < kill_cut);
+    const util::SimTime cut = partition_wins ? part_cut : kill_cut;
+    const double cut_s = util::to_sec(cut);
+
+    if (partition_wins) {
+      a.partitioned = true;
+      a.heal_wait_s =
+          biting_part->heals()
+              ? (biting_part->at_s + biting_part->heal_after_s) -
+                    (clock_s_ + cut_s)
+              : -1.0;
+      a.partition_side.resize(cluster_.total_nodes(), 0);
+      for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
+        a.partition_side[n] = biting_part->side_of(cluster_.rack_of(n));
+      }
+    } else {
+      // Report every node dead by the cut in one abort — a TOR death takes
+      // the whole rack down at once and one re-plan absorbs it.
+      for (const auto& kill : faults_.kills) {
+        if (dead_.count(kill.node) != 0) continue;
+        if (rel_cut(kill.at_s) <= cut) {
+          dead_.insert(kill.node);
+          a.dead_nodes.push_back(kill.node);
+        }
+      }
+      a.dead_node = biting_kill->node;
+    }
+    a.elapsed_s = cut_s;
     clock_s_ += a.elapsed_s;
 
     // Values fully materialized by the cut — every slice of the op landed —
@@ -451,13 +778,31 @@ class SimChaosEngine {
   }
 
  private:
+  /// Engine-relative cut time of an absolute schedule time.
+  [[nodiscard]] util::SimTime rel_cut(double at_s) const {
+    const double rel_s = std::max(0.0, at_s - clock_s_);
+    return static_cast<util::SimTime>(rel_s * util::kNsPerSec);
+  }
+
+  [[nodiscard]] bool plan_crosses(const fault::Partition& p,
+                                  const RepairPlan& plan) const {
+    for (const PlanOp& op : plan.ops) {
+      if (op.kind != OpKind::kSend || op.from == op.node) continue;
+      if (p.separates(cluster_.rack_of(op.from), cluster_.rack_of(op.node))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   const topology::Cluster& cluster_;
   topology::NetworkParams net_;
   fault::FaultSchedule faults_;
   double clock_s_ = 0.0;
   std::set<topology::NodeId> dead_;
   std::set<topology::NodeId> straggles_counted_;
-  std::size_t straggler_faults_ = 0;
+  std::set<topology::NodeId> slowdisks_counted_;
+  std::size_t injected_faults_ = 0;
 };
 
 }  // namespace
@@ -474,7 +819,12 @@ ResilientOutcome simulate_resilient(const RepairProblem& problem,
                                       std::span<const rs::Block> view) {
     return engine.attempt(plan, outputs, view);
   };
-  return execute_resilient(problem, planner, attempt, stripe, opts);
+  ResilientOptions adapted = opts;
+  if (!adapted.wait_for_heal) {
+    // Simulated time: riding out a heal is one clock jump, not a sleep.
+    adapted.wait_for_heal = [&engine](double s) { engine.advance_clock(s); };
+  }
+  return execute_resilient(problem, planner, attempt, stripe, adapted);
 }
 
 }  // namespace rpr::repair

@@ -28,6 +28,9 @@
 #include <functional>
 #include <set>
 #include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -48,6 +51,19 @@ struct AttemptOutcome {
   std::vector<rs::Block> outputs;
   /// aborted: the node declared lost (killed, or retries exhausted).
   topology::NodeId dead_node = fault::kNoNode;
+  /// aborted: every node declared lost by this attempt (a whole-rack death
+  /// names them all, so one re-plan absorbs the whole failure domain).
+  /// When empty, `dead_node` alone is the casualty list.
+  std::vector<topology::NodeId> dead_nodes;
+  /// aborted by a fabric partition: the blamed endpoints are ALIVE but
+  /// unreachable — the driver must not substitute their blocks away.
+  bool partitioned = false;
+  /// partitioned aborts: seconds until the cut heals (engine clock);
+  /// < 0 means the partition is permanent and the driver must reroute.
+  double heal_wait_s = -1.0;
+  /// partitioned aborts: side of the cut per node (index = NodeId, value
+  /// 0/1). Empty unless `partitioned`.
+  std::vector<int> partition_side;
   /// aborted: values fully materialized before the failure, excluding any
   /// resident on a dead node.
   std::vector<std::pair<OpId, rs::Block>> finished;
@@ -71,8 +87,17 @@ struct ResilientOptions {
   /// storage system is repairing around): never picked as replacement
   /// destinations during a re-plan.
   std::set<topology::NodeId> unavailable;
+  /// Nodes that can relay repair traffic but cannot hold a committed block
+  /// (disk full): never picked as re-plan destinations, and an equation
+  /// already destined there is relocated at the first re-plan opportunity.
+  std::set<topology::NodeId> no_commit;
   /// Options for remainder planning (pipeline shape, cross costs).
   RprOptions planner;
+  /// Called when an attempt aborted on a healing partition: the driver
+  /// waits this many engine-seconds before retrying instead of substituting
+  /// the unreachable helpers. Threaded engines sleep scaled wall time; the
+  /// simulator advances its session clock internally (hook may be empty).
+  std::function<void(double)> wait_for_heal;
   /// Telemetry: counters repair.replans / repair.retries /
   /// repair.faults_injected, plus one span per re-plan round.
   obs::Probe probe;
@@ -89,10 +114,46 @@ struct ResilientOutcome {
   std::size_t faults_injected = 0;
   /// Finished values banked into partials instead of being re-fetched.
   std::size_t reused_values = 0;
+  /// Re-plans that changed an equation's cross-rack shape (RPR <-> CAR <->
+  /// traditional) after its destination was relocated.
+  std::size_t scheme_switches = 0;
+  /// Aborts ridden out by waiting for a partition to heal (no substitution
+  /// of the unreachable helpers).
+  std::size_t partition_waits = 0;
   double total_time_s = 0.0;
   std::uint64_t cross_rack_bytes = 0;
   std::uint64_t inner_rack_bytes = 0;
   bool used_decoding_matrix = false;
+};
+
+/// Thrown when a repair session runs out of re-plan budget. Carries the
+/// salvage report: how much banked work survives for a future session.
+class ReplanBudgetExhausted : public std::runtime_error {
+ public:
+  ReplanBudgetExhausted(std::size_t replans, std::size_t salvaged_values,
+                        std::uint64_t salvaged_bytes, std::string report)
+      : std::runtime_error("execute_resilient: re-plan budget exhausted"),
+        replans_(replans),
+        salvaged_values_(salvaged_values),
+        salvaged_bytes_(salvaged_bytes),
+        report_(std::move(report)) {}
+
+  [[nodiscard]] std::size_t replans() const noexcept { return replans_; }
+  [[nodiscard]] std::size_t salvaged_values() const noexcept {
+    return salvaged_values_;
+  }
+  [[nodiscard]] std::uint64_t salvaged_bytes() const noexcept {
+    return salvaged_bytes_;
+  }
+  /// Human-readable abort report: per-equation outstanding terms and
+  /// banked partials at the moment the budget ran out.
+  [[nodiscard]] const std::string& report() const noexcept { return report_; }
+
+ private:
+  std::size_t replans_;
+  std::size_t salvaged_values_;
+  std::uint64_t salvaged_bytes_;
+  std::string report_;
 };
 
 /// Runs a repair session to completion: plans with `planner`, executes with
@@ -142,6 +203,10 @@ ResilientOutcome execute_resilient_with(Engine& engine,
     a.inner_rack_bytes = r.inner_rack_bytes;
     if (r.abort.has_value()) {
       a.dead_node = r.abort->dead_node;
+      a.dead_nodes = std::move(r.abort->dead_nodes);
+      a.partitioned = r.abort->partitioned;
+      a.heal_wait_s = r.abort->heal_wait_s;
+      a.partition_side = std::move(r.abort->partition_side);
       a.finished = std::move(r.abort->completed);
     } else {
       a.completed = true;
@@ -149,7 +214,17 @@ ResilientOutcome execute_resilient_with(Engine& engine,
     }
     return a;
   };
-  return execute_resilient(problem, planner, attempt, stripe, opts);
+  ResilientOptions adapted = opts;
+  if (!adapted.wait_for_heal) {
+    // Threaded engines run on a (scaled) wall clock: riding out a healing
+    // partition means actually sleeping until the cut re-opens.
+    adapted.wait_for_heal = [](double s) {
+      if (s > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(s));
+      }
+    };
+  }
+  return execute_resilient(problem, planner, attempt, stripe, adapted);
 }
 
 }  // namespace rpr::repair

@@ -46,6 +46,9 @@ Testbed::Testbed(topology::Cluster cluster, TestbedParams params)
   if (params_.retry.max_attempts == 0) {
     throw std::invalid_argument("Testbed: retry.max_attempts must be >= 1");
   }
+  // Whole-rack deaths lower to per-node kills; the abort machinery then
+  // reports the whole failure domain in one shot.
+  params_.faults.expand_racks(cluster_);
 }
 
 std::set<topology::NodeId> Testbed::dead_nodes() const {
@@ -89,6 +92,34 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
   std::atomic<std::size_t> faults{0};
   // First node whose loss made an op fail this run (reported in the abort).
   std::atomic<topology::NodeId> first_dead{fault::kNoNode};
+  // First partition that exhausted an op's retries (reported in the abort;
+  // the endpoints stay alive).
+  std::atomic<const fault::Partition*> first_cut{nullptr};
+
+  auto elapsed_s = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         session_start_)
+        .count();
+  };
+  // Active partition separating two racks right now, or nullptr.
+  auto active_partition = [&](topology::RackId a, topology::RackId b)
+      -> const fault::Partition* {
+    if (a == b || params_.faults.partitions.empty()) return nullptr;
+    const double t = elapsed_s();
+    for (const auto& p : params_.faults.partitions) {
+      if (p.active_at(t) && p.separates(a, b)) return &p;
+    }
+    return nullptr;
+  };
+  auto note_partition = [&](const fault::Partition* p) {
+    const fault::Partition* expected = nullptr;
+    first_cut.compare_exchange_strong(expected, p);
+  };
+  // Deterministic jitter key: schedule seed + retrying op + sender.
+  auto jitter_key = [&](OpId id, topology::NodeId node) -> std::uint64_t {
+    return params_.faults.seed ^ (static_cast<std::uint64_t>(id) << 24) ^
+           static_cast<std::uint64_t>(node);
+  };
 
   // A node is dead once its kill time passed or its retries were exhausted;
   // deaths outlive this execute() call (dead_ is a member).
@@ -119,29 +150,33 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
     blame(node);
   };
 
-  // Paced transfer sliced so a mid-transfer death interrupts it; returns
-  // false (transfer failed) when either endpoint died.
+  // Paced transfer sliced so a mid-transfer death or fabric cut interrupts
+  // it rather than completing it.
+  enum class Xfer { kOk, kDead, kCut };
   constexpr double kSliceS = 0.0005;
   auto paced_transfer = [&](std::uint64_t bytes, util::Bandwidth bw,
                             topology::NodeId from,
-                            topology::NodeId to) -> bool {
+                            topology::NodeId to) -> Xfer {
+    const topology::RackId rf = cluster_.rack_of(from);
+    const topology::RackId rt = cluster_.rack_of(to);
     const double total_s = static_cast<double>(bytes) /
                            (bw.as_bytes_per_sec() * params_.time_scale);
     double sent_s = 0.0;
     while (sent_s < total_s) {
       if (is_dead(from)) {
         blame(from);
-        return false;
+        return Xfer::kDead;
       }
       if (is_dead(to)) {
         blame(to);
-        return false;
+        return Xfer::kDead;
       }
+      if (active_partition(rf, rt) != nullptr) return Xfer::kCut;
       const double step = std::min(kSliceS, total_s - sent_s);
       std::this_thread::sleep_for(std::chrono::duration<double>(step));
       sent_s += step;
     }
-    return true;
+    return Xfer::kOk;
   };
 
   detail::name_node_tracks(cluster_, params_.recorder);
@@ -165,6 +200,19 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
           blame(self);
           state.fail(id);
           return;
+        }
+        if (const fault::SlowDisk* slow = params_.faults.slowdisk_of(self)) {
+          // A degraded disk serves the read at 1/factor of the inner link
+          // rate instead of instantly.
+          const topology::RackId r = cluster_.rack_of(self);
+          const double stall_s =
+              static_cast<double>(stripe[op.block].size()) * slow->factor /
+              (params_.net.between_racks(r, r).as_bytes_per_sec() *
+               params_.time_scale);
+          std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
+          op_stall_s += stall_s;
+          std::scoped_lock lock(fault_mu_);
+          if (slowdisk_counted_.insert(self).second) ++faults;
         }
         const Block& src = stripe[op.block];
         op_bytes = src.size();
@@ -274,31 +322,53 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
               op_stall_s += stall_s;
               if (attempt + 1 < params_.retry.max_attempts) {
                 ++retries;
-                std::this_thread::sleep_for(std::chrono::duration<double>(
-                    params_.retry.backoff_s(attempt)));
-                op_stall_s += params_.retry.backoff_s(attempt);
+                const double backoff = params_.retry.backoff_jittered_s(
+                    attempt, jitter_key(id, op.from));
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+                op_stall_s += backoff;
               }
               continue;
             }
             metrics.begin_flight(bytes);
+            Xfer xr;
             if (rf == rt) {
               std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
-              sent = paced_transfer(bytes, bw, op.from, op.node);
-              if (sent) inner_bytes += bytes;
+              xr = paced_transfer(bytes, bw, op.from, op.node);
             } else {
               std::scoped_lock ports(node_tx[op.from], rack_tx[rf],
                                      rack_rx[rt], node_rx[op.node]);
-              sent = paced_transfer(bytes, bw, op.from, op.node);
-              if (sent) cross_bytes += bytes;
+              xr = paced_transfer(bytes, bw, op.from, op.node);
             }
             metrics.end_flight(bytes);
-            if (!sent) break;  // endpoint died: retrying cannot help
+            if (xr == Xfer::kOk) {
+              (rf == rt ? inner_bytes : cross_bytes) += bytes;
+              sent = true;
+            } else if (xr == Xfer::kDead) {
+              break;  // endpoint died: retrying cannot help
+            } else if (attempt + 1 < params_.retry.max_attempts) {
+              // Cut by a partition: back off and retry — a later attempt
+              // may find the fabric healed.
+              ++retries;
+              const double backoff = params_.retry.backoff_jittered_s(
+                  attempt, jitter_key(id, op.from));
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(backoff));
+              op_stall_s += backoff;
+            }
           }
           if (!sent) {
-            // Either an endpoint died mid-transfer (blamed already) or
-            // every attempt hit the straggler deadline — the sender is
-            // lost.
-            if (first_dead.load() == fault::kNoNode) declare_lost(op.from);
+            if (const auto* p = active_partition(rf, rt)) {
+              // Retries ran out while the split was still active: the
+              // endpoints are alive — report a partition, declare no one
+              // lost.
+              note_partition(p);
+            } else if (first_dead.load() == fault::kNoNode) {
+              // Either an endpoint died mid-transfer (blamed already) or
+              // every attempt hit the straggler deadline — the sender is
+              // lost.
+              declare_lost(op.from);
+            }
             state.fail(id);
             return;
           }
@@ -340,14 +410,17 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
             op_stall_s += stall_s;
             if (attempt + 1 < params_.retry.max_attempts) {
               ++retries;
-              std::this_thread::sleep_for(std::chrono::duration<double>(
-                  params_.retry.backoff_s(attempt)));
-              op_stall_s += params_.retry.backoff_s(attempt);
+              const double backoff = params_.retry.backoff_jittered_s(
+                  attempt, jitter_key(id, op.from));
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(backoff));
+              op_stall_s += backoff;
             }
             continue;
           }
-          bool ok = true;
-          for (std::size_t s = next_slice; s < state.slices() && ok; ++s) {
+          Xfer xr = Xfer::kOk;
+          for (std::size_t s = next_slice;
+               s < state.slices() && xr == Xfer::kOk; ++s) {
             if (!state.wait_inputs_slice(op.inputs, s)) {
               state.fail(id);
               return;
@@ -359,14 +432,14 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
             metrics.begin_flight(len);
             if (rf == rt) {
               std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
-              ok = paced_transfer(len, bw, op.from, op.node);
+              xr = paced_transfer(len, bw, op.from, op.node);
             } else {
               std::scoped_lock ports(node_tx[op.from], rack_tx[rf],
                                      rack_rx[rt], node_rx[op.node]);
-              ok = paced_transfer(len, bw, op.from, op.node);
+              xr = paced_transfer(len, bw, op.from, op.node);
             }
             metrics.end_flight(len);
-            if (!ok) break;
+            if (xr != Xfer::kOk) break;
             (rf == rt ? inner_bytes : cross_bytes) += len;
             metrics.transfer_slice(
                 rf != rt,
@@ -379,15 +452,28 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
             state.publish_slices(id, s + 1);
             next_slice = s + 1;
           }
-          if (ok) {
+          if (xr == Xfer::kOk) {
             sent = true;
-          } else {
+          } else if (xr == Xfer::kDead) {
             endpoint_died = true;  // paced_transfer blamed the endpoint
             break;
+          } else if (attempt + 1 < params_.retry.max_attempts) {
+            // Cut by a partition: back off and resume from the first
+            // unforwarded slice — a later attempt may find it healed.
+            ++retries;
+            const double backoff = params_.retry.backoff_jittered_s(
+                attempt, jitter_key(id, op.from));
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+            op_stall_s += backoff;
           }
         }
         if (!sent) {
-          if (!endpoint_died && first_dead.load() == fault::kNoNode) {
+          if (const auto* p = active_partition(rf, rt);
+              p != nullptr && !endpoint_died) {
+            note_partition(p);
+          } else if (!endpoint_died &&
+                     first_dead.load() == fault::kNoNode) {
             declare_lost(op.from);
           }
           state.fail(id);
@@ -518,11 +604,34 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
     return result;
   }
 
-  if (first_dead.load() == fault::kNoNode) {
+  const fault::Partition* cut = first_cut.load();
+  if (first_dead.load() == fault::kNoNode && cut == nullptr) {
     throw std::logic_error("testbed: output failed with no node to blame");
   }
   TestbedAbort abort;
-  abort.dead_node = first_dead.load();
+  if (first_dead.load() != fault::kNoNode) {
+    abort.dead_node = first_dead.load();
+    // Sweep the schedule: every node whose kill time has passed is dead
+    // now — a TOR death reports the whole rack in one abort.
+    const double now_s = elapsed_s();
+    std::scoped_lock fl(fault_mu_);
+    for (const auto& kill : params_.faults.kills) {
+      if (kill.at_s <= now_s) dead_.insert(kill.node);
+    }
+    abort.dead_nodes.assign(dead_.begin(), dead_.end());
+  } else {
+    // A fabric split, not a death: nobody is declared lost, and the caller
+    // learns how long until the cut heals (< 0 = permanent).
+    abort.partitioned = true;
+    abort.heal_wait_s =
+        cut->heals()
+            ? std::max(0.0, (cut->at_s + cut->heal_after_s) - elapsed_s())
+            : -1.0;
+    abort.partition_side.resize(cluster_.total_nodes(), 0);
+    for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
+      abort.partition_side[n] = cut->side_of(cluster_.rack_of(n));
+    }
+  }
   {
     std::scoped_lock fl(fault_mu_);
     std::unique_lock lock(state.mu);

@@ -29,6 +29,15 @@
 // Testbed, which is what lets repair::execute_resilient_with re-plan around
 // them.
 //
+// Failure domains: rack kills expand to per-node kills at construction and
+// an abort reports every node dead at the cut, so one re-plan absorbs the
+// whole domain. A fabric partition makes cross-cut transfers fail as
+// retryable errors (jittered backoff may ride out a healing cut); when
+// retries run out while the split is still active the run aborts
+// `partitioned` WITHOUT declaring any node lost — the unreachable helpers
+// stay alive and their banked values stay valid. Slow disks stall reads at
+// 1/factor of the inner-link rate instead of serving them instantly.
+//
 // `time_scale` multiplies every bandwidth so experiments finish quickly:
 // with scale 32, a 1 Gb/s link moves a 4 MiB block in ~1 ms of wall time.
 // Ratios between schemes — what the figures report — are scale-invariant.
@@ -87,6 +96,18 @@ struct TestbedParams {
 /// Why and where an execute() gave up, plus everything it salvaged.
 struct TestbedAbort {
   topology::NodeId dead_node = 0;
+  /// Every node dead at abort time (a TOR death takes the whole rack down
+  /// at once, so one re-plan absorbs the whole failure domain). When empty,
+  /// `dead_node` alone is the casualty list.
+  std::vector<topology::NodeId> dead_nodes;
+  /// The abort was a fabric partition, not a death: the blamed endpoints
+  /// are ALIVE but unreachable and must not be substituted away.
+  bool partitioned = false;
+  /// partitioned: seconds (engine wall clock) until the cut heals; < 0
+  /// means the split is permanent and the caller must reroute.
+  double heal_wait_s = -1.0;
+  /// partitioned: side of the cut per node (index = NodeId, value 0/1).
+  std::vector<int> partition_side;
   /// Ops whose values fully materialized before the failure, excluding any
   /// resident on a dead node.
   std::vector<std::pair<repair::OpId, rs::Block>> completed;
@@ -144,6 +165,8 @@ class Testbed {
   /// Afflicted transfer attempts consumed per straggling node (transient
   /// straggles clear once this reaches the schedule's attempt budget).
   std::map<topology::NodeId, std::size_t> afflicted_;
+  /// Slow-disk nodes already counted as an injected fault this session.
+  std::set<topology::NodeId> slowdisk_counted_;
 };
 
 }  // namespace rpr::runtime

@@ -86,6 +86,19 @@ void SimNetwork::slow_node(NodeId node, double factor) {
   tx_slowdown_[node] = factor;
 }
 
+void SimNetwork::slow_compute(NodeId node, double factor) {
+  if (node >= cluster_.total_nodes()) {
+    throw std::invalid_argument("slow_compute: node out of range");
+  }
+  if (factor < 1.0) {
+    throw std::invalid_argument("slow_compute: factor must be >= 1");
+  }
+  if (compute_slowdown_.empty()) {
+    compute_slowdown_.assign(cluster_.total_nodes(), 1.0);
+  }
+  compute_slowdown_[node] = factor;
+}
+
 SimTime SimNetwork::decode_duration(std::uint64_t bytes,
                                     bool with_matrix) const {
   if (!params_.charge_compute) return 0;
@@ -177,7 +190,12 @@ RunResult SimNetwork::run() {
           continue;
         }
         st.start = now;
-        st.finish = now + t.duration;
+        SimTime cduration = t.duration;
+        if (!compute_slowdown_.empty() && compute_slowdown_[t.from] > 1.0) {
+          cduration = static_cast<SimTime>(static_cast<double>(cduration) *
+                                           compute_slowdown_[t.from]);
+        }
+        st.finish = now + cduration;
         node_cpu[t.from] = st.finish;
         running.push(Completion{st.finish, p.id});
         continue;

@@ -101,6 +101,10 @@ class SimNetwork {
   /// longer (a degraded NIC or flapping TOR port). factor must be >= 1.
   void slow_node(topology::NodeId node, double factor);
 
+  /// Slow-disk mode: every compute/decode step at `node` takes `factor`
+  /// times longer (degraded storage feeding the GF kernels). factor >= 1.
+  void slow_compute(topology::NodeId node, double factor);
+
   [[nodiscard]] const topology::Cluster& cluster() const noexcept {
     return cluster_;
   }
@@ -136,6 +140,8 @@ class SimNetwork {
   std::vector<Task> tasks_;
   /// Per-node outgoing-transfer slowdown (1.0 = healthy); empty when unused.
   std::vector<double> tx_slowdown_;
+  /// Per-node compute slowdown (slow disk feeding decode); empty = unused.
+  std::vector<double> compute_slowdown_;
   bool ran_ = false;
 };
 

@@ -7,6 +7,7 @@
 #include "repair/executor_data.h"
 #include "repair/resilient.h"
 #include "util/hash.h"
+#include "verify/plan_verifier.h"
 
 namespace rpr::storage {
 
@@ -37,6 +38,10 @@ StorageSystem::StorageSystem(StorageOptions opts)
   if (opts_.block_size == 0) {
     throw std::invalid_argument("StorageSystem: block_size must be positive");
   }
+  // Reject a chaos schedule that names nodes, racks or blocks this cluster
+  // does not have — a typo'd schedule must fail loudly at construction, not
+  // silently never fire.
+  opts_.chaos.validate(cluster_, code_.config().total());
 }
 
 StripeId StorageSystem::put(std::span<const std::uint8_t> object) {
@@ -200,10 +205,13 @@ void StorageSystem::apply_chaos_corruptions() {
   }
 }
 
-NodeId StorageSystem::pick_replacement(const Stripe& s, RackId rack) const {
+NodeId StorageSystem::pick_replacement(
+    const Stripe& s, RackId rack,
+    const std::set<topology::NodeId>& avoid) const {
   auto holds_stripe_block = [&](NodeId node) {
-    return std::find(s.node_of_block.begin(), s.node_of_block.end(), node) !=
-           s.node_of_block.end();
+    return avoid.count(node) != 0 ||
+           std::find(s.node_of_block.begin(), s.node_of_block.end(), node) !=
+               s.node_of_block.end();
   };
   auto blocks_in_rack = [&](RackId r) {
     std::size_t count = 0;
@@ -295,6 +303,19 @@ RepairReport StorageSystem::repair(StripeId stripe) {
   if (opts_.chaos.empty()) {
     const repair::PlannedRepair planned = planner.plan(problem);
     repair::validate(planned.plan, cluster_);
+    if (verify::online_verify_enabled() || verify::verify_plans_enabled()) {
+      // Online check before any bytes move: topology + conservation always,
+      // the algebraic fold once per distinct plan structure.
+      const bool skip =
+          !verify::verify_plans_enabled() &&
+          verify::algebra_cache_check_and_insert(
+              verify::plan_fingerprint(planned.plan, planned.outputs));
+      const repair::Scheme scheme =
+          use_fallback ? repair::Scheme::kRpr : opts_.repair_scheme;
+      verify::throw_if_violated(
+          verify::verify_planned_repair(planned, problem, scheme, skip),
+          "storage repair plan (stripe " + std::to_string(stripe) + ")");
+    }
     rebuilt = repair::execute_on_data(planned.plan, planned.outputs, view);
     const auto sim =
         repair::simulate(planned.plan, cluster_, opts_.network, opts_.probe);
@@ -310,6 +331,9 @@ RepairReport StorageSystem::repair(StripeId stripe) {
     ropts.probe = opts_.probe;
     for (NodeId node = 0; node < cluster_.total_nodes(); ++node) {
       if (!alive_[node]) ropts.unavailable.insert(node);
+      // A full disk still serves reads and partial decodes but can never
+      // accept the committed block — the driver must plan around it.
+      if (opts_.chaos.diskfull(node)) ropts.no_commit.insert(node);
     }
     const repair::ResilientOutcome out = repair::simulate_resilient(
         problem, planner, view, opts_.network, opts_.chaos, ropts);
@@ -325,6 +349,8 @@ RepairReport StorageSystem::repair(StripeId stripe) {
     report.retries = out.retries;
     report.faults_injected = out.faults_injected;
     report.reused_values = out.reused_values;
+    report.scheme_switches = out.scheme_switches;
+    report.partition_waits = out.partition_waits;
   }
 
   // Verified commit: a rebuilt block is installed only when its bytes hash
@@ -339,12 +365,28 @@ RepairReport StorageSystem::repair(StripeId stripe) {
     }
   }
   report.verified = true;
+  std::set<NodeId> no_commit;
+  for (NodeId node = 0; node < cluster_.total_nodes(); ++node) {
+    if (opts_.chaos.diskfull(node)) no_commit.insert(node);
+  }
   for (std::size_t i = 0; i < failed.size(); ++i) {
     // Drop any corrupt stale copy still sitting at the old location.
     const NodeId old_node = placement.node_of(failed[i]);
     if (alive_[old_node]) store_[old_node].erase(stripe, failed[i]);
-    store_[destinations[i]].put(stripe, failed[i], std::move(rebuilt[i]));
-    s.node_of_block[failed[i]] = destinations[i];
+    NodeId target = destinations[i];
+    if (no_commit.count(target) != 0) {
+      // The rebuilt bytes landed on a disk that cannot keep them: relocate
+      // the commit (the driver avoids full disks when it re-plans, but a
+      // run with no mid-repair abort never re-chose its destination).
+      std::set<NodeId> avoid = no_commit;
+      for (std::size_t j = i + 1; j < failed.size(); ++j) {
+        avoid.insert(destinations[j]);
+      }
+      target = pick_replacement(s, cluster_.rack_of(target), avoid);
+      ++report.relocated_commits;
+    }
+    store_[target].put(stripe, failed[i], std::move(rebuilt[i]));
+    s.node_of_block[failed[i]] = target;
     report.repaired_blocks.push_back(failed[i]);
   }
   return report;

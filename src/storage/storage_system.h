@@ -29,12 +29,23 @@
 //     session (repair::simulate_resilient): helpers killed mid-repair cause
 //     equation-patching re-plans, stragglers slow transfers, and the report
 //     carries replans/retries/faults alongside the usual traffic numbers.
+//     Rack-scale failure domains ride the same schedule: a TOR death
+//     (rack:R@T) fails a whole rack in one re-plan, a fabric partition
+//     leaves helpers alive-but-unreachable (their banked partials stay
+//     valid), a full disk (diskfull:NODE) can never accept a committed
+//     block — the driver plans around it and the commit path relocates as
+//     a last resort;
+//   * every plan — initial, degraded-read and mid-repair re-plan — is
+//     verified online before execution (topology + traffic conservation
+//     always; the algebraic fold gated behind a plan-fingerprint cache).
+//     RPR_VERIFY_ONLINE=0 disables, RPR_VERIFY_PLANS forces full algebra.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "fault/fault.h"
@@ -86,6 +97,13 @@ struct RepairReport {
   std::size_t retries = 0;
   std::size_t faults_injected = 0;
   std::size_t reused_values = 0;
+  /// Re-plans that switched the remainder onto a different aggregation
+  /// scheme (pipeline / star / direct) after the recovery rack changed.
+  std::size_t scheme_switches = 0;
+  /// Partition aborts ridden out by waiting for the cut to heal.
+  std::size_t partition_waits = 0;
+  /// Rebuilt blocks whose commit had to move off a full-disk destination.
+  std::size_t relocated_commits = 0;
 };
 
 class StorageSystem {
@@ -159,7 +177,8 @@ class StorageSystem {
   };
 
   [[nodiscard]] topology::NodeId pick_replacement(
-      const Stripe& s, topology::RackId rack) const;
+      const Stripe& s, topology::RackId rack,
+      const std::set<topology::NodeId>& avoid = {}) const;
   [[nodiscard]] std::vector<rs::Block> stripe_view(StripeId id,
                                                    const Stripe& s) const;
   /// Stored, digest-verified block presence check.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "gf/gf256.h"
 #include "util/contracts.h"
@@ -147,6 +149,11 @@ PlanVerifier& PlanVerifier::expect_traffic(
 
 PlanVerifier& PlanVerifier::expect_xor_only() {
   expect_xor_only_ = true;
+  return *this;
+}
+
+PlanVerifier& PlanVerifier::skip_algebra(bool skip) {
+  skip_algebra_ = skip;
   return *this;
 }
 
@@ -462,14 +469,15 @@ VerifyReport PlanVerifier::run() const {
   check_structure(report);
   check_reads(report);
   check_orphans(report);
-  check_algebra(report);
+  if (!skip_algebra_) check_algebra(report);
   check_conservation(report);
   return report;
 }
 
 VerifyReport verify_planned_repair(const repair::PlannedRepair& planned,
                                    const repair::RepairProblem& problem,
-                                   repair::Scheme scheme) {
+                                   repair::Scheme scheme,
+                                   bool skip_algebra) {
   RPR_REQUIRE(problem.code != nullptr && problem.placement != nullptr,
               "verify_planned_repair needs a fully specified problem");
   const topology::Placement& placement = *problem.placement;
@@ -513,6 +521,7 @@ VerifyReport verify_planned_repair(const repair::PlannedRepair& planned,
   v.expect_traffic(
       repair::analysis::predicted_traffic(scheme, problem, planned));
   if (!planned.used_decoding_matrix) v.expect_xor_only();
+  v.skip_algebra(skip_algebra);
   return v.run();
 }
 
@@ -545,7 +554,8 @@ VerifyReport verify_remainder_plan(const RepairPlan& plan,
                                    const topology::Placement& placement,
                                    const rs::RSCode& code,
                                    std::span<const RemainderCheck> checks,
-                                   const std::set<std::size_t>& forbidden) {
+                                   const std::set<std::size_t>& forbidden,
+                                   bool skip_algebra) {
   PlanVerifier v(plan, placement.cluster());
   v.with_placement(placement).with_code(code);
   v.forbid_blocks(forbidden);
@@ -554,21 +564,29 @@ VerifyReport verify_remainder_plan(const RepairPlan& plan,
   for (const RemainderCheck& c : checks) {
     LeafTerms terms = c.eq.terms;
     std::map<std::size_t, topology::NodeId> pseudo_nodes;
-    if (c.eq.has_partial) {
-      terms[c.eq.partial_slot] = 1;
-      pseudo_nodes[c.eq.partial_slot] = c.eq.destination;
-      v.add_pseudo_slot(c.eq.partial_slot, c.eq.destination,
-                        c.partial_decomposition);
+    for (const auto& p : c.eq.partials) {
+      terms[p.slot] = 1;
+      pseudo_nodes[p.slot] = p.node;
+      const auto dit = c.partial_decompositions.find(p.slot);
+      v.add_pseudo_slot(p.slot, p.node,
+                        dit == c.partial_decompositions.end()
+                            ? LeafTerms{}
+                            : dit->second);
     }
-    const auto one = repair::analysis::predicted_equation_traffic(
-        placement, terms, c.eq.destination,
-        c.eq.has_partial ? &pseudo_nodes : nullptr);
+    const auto* pn = c.eq.partials.empty() ? nullptr : &pseudo_nodes;
+    const auto one =
+        c.eq.scheme == repair::RemainderScheme::kDirect
+            ? repair::analysis::predicted_direct_equation_traffic(
+                  placement, terms, c.eq.destination, pn)
+            : repair::analysis::predicted_equation_traffic(
+                  placement, terms, c.eq.destination, pn);
     expected.cross_transfers += one.cross_transfers;
     expected.inner_transfers += one.inner_transfers;
     v.expect_output(c.output, c.eq.failed_block, c.eq.destination,
                     std::move(terms));
   }
   v.expect_traffic(expected);
+  v.skip_algebra(skip_algebra);
   return v.run();
 }
 
@@ -576,6 +594,52 @@ bool verify_plans_enabled() {
   const char* env = std::getenv("RPR_VERIFY_PLANS");
   return env != nullptr && *env != '\0' &&
          !(env[0] == '0' && env[1] == '\0');
+}
+
+bool online_verify_enabled() {
+  const char* env = std::getenv("RPR_VERIFY_ONLINE");
+  return env == nullptr || !(env[0] == '0' && env[1] == '\0');
+}
+
+std::uint64_t plan_fingerprint(const RepairPlan& plan,
+                               std::span<const OpId> outputs) {
+  std::uint64_t fp = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&fp](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fp ^= static_cast<std::uint8_t>(v >> (8 * i));
+      fp *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+  };
+  mix(plan.ops.size());
+  for (const PlanOp& op : plan.ops) {
+    mix(static_cast<std::uint64_t>(op.kind));
+    mix(op.node);
+    mix(op.from);
+    mix(op.block);
+    mix(op.coeff);
+    mix(op.with_matrix_cost ? 1 : 0);
+    mix(op.inputs.size());
+    for (const OpId in : op.inputs) mix(in);
+    for (const std::uint8_t c : op.input_coeffs) mix(c);
+  }
+  mix(outputs.size());
+  for (const OpId out : outputs) mix(out);
+  return fp;
+}
+
+bool algebra_cache_check_and_insert(std::uint64_t fingerprint) {
+  // A hit means a structurally identical plan's algebra already ran this
+  // process (a failed fold throws and aborts the repair, so cached entries
+  // only ever correspond to plans whose fold was at least attempted —
+  // re-running it on the identical structure proves nothing new). Bounded:
+  // the rare overflow just re-pays one algebra pass per cached plan.
+  static std::mutex mu;
+  static std::unordered_set<std::uint64_t> cache;
+  const std::lock_guard<std::mutex> lock(mu);
+  if (cache.count(fingerprint) != 0) return true;
+  if (cache.size() >= 8192) cache.clear();
+  cache.insert(fingerprint);
+  return false;
 }
 
 void throw_if_violated(const VerifyReport& report, const std::string& context) {

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <optional>
@@ -116,6 +117,12 @@ class PlanVerifier {
   /// must be 1.
   PlanVerifier& expect_xor_only();
 
+  /// Online fast path: skip the symbolic GF fold and generator identity
+  /// (the expensive O(ops * terms) pass) while keeping every topological
+  /// and conservation check. Used when a structurally identical plan's
+  /// algebra already passed (plan-fingerprint cache hit).
+  PlanVerifier& skip_algebra(bool skip = true);
+
   [[nodiscard]] VerifyReport run() const;
 
  private:
@@ -150,6 +157,7 @@ class PlanVerifier {
   std::vector<ExpectedOutput> outputs_;
   std::optional<repair::analysis::PredictedTraffic> expected_traffic_;
   bool expect_xor_only_ = false;
+  bool skip_algebra_ = false;
 };
 
 /// Full verification of a planner's output: algebra against the planned
@@ -157,7 +165,8 @@ class PlanVerifier {
 /// conservation against the scheme's closed form.
 [[nodiscard]] VerifyReport verify_planned_repair(
     const repair::PlannedRepair& planned,
-    const repair::RepairProblem& problem, repair::Scheme scheme);
+    const repair::RepairProblem& problem, repair::Scheme scheme,
+    bool skip_algebra = false);
 
 /// Verification of a degraded-read plan (single sub-equation delivered to
 /// an arbitrary destination node).
@@ -168,26 +177,46 @@ class PlanVerifier {
 
 /// One outstanding equation of a mid-repair re-plan, as the resilient
 /// driver knows it: the remainder terms, the op expected to produce it,
-/// and the banked partial's decomposition over real blocks (empty when no
-/// partial).
+/// and each banked partial's decomposition over real blocks, keyed by its
+/// pseudo slot (a missing slot means the partial is opaque).
 struct RemainderCheck {
   repair::RemainderEquation eq;
   repair::OpId output = repair::kNoOp;
-  repair::LeafTerms partial_decomposition;
+  std::map<std::size_t, repair::LeafTerms> partial_decompositions;
 };
 
 /// Verification of a patched plan emitted by the re-plan loop: each
 /// remainder equation folds to its terms, partials are read only at their
-/// banked destination, no forbidden block is touched, and the traffic
-/// matches the summed per-equation closed form.
+/// banked nodes, no forbidden block is touched, and the traffic matches
+/// the summed per-equation closed form (scheme-aware: pipeline/star vs
+/// direct shipping).
 [[nodiscard]] VerifyReport verify_remainder_plan(
     const repair::RepairPlan& plan, const topology::Placement& placement,
     const rs::RSCode& code, std::span<const RemainderCheck> checks,
-    const std::set<std::size_t>& forbidden);
+    const std::set<std::size_t>& forbidden, bool skip_algebra = false);
 
 /// True when the RPR_VERIFY_PLANS debug mode is on (env var set to a
 /// non-empty value other than "0"). Read per call so tests can toggle it.
 [[nodiscard]] bool verify_plans_enabled();
+
+/// True when online verification is on (the default): every plan and every
+/// mid-repair re-plan is verified before execution/commit. RPR_VERIFY_ONLINE
+/// set to "0" disables it (escape hatch for benchmarking the bare planner).
+/// The online fast path always runs the topological + conservation checks
+/// and gates the algebraic fold behind the plan-fingerprint cache;
+/// RPR_VERIFY_PLANS forces the full uncached algebra on top.
+[[nodiscard]] bool online_verify_enabled();
+
+/// FNV-1a fingerprint of a plan's full structure (ops, coefficients,
+/// nodes, inputs) plus its declared outputs — the key of the online
+/// algebra cache.
+[[nodiscard]] std::uint64_t plan_fingerprint(
+    const repair::RepairPlan& plan, std::span<const repair::OpId> outputs);
+
+/// Process-wide bounded cache of fingerprints whose algebraic fold already
+/// passed. Returns true on a hit (algebra may be skipped); on a miss the
+/// fingerprint is inserted and false returned.
+[[nodiscard]] bool algebra_cache_check_and_insert(std::uint64_t fingerprint);
 
 /// Throws std::logic_error carrying `context` and the full report when the
 /// report has violations; no-op otherwise.

@@ -1,0 +1,190 @@
+// Chaos fuzzing: randomized fault schedules (node kills, rack kills,
+// stragglers, slow disks, healing partitions) against the resilient
+// simulator. Every recoverable trial must end byte-identical; trials that
+// exceed the code's tolerance or the re-plan budget must abort with a
+// typed error, never a wrong block. Online plan verification stays at its
+// default (on), so every randomized re-plan is checked as it is planned.
+//
+// The seed comes from RPR_FUZZ_SEED (default below) and is embedded in
+// every assertion message, so a CI failure prints everything needed to
+// replay it locally:
+//
+//   RPR_FUZZ_SEED=<seed> ./chaos_fuzz_test
+#include "repair/resilient.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "repair/planner.h"
+#include "test_support.h"
+#include "topology/placement.h"
+#include "util/rng.h"
+
+using rpr::fault::FaultSchedule;
+using rpr::rs::Block;
+using rpr::topology::NodeId;
+using rpr::topology::RackId;
+
+namespace {
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("RPR_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260808;
+}
+
+/// Draws a random schedule over the (6,3) RPR-placed cluster. Kill counts
+/// are bounded so most trials stay recoverable, but nothing prevents the
+/// draw from exceeding tolerance — those trials must throw, not mis-repair.
+FaultSchedule random_schedule(rpr::util::Xoshiro256& rng, std::size_t racks,
+                              std::size_t nodes) {
+  FaultSchedule s;
+  s.seed = rng();
+  const auto frac = [&rng](double lo, double hi) {
+    const double u =
+        static_cast<double>(rng() >> 11) / static_cast<double>(1ull << 53);
+    return lo + u * (hi - lo);
+  };
+
+  const std::size_t node_kills = rng() % 3;  // 0..2
+  for (std::size_t i = 0; i < node_kills; ++i) {
+    s.kills.push_back({static_cast<NodeId>(rng() % nodes),
+                       frac(0.001, 0.050)});
+  }
+  if (rng() % 4 == 0) {
+    s.rack_kills.push_back({static_cast<RackId>(rng() % racks),
+                            frac(0.001, 0.050)});
+  }
+  if (rng() % 3 == 0) {
+    s.stragglers.push_back({static_cast<NodeId>(rng() % nodes),
+                            frac(2.0, 8.0), 1 + rng() % 3});
+  }
+  if (rng() % 3 == 0) {
+    s.slow_disks.push_back({static_cast<NodeId>(rng() % nodes),
+                            frac(2.0, 16.0)});
+  }
+  if (rng() % 4 == 0) {
+    // One rack cut off, healing: alive-but-unreachable helpers must be
+    // waited out, never substituted away.
+    const auto cut = static_cast<RackId>(rng() % racks);
+    std::vector<RackId> rest;
+    for (std::size_t r = 0; r < racks; ++r) {
+      if (r != cut) rest.push_back(static_cast<RackId>(r));
+    }
+    s.partitions.push_back({{cut}, rest, frac(0.001, 0.030),
+                            frac(0.050, 0.300)});
+  }
+  // De-duplicate per-node/per-rack entries the parser would reject; the
+  // programmatic API tolerates them but validate() keeps ids honest.
+  return s;
+}
+
+}  // namespace
+
+TEST(ChaosFuzz, RandomizedSchedulesNeverProduceAWrongBlock) {
+  const std::uint64_t seed = fuzz_seed();
+  rpr::util::Xoshiro256 rng(seed);
+
+  rpr::rs::RSCode code{rpr::rs::CodeConfig{6, 3}};
+  const auto placed = rpr::topology::make_placed_stripe(
+      {6, 3}, rpr::topology::PlacementPolicy::kRpr);
+  const auto planner = rpr::repair::make_planner(rpr::repair::Scheme::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 4096, seed ^ 0x9E37);
+  const std::size_t nodes = placed.cluster.total_nodes();
+  const std::size_t racks = placed.cluster.racks();
+
+  constexpr int kTrials = 40;
+  int recovered = 0;
+  int aborted = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::size_t failed = rng() % code.config().total();
+    FaultSchedule chaos = random_schedule(rng, racks, nodes);
+    chaos.validate(placed.cluster, code.config().total());
+
+    std::ostringstream ctx;
+    ctx << "RPR_FUZZ_SEED=" << seed << " trial=" << trial
+        << " failed_block=" << failed << " schedule={" << chaos.describe()
+        << "}";
+
+    rpr::repair::RepairProblem problem;
+    problem.code = &code;
+    problem.placement = &placed.placement;
+    problem.block_size = 64ull << 20;  // kills land mid-transfer
+    problem.failed = {failed};
+    problem.choose_default_replacements();
+
+    rpr::repair::ResilientOptions ropts;
+    ropts.max_replans = 6;
+    try {
+      const auto outcome = rpr::repair::simulate_resilient(
+          problem, *planner, stripe, rpr::topology::NetworkParams{}, chaos,
+          ropts);
+      ASSERT_EQ(outcome.outputs.size(), 1u) << ctx.str();
+      ASSERT_EQ(outcome.outputs[0], stripe[failed])
+          << ctx.str() << " — recovered block differs from the original";
+      ++recovered;
+    } catch (const rpr::repair::ReplanBudgetExhausted& e) {
+      // Coherent abort: the salvage report must exist and describe the
+      // outstanding work.
+      EXPECT_FALSE(e.report().empty()) << ctx.str();
+      ++aborted;
+    } catch (const std::runtime_error&) {
+      // Unrecoverable draw (too many erasures / permanent starvation):
+      // acceptable, as long as it is a typed abort and not a wrong result.
+      ++aborted;
+    }
+  }
+
+  // The schedule generator is tuned so chaos is survivable most of the
+  // time; an all-abort run means the driver lost its resilience.
+  EXPECT_GE(recovered, kTrials / 2)
+      << "RPR_FUZZ_SEED=" << seed << " recovered=" << recovered
+      << " aborted=" << aborted;
+}
+
+TEST(ChaosFuzz, SameSeedIsBitReproducible) {
+  const std::uint64_t seed = fuzz_seed();
+  rpr::rs::RSCode code{rpr::rs::CodeConfig{6, 3}};
+  const auto placed = rpr::topology::make_placed_stripe(
+      {6, 3}, rpr::topology::PlacementPolicy::kRpr);
+  const auto planner = rpr::repair::make_planner(rpr::repair::Scheme::kRpr);
+  const auto stripe = rpr::testing::random_stripe(code, 4096, seed ^ 0x9E37);
+
+  rpr::util::Xoshiro256 rng_a(seed);
+  rpr::util::Xoshiro256 rng_b(seed);
+  FaultSchedule sched_a = random_schedule(rng_a, placed.cluster.racks(),
+                                          placed.cluster.total_nodes());
+  FaultSchedule sched_b = random_schedule(rng_b, placed.cluster.racks(),
+                                          placed.cluster.total_nodes());
+  EXPECT_EQ(sched_a.describe(), sched_b.describe())
+      << "RPR_FUZZ_SEED=" << seed;
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 64ull << 20;
+  problem.failed = {1};
+  problem.choose_default_replacements();
+
+  const auto run = [&](const FaultSchedule& chaos) {
+    try {
+      return rpr::repair::simulate_resilient(
+          problem, *planner, stripe, rpr::topology::NetworkParams{}, chaos,
+          {});
+    } catch (const std::runtime_error&) {
+      return rpr::repair::ResilientOutcome{};
+    }
+  };
+  const auto a = run(sched_a);
+  const auto b = run(sched_b);
+  EXPECT_EQ(a.outputs, b.outputs) << "RPR_FUZZ_SEED=" << seed;
+  EXPECT_EQ(a.destinations, b.destinations) << "RPR_FUZZ_SEED=" << seed;
+  EXPECT_EQ(a.replans, b.replans) << "RPR_FUZZ_SEED=" << seed;
+  EXPECT_EQ(a.cross_rack_bytes, b.cross_rack_bytes)
+      << "RPR_FUZZ_SEED=" << seed;
+}

@@ -241,8 +241,7 @@ TEST(Replan, PlanRemainderFoldsInAPartial) {
     terms.erase(b);
   }
   eq.terms = terms;
-  eq.has_partial = true;
-  eq.partial_slot = stripe.size();
+  eq.partials.push_back({stripe.size(), eq.destination});
   stripe.push_back(partial);  // pseudo stripe slot holding the partial
 
   RepairPlan plan;
@@ -253,4 +252,149 @@ TEST(Replan, PlanRemainderFoldsInAPartial) {
   const std::array<OpId, 1> outputs = {out};
   const auto values = rpr::repair::execute_on_data(plan, outputs, stripe);
   EXPECT_EQ(values.at(0), stripe[0]);
+}
+
+TEST(FaultSchedule, ParsesFailureDomainKinds) {
+  const auto s = FaultSchedule::parse(
+      "rack:1@0.5; partition:{0+2|1}@0.25~1.5; slowdisk:4*3; diskfull:7");
+  ASSERT_EQ(s.rack_kills.size(), 1u);
+  EXPECT_EQ(s.rack_kills[0].rack, 1u);
+  EXPECT_DOUBLE_EQ(s.rack_kills[0].at_s, 0.5);
+  ASSERT_EQ(s.partitions.size(), 1u);
+  EXPECT_EQ(s.partitions[0].side_a, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(s.partitions[0].side_b, (std::vector<std::size_t>{1}));
+  EXPECT_DOUBLE_EQ(s.partitions[0].at_s, 0.25);
+  EXPECT_DOUBLE_EQ(s.partitions[0].heal_after_s, 1.5);
+  EXPECT_TRUE(s.partitions[0].heals());
+  ASSERT_EQ(s.slow_disks.size(), 1u);
+  EXPECT_EQ(s.slow_disks[0].node, 4u);
+  EXPECT_DOUBLE_EQ(s.slow_disks[0].factor, 3.0);
+  ASSERT_EQ(s.disk_fulls.size(), 1u);
+  EXPECT_EQ(s.disk_fulls[0].node, 7u);
+  EXPECT_TRUE(s.diskfull(7));
+  EXPECT_FALSE(s.diskfull(6));
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(FaultSchedule, PermanentPartitionParsesWithoutHeal) {
+  const auto s = FaultSchedule::parse("partition:{0|1}@2");
+  ASSERT_EQ(s.partitions.size(), 1u);
+  EXPECT_FALSE(s.partitions[0].heals());
+}
+
+TEST(FaultSchedule, DescribeRoundTripsFailureDomains) {
+  const auto original = FaultSchedule::parse(
+      "rack:2@0.75;partition:{0|1+2}@0.5~2;slowdisk:3*6;diskfull:11;seed:7");
+  const auto reparsed = FaultSchedule::parse(original.describe());
+  ASSERT_EQ(reparsed.rack_kills.size(), 1u);
+  EXPECT_EQ(reparsed.rack_kills[0].rack, 2u);
+  EXPECT_DOUBLE_EQ(reparsed.rack_kills[0].at_s, 0.75);
+  ASSERT_EQ(reparsed.partitions.size(), 1u);
+  EXPECT_EQ(reparsed.partitions[0].side_a, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(reparsed.partitions[0].side_b, (std::vector<std::size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(reparsed.partitions[0].heal_after_s, 2.0);
+  ASSERT_EQ(reparsed.slow_disks.size(), 1u);
+  EXPECT_DOUBLE_EQ(reparsed.slow_disks[0].factor, 6.0);
+  ASSERT_EQ(reparsed.disk_fulls.size(), 1u);
+  EXPECT_EQ(reparsed.disk_fulls[0].node, 11u);
+  EXPECT_EQ(reparsed.seed, 7u);
+}
+
+TEST(FaultSchedule, RejectsConflictingAndDuplicateEntries) {
+  // Duplicates of the same scope are conflicts, not refinements.
+  EXPECT_THROW(FaultSchedule::parse("kill:3@1;kill:3@2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("rack:1@0;rack:1@1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("slowdisk:2*3;slowdisk:2*4"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("diskfull:5;diskfull:5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("corrupt:2;corrupt:2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("straggle:1*2;straggle:1*3"),
+               std::invalid_argument);
+  // Malformed failure-domain entries die with a readable message.
+  EXPECT_THROW(FaultSchedule::parse("rack:1"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("partition:{0|}@1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("partition:{0|1}"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("slowdisk:2*0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("diskfull:"), std::invalid_argument);
+  // The error message names the offending entry.
+  try {
+    FaultSchedule::parse("kill:3@1;kill:3@2");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("kill:3@2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultSchedule, ValidateRejectsEntriesOutsideTheTopology) {
+  const rpr::topology::Cluster cluster(3, 3, 3);  // 18 nodes, racks 0..2
+  EXPECT_NO_THROW(
+      FaultSchedule::parse("kill:17@1;rack:2@1;partition:{0|1+2}@1")
+          .validate(cluster, 9));
+  EXPECT_THROW(FaultSchedule::parse("kill:18@1").validate(cluster),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("rack:3@1").validate(cluster),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("partition:{0|3}@1").validate(cluster),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("partition:{0+1|1}@1").validate(cluster),
+               std::invalid_argument)
+      << "a rack on both sides of the cut must be rejected";
+  EXPECT_THROW(FaultSchedule::parse("slowdisk:18*2").validate(cluster),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("diskfull:18").validate(cluster),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("corrupt:9").validate(cluster, 9),
+               std::invalid_argument);
+  EXPECT_NO_THROW(FaultSchedule::parse("corrupt:9").validate(cluster, 0))
+      << "total_blocks 0 skips the corrupt range check";
+}
+
+TEST(FaultSchedule, ExpandRacksLowersRackKillsToNodeKills) {
+  const rpr::topology::Cluster cluster(3, 2, 1);  // 9 nodes, 3 per rack
+  auto s = FaultSchedule::parse("rack:1@0.5;kill:4@0.1");
+  s.expand_racks(cluster);
+  EXPECT_TRUE(s.rack_kills.empty());
+  // Node 4 keeps its earlier explicit kill; 3 and 5 get the rack cut time.
+  ASSERT_NE(s.kill_of(3), nullptr);
+  ASSERT_NE(s.kill_of(4), nullptr);
+  ASSERT_NE(s.kill_of(5), nullptr);
+  EXPECT_DOUBLE_EQ(s.kill_of(3)->at_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.kill_of(4)->at_s, 0.1);
+  EXPECT_DOUBLE_EQ(s.kill_of(5)->at_s, 0.5);
+  EXPECT_EQ(s.kill_of(0), nullptr);
+}
+
+TEST(FaultRetryPolicy, JitteredBackoffIsDeterministicAndSpreads) {
+  RetryPolicy p;
+  p.base_backoff_s = 0.01;
+  p.backoff_multiplier = 2.0;
+  p.jitter = 0.25;
+
+  // Determinism: the same (retry, key) always sleeps the same amount.
+  EXPECT_DOUBLE_EQ(p.backoff_jittered_s(1, 42), p.backoff_jittered_s(1, 42));
+
+  // Bounds and spread: every sample lies in [b, b*(1+jitter)) and distinct
+  // keys de-correlate (no thundering herd of identical sleeps).
+  const double b = p.backoff_s(1);
+  std::set<double> samples;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const double s = p.backoff_jittered_s(1, key);
+    EXPECT_GE(s, b);
+    EXPECT_LT(s, b * (1.0 + p.jitter));
+    samples.insert(s);
+  }
+  EXPECT_GE(samples.size(), 48u) << "keys must de-correlate the sleeps";
+
+  // Jitter off means the pure exponential schedule.
+  p.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(p.backoff_jittered_s(3, 7), p.backoff_s(3));
 }

@@ -28,10 +28,19 @@
 //     --prom-port N         serve live metrics in Prometheus text format
 //                           on 127.0.0.1:N (0 = pick an ephemeral port)
 //                           for the duration of the run
-//     --chaos SPEC          inject faults (kill:N@T;straggle:N*F[xA];
-//                           corrupt:B;seed:S) and run a resilient session
+//     --chaos SPEC          inject faults and run a resilient session.
+//                           Entries (';' or ','-separated): kill:N@T,
+//                           straggle:N*F[xA], corrupt:B, rack:R@T,
+//                           partition:{A|B}@T[~D], slowdisk:N*F,
+//                           diskfull:N, seed:S — see fault/fault.h for the
+//                           full grammar. The schedule is validated against
+//                           the cluster and code before the run starts
 //     --fail-helper-at T    shorthand: kill the first helper node at T
 //                           seconds (simulated for simnet, wall for --tcp)
+//     --max-replans N       re-plan budget for resilient sessions
+//                           (default 8); an exhausted budget aborts the
+//                           repair coherently with exit code 3 and a
+//                           salvage report of every banked partial
 //     --straggler N,F[,A]   shorthand: slow node N's transfers by factor F
 //                           (clearing after A afflicted attempts if given)
 //     --verify              exhaustive plan lint: run the static verifier
@@ -47,10 +56,13 @@
 // planners and simulators behind a single adoptable command.
 //
 // With any fault flag the repair runs as a resilient session (bounded retry
-// with backoff, equation-patching re-plans on helper loss) and the rebuilt
-// blocks are verified byte-identical against the encoded stripe. Exit codes:
-// 0 success, 1 runtime error, 2 usage, 3 repair impossible (more failures
-// than the code tolerates), 4 a --verify sweep found a violated invariant.
+// with backoff, equation-patching re-plans on helper loss, scheme-switching
+// re-plans on recovery-rack loss, wait-or-reroute on fabric partitions) and
+// the rebuilt blocks are verified byte-identical against the encoded stripe.
+// Exit codes: 0 success, 1 runtime error, 2 usage, 3 repair impossible
+// (more failures than the code tolerates, or the re-plan budget ran out —
+// the abort report lists every salvageable banked partial), 4 a --verify
+// sweep found a violated invariant.
 //
 // --trace works with every engine: the port simulator and the fluid model
 // emit simulated-time spans (the fluid model additionally samples rack
@@ -100,9 +112,12 @@ int usage() {
       "               [--fluid | --tcp] [--time-scale X] [--slice-size BYTES]\n"
       "               [--trace FILE] [--metrics FILE] [--metrics-csv FILE]\n"
       "               [--critpath] [--prom-port N]\n"
-      "               [--chaos SPEC] [--fail-helper-at T]\n"
+      "               [--chaos SPEC] [--fail-helper-at T] [--max-replans N]\n"
       "               [--straggler NODE,FACTOR[,ATTEMPTS]]\n"
-      "       rpr_sim --verify [--verify-json FILE]\n");
+      "       rpr_sim --verify [--verify-json FILE]\n"
+      "chaos SPEC entries: kill:N@T  straggle:N*F[xA]  corrupt:B  rack:R@T\n"
+      "                    partition:{A|B}@T[~D]  slowdisk:N*F  diskfull:N\n"
+      "                    seed:S\n");
   return 2;
 }
 
@@ -380,6 +395,7 @@ int main(int argc, char** argv) {
   const char* verify_json = nullptr;
   fault::FaultSchedule chaos;
   double fail_helper_at = -1.0;
+  std::uint64_t max_replans = 8;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
@@ -448,6 +464,18 @@ int main(int argc, char** argv) {
         chaos.corruptions.insert(chaos.corruptions.end(),
                                  parsed.corruptions.begin(),
                                  parsed.corruptions.end());
+        chaos.rack_kills.insert(chaos.rack_kills.end(),
+                                parsed.rack_kills.begin(),
+                                parsed.rack_kills.end());
+        chaos.partitions.insert(chaos.partitions.end(),
+                                parsed.partitions.begin(),
+                                parsed.partitions.end());
+        chaos.slow_disks.insert(chaos.slow_disks.end(),
+                                parsed.slow_disks.begin(),
+                                parsed.slow_disks.end());
+        chaos.disk_fulls.insert(chaos.disk_fulls.end(),
+                                parsed.disk_fulls.begin(),
+                                parsed.disk_fulls.end());
         chaos.seed = parsed.seed;
       } catch (const std::exception& e) {
         std::fprintf(stderr, "rpr_sim: --chaos: %s\n", e.what());
@@ -455,6 +483,8 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--fail-helper-at") {
       fail_helper_at = parse_nonneg("--fail-helper-at", next());
+    } else if (a == "--max-replans") {
+      max_replans = parse_u64("--max-replans", next());
     } else if (a == "--verify") {
       verify_sweep = true;
     } else if (a == "--verify-json") {
@@ -550,6 +580,15 @@ int main(int argc, char** argv) {
       }
     }
 
+    // A schedule naming nodes, racks or blocks this cluster does not have
+    // must fail loudly before the run, not silently never fire.
+    try {
+      chaos.validate(placed.cluster, cfg.total());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rpr_sim: --chaos: %s\n", e.what());
+      return usage();
+    }
+
     std::printf("RS(%zu,%zu) %s placement, scheme %s, %zu failure(s), "
                 "block %.1f MiB\n", cfg.n, cfg.k,
                 policy == topology::PlacementPolicy::kContiguous ? "contiguous"
@@ -607,6 +646,13 @@ int main(int argc, char** argv) {
 
       repair::ResilientOptions ropts;
       ropts.probe = probe;
+      ropts.max_replans = static_cast<std::size_t>(max_replans);
+      // Full disks serve reads but can never hold the rebuilt block: the
+      // driver must relocate any destination that lands on one.
+      for (topology::NodeId node = 0; node < placed.cluster.total_nodes();
+           ++node) {
+        if (chaos.diskfull(node)) ropts.no_commit.insert(node);
+      }
 
       repair::ResilientOutcome outcome;
       if (tcp) {
@@ -636,6 +682,8 @@ int main(int argc, char** argv) {
       std::printf("retries           : %zu\n", outcome.retries);
       std::printf("faults injected   : %zu\n", outcome.faults_injected);
       std::printf("reused values     : %zu\n", outcome.reused_values);
+      std::printf("scheme switches   : %zu\n", outcome.scheme_switches);
+      std::printf("partition waits   : %zu\n", outcome.partition_waits);
       std::printf("cross-rack traffic: %.1f MB\n",
                   static_cast<double>(outcome.cross_rack_bytes) / 1e6);
       std::printf("inner-rack traffic: %.1f MB\n",
@@ -736,6 +784,18 @@ int main(int argc, char** argv) {
       std::printf("metrics (CSV)     : %s\n", metrics_csv_path.c_str());
     }
     return 0;
+  } catch (const repair::ReplanBudgetExhausted& e) {
+    // The chaos schedule outran the re-plan budget: the repair is abandoned
+    // coherently. Print what the session salvaged (an operator could feed
+    // the banked partials into a manual recovery) and exit "impossible".
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "%s\n", e.report().c_str());
+    std::fprintf(stderr,
+                 "salvaged: %zu banked value(s), %.1f MB across %zu "
+                 "re-plan(s)\n",
+                 e.salvaged_values(),
+                 static_cast<double>(e.salvaged_bytes()) / 1e6, e.replans());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "gf/gf65536.h"
 #include "gf/gf_region.h"
 #include "rs/rs_code.h"
 #include "util/rng.h"
@@ -79,6 +80,26 @@ void BM_MulRegionAdd(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_MulRegionAdd)->Apply(for_each_supported_tier);
+
+// GF(2^16) byte-planar region multiply-accumulate (wide codes: one symbol
+// per 2 bytes). Tiers without a 16-bit kernel (scalar) fall back to the
+// product-table path inside gf16::mul_region_add, so the sweep captures
+// the scalar baseline and each vector tier side by side like the GF(2^8)
+// rows. The region length is offset by one word so every vector tier also
+// runs its sub-block tail epilogue.
+void BM_Gf16MulRegionAdd(benchmark::State& state) {
+  if (!select_tier(state, state.range(1))) return;
+  const auto n = static_cast<std::size_t>(state.range(0)) + 2;
+  auto dst = random_buf(n, 5);
+  const auto src = random_buf(n, 6);
+  for (auto _ : state) {
+    rpr::gf16::mul_region_add(0x1B57, dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Gf16MulRegionAdd)->Apply(for_each_supported_tier);
 
 // Fused multi-source accumulate with the RS(6,3) source count: one pass
 // over six sources, destination written once.

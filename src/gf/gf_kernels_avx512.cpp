@@ -186,12 +186,9 @@ void gf16_mul_region_add_avx512(const Gf16SplitTables& t, std::uint8_t* dst,
   const __m512i mask = _mm512_set1_epi8(0x0F);
   const __m512i deint = _mm512_broadcast_i32x4(
       _mm_setr_epi8(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15));
-  std::size_t i = 0;
-  for (; i + 128 <= n; i += 128) {
-    const __m512i s0 =
-        _mm512_loadu_si512(reinterpret_cast<const void*>(src + i));
-    const __m512i s1 =
-        _mm512_loadu_si512(reinterpret_cast<const void*>(src + i + 64));
+  // One 128-byte block: s0/s1 in, the byte-planar products r0/r1 out, with
+  // output byte j corresponding to input byte j.
+  const auto block = [&](__m512i s0, __m512i s1, __m512i& r0, __m512i& r1) {
     const __m512i p0 = _mm512_shuffle_epi8(s0, deint);
     const __m512i p1 = _mm512_shuffle_epi8(s1, deint);
     const __m512i lob = _mm512_unpacklo_epi64(p0, p1);
@@ -208,8 +205,15 @@ void gf16_mul_region_add_avx512(const Gf16SplitTables& t, std::uint8_t* dst,
     outh = _mm512_xor_si512(outh, _mm512_shuffle_epi8(t2h, n2));
     outl = _mm512_xor_si512(outl, _mm512_shuffle_epi8(t3l, n3));
     outh = _mm512_xor_si512(outh, _mm512_shuffle_epi8(t3h, n3));
-    const __m512i r0 = _mm512_unpacklo_epi8(outl, outh);
-    const __m512i r1 = _mm512_unpackhi_epi8(outl, outh);
+    r0 = _mm512_unpacklo_epi8(outl, outh);
+    r1 = _mm512_unpackhi_epi8(outl, outh);
+  };
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    __m512i r0, r1;
+    block(_mm512_loadu_si512(reinterpret_cast<const void*>(src + i)),
+          _mm512_loadu_si512(reinterpret_cast<const void*>(src + i + 64)),
+          r0, r1);
     const __m512i d0 =
         _mm512_loadu_si512(reinterpret_cast<const void*>(dst + i));
     const __m512i d1 =
@@ -219,16 +223,25 @@ void gf16_mul_region_add_avx512(const Gf16SplitTables& t, std::uint8_t* dst,
     _mm512_storeu_si512(reinterpret_cast<void*>(dst + i + 64),
                         _mm512_xor_si512(d1, r1));
   }
-  for (; i + 2 <= n; i += 2) {
-    const unsigned x0 = src[i] & 0xF;
-    const unsigned x1 = src[i] >> 4;
-    const unsigned x2 = src[i + 1] & 0xF;
-    const unsigned x3 = src[i + 1] >> 4;
-    dst[i] = static_cast<std::uint8_t>(dst[i] ^ t.t[0][x0] ^ t.t[2][x1] ^
-                                       t.t[4][x2] ^ t.t[6][x3]);
-    dst[i + 1] = static_cast<std::uint8_t>(dst[i + 1] ^ t.t[1][x0] ^
-                                           t.t[3][x1] ^ t.t[5][x2] ^
-                                           t.t[7][x3]);
+  // Masked epilogue for the sub-block tail (whole u16 words only; a stray
+  // trailing byte is left untouched, as in the scalar tiers). Every split
+  // table maps nibble 0 to 0, so the zero-filled lanes of the maskz loads
+  // contribute nothing and the masked stores never touch bytes past the
+  // region.
+  const std::size_t r = (n - i) & ~std::size_t{1};
+  if (r != 0) {
+    const __mmask64 m0 =
+        r >= 64 ? ~__mmask64{0}
+                : _cvtu64_mask64((std::uint64_t{1} << r) - 1);
+    const __mmask64 m1 =
+        r <= 64 ? 0 : _cvtu64_mask64((std::uint64_t{1} << (r - 64)) - 1);
+    __m512i r0, r1;
+    block(_mm512_maskz_loadu_epi8(m0, src + i),
+          _mm512_maskz_loadu_epi8(m1, src + i + 64), r0, r1);
+    const __m512i d0 = _mm512_maskz_loadu_epi8(m0, dst + i);
+    const __m512i d1 = _mm512_maskz_loadu_epi8(m1, dst + i + 64);
+    _mm512_mask_storeu_epi8(dst + i, m0, _mm512_xor_si512(d0, r0));
+    _mm512_mask_storeu_epi8(dst + i + 64, m1, _mm512_xor_si512(d1, r1));
   }
 }
 

@@ -1,10 +1,15 @@
 #include "repair/analysis.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
+#include <map>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
 #include "util/contracts.h"
+#include "util/slice.h"
 
 namespace rpr::repair::analysis {
 
@@ -193,6 +198,118 @@ PredictedTraffic predicted_traffic(Scheme scheme, const RepairProblem& problem,
     t.inner_transfers += one.inner_transfers;
   }
   return t;
+}
+
+MakespanBound makespan_lower_bound(const RepairPlan& plan,
+                                   const topology::Cluster& cluster,
+                                   const topology::NetworkParams& net,
+                                   std::size_t slice_size) {
+  RPR_REQUIRE(plan.block_size > 0, "makespan bound needs a block size");
+  const std::uint64_t b = plan.block_size;
+  const std::size_t nslices = util::slice_count(b, slice_size);
+  const double first_len =
+      static_cast<double>(nslices == 1 ? b : slice_size);
+  const double last_len = static_cast<double>(
+      nslices == 1 ? b : util::slice_len(b, slice_size, nslices - 1));
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Per-op stage rate in bytes/s, mirroring lower_plan's cost model. An
+  // infinite rate (free read, uncharged compute, local move) contributes a
+  // zero-time stage.
+  const auto stage_rate = [&](const PlanOp& op) -> double {
+    switch (op.kind) {
+      case OpKind::kRead:
+        return kInf;
+      case OpKind::kSend: {
+        if (op.from == op.node) return kInf;
+        const bool cross = !cluster.same_rack(op.from, op.node);
+        return (cross ? net.cross : net.inner).as_bytes_per_sec();
+      }
+      case OpKind::kCombine: {
+        if (!net.charge_compute) return kInf;
+        const double rate =
+            (op.with_matrix_cost ? net.decode_with_matrix : net.decode_xor)
+                .as_bytes_per_sec();
+        const double passes = static_cast<double>(
+            op.inputs.size() >= 2 ? op.inputs.size() - 1 : 1);
+        return rate / passes;
+      }
+    }
+    return kInf;
+  };
+  const auto time_at = [](double bytes, double rate) -> double {
+    return rate == kInf ? 0.0 : bytes / rate;
+  };
+
+  const std::size_t nops = plan.ops.size();
+  std::vector<double> rate(nops);
+  for (OpId id = 0; id < nops; ++id) rate[id] = stage_rate(plan.ops[id]);
+
+  // Pipeline-depth bound. For any chain through stage m, the schedule
+  // cannot beat: the first slice rippling through the stages before m,
+  // plus m draining the whole block, plus the last slice rippling through
+  // the stages after m. Maximize over every (chain, m) with two
+  // longest-path passes: fwd[id] = max ramp-in ending just before id
+  // (first-slice times), bwd[id] = max ramp-out from just after id to a
+  // sink (last-slice times).
+  std::vector<double> fwd(nops, 0.0);
+  std::vector<bool> has_consumer(nops, false);
+  for (OpId id = 0; id < nops; ++id) {
+    for (const OpId in : plan.ops[id].inputs) {
+      has_consumer[in] = true;
+      fwd[id] = std::max(fwd[id], fwd[in] + time_at(first_len, rate[in]));
+    }
+  }
+  std::vector<double> bwd(nops, 0.0);
+  for (OpId id = nops; id-- > 0;) {
+    // bwd was filled by consumers below; sinks stay 0.
+    for (const OpId in : plan.ops[id].inputs) {
+      bwd[in] = std::max(bwd[in], bwd[id] + time_at(last_len, rate[id]));
+    }
+  }
+
+  MakespanBound out;
+  for (OpId id = 0; id < nops; ++id) {
+    const double drain = time_at(static_cast<double>(b), rate[id]);
+    const double chain = fwd[id] + drain + bwd[id];
+    if (chain > out.pipeline_depth_s) out.pipeline_depth_s = chain;
+  }
+  // L of the binding chain: count the stages on the longest hop-count path
+  // (reported for the classical (b/s + L - 1) * s / B_min reading).
+  std::vector<std::size_t> depth(nops, 1);
+  for (OpId id = 0; id < nops; ++id) {
+    for (const OpId in : plan.ops[id].inputs) {
+      depth[id] = std::max(depth[id], depth[in] + 1);
+    }
+    if (!has_consumer[id]) out.stages = std::max(out.stages, depth[id]);
+  }
+
+  // Port-load bound: total occupancy per node TX/RX port, rack cross-TX/RX
+  // port, and node compute.
+  std::map<std::pair<int, std::size_t>, double> busy;  // (class, id) -> s
+  enum { kNodeTx, kNodeRx, kRackTx, kRackRx, kCpu };
+  const double bytes = static_cast<double>(b);
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == OpKind::kSend && op.from != op.node) {
+      const bool cross = !cluster.same_rack(op.from, op.node);
+      const double dur =
+          bytes / (cross ? net.cross : net.inner).as_bytes_per_sec();
+      busy[{kNodeTx, op.from}] += dur;
+      busy[{kNodeRx, op.node}] += dur;
+      if (cross) {
+        busy[{kRackTx, cluster.rack_of(op.from)}] += dur;
+        busy[{kRackRx, cluster.rack_of(op.node)}] += dur;
+      }
+    } else if (op.kind == OpKind::kCombine && net.charge_compute) {
+      const double r = rate[&op - plan.ops.data()];
+      busy[{kCpu, op.node}] += time_at(bytes, r);
+    }
+  }
+  for (const auto& [port, dur] : busy) {
+    (void)port;
+    if (dur > out.port_load_s) out.port_load_s = dur;
+  }
+  return out;
 }
 
 }  // namespace rpr::repair::analysis

@@ -126,9 +126,48 @@ struct PredictedTraffic {
 
 /// Exact traffic for a planned repair under `scheme`: dispatches to the
 /// traditional closed form or sums `predicted_equation_traffic` over the
-/// planned sub-equations.
+/// planned sub-equations. (kRprChained shares the partial-decoding closed
+/// form: chaining reshapes the cross-rack schedule, not its byte counts.)
 [[nodiscard]] PredictedTraffic predicted_traffic(Scheme scheme,
                                                  const RepairProblem& problem,
                                                  const PlannedRepair& planned);
+
+// ---------------------------------------------------------------------------
+// Makespan lower bounds (timing invariants).
+//
+// Two schedule-independent floors, computed from the plan DAG and the port
+// model; no valid execution can finish faster, and a *chained* sliced
+// schedule should land within tolerance of them (that is what "pipelined"
+// means — every cross-rack port busy every slice interval).
+
+struct MakespanBound {
+  /// Pipeline-depth bound: with N = ceil(b/s) slices, any root->output
+  /// dependency chain with per-slice stage times t_1..t_L finishes no
+  /// earlier than sum_j t_j + (N-1) * max_j t_j — the first slice ripples
+  /// through every stage, then the slowest stage drains the remaining
+  /// slices serially. With uniform stages this is the classical
+  /// (b/s + L - 1) * s / B_min; the bound below is the max over all chains
+  /// of the generalized form. Whole-block mode (N = 1) degenerates to the
+  /// store-and-forward sum over the longest chain.
+  double pipeline_depth_s = 0.0;
+  /// Port-load bound: every byte through a node TX/RX or rack cross-TX/RX
+  /// port occupies it for bytes/bandwidth (combines likewise occupy their
+  /// node's compute); the makespan is at least the busiest port's total.
+  double port_load_s = 0.0;
+  /// Stage count L of the chain realizing the pipeline-depth bound.
+  std::size_t stages = 0;
+
+  [[nodiscard]] double seconds() const {
+    return pipeline_depth_s > port_load_s ? pipeline_depth_s : port_load_s;
+  }
+};
+
+/// Computes both floors for `plan` under `net`'s bandwidths and compute
+/// rates, at `slice_size` (0 = whole-block). Mirrors the lowering's cost
+/// model exactly: reads are free, sends run at the inner/cross link rate,
+/// combines at the XOR/matrix decode rate with one pass per extra input.
+[[nodiscard]] MakespanBound makespan_lower_bound(
+    const RepairPlan& plan, const topology::Cluster& cluster,
+    const topology::NetworkParams& net, std::size_t slice_size);
 
 }  // namespace rpr::repair::analysis

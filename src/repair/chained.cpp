@@ -1,0 +1,190 @@
+// RPR-chained: the paper's rack-aware aggregation composed with ECPipe-style
+// repair pipelining (Li et al., "Repair Pipelining for Erasure-Coded
+// Storage"; the rack-aware optimal-bandwidth framework confirms chaining
+// composes with rack-local partial decoding).
+//
+// The inner-rack phase is identical to RPR (Algorithm 1 pairwise trees).
+// The cross-rack phase differs: rather than a greedy merge tree rooted at
+// the recovery rack (whose cross-RX port then serializes the incoming
+// intermediates — 80.8% of the traditional star's makespan is that port's
+// wait), the contributing racks form one relay chain ordered
+// earliest-ready-first. Each hop sends the running sum to the next rack's
+// aggregator, which XORs in its own local partial and forwards; the final
+// hop lands at the replacement node. Every cross-rack link carries exactly
+// one block's worth of bytes (same totals as the star), but under slice
+// pipelining each link is busy every slice interval, so the makespan
+// approaches the pipeline-depth bound (b/s + L - 1) * s / B_min instead of
+// q serialized cross transfers.
+//
+// Whole-block execution of a chain serializes the hops (store-and-forward),
+// which is *slower* than the greedy tree — chained schedules are a
+// slice-mode scheme; the sweeps and benches run them with --slice-size.
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "repair/planner.h"
+#include "repair/reduction.h"
+#include "verify/plan_verifier.h"
+
+namespace rpr::repair {
+
+namespace {
+
+using detail::Value;
+
+/// Builds one sub-equation: RPR's per-rack pairwise trees, then the relay
+/// chain across racks. `round` staggers later sub-equations' readiness
+/// estimates (port contention with earlier ones) exactly like RPR.
+OpId plan_one_equation_chained(RepairPlan& plan, const RepairProblem& p,
+                               const rs::RepairEquation& eq,
+                               topology::NodeId replacement,
+                               const RprOptions& opts, bool with_matrix,
+                               std::size_t round) {
+  const auto& cluster = p.placement->cluster();
+  const topology::RackId recovery_rack = cluster.rack_of(replacement);
+
+  // Scaled leaf reads grouped by rack.
+  std::map<topology::RackId, std::vector<Value>> by_rack;
+  for (std::size_t i = 0; i < eq.sources.size(); ++i) {
+    if (eq.coefficients[i] == 0) continue;
+    const std::size_t b = eq.sources[i];
+    const topology::NodeId node = p.placement->node_of(b);
+    const OpId r = plan.read(node, b, eq.coefficients[i],
+                             "read b" + std::to_string(b));
+    by_rack[cluster.rack_of(node)].push_back(Value{r, node, 0.0, false});
+  }
+
+  // Algorithm 1 per rack. The recovery rack's intermediate hops to the
+  // replacement node and waits there as the chain's terminal summand; every
+  // other rack's intermediate becomes a relay station.
+  std::optional<Value> recovery_partial;
+  std::vector<Value> relays;
+  for (auto& [rack, values] : by_rack) {
+    Value v = detail::pairwise_tree(plan, std::move(values),
+                                    detail::kInnerCost);
+    v.ready += static_cast<double>(round) * detail::kInnerCost;
+    if (rack == recovery_rack) {
+      if (v.node != replacement) {
+        const OpId sent = plan.send(v.op, v.node, replacement, "inner:send");
+        v = Value{sent, replacement, v.ready + detail::kInnerCost, true};
+      } else {
+        v.at_recovery = true;
+      }
+      recovery_partial = v;
+    } else {
+      relays.push_back(v);
+    }
+  }
+
+  // Chain order: earliest-ready first, so the head starts streaming while
+  // downstream racks are still partial-decoding — each station only needs
+  // its local partial by the time the upstream slice arrives.
+  std::stable_sort(relays.begin(), relays.end(),
+                   [](const Value& a, const Value& b) {
+                     return a.ready < b.ready;
+                   });
+
+  const auto hop_cost = [&](topology::NodeId from,
+                            topology::NodeId to) -> double {
+    if (!opts.cross_cost) return detail::kCrossCost;
+    return opts.cross_cost(cluster.rack_of(from), cluster.rack_of(to));
+  };
+
+  // Relay the running sum down the chain: each station XORs in its own
+  // partial and forwards.
+  std::optional<Value> running;
+  for (const Value& r : relays) {
+    if (!running.has_value()) {
+      running = r;
+      continue;
+    }
+    const OpId sent =
+        plan.send(running->op, running->node, r.node, "chain:send");
+    const OpId merged = plan.combine(r.node, {sent, r.op}, false,
+                                     "chain:merge");
+    running = Value{merged, r.node,
+                    std::max(running->ready + hop_cost(running->node, r.node),
+                             r.ready),
+                    false};
+  }
+
+  // Final hop into the recovery rack, merged with its resident partial.
+  Value final_value;
+  if (running.has_value()) {
+    const OpId sent =
+        plan.send(running->op, running->node, replacement, "chain:send");
+    const double ready =
+        running->ready + hop_cost(running->node, replacement);
+    if (recovery_partial.has_value()) {
+      const OpId merged = plan.combine(
+          replacement, {sent, recovery_partial->op}, false, "chain:merge");
+      final_value =
+          Value{merged, replacement,
+                std::max(ready, recovery_partial->ready), true};
+    } else {
+      final_value = Value{sent, replacement, ready, true};
+    }
+  } else {
+    // Every survivor lives in the recovery rack; nothing crosses.
+    final_value = *recovery_partial;
+  }
+  return plan.combine(replacement, {final_value.op}, with_matrix,
+                      "finalize b" + std::to_string(eq.failed_block));
+}
+
+}  // namespace
+
+PlannedRepair RprChainedPlanner::plan(const RepairProblem& p) const {
+  if (p.code == nullptr || p.placement == nullptr) {
+    throw std::invalid_argument("rpr-chained: problem not fully specified");
+  }
+  if (p.failed.empty() || p.failed.size() != p.replacements.size()) {
+    throw std::invalid_argument("rpr-chained: bad failed/replacement sets");
+  }
+  const auto& cfg = p.code->config();
+  if (p.failed.size() > cfg.k) {
+    throw std::invalid_argument(
+        "rpr-chained: more than k failures is unrecoverable");
+  }
+
+  PlannedRepair out;
+  out.plan.block_size = p.block_size;
+
+  const topology::RackId primary_rack =
+      p.placement->cluster().rack_of(p.replacements[0]);
+
+  // Survivor selection is RPR's (§3.3): the chain changes the cross-rack
+  // schedule's shape, not which blocks participate.
+  const bool want_xor =
+      opts_.prefer_xor_set && p.failed.size() == 1 &&
+      cfg.is_data(p.failed[0]) && p.failed[0] != rs::p0_index(cfg);
+  if (want_xor) {
+    out.selected = p.code->default_selection(p.failed);
+  } else {
+    out.selected =
+        select_min_racks(*p.code, *p.placement, p.failed, primary_rack);
+  }
+  out.equations = p.code->repair_equations(p.failed, out.selected);
+  out.used_decoding_matrix = !(opts_.prefer_xor_set && p.failed.size() == 1 &&
+                               out.equations[0].xor_only());
+
+  out.outputs.resize(p.failed.size(), kNoOp);
+  for (std::size_t e = 0; e < out.equations.size(); ++e) {
+    out.outputs[e] = plan_one_equation_chained(
+        out.plan, p, out.equations[e], p.replacements[e], opts_,
+        out.used_decoding_matrix, e);
+  }
+  if (verify::verify_plans_enabled()) {
+    verify::throw_if_violated(
+        verify::verify_planned_repair(out, p, Scheme::kRprChained),
+        "rpr-chained planner");
+  }
+  return out;
+}
+
+}  // namespace rpr::repair

@@ -72,6 +72,8 @@ std::unique_ptr<Planner> make_planner(Scheme scheme) {
       return std::make_unique<CarPlanner>();
     case Scheme::kRpr:
       return std::make_unique<RprPlanner>();
+    case Scheme::kRprChained:
+      return std::make_unique<RprChainedPlanner>();
   }
   throw std::logic_error("make_planner: unknown scheme");
 }

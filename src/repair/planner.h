@@ -105,7 +105,28 @@ class RprPlanner final : public Planner {
   RprOptions opts_;
 };
 
-enum class Scheme { kTraditional, kCar, kRpr };
+/// Chained variant of RPR (ECPipe-style repair pipelining composed with the
+/// paper's rack-local aggregation): instead of reducing the rack
+/// intermediates with a greedy merge tree rooted at the recovery rack, the
+/// contributing racks are ordered into a single relay chain. Each rack's
+/// aggregator combines its local partial into the slice arriving from the
+/// upstream rack and forwards the running sum, so under slice pipelining
+/// every cross-rack port carries exactly one stream and is busy every slice
+/// interval — the recovery rack's cross-RX port receives one stream instead
+/// of q, which is what collapses its port wait. Cross-rack byte totals are
+/// identical to the star/tree shapes (one crossing per contributing rack);
+/// only the schedule's shape changes.
+class RprChainedPlanner final : public Planner {
+ public:
+  explicit RprChainedPlanner(RprOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "rpr-chained"; }
+  [[nodiscard]] PlannedRepair plan(const RepairProblem& p) const override;
+
+ private:
+  RprOptions opts_;
+};
+
+enum class Scheme { kTraditional, kCar, kRpr, kRprChained };
 [[nodiscard]] std::unique_ptr<Planner> make_planner(Scheme scheme);
 
 /// Plans the reconstruction of ONE unavailable block, delivered to an

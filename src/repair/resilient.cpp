@@ -229,6 +229,8 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
     std::optional<Scheme> scheme;
     if (name == "rpr") {
       scheme = Scheme::kRpr;
+    } else if (name == "rpr-chained") {
+      scheme = Scheme::kRprChained;
     } else if (name == "car") {
       scheme = Scheme::kCar;
     } else if (name == "traditional") {

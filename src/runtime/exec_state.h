@@ -160,6 +160,35 @@ class ExecState {
     return slices_ == 0 ? true : wait_inputs_slice(ids, slices_ - 1);
   }
 
+  /// Batch form of wait_inputs_slice: blocks until every input has
+  /// published slice `s`, then returns the count of contiguous slices
+  /// published by ALL inputs, capped at `max_upto` (> s, <= slices()).
+  /// Returns 0 when any input failed. A consumer keeping pace with its
+  /// producers sees exactly s + 1 (no behavior change); a consumer that
+  /// fell behind (or one fed by an instantly-published read) drains the
+  /// backlog in one call instead of one lock round-trip per slice.
+  std::size_t wait_inputs_slices_batch(const std::vector<repair::OpId>& ids,
+                                       std::size_t s, std::size_t max_upto) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] {
+      for (repair::OpId id : ids) {
+        if (failed[id]) return true;
+      }
+      for (repair::OpId id : ids) {
+        if (slices_done[id] <= s) return false;
+      }
+      return true;
+    });
+    for (repair::OpId id : ids) {
+      if (failed[id]) return 0;
+    }
+    std::size_t upto = max_upto > slices_ ? slices_ : max_upto;
+    for (repair::OpId id : ids) {
+      if (slices_done[id] < upto) upto = slices_done[id];
+    }
+    return upto;
+  }
+
   /// Marks slices [0, upto) of `id` published (producer wrote their bytes
   /// before calling). Monotonic; no-op on a resolved op (first-wins).
   void publish_slices(repair::OpId id, std::size_t upto) {

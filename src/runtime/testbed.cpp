@@ -154,6 +154,10 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
   // it rather than completing it.
   enum class Xfer { kOk, kDead, kCut };
   constexpr double kSliceS = 0.0005;
+  // Upper bound on one batched slice forward (see the sliced kSend path):
+  // large enough to amortize port locking and pacing-sleep granularity at
+  // 16 KiB slices, small enough to keep the pipeline fine-grained.
+  constexpr std::size_t kMaxBatchBytes = 256 << 10;
   auto paced_transfer = [&](std::uint64_t bytes, util::Bandwidth bw,
                             topology::NodeId from,
                             topology::NodeId to) -> Xfer {
@@ -249,8 +253,10 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
           }
           Block& out = state.storage(id);
           op_bytes = out.size();
-          for (std::size_t s = 0; s < state.slices(); ++s) {
-            if (!state.wait_inputs_slice(op.inputs, s)) {
+          for (std::size_t s = 0; s < state.slices();) {
+            const std::size_t avail = state.wait_inputs_slices_batch(
+                op.inputs, s, state.slices());
+            if (avail == 0) {
               state.fail(id);
               return;
             }
@@ -265,8 +271,10 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
             const std::size_t off = state.slice_offset(s);
             std::memcpy(out.data() + off,
                         state.value[op.inputs[0]].data() + off,
-                        state.slice_len(s));
-            state.publish_slices(id, s + 1);
+                        state.slice_offset(avail - 1) +
+                            state.slice_len(avail - 1) - off);
+            state.publish_slices(id, avail);
+            s = avail;
           }
           break;
         }
@@ -418,16 +426,29 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
             }
             continue;
           }
+          // Contiguous already-published input slices forward as ONE port
+          // acquisition and one paced transfer, capped so a backlog drain
+          // cannot coarsen the pipeline past kMaxBatchBytes. A consumer
+          // keeping pace with a streaming producer still sees one-slice
+          // batches; the cap only bites behind instantly-published reads
+          // or after a stall — which is where per-slice lock/pacing
+          // overhead used to make small slices a pessimization.
+          const std::size_t batch_slices = std::max<std::size_t>(
+              1, kMaxBatchBytes /
+                     std::max<std::size_t>(1, state.slice_len(0)));
           Xfer xr = Xfer::kOk;
           for (std::size_t s = next_slice;
-               s < state.slices() && xr == Xfer::kOk; ++s) {
-            if (!state.wait_inputs_slice(op.inputs, s)) {
+               s < state.slices() && xr == Xfer::kOk;) {
+            const std::size_t avail = state.wait_inputs_slices_batch(
+                op.inputs, s, s + batch_slices);
+            if (avail == 0) {
               state.fail(id);
               return;
             }
             if (s == 0) op_start = detail::TraceClock::now();
             const std::size_t off = state.slice_offset(s);
-            const std::size_t len = state.slice_len(s);
+            const std::size_t len = state.slice_offset(avail - 1) +
+                                    state.slice_len(avail - 1) - off;
             const auto t0 = std::chrono::steady_clock::now();
             metrics.begin_flight(len);
             if (rf == rt) {
@@ -449,8 +470,9 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
                 len);
             std::memcpy(out.data() + off,
                         state.value[op.inputs[0]].data() + off, len);
-            state.publish_slices(id, s + 1);
-            next_slice = s + 1;
+            state.publish_slices(id, avail);
+            next_slice = avail;
+            s = avail;
           }
           if (xr == Xfer::kOk) {
             sent = true;

@@ -83,6 +83,7 @@ const char* to_string(InvariantClass c) {
     case InvariantClass::kAlgebraic: return "algebraic";
     case InvariantClass::kTopological: return "topological";
     case InvariantClass::kConservation: return "conservation";
+    case InvariantClass::kTiming: return "timing";
   }
   return "?";
 }
@@ -588,6 +589,42 @@ VerifyReport verify_remainder_plan(const RepairPlan& plan,
   v.expect_traffic(expected);
   v.skip_algebra(skip_algebra);
   return v.run();
+}
+
+VerifyReport verify_makespan(const repair::RepairPlan& plan,
+                             const topology::Cluster& cluster,
+                             const topology::NetworkParams& net,
+                             std::size_t slice_size,
+                             double measured_makespan_s, bool expect_tight,
+                             double tolerance) {
+  VerifyReport report;
+  const repair::analysis::MakespanBound bound =
+      repair::analysis::makespan_lower_bound(plan, cluster, net, slice_size);
+  const double floor = bound.seconds();
+  // Numeric slack only: the floor is schedule-independent, so beating it is
+  // a model inconsistency, not an achievement.
+  if (measured_makespan_s < floor * (1.0 - 1e-6)) {
+    report.violations.push_back(Violation{
+        InvariantClass::kTiming, repair::kNoOp, kNoRack,
+        "measured makespan " + std::to_string(measured_makespan_s) +
+            " s beats the schedule-independent lower bound " +
+            std::to_string(floor) +
+            " s (pipeline-depth " + std::to_string(bound.pipeline_depth_s) +
+            " s over " + std::to_string(bound.stages) +
+            " stage(s), port-load " + std::to_string(bound.port_load_s) +
+            " s) — the schedule and the port model disagree"});
+  }
+  if (expect_tight && measured_makespan_s > floor * (1.0 + tolerance)) {
+    report.violations.push_back(Violation{
+        InvariantClass::kTiming, repair::kNoOp, kNoRack,
+        "measured makespan " + std::to_string(measured_makespan_s) +
+            " s misses the pipeline-depth lower bound " +
+            std::to_string(floor) + " s by more than " +
+            std::to_string(tolerance * 100.0) +
+            "% — the schedule is not actually pipelined (serialized hops "
+            "or a starved relay)"});
+  }
+  return report;
 }
 
 bool verify_plans_enabled() {

@@ -56,7 +56,7 @@
 
 namespace rpr::verify {
 
-enum class InvariantClass { kAlgebraic, kTopological, kConservation };
+enum class InvariantClass { kAlgebraic, kTopological, kConservation, kTiming };
 
 [[nodiscard]] const char* to_string(InvariantClass c);
 
@@ -194,6 +194,28 @@ struct RemainderCheck {
     const repair::RepairPlan& plan, const topology::Placement& placement,
     const rs::RSCode& code, std::span<const RemainderCheck> checks,
     const std::set<std::size_t>& forbidden, bool skip_algebra = false);
+
+/// Timing verification against the closed-form makespan lower bound
+/// (repair/analysis::makespan_lower_bound — pipeline-depth floor plus
+/// port-load floor under `net`'s port model at `slice_size`).
+///
+/// Two directions:
+///  * soundness — `measured_makespan_s` (a simulated or executed schedule
+///    of `plan`) must not beat the floor: a measurement below it means the
+///    schedule and the port model disagree (a mis-wired relay dependency
+///    lets slices skip a stage, which is exactly how a broken chain shows
+///    up in timing rather than in traffic counts);
+///  * tightness (`expect_tight`) — the measurement must land within
+///    `tolerance` (relative) of the floor. This is the *pipelining proof*
+///    for chained sliced schedules: a chain whose every cross-rack port is
+///    busy every slice interval meets the pipeline-depth bound; a
+///    mis-ordered chain or a star in disguise serializes hops and blows
+///    past it.
+[[nodiscard]] VerifyReport verify_makespan(
+    const repair::RepairPlan& plan, const topology::Cluster& cluster,
+    const topology::NetworkParams& net, std::size_t slice_size,
+    double measured_makespan_s, bool expect_tight = false,
+    double tolerance = 0.35);
 
 /// True when the RPR_VERIFY_PLANS debug mode is on (env var set to a
 /// non-empty value other than "0"). Read per call so tests can toggle it.

@@ -336,6 +336,217 @@ TEST(DomainStorage, RackKillChaosRepairsAndRoundTrips) {
   EXPECT_EQ(sys.get(sid), object);
 }
 
+// --- Chained relay schedules under chaos. A chain is the most
+// --- serialization-sensitive plan shape we emit: every relay depends on
+// --- the full upstream prefix, so a mid-chain death strands the longest
+// --- possible dependency tail. These tests pin the recovery contract: the
+// --- banked upstream partials (merges that finished before the fault)
+// --- survive into the re-plan, the remainder is re-planned as a star /
+// --- direct shape over what is left, and the rebuilt block stays
+// --- byte-identical on all three engines.
+
+namespace {
+
+/// One single-failure chained repair over a flat-placed (6,3) stripe: one
+/// block per rack, so the relay chain crosses six racks (five mid-chain
+/// relays plus the final hop into the replacement).
+struct ChainedDomainCase {
+  rpr::rs::RSCode code{rpr::rs::CodeConfig{6, 3}};
+  rpr::topology::PlacedStripe placed = rpr::topology::make_placed_stripe(
+      {6, 3}, rpr::topology::PlacementPolicy::kFlat);
+  std::vector<Block> stripe;
+  rpr::repair::RepairProblem problem;
+  std::unique_ptr<rpr::repair::Planner> planner =
+      rpr::repair::make_planner(rpr::repair::Scheme::kRprChained);
+
+  ChainedDomainCase(std::uint64_t plan_block, std::size_t data_bytes) {
+    stripe = rpr::testing::random_stripe(code, data_bytes, 77);
+    problem.code = &code;
+    problem.placement = &placed.placement;
+    problem.block_size = plan_block;
+    problem.failed = {0};
+    problem.choose_default_replacements();
+  }
+
+  [[nodiscard]] RackId failed_rack() const {
+    return placed.cluster.rack_of(
+        placed.placement.node_of(problem.failed[0]));
+  }
+
+  /// The relay stations, in chain order (aggregators of "chain:merge"
+  /// ops). Killing one in the middle strands the chain with finished
+  /// upstream merges to bank.
+  [[nodiscard]] std::vector<NodeId> relays() const {
+    const auto planned = planner->plan(problem);
+    std::vector<NodeId> out;
+    for (const auto& op : planned.plan.ops) {
+      if (op.label == "chain:merge") out.push_back(op.node);
+    }
+    if (out.size() < 3) {
+      throw std::runtime_error("chain too short for a mid-chain kill");
+    }
+    return out;
+  }
+
+  void expect_rebuilt(const rpr::repair::ResilientOutcome& outcome) const {
+    ASSERT_EQ(outcome.outputs.size(), 1u);
+    EXPECT_EQ(outcome.outputs[0], stripe[problem.failed[0]])
+        << "rebuilt block not byte-identical";
+  }
+};
+
+}  // namespace
+
+TEST(ChainedDomainSimnet, MidChainKillBanksUpstreamPartialsAndRebuilds) {
+  ChainedDomainCase c(64ull << 20, 4096);
+  // Cross hops take ~0.54 simulated s each; by 1.2 s the first two relay
+  // merges are finished and banked, and the third relay is mid-transfer.
+  FaultSchedule chaos;
+  chaos.kills.push_back({c.relays()[2], 1.2});
+
+  const auto outcome = rpr::repair::simulate_resilient(
+      c.problem, *c.planner, c.stripe, rpr::topology::NetworkParams{}, chaos,
+      {});
+
+  c.expect_rebuilt(outcome);
+  EXPECT_GE(outcome.replans, 1u);
+  EXPECT_GE(outcome.reused_values, 1u)
+      << "finished upstream chain merges must be banked, not refetched";
+}
+
+TEST(ChainedDomainSimnet, RackCutMidChainRelocatesAndRebuilds) {
+  ChainedDomainCase c(64ull << 20, 4096);
+  // The failed block's rack (failed block + its replacement) dies while
+  // the chain is still relaying toward it.
+  FaultSchedule chaos;
+  chaos.rack_kills.push_back({c.failed_rack(), 1.2});
+
+  const auto outcome = rpr::repair::simulate_resilient(
+      c.problem, *c.planner, c.stripe, rpr::topology::NetworkParams{}, chaos,
+      {});
+
+  c.expect_rebuilt(outcome);
+  EXPECT_GE(outcome.replans, 1u);
+  ASSERT_EQ(outcome.destinations.size(), 1u);
+  EXPECT_NE(c.placed.cluster.rack_of(outcome.destinations[0]),
+            c.failed_rack())
+      << "the rebuilt block must land outside the dead rack";
+}
+
+TEST(ChainedDomainSimnet, HealingPartitionBanksChainPrefixAndWaits) {
+  ChainedDomainCase c(64ull << 20, 4096);
+  // Cut the recovery rack away from every helper rack at 0.6 s (first
+  // relay merge is already finished and banked) and hold the cut open past
+  // the ~2.8 s point where the final hop would cross into it. Every helper
+  // lives on the far side, so the session is free to relocate the
+  // destination there instead of waiting the cut out — what matters is
+  // that the finished chain prefix is banked and reused, not refetched.
+  FaultSchedule chaos;
+  std::vector<RackId> rest;
+  for (std::size_t r = 1; r < c.placed.cluster.racks(); ++r) {
+    rest.push_back(static_cast<RackId>(r));
+  }
+  chaos.partitions.push_back({{c.failed_rack()}, rest, 0.6, 3.0});
+
+  const auto outcome = rpr::repair::simulate_resilient(
+      c.problem, *c.planner, c.stripe, rpr::topology::NetworkParams{}, chaos,
+      {});
+
+  c.expect_rebuilt(outcome);
+  EXPECT_GE(outcome.partition_waits, 1u);
+  EXPECT_GE(outcome.reused_values, 1u)
+      << "banked chain partials must survive a partition";
+  EXPECT_GT(outcome.total_time_s, 0.6)
+      << "the cut landed mid-repair, not after it";
+}
+
+TEST(ChainedDomainTestbed, MidChainKillRebuildsByteIdentical) {
+  ChainedDomainCase c(1 << 20, 1 << 20);
+  rpr::runtime::TestbedParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  // ~8 ms per cross hop: a 15 ms kill of the third relay lands mid-chain.
+  p.faults.kills.push_back({c.relays()[2], 0.015});
+  p.retry.base_backoff_s = 0.001;
+  rpr::runtime::Testbed bed(c.placed.cluster, p);
+
+  const auto outcome = rpr::repair::execute_resilient_with(
+      bed, c.problem, *c.planner, c.stripe, {});
+
+  c.expect_rebuilt(outcome);
+  EXPECT_GE(outcome.replans, 1u);
+}
+
+TEST(ChainedDomainTestbed, HealingPartitionRidesOutTheCut) {
+  ChainedDomainCase c(1 << 20, 1 << 20);
+  rpr::runtime::TestbedParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  std::vector<RackId> rest;
+  for (std::size_t r = 1; r < c.placed.cluster.racks(); ++r) {
+    rest.push_back(static_cast<RackId>(r));
+  }
+  p.faults.partitions.push_back({{c.failed_rack()}, rest, 0.001, 0.080});
+  p.retry.base_backoff_s = 0.010;
+  p.retry.max_attempts = 8;
+  rpr::runtime::Testbed bed(c.placed.cluster, p);
+
+  const auto outcome = rpr::repair::execute_resilient_with(
+      bed, c.problem, *c.planner, c.stripe, {});
+
+  c.expect_rebuilt(outcome);
+  EXPECT_TRUE(bed.dead_nodes().empty())
+      << "a partition must not declare anyone lost";
+}
+
+TEST(ChainedDomainTcp, MidChainKillRebuildsByteIdentical) {
+  ChainedDomainCase c(1 << 20, 1 << 20);
+  rpr::net::TcpRuntimeParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  p.faults.kills.push_back({c.relays()[2], 0.015});
+  p.retry.base_backoff_s = 0.001;
+  p.retry.op_deadline_s = 5.0;
+  rpr::net::TcpRuntime rt(c.placed.cluster, p);
+
+  const auto outcome = rpr::repair::execute_resilient_with(
+      rt, c.problem, *c.planner, c.stripe, {});
+
+  c.expect_rebuilt(outcome);
+  EXPECT_GE(outcome.replans, 1u);
+}
+
+TEST(ChainedDomainTcp, HealingPartitionRidesOutTheCut) {
+  ChainedDomainCase c(1 << 20, 1 << 20);
+  rpr::net::TcpRuntimeParams p;
+  p.net = rpr::runtime::RegionNet::uniform(c.placed.cluster.racks(),
+                                           rpr::util::Bandwidth::gbps(10),
+                                           rpr::util::Bandwidth::gbps(1));
+  p.decode_matrix_dim = 6;
+  std::vector<RackId> rest;
+  for (std::size_t r = 1; r < c.placed.cluster.racks(); ++r) {
+    rest.push_back(static_cast<RackId>(r));
+  }
+  p.faults.partitions.push_back({{c.failed_rack()}, rest, 0.001, 0.080});
+  p.retry.base_backoff_s = 0.010;
+  p.retry.max_attempts = 8;
+  p.retry.op_deadline_s = 5.0;
+  rpr::net::TcpRuntime rt(c.placed.cluster, p);
+
+  const auto outcome = rpr::repair::execute_resilient_with(
+      rt, c.problem, *c.planner, c.stripe, {});
+
+  c.expect_rebuilt(outcome);
+  EXPECT_TRUE(rt.dead_nodes().empty())
+      << "a partition must not declare anyone lost";
+}
+
 // --- Budget exhaustion: when the chaos outruns the re-plan budget the
 // --- session aborts coherently — a typed exception carrying how many
 // --- banked values (and bytes) a salvage pass could still reuse.

@@ -93,7 +93,12 @@ TEST(ChaosFuzz, RandomizedSchedulesNeverProduceAWrongBlock) {
   rpr::rs::RSCode code{rpr::rs::CodeConfig{6, 3}};
   const auto placed = rpr::topology::make_placed_stripe(
       {6, 3}, rpr::topology::PlacementPolicy::kRpr);
-  const auto planner = rpr::repair::make_planner(rpr::repair::Scheme::kRpr);
+  // The scheme is a fuzz axis too: even trials run the star aggregation,
+  // odd trials the chained relay schedule, over identical fault draws —
+  // no plan shape may turn survivable chaos into a wrong block.
+  const std::unique_ptr<rpr::repair::Planner> planners[2] = {
+      rpr::repair::make_planner(rpr::repair::Scheme::kRpr),
+      rpr::repair::make_planner(rpr::repair::Scheme::kRprChained)};
   const auto stripe = rpr::testing::random_stripe(code, 4096, seed ^ 0x9E37);
   const std::size_t nodes = placed.cluster.total_nodes();
   const std::size_t racks = placed.cluster.racks();
@@ -102,14 +107,15 @@ TEST(ChaosFuzz, RandomizedSchedulesNeverProduceAWrongBlock) {
   int recovered = 0;
   int aborted = 0;
   for (int trial = 0; trial < kTrials; ++trial) {
+    const auto& planner = planners[trial % 2];
     const std::size_t failed = rng() % code.config().total();
     FaultSchedule chaos = random_schedule(rng, racks, nodes);
     chaos.validate(placed.cluster, code.config().total());
 
     std::ostringstream ctx;
     ctx << "RPR_FUZZ_SEED=" << seed << " trial=" << trial
-        << " failed_block=" << failed << " schedule={" << chaos.describe()
-        << "}";
+        << " scheme=" << planner->name() << " failed_block=" << failed
+        << " schedule={" << chaos.describe() << "}";
 
     rpr::repair::RepairProblem problem;
     problem.code = &code;
@@ -152,7 +158,6 @@ TEST(ChaosFuzz, SameSeedIsBitReproducible) {
   rpr::rs::RSCode code{rpr::rs::CodeConfig{6, 3}};
   const auto placed = rpr::topology::make_placed_stripe(
       {6, 3}, rpr::topology::PlacementPolicy::kRpr);
-  const auto planner = rpr::repair::make_planner(rpr::repair::Scheme::kRpr);
   const auto stripe = rpr::testing::random_stripe(code, 4096, seed ^ 0x9E37);
 
   rpr::util::Xoshiro256 rng_a(seed);
@@ -171,20 +176,27 @@ TEST(ChaosFuzz, SameSeedIsBitReproducible) {
   problem.failed = {1};
   problem.choose_default_replacements();
 
-  const auto run = [&](const FaultSchedule& chaos) {
-    try {
-      return rpr::repair::simulate_resilient(
-          problem, *planner, stripe, rpr::topology::NetworkParams{}, chaos,
-          {});
-    } catch (const std::runtime_error&) {
-      return rpr::repair::ResilientOutcome{};
-    }
-  };
-  const auto a = run(sched_a);
-  const auto b = run(sched_b);
-  EXPECT_EQ(a.outputs, b.outputs) << "RPR_FUZZ_SEED=" << seed;
-  EXPECT_EQ(a.destinations, b.destinations) << "RPR_FUZZ_SEED=" << seed;
-  EXPECT_EQ(a.replans, b.replans) << "RPR_FUZZ_SEED=" << seed;
-  EXPECT_EQ(a.cross_rack_bytes, b.cross_rack_bytes)
-      << "RPR_FUZZ_SEED=" << seed;
+  for (const auto scheme :
+       {rpr::repair::Scheme::kRpr, rpr::repair::Scheme::kRprChained}) {
+    const auto planner = rpr::repair::make_planner(scheme);
+    const auto run = [&](const FaultSchedule& chaos) {
+      try {
+        return rpr::repair::simulate_resilient(
+            problem, *planner, stripe, rpr::topology::NetworkParams{}, chaos,
+            {});
+      } catch (const std::runtime_error&) {
+        return rpr::repair::ResilientOutcome{};
+      }
+    };
+    const auto a = run(sched_a);
+    const auto b = run(sched_b);
+    EXPECT_EQ(a.outputs, b.outputs)
+        << "RPR_FUZZ_SEED=" << seed << " scheme=" << planner->name();
+    EXPECT_EQ(a.destinations, b.destinations)
+        << "RPR_FUZZ_SEED=" << seed << " scheme=" << planner->name();
+    EXPECT_EQ(a.replans, b.replans)
+        << "RPR_FUZZ_SEED=" << seed << " scheme=" << planner->name();
+    EXPECT_EQ(a.cross_rack_bytes, b.cross_rack_bytes)
+        << "RPR_FUZZ_SEED=" << seed << " scheme=" << planner->name();
+  }
 }

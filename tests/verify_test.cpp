@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gf/gf256.h"
+#include "repair/executor_sim.h"
 #include "repair/planner.h"
 #include "repair/replan.h"
 #include "repair/resilient.h"
@@ -21,6 +22,7 @@
 #include "test_support.h"
 #include "topology/placement.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 using rpr::repair::LeafTerms;
 using rpr::repair::OpId;
@@ -38,13 +40,16 @@ namespace {
 /// the harder case for the algebraic fold.
 struct Case {
   rpr::rs::RSCode code{rpr::rs::CodeConfig{6, 3}};
-  rpr::topology::PlacedStripe placed = rpr::topology::make_placed_stripe(
-      {6, 3}, rpr::topology::PlacementPolicy::kContiguous);
+  rpr::topology::PlacedStripe placed;
   RepairProblem problem;
   PlannedRepair planned;
   Scheme scheme;
 
-  explicit Case(Scheme s, std::vector<std::size_t> failed = {0}) : scheme(s) {
+  explicit Case(Scheme s, std::vector<std::size_t> failed = {0},
+                rpr::topology::PlacementPolicy policy =
+                    rpr::topology::PlacementPolicy::kContiguous)
+      : placed(rpr::topology::make_placed_stripe({6, 3}, policy)),
+        scheme(s) {
     problem.code = &code;
     problem.placement = &placed.placement;
     problem.block_size = 1 << 20;
@@ -65,6 +70,14 @@ struct Case {
       }
     }
     ADD_FAILURE() << "plan has no such op";
+    return rpr::repair::kNoOp;
+  }
+
+  [[nodiscard]] OpId find_labeled(const std::string& label) {
+    for (OpId id = 0; id < planned.plan.ops.size(); ++id) {
+      if (planned.plan.ops[id].label == label) return id;
+    }
+    ADD_FAILURE() << "plan has no op labeled " << label;
     return rpr::repair::kNoOp;
   }
 
@@ -106,8 +119,8 @@ struct ScopedVerifyEnv {
 // --- clean plans pass ------------------------------------------------------
 
 TEST(PlanVerifier, CleanPlansPassEveryScheme) {
-  for (const Scheme s :
-       {Scheme::kTraditional, Scheme::kCar, Scheme::kRpr}) {
+  for (const Scheme s : {Scheme::kTraditional, Scheme::kCar, Scheme::kRpr,
+                         Scheme::kRprChained}) {
     Case c(s);
     const auto report = c.verify();
     EXPECT_TRUE(report.ok()) << report.to_string();
@@ -115,7 +128,8 @@ TEST(PlanVerifier, CleanPlansPassEveryScheme) {
 }
 
 TEST(PlanVerifier, CleanMultiFailurePlansPass) {
-  for (const Scheme s : {Scheme::kTraditional, Scheme::kRpr}) {
+  for (const Scheme s :
+       {Scheme::kTraditional, Scheme::kRpr, Scheme::kRprChained}) {
     Case c(s, {0, 7});
     const auto report = c.verify();
     EXPECT_TRUE(report.ok()) << report.to_string();
@@ -239,6 +253,93 @@ TEST(PlanVerifierMutation, DetectsForbiddenBlockRead) {
   ASSERT_FALSE(report.ok());
   EXPECT_GE(report.count(InvariantClass::kTopological), 1u)
       << report.to_string();
+}
+
+// --- mutation class 5: chained relay corruption ----------------------------
+// A chained plan's correctness rides entirely on the relay chain being
+// wired in the order the planner chose: every "chain:send" must leave the
+// node holding the running sum, and every "chain:merge" must fold that sum
+// into the local partial. Flat placement gives each helper its own rack,
+// so the (6,3) plan is a genuine six-hop chain.
+
+TEST(PlanVerifierMutation, DetectsMisorderedChainHop) {
+  Case c(Scheme::kRprChained, {0}, rpr::topology::PlacementPolicy::kFlat);
+  // Reverse one relay hop: the schedule now claims the running sum flows
+  // backwards, from a station that does not hold it yet.
+  const OpId hop = c.find_labeled("chain:send");
+  auto& op = c.planned.plan.ops[hop];
+  std::swap(op.node, op.from);
+
+  const auto report = c.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.count(InvariantClass::kTopological), 1u)
+      << report.to_string();
+}
+
+TEST(PlanVerifierMutation, DetectsBrokenRelayDependency) {
+  Case c(Scheme::kRprChained, {0}, rpr::topology::PlacementPolicy::kFlat);
+  // Cut the upstream running sum out of a relay's merge: everything the
+  // chain accumulated before this station silently vanishes from the
+  // rebuilt block.
+  const OpId merge = c.find_labeled("chain:merge");
+  auto& op = c.planned.plan.ops[merge];
+  ASSERT_GE(op.inputs.size(), 2u);
+  op.inputs.erase(op.inputs.begin());
+  if (!op.input_coeffs.empty()) op.input_coeffs.erase(op.input_coeffs.begin());
+
+  const auto report = c.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.count(InvariantClass::kAlgebraic), 1u)
+      << report.to_string();
+}
+
+// --- timing: the makespan lower bound --------------------------------------
+// verify_makespan is two one-sided checks against the schedule-independent
+// floor max(pipeline-depth, port-load): soundness (no measured makespan may
+// beat the floor — if one does, the schedule and the port model disagree)
+// and, for single-failure chains, tightness (a pipelined chain must land
+// within tolerance of the floor — a serialized chain does not).
+
+TEST(PlanVerifierTiming, SlicedChainMeetsThePipelineBound) {
+  Case c(Scheme::kRprChained, {0}, rpr::topology::PlacementPolicy::kFlat);
+  rpr::topology::NetworkParams net;
+  net.slice_size = 64 << 10;
+  const auto sim =
+      rpr::repair::simulate(c.planned.plan, c.placed.cluster, net);
+  const auto report = rpr::verify::verify_makespan(
+      c.planned.plan, c.placed.cluster, net, net.slice_size,
+      rpr::util::to_sec(sim.total_repair_time), /*expect_tight=*/true);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(PlanVerifierTiming, FlagsMakespanBeatingTheLowerBound) {
+  Case c(Scheme::kRprChained, {0}, rpr::topology::PlacementPolicy::kFlat);
+  rpr::topology::NetworkParams net;
+  net.slice_size = 64 << 10;
+  const auto sim =
+      rpr::repair::simulate(c.planned.plan, c.placed.cluster, net);
+  // A measured makespan below the floor is physically impossible under the
+  // port model; report it at half the measured value.
+  const auto report = rpr::verify::verify_makespan(
+      c.planned.plan, c.placed.cluster, net, net.slice_size,
+      rpr::util::to_sec(sim.total_repair_time) / 2.0);
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.count(InvariantClass::kTiming), 1u) << report.to_string();
+}
+
+TEST(PlanVerifierTiming, FlagsSerializedChainMissingTheBound) {
+  Case c(Scheme::kRprChained, {0}, rpr::topology::PlacementPolicy::kFlat);
+  // Run the chain whole-block (store-and-forward, every hop serialized)
+  // but hold it to the sliced pipeline-depth floor: the tightness check
+  // must flag the schedule as not actually pipelined.
+  rpr::topology::NetworkParams whole;
+  const auto sim =
+      rpr::repair::simulate(c.planned.plan, c.placed.cluster, whole);
+  const auto report = rpr::verify::verify_makespan(
+      c.planned.plan, c.placed.cluster, whole, /*slice_size=*/64 << 10,
+      rpr::util::to_sec(sim.total_repair_time), /*expect_tight=*/true);
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.count(InvariantClass::kTiming), 1u) << report.to_string();
 }
 
 // --- property: equation patching keeps the generator identity --------------

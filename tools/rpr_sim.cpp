@@ -2,7 +2,7 @@
 //
 //   rpr_sim [options]
 //     --code n,k            RS configuration            (default 6,3)
-//     --scheme NAME         traditional | car | rpr     (default rpr)
+//     --scheme NAME         traditional | car | rpr | chained  (default rpr)
 //     --failed i[,j...]     failed block indices        (default 0)
 //     --placement NAME      contiguous | rpr | flat     (default rpr)
 //     --block BYTES         block size in bytes         (default 256 MiB)
@@ -106,7 +106,7 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: rpr_sim [--code n,k] [--scheme traditional|car|rpr]\n"
+      "usage: rpr_sim [--code n,k] [--scheme traditional|car|rpr|chained]\n"
       "               [--failed i,j,...] [--placement contiguous|rpr|flat]\n"
       "               [--block BYTES] [--inner GBPS] [--cross GBPS]\n"
       "               [--fluid | --tcp] [--time-scale X] [--slice-size BYTES]\n"
@@ -221,12 +221,28 @@ int run_verify_sweep(const char* json_path) {
 
           for (const repair::Scheme scheme :
                {repair::Scheme::kTraditional, repair::Scheme::kCar,
-                repair::Scheme::kRpr}) {
+                repair::Scheme::kRpr, repair::Scheme::kRprChained}) {
             if (scheme == repair::Scheme::kCar && f != 1) continue;
             const auto planner = repair::make_planner(scheme);
             const auto planned = planner->plan(problem);
-            const auto report =
+            auto report =
                 verify::verify_planned_repair(planned, problem, scheme);
+            if (scheme == repair::Scheme::kRprChained && report.ok()) {
+              // Chained schedules are additionally *timing*-verified: the
+              // sliced simulated makespan must meet the pipeline-depth +
+              // port-load lower bound from the port model, and a single
+              // chain must also land within tolerance of it (multi-failure
+              // plans run one chain per sub-equation over shared ports, so
+              // only the floor itself applies).
+              topology::NetworkParams net;
+              net.slice_size = 64 << 10;  // 16 slices of the 1 MiB block
+              const auto sim = repair::simulate(
+                  planned.plan, placed.placement.cluster(), net);
+              report = verify::verify_makespan(
+                  planned.plan, placed.placement.cluster(), net,
+                  net.slice_size, util::to_sec(sim.total_repair_time),
+                  /*expect_tight=*/f == 1);
+            }
             ++plans;
             if (!report.ok()) {
               ++violated;
@@ -415,6 +431,7 @@ int main(int argc, char** argv) {
       if (s == "traditional") scheme = repair::Scheme::kTraditional;
       else if (s == "car") scheme = repair::Scheme::kCar;
       else if (s == "rpr") scheme = repair::Scheme::kRpr;
+      else if (s == "chained") scheme = repair::Scheme::kRprChained;
       else return usage();
     } else if (a == "--failed") {
       failed = parse_list("--failed", next());

@@ -1,0 +1,228 @@
+#include "check/explore.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "check/oracles.h"
+
+namespace rpr::check {
+
+namespace {
+
+struct RunOutcome {
+  bool violated = false;
+  std::string message;
+  std::string schedule;
+  std::vector<DecisionRec> trace;
+};
+
+RunOutcome run_one(const Scenario& scenario, std::vector<Choice> prefix,
+                   const ExploreOptions& opts, bool strict) {
+  CoopScheduler sched(
+      SchedOptions{opts.branch_mask, opts.fault_budget,
+                   opts.fault_candidates, strict},
+      std::move(prefix));
+  OracleSet oracles;
+  sched.set_event_sink([&oracles, &sched](const Event& e) {
+    oracles.on_event(e, [&sched](const std::string& msg) {
+      sched.fail_run(msg);
+    });
+  });
+  install(&sched);
+  reset_scope_ids();
+  ScenarioCtx ctx(sched);
+  try {
+    scenario(ctx);
+  } catch (const std::exception& e) {
+    if (!sched.violated()) {
+      sched.fail_run(std::string("scenario threw: ") + e.what());
+    }
+  } catch (...) {
+    if (!sched.violated()) sched.fail_run("scenario threw");
+  }
+  install(nullptr);
+
+  RunOutcome out;
+  out.trace = sched.trace();
+  out.violated = sched.violated();
+  out.message = sched.violation_message();
+  out.schedule = format_schedule(out.trace);
+  return out;
+}
+
+struct SleepEntry {
+  int thread;
+  std::uintptr_t obj;
+  std::uintptr_t scope;
+};
+
+/// Two choices are independent iff they act on different objects in
+/// different (or no) scopes; fault injections (obj = ~0) are dependent
+/// with everything. Conservative: accesses sharing an ExecState scope are
+/// never treated as independent, because a publish enables waiters of
+/// every op in that state.
+bool independent(const SleepEntry& e, std::uintptr_t obj,
+                 std::uintptr_t scope) {
+  constexpr auto kAll = ~std::uintptr_t{0};
+  if (e.obj == kAll || obj == kAll) return false;
+  if (e.obj == obj) return false;
+  if (e.scope != 0 && scope != 0 && e.scope == scope) return false;
+  return true;
+}
+
+struct Node {
+  DecisionRec d;
+  std::set<std::size_t> explored;
+  std::vector<SleepEntry> sleep;
+  int preempts_before = 0;
+};
+
+int switch_cost(const DecisionRec& d, std::size_t j) {
+  return d.preemptive && d.options[j].thread != d.current ? 1 : 0;
+}
+
+std::vector<SleepEntry> child_sleep(const Node& n, std::size_t taken,
+                                    bool enabled) {
+  if (!enabled) return {};
+  std::vector<SleepEntry> base = n.sleep;
+  for (const std::size_t m : n.explored) {
+    base.push_back(SleepEntry{n.d.options[m].thread, n.d.opt_obj[m],
+                              n.d.opt_scope[m]});
+  }
+  std::vector<SleepEntry> out;
+  for (const SleepEntry& e : base) {
+    if (independent(e, n.d.opt_obj[taken], n.d.opt_scope[taken])) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool options_match(const DecisionRec& a, const DecisionRec& b) {
+  return a.options == b.options;
+}
+
+}  // namespace
+
+ExploreResult explore(const Scenario& scenario, const ExploreOptions& opts) {
+  ExploreResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto out_of_budget = [&] {
+    if (result.schedules >= opts.max_schedules) return true;
+    if (opts.time_budget_s > 0.0) {
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (s >= opts.time_budget_s) return true;
+    }
+    return false;
+  };
+
+  RunOutcome first = run_one(scenario, {}, opts, /*strict=*/false);
+  ++result.schedules;
+  result.max_decisions = first.trace.size();
+  if (first.violated) {
+    result.violation = Violation{first.message, first.schedule};
+    return result;
+  }
+
+  std::vector<Node> path;
+  path.reserve(first.trace.size());
+  for (const DecisionRec& d : first.trace) {
+    Node n;
+    n.d = d;
+    if (!path.empty()) {
+      const Node& p = path.back();
+      n.sleep = child_sleep(p, p.d.taken, opts.sleep_sets);
+      n.preempts_before = p.preempts_before + switch_cost(p.d, p.d.taken);
+    }
+    path.push_back(std::move(n));
+  }
+
+  while (true) {
+    if (out_of_budget()) return result;  // complete stays false
+
+    // Backtrack to the deepest node with an untried, unslept, in-bound
+    // alternative; every subtree we pop past is fully explored.
+    std::size_t pick = 0;
+    bool found = false;
+    while (!path.empty() && !found) {
+      Node& n = path.back();
+      n.explored.insert(n.d.taken);
+      for (std::size_t j = 0; j < n.d.options.size() && !found; ++j) {
+        if (n.explored.count(j) != 0) continue;
+        if (n.preempts_before + switch_cost(n.d, j) >
+            opts.preemption_bound) {
+          continue;
+        }
+        bool slept = false;
+        for (const SleepEntry& e : n.sleep) {
+          if (e.thread == n.d.options[j].thread &&
+              e.obj == n.d.opt_obj[j]) {
+            slept = true;
+            break;
+          }
+        }
+        if (slept) continue;
+        pick = j;
+        found = true;
+      }
+      if (!found) path.pop_back();
+    }
+    if (!found) {
+      result.complete = true;
+      return result;
+    }
+
+    path.back().d.taken = pick;
+    std::vector<Choice> prefix;
+    prefix.reserve(path.size());
+    for (const Node& n : path) prefix.push_back(n.d.options[n.d.taken]);
+
+    RunOutcome run = run_one(scenario, prefix, opts, /*strict=*/true);
+    ++result.schedules;
+    result.max_decisions = std::max(result.max_decisions, run.trace.size());
+    if (run.violated) {
+      result.violation = Violation{run.message, run.schedule};
+      return result;
+    }
+    if (run.trace.size() < path.size()) {
+      result.violation = Violation{
+          "internal: scenario is nondeterministic (trace shorter than "
+          "forced prefix)",
+          run.schedule};
+      return result;
+    }
+    for (std::size_t k = 0; k < path.size(); ++k) {
+      if (!options_match(run.trace[k], path[k].d) ||
+          run.trace[k].taken != path[k].d.taken) {
+        result.violation = Violation{
+            "internal: scenario is nondeterministic at decision " +
+                std::to_string(k),
+            run.schedule};
+        return result;
+      }
+    }
+    for (std::size_t k = path.size(); k < run.trace.size(); ++k) {
+      Node n;
+      n.d = run.trace[k];
+      const Node& p = path.back();
+      n.sleep = child_sleep(p, p.d.taken, opts.sleep_sets);
+      n.preempts_before = p.preempts_before + switch_cost(p.d, p.d.taken);
+      path.push_back(std::move(n));
+    }
+  }
+}
+
+std::optional<Violation> replay(const Scenario& scenario,
+                                const std::string& schedule,
+                                const ExploreOptions& opts) {
+  RunOutcome run =
+      run_one(scenario, parse_schedule(schedule), opts, /*strict=*/true);
+  if (!run.violated) return std::nullopt;
+  return Violation{run.message, run.schedule};
+}
+
+}  // namespace rpr::check

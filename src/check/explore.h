@@ -1,0 +1,93 @@
+// Systematic schedule exploration (stateless model checking, CHESS-style).
+//
+// The explorer re-executes a deterministic scenario many times. Each run
+// is driven by a CoopScheduler given a forced decision prefix; the run's
+// recorded trace extends the DFS tree, and backtracking picks the deepest
+// decision with an untried alternative that (a) stays within the
+// preemption bound and (b) is not pruned by the sleep set. Fault
+// injection is part of the choice space: at every recorded decision the
+// scheduler may first kill one of the candidate nodes (engines observe it
+// through check::node_killed inside is_dead), so faults land at every
+// explored state boundary.
+//
+// Scenario contract: construct all state fresh inside the callback (the
+// same prefix must reproduce the same trace — no wall-clock decisions, no
+// cross-run state), spawn checked threads with deterministic ordinals via
+// check::run_checked after check::expect_threads, and join them before
+// returning. A violation recorded mid-run aborts the checked threads with
+// AbortRun; wrap any post-join code that assumes a consistent final state
+// in ScenarioCtx::shield.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/scheduler.h"
+
+namespace rpr::check {
+
+struct ExploreOptions {
+  int preemption_bound = 2;
+  int fault_budget = 0;
+  std::vector<std::uint32_t> fault_candidates;
+  std::size_t max_schedules = 500000;
+  double time_budget_s = 0.0;  ///< 0 = unlimited
+  unsigned branch_mask = kDefaultBranchMask;
+  bool sleep_sets = true;
+};
+
+struct Violation {
+  std::string message;
+  std::string schedule;  ///< replay with RPR_CHECK_REPLAY / check::replay
+};
+
+struct ExploreResult {
+  std::size_t schedules = 0;
+  std::size_t max_decisions = 0;  ///< deepest recorded-decision count seen
+  bool complete = false;          ///< bounded space exhausted (no budget cut)
+  std::optional<Violation> violation;
+};
+
+class ScenarioCtx {
+ public:
+  explicit ScenarioCtx(CoopScheduler& sched) : sched_(sched) {}
+
+  /// Records a scenario-level violation (e.g. rebuilt bytes differ from
+  /// the reference) against the current schedule.
+  void fail(const std::string& msg) { sched_.fail_run(msg); }
+
+  [[nodiscard]] bool aborted() const { return sched_.violated(); }
+
+  /// Runs fn, swallowing exceptions iff the run is already aborted (an
+  /// aborted engine may leave state that makes result assembly throw).
+  template <typename Fn>
+  void shield(Fn&& fn) {
+    try {
+      fn();
+    } catch (...) {
+      if (!aborted()) throw;
+    }
+  }
+
+  [[nodiscard]] CoopScheduler& scheduler() { return sched_; }
+
+ private:
+  CoopScheduler& sched_;
+};
+
+using Scenario = std::function<void(ScenarioCtx&)>;
+
+/// Explores the scenario's bounded schedule space; returns on the first
+/// violation or on exhaustion.
+ExploreResult explore(const Scenario& scenario, const ExploreOptions& opts);
+
+/// Runs exactly one schedule (strict: divergence from the forced prefix
+/// is itself a violation). Returns the violation, if any.
+std::optional<Violation> replay(const Scenario& scenario,
+                                const std::string& schedule,
+                                const ExploreOptions& opts);
+
+}  // namespace rpr::check

@@ -1,0 +1,81 @@
+// Lock-order (lockdep-style) analysis.
+//
+// Every check::Mutex acquisition, while the graph is enabled, records one
+// directed edge per lock already held by the acquiring thread:
+// held-class -> new-class, witnessed by the two acquisition stacks. Locks
+// are grouped into *classes* by their site label ("testbed.rack_rx",
+// "exec.state", ...) — the order discipline is per site family, not per
+// instance. A cycle in the class graph is a potential deadlock: two
+// threads can interleave the member acquisitions and wait on each other
+// forever, whether or not any observed run actually deadlocked.
+//
+// Enable with RPR_LOCK_GRAPH=1 (dumped at process exit to
+// RPR_LOCK_GRAPH_OUT — a directory path ending in '/' gets one
+// lock_graph.<pid>.txt per process, ready for `rpr_check
+// --merge-lock-graphs`), or programmatically via lock_graph_set_enabled().
+// The explorer's scheduled runs can enable it independently of the env.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpr::check {
+
+/// One acquisition-order edge between two lock classes, with the first
+/// witnessed pair of stacks.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::uint64_t count = 0;
+  std::string from_stack;  ///< where `from` was acquired (held lock)
+  std::string to_stack;    ///< where `to` was acquired under it
+};
+
+/// A strongly-connected component of lock classes with >= 2 members (or a
+/// self-edge): a potential deadlock. `edges` lists the member edges — for
+/// a two-class inversion these are exactly the two acquisitions whose
+/// stacks show both nesting orders.
+struct LockCycle {
+  std::vector<std::string> classes;
+  std::vector<LockEdge> edges;
+};
+
+class LockGraph {
+ public:
+  static LockGraph& instance();
+
+  void on_acquire(const void* m, const char* cls);
+  void on_release(const void* m);
+
+  /// Forgets all edges (tests) — not the per-thread held stacks.
+  void clear();
+
+  [[nodiscard]] std::vector<LockEdge> edges() const;
+  [[nodiscard]] std::vector<LockCycle> cycles() const;
+
+  /// Human-readable report: every edge, then each cycle with the witness
+  /// stacks forming the inversion.
+  [[nodiscard]] std::string report() const;
+
+  /// Tab-separated dump (one `edge` line per edge, stacks inline with
+  /// frames '|'-joined); merge() parses the same format and accumulates.
+  void dump(std::ostream& os) const;
+  void merge(std::istream& is);
+
+  /// Graphviz rendering (cycle edges red).
+  [[nodiscard]] std::string dot() const;
+
+ private:
+  LockGraph() = default;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, LockEdge> edges_;
+};
+
+void lock_graph_set_enabled(bool on);
+
+}  // namespace rpr::check

@@ -1,0 +1,62 @@
+#include "check/oracles.h"
+
+namespace rpr::check {
+
+namespace {
+
+std::string op_tag(const Event& e) {
+  return "op " + std::to_string(e.op);
+}
+
+}  // namespace
+
+void OracleSet::on_event(const Event& e, const FailFn& fail) {
+  const std::pair<std::uint64_t, std::uint64_t> key{e.src, e.op};
+  switch (e.kind) {
+    case EventKind::kSliceCounter: {
+      if (e.b < e.a) {
+        fail("slice counter moved backwards on " + op_tag(e) + ": " +
+             std::to_string(e.a) + " -> " + std::to_string(e.b));
+        return;
+      }
+      counter_[key] = e.b;
+      break;
+    }
+    case EventKind::kCommit: {
+      if (e.duplicate) {
+        fail("double commit on " + op_tag(e) +
+             " (first-wins resolution violated: a second producer "
+             "overwrote a resolved value)");
+        return;
+      }
+      if (++commits_[key] > 1) {
+        fail("two first-wins winners on " + op_tag(e));
+        return;
+      }
+      break;
+    }
+    case EventKind::kFail: {
+      if (e.duplicate) {
+        fail("op failed after resolution on " + op_tag(e));
+        return;
+      }
+      break;
+    }
+    case EventKind::kBankFold: {
+      if (e.b < e.a) {
+        fail("banked partial lost across a re-plan: " +
+             std::to_string(e.a) + " usable finished value(s), only " +
+             std::to_string(e.b) + " folded");
+        return;
+      }
+      break;
+    }
+  }
+}
+
+int OracleSet::commits(std::uint64_t src, std::uint64_t op) const {
+  const auto it = commits_.find({src, op});
+  return it == commits_.end() ? 0 : it->second;
+}
+
+}  // namespace rpr::check

@@ -1,0 +1,42 @@
+// Protocol oracles checked during explored runs (and by the sim-engine
+// fault sweep): each check::Event the instrumented runtime emits is a
+// state-machine transition that must respect the invariants the repair
+// pipeline's correctness argument rests on. Violations fire through a
+// callback so the caller (normally CoopScheduler::fail_run) can attach
+// the replayable schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "check/scheduler.h"
+
+namespace rpr::check {
+
+/// Streaming invariant checks over protocol events:
+///  * slice counters are monotonic per (state, op);
+///  * exactly one first-wins winner: at most one commit transition per
+///    (state, op), and no commit/fail lands on an already-resolved op
+///    (no double commit);
+///  * no banked partial is lost across a re-plan (every usable finished
+///    value of an aborted attempt is folded into the next equation).
+/// One instance covers one explored run; state is keyed by (src, op) so a
+/// re-planning driver's fresh ExecState per attempt never aliases ops.
+class OracleSet {
+ public:
+  using FailFn = std::function<void(const std::string&)>;
+
+  void on_event(const Event& e, const FailFn& fail);
+
+  /// Commits observed for one (state, op) so far (tests).
+  [[nodiscard]] int commits(std::uint64_t src, std::uint64_t op) const;
+
+ private:
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> counter_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> commits_;
+};
+
+}  // namespace rpr::check

@@ -1,0 +1,41 @@
+// Canned model-checking scenarios over the real engines, shared by the
+// `rpr_check` tool and the model-check test suite.
+//
+// Each factory returns a check::Scenario obeying the explorer's contract
+// (fresh state per run, deterministic checked-thread ordinals, joined
+// before return — see check/explore.h). Scenarios are deliberately tiny:
+// stateless model checking re-executes the scenario once per explored
+// schedule, so the plans here are the smallest ones that still stream
+// slices through every instrumented path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/explore.h"
+
+namespace rpr::check::scenarios {
+
+/// Minimal slice-streamed testbed repair: 2 racks x 2 nodes, four plan ops
+/// (two reads, one cross-rack send, one combine), `slices` slices per
+/// value — four checked threads. A completed run's combined bytes must
+/// equal the XOR of the two source blocks; a fault-aborted run must blame
+/// an explorer-killed node. Violations are raised via ScenarioCtx::fail.
+Scenario testbed_micro(std::size_t slices = 2);
+
+/// Node ids a fault-exploring run of testbed_micro may kill (the two
+/// nodes whose loss exercises distinct failure paths: the combine's node
+/// and the cross-rack sender).
+std::vector<std::uint32_t> testbed_micro_fault_candidates();
+
+/// Full resilient session on the slice-streamed testbed: RS(4,2), one
+/// failed block, driven by repair::execute_resilient_with. With
+/// `kill_destination` the replacement node is dead from t = 0, so every
+/// schedule's first attempt aborts, banks the finished reads
+/// (EventKind::kBankFold reaches the oracles), re-plans to a new
+/// destination and completes — the kDropBank mutation therefore trips the
+/// banked-partial oracle on the very first explored schedule. The rebuilt
+/// block must be byte-identical to the reference on every schedule.
+Scenario resilient_testbed(bool kill_destination);
+
+}  // namespace rpr::check::scenarios

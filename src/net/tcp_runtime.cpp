@@ -98,8 +98,14 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
   // node's single worker thread (which no longer exists — one thread per
   // op). One ingest at a time per op keeps a retried stream from racing
   // the broken stream it replaces.
-  std::vector<std::mutex> tx_mu(cluster_.total_nodes());
-  std::vector<std::mutex> ingest_mu(plan.ops.size());
+  // check::Mutex so port-layer acquisition edges land in the lock-order
+  // graph when it is enabled (TCP threads are never *checked* — blocking
+  // socket I/O cannot be cooperatively scheduled — but the analyzer's
+  // acquisition recording is engine-agnostic).
+  std::vector<check::Mutex> tx_mu(cluster_.total_nodes());
+  std::vector<check::Mutex> ingest_mu(plan.ops.size());
+  for (auto& m : tx_mu) m.set_class("tcp.tx");
+  for (auto& m : ingest_mu) m.set_class("tcp.ingest");
 
   std::atomic<std::uint64_t> cross_bytes{0};
   std::atomic<std::uint64_t> inner_bytes{0};
@@ -167,7 +173,7 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
 
   // One first unexpected exception wins; fault-path failures do not land
   // here — they resolve ops as failed instead.
-  std::mutex err_mu;
+  check::Mutex err_mu{"tcp.err"};
   std::string first_error;
   auto record_error = [&](const std::string& what) {
     std::scoped_lock lock(err_mu);

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <set>
 
+#include "check/scheduler.h"
 #include "fault/fault.h"
 #include "repair/plan.h"
 #include "rs/rs_code.h"
@@ -105,7 +106,7 @@ class TcpRuntime {
   TcpRuntimeParams params_;
   /// Session clock origin for kill times.
   std::chrono::steady_clock::time_point session_start_;
-  mutable std::mutex fault_mu_;
+  mutable check::Mutex fault_mu_{"tcp.fault"};
   std::set<topology::NodeId> dead_;
   std::map<topology::NodeId, std::size_t> afflicted_;
   /// Slow-disk nodes already counted as an injected fault this session.

@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "check/scheduler.h"
 #include "repair/executor_data.h"
 #include "repair/lowering.h"
 #include "repair/plan.h"
@@ -114,6 +115,14 @@ std::size_t fold_finished_values(
     }
     accepted.push_back(cand);
   }
+  // Oracle hook: `usable` finished values matched outstanding terms; every
+  // one of them must be folded into the banked partial set. The kDropBank
+  // mutation discards them here so the checker's detection of a lost bank
+  // can itself be tested.
+  const std::size_t usable = accepted.size();
+  if (check::mutated(check::Mutation::kDropBank)) accepted.clear();
+  check::observe(check::Event{check::EventKind::kBankFold, 0, s.failed_block,
+                              usable, accepted.size(), false});
   if (accepted.empty()) return 0;
 
   // One new partial per resident node: XOR of the accepted values there,
@@ -302,6 +311,7 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
   };
 
   for (std::size_t round = 0;; ++round) {
+    check::point(check::PointKind::kReplan, round, 0, "resilient.attempt");
     const AttemptOutcome a = attempt(cur_plan, cur_outputs, ext_stripe);
     out.retries += a.retries;
     out.faults_injected += a.faults_injected;
@@ -361,6 +371,8 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
           }
         }
         drop_zero_terms(s.remaining);
+        check::point(check::PointKind::kBank, s.failed_block, 0,
+                     "resilient.bank");
         fold_finished_values(s, cur_plan, contrib, a.finished, dead);
       }
       salvage_throw();
@@ -455,6 +467,8 @@ ResilientOutcome execute_resilient(const RepairProblem& problem,
 
       // Bank freshly finished values wherever they survived — including a
       // partitioned helper's rack aggregate; unreachable is not lost.
+      check::point(check::PointKind::kBank, s.failed_block, 0,
+                   "resilient.bank");
       out.reused_values +=
           fold_finished_values(s, cur_plan, contrib, a.finished, dead);
 

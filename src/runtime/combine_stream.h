@@ -71,6 +71,10 @@ bool stream_combine(ExecState& state, const repair::PlanOp& op,
       return false;
     }
     if (s == 0) op_start = std::chrono::steady_clock::now();
+    // Fault/schedule boundary between the dependency wait and the compute:
+    // an explored kill can land exactly between a slice becoming ready and
+    // its combine, the window the death poll below is meant to cover.
+    check::point(check::PointKind::kStep, id, state.scope(), "combine.slice");
     if (is_node_dead()) {
       state.fail(id);
       return false;

@@ -29,9 +29,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <vector>
 
+#include "check/scheduler.h"
 #include "obs/metrics.h"
 #include "repair/plan.h"
 #include "rs/rs_code.h"
@@ -140,7 +142,7 @@ class ExecState {
   bool wait_inputs_slice(const std::vector<repair::OpId>& ids,
                          std::size_t s) {
     std::unique_lock lock(mu);
-    cv.wait(lock, [&] {
+    wait_on(lock, [&] {
       for (repair::OpId id : ids) {
         if (failed[id]) return true;
       }
@@ -170,7 +172,7 @@ class ExecState {
   std::size_t wait_inputs_slices_batch(const std::vector<repair::OpId>& ids,
                                        std::size_t s, std::size_t max_upto) {
     std::unique_lock lock(mu);
-    cv.wait(lock, [&] {
+    wait_on(lock, [&] {
       for (repair::OpId id : ids) {
         if (failed[id]) return true;
       }
@@ -191,26 +193,69 @@ class ExecState {
 
   /// Marks slices [0, upto) of `id` published (producer wrote their bytes
   /// before calling). Monotonic; no-op on a resolved op (first-wins).
+  /// The kNonMonotonicPublish mutation bypasses the monotonic guard so the
+  /// model checker's detection of a backwards counter can itself be tested.
   void publish_slices(repair::OpId id, std::size_t upto) {
+    check::point(check::PointKind::kPublish, id, scope(), "exec.publish");
+    check::Event counter_ev{check::EventKind::kSliceCounter, scope(), id,
+                            0, 0, false};
+    bool changed = false;
+    bool committed = false;
     {
       std::unique_lock lock(mu);
-      if (failed[id] || slices_done[id] >= upto) return;
+      counter_ev.a = slices_done[id];
+      if (failed[id]) return;
+      if (slices_done[id] >= upto &&
+          !check::mutated(check::Mutation::kNonMonotonicPublish)) {
+        return;
+      }
       slices_done[id] = upto;
-      if (upto >= slices_) done[id] = true;
+      counter_ev.b = upto;
+      changed = true;
+      if (upto >= slices_ && !done[id]) {
+        done[id] = true;
+        committed = true;
+      }
+    }
+    if (changed) check::observe(counter_ev);
+    if (committed) {
+      check::observe(check::Event{check::EventKind::kCommit, scope(), id, 0,
+                                  0, false});
     }
     cv.notify_all();
+    check::notify_object(cond_obj());
   }
 
-  /// Publishes a complete value in one step (whole-block producers).
+  /// Publishes a complete value in one step (whole-block producers, and a
+  /// sliced sender's retry path publishing a fully materialized value).
+  /// When the accumulator was pre-sized by storage(), the bytes are copied
+  /// into it rather than move-replacing the vector: a concurrent slice
+  /// consumer may hold the buffer's data() pointer across this call (the
+  /// class contract says it is stable for the run), so the buffer must
+  /// never reallocate once sized. Found by the schedule explorer; the
+  /// exposing schedule is pinned in check_test.cpp
+  /// (ExplorerFindings.PublishKeepsStorageStable).
   void publish(repair::OpId id, rs::Block b) {
+    check::point(check::PointKind::kResolve, id, scope(), "exec.commit");
+    bool resolved_already = false;
     {
       std::unique_lock lock(mu);
-      if (done[id] || failed[id]) return;
-      value[id] = std::move(b);
+      resolved_already = done[id] || failed[id];
+      const bool proceed =
+          !resolved_already || check::mutated(check::Mutation::kDoubleCommit);
+      if (!proceed) return;
+      if (value[id].size() == b.size() && !value[id].empty()) {
+        std::memcpy(value[id].data(), b.data(), b.size());
+      } else {
+        value[id] = std::move(b);
+      }
       slices_done[id] = slices_;
       done[id] = true;
     }
+    check::observe(check::Event{check::EventKind::kCommit, scope(), id, 0, 0,
+                                resolved_already});
     cv.notify_all();
+    check::notify_object(cond_obj());
   }
 
   /// Marks a fully-published op done without replacing its buffer (the
@@ -218,12 +263,16 @@ class ExecState {
   void publish_all(repair::OpId id) { publish_slices(id, slices_); }
 
   void fail(repair::OpId id) {
+    check::point(check::PointKind::kResolve, id, scope(), "exec.fail");
     {
       std::unique_lock lock(mu);
       if (done[id] || failed[id]) return;
       failed[id] = true;
     }
+    check::observe(
+        check::Event{check::EventKind::kFail, scope(), id, 0, 0, false});
     cv.notify_all();
+    check::notify_object(cond_obj());
   }
 
   [[nodiscard]] bool resolved(repair::OpId id) {
@@ -242,17 +291,48 @@ class ExecState {
     return value[id];
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
+  check::Mutex mu{"exec.state"};
+  std::condition_variable_any cv;
   std::vector<rs::Block> value;
   std::vector<std::size_t> slices_done;
   std::vector<bool> done;
   std::vector<bool> failed;
 
+  /// Event/scope identity of this state instance (a re-planning driver
+  /// builds a fresh ExecState per attempt; oracles key on it). A per-run
+  /// generation id, NOT the heap address: the allocator can reuse one
+  /// attempt's address for the next attempt's state, which aliased two
+  /// attempts in the first-wins oracle. Found by the schedule explorer on
+  /// the resilient re-plan scenario.
+  [[nodiscard]] std::uintptr_t scope() const noexcept { return scope_id_; }
+
  private:
+  [[nodiscard]] std::uintptr_t cond_obj() const {
+    return reinterpret_cast<std::uintptr_t>(&cv);
+  }
+
+  /// Condition wait: the plain cv under production, a cooperative
+  /// block/notify loop when the calling thread is checked (the scheduler
+  /// serializes checked threads, so the unlock -> block_on window admits
+  /// no lost wakeup).
+  template <typename Pred>
+  void wait_on(std::unique_lock<check::Mutex>& lock, Pred pred) {
+    if (check::Scheduler* s = check::scheduled()) {
+      while (!pred()) {
+        lock.unlock();
+        s->block_on(check::Point{check::PointKind::kCondWait, cond_obj(),
+                                 scope(), "exec.wait"});
+        lock.lock();
+      }
+    } else {
+      cv.wait(lock, std::move(pred));
+    }
+  }
+
   std::size_t value_size_;
   std::size_t slice_size_;
   std::size_t slices_;
+  std::uintptr_t scope_id_ = check::next_scope_id();
 };
 
 }  // namespace detail

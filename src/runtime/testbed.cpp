@@ -81,10 +81,14 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
   // In slice mode they are taken per slice, so concurrent streams through
   // one port interleave at slice granularity instead of blocking for a
   // whole block.
-  std::vector<std::mutex> node_tx(cluster_.total_nodes());
-  std::vector<std::mutex> node_rx(cluster_.total_nodes());
-  std::vector<std::mutex> rack_tx(cluster_.racks());
-  std::vector<std::mutex> rack_rx(cluster_.racks());
+  std::vector<check::Mutex> node_tx(cluster_.total_nodes());
+  std::vector<check::Mutex> node_rx(cluster_.total_nodes());
+  std::vector<check::Mutex> rack_tx(cluster_.racks());
+  std::vector<check::Mutex> rack_rx(cluster_.racks());
+  for (auto& m : node_tx) m.set_class("testbed.node_tx");
+  for (auto& m : node_rx) m.set_class("testbed.node_rx");
+  for (auto& m : rack_tx) m.set_class("testbed.rack_tx");
+  for (auto& m : rack_rx) m.set_class("testbed.rack_rx");
 
   std::atomic<std::uint64_t> cross_bytes{0};
   std::atomic<std::uint64_t> inner_bytes{0};
@@ -126,6 +130,12 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
   auto is_dead = [&](topology::NodeId node) {
     std::scoped_lock lock(fault_mu_);
     if (dead_.count(node) != 0) return true;
+    // Explorer-injected kill: the schedule explorer lands deaths exactly on
+    // decision boundaries instead of on the wall clock.
+    if (check::node_killed(static_cast<std::uint32_t>(node))) {
+      dead_.insert(node);
+      return true;
+    }
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       session_start_)
@@ -306,6 +316,7 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
           bool sent = false;
           for (std::size_t attempt = 0;
                attempt < params_.retry.max_attempts && !sent; ++attempt) {
+            check::point(check::PointKind::kRetry, id, 0, "testbed.retry");
             // A straggling sender's transfer crawls at factor x; the
             // straggler detector abandons the attempt at threshold x the
             // expected duration (speculative re-fetch), so an afflicted
@@ -341,11 +352,11 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
             metrics.begin_flight(bytes);
             Xfer xr;
             if (rf == rt) {
-              std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
+              check::OrderedLock ports(node_tx[op.from], node_rx[op.node]);
               xr = paced_transfer(bytes, bw, op.from, op.node);
             } else {
-              std::scoped_lock ports(node_tx[op.from], rack_tx[rf],
-                                     rack_rx[rt], node_rx[op.node]);
+              check::OrderedLock ports(node_tx[op.from], rack_tx[rf],
+                                       rack_rx[rt], node_rx[op.node]);
               xr = paced_transfer(bytes, bw, op.from, op.node);
             }
             metrics.end_flight(bytes);
@@ -398,6 +409,7 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
         std::size_t next_slice = 0;
         for (std::size_t attempt = 0;
              attempt < params_.retry.max_attempts && !sent; ++attempt) {
+          check::point(check::PointKind::kRetry, id, 0, "testbed.retry");
           bool afflicted = false;
           if (straggle != nullptr) {
             std::scoped_lock lock(fault_mu_);
@@ -446,17 +458,21 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
               return;
             }
             if (s == 0) op_start = detail::TraceClock::now();
+            // Fault/schedule boundary before the ports are taken: an
+            // explored kill can land between a slice becoming ready and
+            // its forward (mirrors combine_stream's per-slice point).
+            check::point(check::PointKind::kStep, id, 0, "testbed.send_slice");
             const std::size_t off = state.slice_offset(s);
             const std::size_t len = state.slice_offset(avail - 1) +
                                     state.slice_len(avail - 1) - off;
             const auto t0 = std::chrono::steady_clock::now();
             metrics.begin_flight(len);
             if (rf == rt) {
-              std::scoped_lock ports(node_tx[op.from], node_rx[op.node]);
+              check::OrderedLock ports(node_tx[op.from], node_rx[op.node]);
               xr = paced_transfer(len, bw, op.from, op.node);
             } else {
-              std::scoped_lock ports(node_tx[op.from], rack_tx[rf],
-                                     rack_rx[rt], node_rx[op.node]);
+              check::OrderedLock ports(node_tx[op.from], rack_tx[rf],
+                                       rack_rx[rt], node_rx[op.node]);
               xr = paced_transfer(len, bw, op.from, op.node);
             }
             metrics.end_flight(len);
@@ -579,13 +595,19 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
                            static_cast<std::int64_t>(op_stall_s * 1e9));
   };
 
+  // Worker threads register with an installed check::Scheduler under
+  // deterministic ordinals (op id in sliced mode, node id otherwise) so a
+  // replayed schedule string names the same thread on every run.
   std::vector<std::thread> workers;
   if (sliced) {
     // One thread per op: a node's combines and sends overlap, streaming
     // slices through each other, instead of queueing on one node worker.
     workers.reserve(plan.ops.size());
+    check::expect_threads(plan.ops.size());
     for (OpId id = 0; id < plan.ops.size(); ++id) {
-      workers.emplace_back([&, id] { run_op(id); });
+      workers.emplace_back([&, id] {
+        check::run_checked(static_cast<int>(id), "op", [&] { run_op(id); });
+      });
     }
   } else {
     // Assign ops to worker nodes: sends run on the sender, everything else
@@ -597,10 +619,15 @@ TestbedResult Testbed::execute(const RepairPlan& plan,
           op.kind == OpKind::kSend ? op.from : op.node;
       ops_of_node[worker].push_back(id);
     }
+    std::size_t involved = 0;
+    for (const auto& ids : ops_of_node) involved += ids.empty() ? 0u : 1u;
+    check::expect_threads(involved);
     for (topology::NodeId node = 0; node < cluster_.total_nodes(); ++node) {
       if (ops_of_node[node].empty()) continue;
-      workers.emplace_back([&, ids = ops_of_node[node]] {
-        for (OpId id : ids) run_op(id);
+      workers.emplace_back([&, node, ids = ops_of_node[node]] {
+        check::run_checked(static_cast<int>(node), "node", [&] {
+          for (OpId id : ids) run_op(id);
+        });
       });
     }
   }

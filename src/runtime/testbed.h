@@ -52,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/scheduler.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -159,7 +160,7 @@ class Testbed {
   TestbedParams params_;
   /// Session clock origin for kill times.
   std::chrono::steady_clock::time_point session_start_;
-  mutable std::mutex fault_mu_;
+  mutable check::Mutex fault_mu_{"testbed.fault"};
   /// Nodes dead so far; persists across execute() calls.
   std::set<topology::NodeId> dead_;
   /// Afflicted transfer attempts consumed per straggling node (transient

@@ -8,15 +8,19 @@
 #include <utility>
 #include <vector>
 
+#include "check/scheduler.h"
+
 namespace rpr::util {
 
 // A plain task-queue pool. parallel_for enqueues one closure per chunk,
 // runs chunks on the calling thread too (helping drain the queue), and
 // waits on a per-job countdown. Chunks are at least min_chunk bytes of
 // kernel work, so the per-chunk lock round-trips are noise.
+// The mutexes are check::Mutex so pool-internal acquisition edges show up
+// in the lock-order graph when it is enabled.
 struct ThreadPool::Impl {
-  std::mutex mu;
-  std::condition_variable work_cv;
+  check::Mutex mu{"pool.queue"};
+  std::condition_variable_any work_cv;
   std::deque<std::function<void()>> tasks;
   bool stopping = false;
   std::vector<std::thread> workers;
@@ -57,6 +61,14 @@ void ThreadPool::parallel_for(
     std::size_t total, std::size_t align, std::size_t min_chunk,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (total == 0) return;
+  // Under a concurrency-check scheduler the calling thread is cooperative:
+  // run the whole range inline. Pool workers are unchecked threads, and an
+  // unchecked thread completing a checked caller's job would wake it
+  // outside the scheduler's wake protocol (and nondeterministically).
+  if (check::this_thread_checked()) {
+    fn(0, total);
+    return;
+  }
   if (align == 0) align = 1;
   if (min_chunk < align) min_chunk = align;
 
@@ -73,8 +85,8 @@ void ThreadPool::parallel_for(
   }
 
   struct Job {
-    std::mutex m;
-    std::condition_variable cv;
+    check::Mutex m{"pool.job"};
+    std::condition_variable_any cv;
     std::size_t remaining;
   } job;
   std::vector<std::pair<std::size_t, std::size_t>> ranges;

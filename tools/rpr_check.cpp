@@ -1,0 +1,362 @@
+// rpr_check — deterministic concurrency model checker + lock-order
+// analyzer for the repair runtime.
+//
+//   rpr_check --model-check [--engine sim|testbed|both] [--preemptions N]
+//             [--faults N] [--max-schedules N] [--time-budget S]
+//             [--mutate drop-bank|non-monotonic-publish|double-commit]
+//   rpr_check --replay SCHEDULE --scenario NAME   (or RPR_CHECK_REPLAY=...)
+//   rpr_check --merge-lock-graphs DIR [--lock-graph-out FILE] [--dot FILE]
+//
+// Model check: explores bounded thread interleavings (preemption bound,
+// sleep-set pruning) of slice-streamed testbed repairs with fault
+// injection at every explored state boundary, runs the protocol oracles
+// after each schedule, and — on the sim engine — sweeps kill times over a
+// grid with the same oracles attached. A violation prints the oracle
+// message plus a replayable schedule string and exits 5.
+//
+// Lock graphs: merges per-process lock_graph.<pid>.txt dumps (produced by
+// RPR_LOCK_GRAPH=1 RPR_LOCK_GRAPH_OUT=dir/ under any test binary), prints
+// the acquisition-order report, and exits 5 when the class graph has a
+// cycle (a potential deadlock), with both witness stacks per inversion.
+//
+// Exit codes: 0 = clean; 5 = violation (schedule or lock cycle);
+// 2 = usage / unknown scenario.
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/explore.h"
+#include "check/lock_graph.h"
+#include "check/oracles.h"
+#include "check/scenarios.h"
+#include "fault/fault.h"
+#include "repair/planner.h"
+#include "repair/resilient.h"
+#include "rs/rs_code.h"
+#include "topology/cluster.h"
+#include "topology/placement.h"
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitViolation = 5;
+
+struct Options {
+  bool model_check = false;
+  std::string engine = "both";
+  int preemptions = 2;
+  int faults = 1;
+  std::size_t max_schedules = 200000;
+  double time_budget_s = 50.0;
+  std::string mutate;
+  std::string replay;
+  std::string scenario = "micro";
+  bool scenario_set = false;
+  std::string merge_dir;
+  std::string lock_graph_out;
+  std::string dot_out;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: rpr_check --model-check [--engine sim|testbed|both]\n"
+        "                 [--preemptions N] [--faults N]\n"
+        "                 [--max-schedules N] [--time-budget S]\n"
+        "                 [--mutate drop-bank|non-monotonic-publish|"
+        "double-commit]\n"
+        "       rpr_check --replay SCHED --scenario "
+        "micro|micro-faults|resilient|resilient-kill\n"
+        "       rpr_check --merge-lock-graphs DIR [--lock-graph-out FILE] "
+        "[--dot FILE]\n";
+}
+
+std::uint32_t mutation_mask(const std::string& name) {
+  using rpr::check::Mutation;
+  if (name.empty()) return 0;
+  if (name == "drop-bank") {
+    return static_cast<std::uint32_t>(Mutation::kDropBank);
+  }
+  if (name == "non-monotonic-publish") {
+    return static_cast<std::uint32_t>(Mutation::kNonMonotonicPublish);
+  }
+  if (name == "double-commit") {
+    return static_cast<std::uint32_t>(Mutation::kDoubleCommit);
+  }
+  return ~std::uint32_t{0};  // sentinel: unknown
+}
+
+struct NamedScenario {
+  rpr::check::Scenario scenario;
+  rpr::check::ExploreOptions opts;
+};
+
+/// Resolves a scenario name to the scenario + its exploration defaults.
+/// `micro-faults` is `micro` with the kill candidates armed.
+std::unique_ptr<NamedScenario> named_scenario(const std::string& name,
+                                              const Options& o) {
+  auto out = std::make_unique<NamedScenario>();
+  out->opts.preemption_bound = o.preemptions;
+  out->opts.max_schedules = o.max_schedules;
+  out->opts.time_budget_s = o.time_budget_s;
+  if (name == "micro") {
+    out->scenario = rpr::check::scenarios::testbed_micro();
+    return out;
+  }
+  if (name == "micro-faults") {
+    out->scenario = rpr::check::scenarios::testbed_micro();
+    out->opts.fault_budget = o.faults;
+    out->opts.fault_candidates =
+        rpr::check::scenarios::testbed_micro_fault_candidates();
+    return out;
+  }
+  if (name == "resilient") {
+    out->scenario = rpr::check::scenarios::resilient_testbed(false);
+    out->opts.max_schedules = std::min<std::size_t>(o.max_schedules, 64);
+    return out;
+  }
+  if (name == "resilient-kill") {
+    out->scenario = rpr::check::scenarios::resilient_testbed(true);
+    out->opts.max_schedules = std::min<std::size_t>(o.max_schedules, 64);
+    return out;
+  }
+  return nullptr;
+}
+
+int report_violation(const std::string& scenario,
+                     const rpr::check::Violation& v) {
+  std::cout << "VIOLATION [" << scenario << "]: " << v.message << "\n"
+            << "  schedule: " << (v.schedule.empty() ? "(empty)" : v.schedule)
+            << "\n  replay:   RPR_CHECK_REPLAY='" << v.schedule
+            << "' rpr_check --scenario " << scenario << "\n";
+  return kExitViolation;
+}
+
+int explore_named(const std::string& name, const Options& o) {
+  const auto ns = named_scenario(name, o);
+  if (ns == nullptr) {
+    std::cerr << "rpr_check: unknown scenario '" << name << "'\n";
+    return kExitUsage;
+  }
+  const rpr::check::ExploreResult r =
+      rpr::check::explore(ns->scenario, ns->opts);
+  if (r.violation.has_value()) return report_violation(name, *r.violation);
+  std::cout << "clean [" << name << "]: " << r.schedules << " schedule(s), "
+            << r.max_decisions << " decision(s) deep, "
+            << (r.complete ? "space exhausted" : "budget reached") << "\n";
+  return kExitClean;
+}
+
+/// Sim-engine fault sweep: the discrete-event engine is single-threaded,
+/// so instead of schedule exploration we sweep a kill of every helper
+/// node over a time grid, with the protocol oracles attached to the
+/// global event observer and the rebuilt bytes compared per run.
+int run_sim_sweep(const Options& o) {
+  (void)o;
+  rpr::rs::RSCode code(rpr::rs::CodeConfig{4, 2});
+  const auto placed = rpr::topology::make_placed_stripe(
+      {4, 2}, rpr::topology::PlacementPolicy::kRpr);
+  std::vector<rpr::rs::Block> stripe(code.config().total());
+  for (std::size_t b = 0; b < code.config().n; ++b) {
+    stripe[b].assign(4096, static_cast<std::uint8_t>(0x21 * (b + 1)));
+  }
+  code.encode_stripe(stripe);
+
+  rpr::repair::RepairProblem problem;
+  problem.code = &code;
+  problem.placement = &placed.placement;
+  problem.block_size = 64ull << 20;
+  problem.failed = {0};
+  problem.choose_default_replacements();
+  const auto planner = rpr::repair::make_planner(rpr::repair::Scheme::kRpr);
+
+  std::string violation;
+  rpr::check::OracleSet oracles;
+  rpr::check::set_event_observer([&](const rpr::check::Event& e) {
+    oracles.on_event(e, [&](const std::string& msg) {
+      if (violation.empty()) violation = msg;
+    });
+  });
+
+  std::size_t runs = 0;
+  for (std::size_t helper = 1; helper < code.config().total(); ++helper) {
+    for (const double at_s : {0.0, 0.05, 0.2, 0.5, 1.0, 2.0}) {
+      rpr::fault::FaultSchedule chaos;
+      chaos.kills.push_back(
+          {placed.placement.node_of(helper), at_s});
+      oracles = rpr::check::OracleSet{};
+      try {
+        const auto outcome = rpr::repair::simulate_resilient(
+            problem, *planner, stripe, rpr::topology::NetworkParams{},
+            chaos, {});
+        if (violation.empty() &&
+            (outcome.outputs.size() != 1 ||
+             outcome.outputs[0] != stripe[0])) {
+          violation = "sim sweep: rebuilt bytes differ (helper " +
+                      std::to_string(helper) + " killed at " +
+                      std::to_string(at_s) + "s)";
+        }
+      } catch (const std::exception& e) {
+        if (violation.empty()) {
+          violation = std::string("sim sweep: driver threw: ") + e.what();
+        }
+      }
+      ++runs;
+      if (!violation.empty()) break;
+    }
+    if (!violation.empty()) break;
+  }
+  rpr::check::set_event_observer(nullptr);
+  if (!violation.empty()) {
+    std::cout << "VIOLATION [sim-sweep]: " << violation << "\n";
+    return kExitViolation;
+  }
+  std::cout << "clean [sim-sweep]: " << runs
+            << " kill-time run(s), oracles attached\n";
+  return kExitClean;
+}
+
+int run_model_check(const Options& o) {
+  const std::uint32_t mask = mutation_mask(o.mutate);
+  if (mask == ~std::uint32_t{0}) {
+    std::cerr << "rpr_check: unknown mutation '" << o.mutate << "'\n";
+    return kExitUsage;
+  }
+  rpr::check::set_mutations(mask);
+  int rc = kExitClean;
+  if (o.engine == "testbed" || o.engine == "both") {
+    std::vector<std::string> names{"micro", "micro-faults", "resilient",
+                                   "resilient-kill"};
+    if (o.scenario_set) names = {o.scenario};
+    for (const std::string& name : names) {
+      const int r = explore_named(name, o);
+      if (r != kExitClean) {
+        rc = r;
+        break;
+      }
+    }
+  } else if (o.engine != "sim") {
+    std::cerr << "rpr_check: unknown engine '" << o.engine << "'\n";
+    rpr::check::set_mutations(0);
+    return kExitUsage;
+  }
+  if (rc == kExitClean && (o.engine == "sim" || o.engine == "both")) {
+    rc = run_sim_sweep(o);
+  }
+  rpr::check::set_mutations(0);
+  return rc;
+}
+
+int run_replay(const Options& o) {
+  const auto ns = named_scenario(o.scenario, o);
+  if (ns == nullptr) {
+    std::cerr << "rpr_check: unknown scenario '" << o.scenario << "'\n";
+    return kExitUsage;
+  }
+  const std::uint32_t mask = mutation_mask(o.mutate);
+  if (mask == ~std::uint32_t{0}) {
+    std::cerr << "rpr_check: unknown mutation '" << o.mutate << "'\n";
+    return kExitUsage;
+  }
+  rpr::check::set_mutations(mask);
+  const auto v = rpr::check::replay(ns->scenario, o.replay, ns->opts);
+  rpr::check::set_mutations(0);
+  if (v.has_value()) return report_violation(o.scenario, *v);
+  std::cout << "replay clean [" << o.scenario << "]\n";
+  return kExitClean;
+}
+
+int run_merge(const Options& o) {
+  namespace fs = std::filesystem;
+  auto& graph = rpr::check::LockGraph::instance();
+  graph.clear();
+  std::size_t files = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(o.merge_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("lock_graph.", 0) != 0) continue;
+    std::ifstream in(entry.path());
+    if (!in) continue;
+    graph.merge(in);
+    ++files;
+  }
+  if (ec) {
+    std::cerr << "rpr_check: cannot read '" << o.merge_dir
+              << "': " << ec.message() << "\n";
+    return kExitUsage;
+  }
+  if (!o.lock_graph_out.empty()) {
+    std::ofstream out(o.lock_graph_out);
+    graph.dump(out);
+  }
+  if (!o.dot_out.empty()) {
+    std::ofstream out(o.dot_out);
+    out << graph.dot();
+  }
+  std::cout << "merged " << files << " lock-graph dump(s), "
+            << graph.edges().size() << " edge(s)\n"
+            << graph.report();
+  const bool cyclic = !graph.cycles().empty();
+  return cyclic ? kExitViolation : kExitClean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (const char* env = std::getenv("RPR_CHECK_REPLAY")) o.replay = env;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(std::cerr);
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model-check") {
+      o.model_check = true;
+    } else if (arg == "--engine") {
+      o.engine = next();
+    } else if (arg == "--preemptions") {
+      o.preemptions = std::atoi(next());
+    } else if (arg == "--faults") {
+      o.faults = std::atoi(next());
+    } else if (arg == "--max-schedules") {
+      o.max_schedules = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--time-budget") {
+      o.time_budget_s = std::atof(next());
+    } else if (arg == "--mutate") {
+      o.mutate = next();
+    } else if (arg == "--replay") {
+      o.replay = next();
+    } else if (arg == "--scenario") {
+      o.scenario = next();
+      o.scenario_set = true;
+    } else if (arg == "--merge-lock-graphs") {
+      o.merge_dir = next();
+    } else if (arg == "--lock-graph-out") {
+      o.lock_graph_out = next();
+    } else if (arg == "--dot") {
+      o.dot_out = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return kExitClean;
+    } else {
+      std::cerr << "rpr_check: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return kExitUsage;
+    }
+  }
+
+  if (!o.merge_dir.empty()) return run_merge(o);
+  if (!o.replay.empty() && !o.model_check) return run_replay(o);
+  if (o.model_check) return run_model_check(o);
+  usage(std::cerr);
+  return kExitUsage;
+}

@@ -100,6 +100,22 @@ void Socket::set_recv_timeout(double seconds) {
   }
 }
 
+bool Socket::poll_readable(double timeout_s) {
+  ::pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int timeout_ms = std::max(1, static_cast<int>(timeout_s * 1e3));
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail("poll(read)");
+    }
+    // POLLHUP/POLLERR also count: the next read surfaces the condition.
+    return rc > 0;
+  }
+}
+
 Listener::Listener() {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");

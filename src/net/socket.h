@@ -43,6 +43,12 @@ class Socket {
   /// inactivity instead of blocking forever (SO_RCVTIMEO).
   void set_recv_timeout(double seconds);
 
+  /// Waits up to `timeout_s` for the socket to become readable (data, EOF,
+  /// or error — a following read resolves which). Returns false on
+  /// timeout. Lets a frame-loop receiver idle on a pooled connection
+  /// without arming a recv deadline that would sever it.
+  [[nodiscard]] bool poll_readable(double timeout_s);
+
   void close() noexcept;
 
  private:

@@ -107,6 +107,52 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
   for (auto& m : tx_mu) m.set_class("tcp.tx");
   for (auto& m : ingest_mu) m.set_class("tcp.ingest");
 
+  // Per-peer connection pool: a completed send parks its socket keyed by
+  // (sender, receiver) and the next op over the same edge reuses it —
+  // receivers run one frame loop per connection, so consecutive frames
+  // ride one socket back to back instead of paying a connect per op. A
+  // pooled socket can go stale (the peer tore it down while it sat idle);
+  // the sender then reconnects immediately, burning neither a retry
+  // attempt nor a backoff. An active fabric cut severs every pooled
+  // connection that crosses it, the way a real partition would.
+  check::Mutex pool_mu{"tcp.pool"};
+  std::map<std::pair<topology::NodeId, topology::NodeId>,
+           std::vector<Socket>>
+      conn_pool;
+  std::atomic<std::uint64_t> conns_opened{0};
+  std::atomic<std::uint64_t> conns_reused{0};
+  auto acquire_conn = [&](topology::NodeId from, topology::NodeId to,
+                          bool& reused) -> Socket {
+    {
+      std::scoped_lock lock(pool_mu);
+      const auto it = conn_pool.find({from, to});
+      if (it != conn_pool.end() && !it->second.empty()) {
+        Socket s = std::move(it->second.back());
+        it->second.pop_back();
+        ++conns_reused;
+        reused = true;
+        return s;
+      }
+    }
+    reused = false;
+    ++conns_opened;
+    return connect_local(port[to], params_.retry.op_deadline_s);
+  };
+  auto release_conn = [&](topology::NodeId from, topology::NodeId to,
+                          Socket s) {
+    std::scoped_lock lock(pool_mu);
+    conn_pool[{from, to}].push_back(std::move(s));
+  };
+  auto drop_cut_conns = [&](const fault::Partition& p) {
+    std::scoped_lock lock(pool_mu);
+    for (auto& [edge, conns] : conn_pool) {
+      if (p.separates(cluster_.rack_of(edge.first),
+                      cluster_.rack_of(edge.second))) {
+        conns.clear();  // closing the sockets severs the link
+      }
+    }
+  };
+
   std::atomic<std::uint64_t> cross_bytes{0};
   std::atomic<std::uint64_t> inner_bytes{0};
   std::atomic<std::size_t> retries{0};
@@ -316,9 +362,11 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
               state.fail(id);
               return;
             }
-            if (active_partition(rf, rt) != nullptr) {
-              // The cut drops the connection: back off and retry — a later
-              // attempt may find the fabric healed.
+            if (const fault::Partition* p = active_partition(rf, rt)) {
+              // The cut severs established connections and drops this
+              // attempt: back off and retry — a later attempt may find the
+              // fabric healed.
+              drop_cut_conns(*p);
               if (attempt + 1 < params_.retry.max_attempts) {
                 ++retries;
                 const double backoff = params_.retry.backoff_jittered_s(
@@ -360,9 +408,9 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
               }
               continue;
             }
+            bool reused = false;
             try {
-              Socket sock =
-                  connect_local(port[op.node], params_.retry.op_deadline_s);
+              Socket sock = acquire_conn(op.from, op.node, reused);
               metrics.begin_flight(payload.size());
               const bool ok = send_value(
                   sock, id, payload, params_.pace_chunk, delay_ns,
@@ -377,8 +425,16 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
                 return;
               }
               (rf == rt ? inner_bytes : cross_bytes) += payload.size();
+              release_conn(op.from, op.node, std::move(sock));
               sent = true;
             } catch (const std::exception&) {
+              if (reused) {
+                // Stale pooled socket (the peer had already torn it down):
+                // reconnect right away — staleness is not a fault, so it
+                // costs no attempt and no backoff.
+                --attempt;
+                continue;
+              }
               // Connect/send error: the receiver may be gone or not
               // accepting; retry within budget.
               if (attempt + 1 < params_.retry.max_attempts) {
@@ -437,9 +493,11 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
             state.fail(id);
             return;
           }
-          if (active_partition(rf, rt) != nullptr) {
-            // The cut drops the connection: back off and retry — a later
-            // attempt may find the fabric healed.
+          if (const fault::Partition* p = active_partition(rf, rt)) {
+            // The cut severs established connections and drops this
+            // attempt: back off and retry — a later attempt may find the
+            // fabric healed.
+            drop_cut_conns(*p);
             if (attempt + 1 < params_.retry.max_attempts) {
               ++retries;
               const double backoff = params_.retry.backoff_jittered_s(
@@ -478,9 +536,9 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
             }
             continue;
           }
+          bool reused = false;
           try {
-            Socket sock =
-                connect_local(port[op.node], params_.retry.op_deadline_s);
+            Socket sock = acquire_conn(op.from, op.node, reused);
             send_header(sock, id, state.value_size());
             bool ok = true;
             std::uint64_t attempt_bytes = 0;
@@ -508,8 +566,15 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
               return;
             }
             (rf == rt ? inner_bytes : cross_bytes) += attempt_bytes;
+            release_conn(op.from, op.node, std::move(sock));
             sent = true;
           } catch (const std::exception&) {
+            if (reused) {
+              // Stale pooled socket: reconnect right away — no attempt
+              // burned, no backoff.
+              --attempt;
+              continue;
+            }
             if (attempt + 1 < params_.retry.max_attempts) {
               ++retries;
               const double backoff = params_.retry.backoff_jittered_s(
@@ -608,37 +673,31 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
                                         op_stall_s * 1e9));
   };
 
-  // Ingests one slice-streamed connection: reads the frame header, then
-  // drains slice-sized chunks straight into the op's accumulator and
-  // publishes each one. A resumed (retried) stream re-reads the published
-  // prefix into scratch — those regions are concurrently read by consumers
-  // and must not be rewritten, and the resent bytes are content-identical
-  // anyway. Tolerated stream errors return normally (the sender retries or
-  // has already failed the op).
-  auto ingest_stream = [&](topology::NodeId n, Socket peer) {
-    ValueHeader h;
-    try {
-      peer.set_recv_timeout(params_.retry.op_deadline_s);
-      h = recv_header(peer, max_payload);
-    } catch (const std::exception&) {
-      return;  // broken/abandoned before framing
-    }
-    if (h.op_id >= plan.ops.size()) {
-      throw std::runtime_error("tcp_runtime: bogus op id on wire");
-    }
-    const OpId id = h.op_id;
-    const bool cross =
-        cluster_.rack_of(plan.ops[id].from) != cluster_.rack_of(plan.ops[id].node);
-    if (h.payload_len != state.value_size()) {
-      // Not slice-framed as expected; fall back to a whole-value read.
-      try {
-        Block b(h.payload_len);
-        peer.read_exact(b);
-        if (!is_dead(n)) state.publish(id, std::move(b));
-      } catch (const std::exception&) {
-      }
-      return;
-    }
+  constexpr double kAcceptPollS = 0.01;
+
+  // Resolution check shared by the acceptor and its frame loops: a node is
+  // owed every op it receives over the wire.
+  auto all_owed_resolved = [&](topology::NodeId n) {
+    const std::vector<OpId>& owed = incoming_of_node[n];
+    return std::all_of(owed.begin(), owed.end(),
+                       [&](OpId id) { return state.resolved(id); });
+  };
+  auto fail_owed = [&](topology::NodeId n) {
+    blame(n);
+    for (OpId id : incoming_of_node[n]) state.fail(id);
+  };
+
+  // Ingests one sliced frame whose header has been read: drains
+  // slice-sized chunks straight into the op's accumulator and publishes
+  // each one. A resumed (retried) stream re-reads the published prefix
+  // into scratch — those regions are concurrently read by consumers and
+  // must not be rewritten, and the resent bytes are content-identical
+  // anyway. Returns false when the connection desynced mid-payload and
+  // must be closed (the sender retries or has already failed the op).
+  auto ingest_sliced_frame = [&](topology::NodeId n, Socket& peer,
+                                 OpId id) -> bool {
+    const bool cross = cluster_.rack_of(plan.ops[id].from) !=
+                       cluster_.rack_of(plan.ops[id].node);
     std::scoped_lock op_lock(ingest_mu[id]);
     Block& out = state.storage(id);
     std::size_t s = state.progress(id);
@@ -662,7 +721,7 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
         if (is_dead(n)) {
           blame(n);
           state.fail(id);
-          return;
+          return false;
         }
         metrics.transfer_slice(
             cross,
@@ -674,90 +733,116 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
       }
     } catch (const std::exception&) {
       // Short read / timeout mid-stream: keep the published prefix; the
-      // sender retries (and the resumed stream picks up past it) or has
-      // failed the op itself.
+      // resumed stream picks up past it.
+      return false;
+    }
+    return true;
+  };
+
+  // Ingests one whole-value frame (whole-block mode, odd-sized values,
+  // and duplicates in either mode). The per-op lock serializes a retried
+  // delivery against the original so two connections never write one
+  // accumulator concurrently; publish stays first-wins. Returns false
+  // when the connection desynced and must be closed.
+  auto ingest_whole_frame = [&](topology::NodeId n, Socket& peer,
+                                const ValueHeader& h) -> bool {
+    std::scoped_lock op_lock(ingest_mu[h.op_id]);
+    if (h.payload_len == state.value_size() && !state.resolved(h.op_id)) {
+      // The common case: read the payload straight into the op's
+      // pre-sized accumulator — no per-message scratch buffer.
+      Block& out = state.storage(h.op_id);
+      try {
+        peer.read_exact(out);
+      } catch (const std::exception&) {
+        return false;
+      }
+      if (is_dead(n)) {
+        fail_owed(n);
+        return false;
+      }
+      state.publish_all(h.op_id);
+    } else {
+      // Odd-sized value or duplicate of a resolved op: drain into
+      // scratch (publish is first-wins / a no-op on duplicates).
+      Block b(h.payload_len);
+      try {
+        peer.read_exact(b);
+      } catch (const std::exception&) {
+        return false;
+      }
+      if (is_dead(n)) {
+        fail_owed(n);
+        return false;
+      }
+      state.publish(h.op_id, std::move(b));
+    }
+    return true;
+  };
+
+  // One connection = one frame loop: with per-peer pooling on the sender
+  // side, consecutive ops over the same edge arrive back to back on one
+  // socket. Between frames the loop idles on a short poll — no recv
+  // deadline is armed while the connection legitimately sits quiet in the
+  // sender's pool — re-checking the run's exit conditions each tick. EOF
+  // or a desync ends the connection; the sender reconnects if it still
+  // has frames to deliver.
+  auto ingest_conn = [&](topology::NodeId n, Socket peer) {
+    for (;;) {
+      for (;;) {  // idle: wait for the next frame or an exit condition
+        if (is_dead(n)) {
+          fail_owed(n);
+          return;
+        }
+        if (all_owed_resolved(n)) return;
+        if (peer.poll_readable(kAcceptPollS)) break;
+      }
+      ValueHeader h;
+      try {
+        // Once bytes are on the wire the frame must complete promptly;
+        // the deadline bounds a sender dying mid-header.
+        peer.set_recv_timeout(params_.retry.op_deadline_s);
+        h = recv_header(peer, max_payload);
+      } catch (const std::exception&) {
+        return;  // EOF or broken framing: the connection is done
+      }
+      if (h.op_id >= plan.ops.size()) {
+        throw std::runtime_error("tcp_runtime: bogus op id on wire");
+      }
+      const bool ok = sliced && h.payload_len == state.value_size()
+                          ? ingest_sliced_frame(n, peer, h.op_id)
+                          : ingest_whole_frame(n, peer, h);
+      if (!ok) return;
     }
   };
 
   std::vector<std::thread> threads;
 
-  // Acceptors: each ingests connections until every op it is owed is done
-  // or failed (a sender that gave up fails the op itself), or until its own
-  // node dies — then the unresolved remainder fails. Accept polls with a
-  // short timeout so the exit conditions are re-checked. In whole-block
-  // mode ingestion is inline (one connection at a time — RX serialization);
-  // in slice mode each connection gets an ingest thread so concurrent
+  // Acceptors: each accepts connections until every op it is owed is done
+  // or failed (a sender that gave up fails the op itself), or until its
+  // own node dies — then the unresolved remainder fails. Accept polls
+  // with a short timeout so the exit conditions are re-checked. Every
+  // connection gets a frame-loop ingest thread (both modes), so pooled
+  // connections keep delivering ops for the whole run and concurrent
   // streams into one node make progress independently.
-  constexpr double kAcceptPollS = 0.01;
   for (topology::NodeId n = 0; n < cluster_.total_nodes(); ++n) {
     if (incoming_of_node[n].empty()) continue;
     threads.emplace_back([&, n] {
       std::vector<std::thread> ingests;
       try {
-        const std::vector<OpId>& owed = incoming_of_node[n];
-        auto all_resolved = [&] {
-          return std::all_of(owed.begin(), owed.end(),
-                             [&](OpId id) { return state.resolved(id); });
-        };
-        while (!all_resolved()) {
+        while (!all_owed_resolved(n)) {
           if (is_dead(n)) {
-            blame(n);
-            for (OpId id : owed) state.fail(id);
+            fail_owed(n);
             break;
           }
           Socket peer = listener[n]->accept(kAcceptPollS);
           if (!peer.valid()) continue;  // poll timeout: re-check conditions
-          if (sliced) {
-            ingests.emplace_back([&, p = std::move(peer)]() mutable {
-              try {
-                ingest_stream(n, std::move(p));
-              } catch (const std::exception& e) {
-                record_error(e.what());
-              }
-            });
-            continue;
-          }
-          peer.set_recv_timeout(params_.retry.op_deadline_s);
-          ValueHeader h;
-          try {
-            h = recv_header(peer, max_payload);
-          } catch (const std::exception&) {
-            continue;  // broken/abandoned stream; the sender retries
-          }
-          if (h.op_id >= plan.ops.size()) {
-            throw std::runtime_error("tcp_runtime: bogus op id on wire");
-          }
-          if (h.payload_len == state.value_size() && !state.resolved(h.op_id)) {
-            // The common case: read the payload straight into the op's
-            // pre-sized accumulator — no per-message scratch buffer.
-            Block& out = state.storage(h.op_id);
+          ingests.emplace_back([&, p = std::move(peer)]() mutable {
             try {
-              peer.read_exact(out);
-            } catch (const std::exception&) {
-              continue;
+              ingest_conn(n, std::move(p));
+            } catch (const std::exception& e) {
+              record_error(e.what());
             }
-            if (is_dead(n)) {
-              blame(n);
-              for (OpId id : owed) state.fail(id);
-              break;
-            }
-            state.publish_all(h.op_id);
-          } else {
-            // Odd-sized value or duplicate of a resolved op: drain into
-            // scratch (publish is first-wins / a no-op on duplicates).
-            Block b(h.payload_len);
-            try {
-              peer.read_exact(b);
-            } catch (const std::exception&) {
-              continue;
-            }
-            if (is_dead(n)) {
-              blame(n);
-              for (OpId id : owed) state.fail(id);
-              break;
-            }
-            state.publish(h.op_id, std::move(b));
-          }
+          });
         }
       } catch (const std::exception& e) {
         record_error(e.what());
@@ -804,6 +889,10 @@ runtime::TestbedResult TcpRuntime::execute(const RepairPlan& plan,
   result.inner_rack_bytes = inner_bytes.load();
   result.retries = retries.load();
   result.faults_injected = faults.load();
+  if (params_.metrics != nullptr) {
+    params_.metrics->counter("tcp.conn.opened").add(conns_opened.load());
+    params_.metrics->counter("tcp.conn.reused").add(conns_reused.load());
+  }
 
   bool any_output_failed = false;
   {

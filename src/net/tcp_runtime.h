@@ -8,11 +8,20 @@
 //
 // Contention model that emerges naturally (and matches the testbed/port
 // simulator): each node's worker sends one value at a time (TX
-// serialization) and its acceptor ingests one connection at a time (RX
-// serialization). Rack uplinks are not separately modeled — loopback has no
-// TOR switch — so this runtime validates *correctness over a real network
-// stack* and coarse timing, while `runtime::Testbed` and `simnet` carry the
+// serialization); receivers run one frame loop per connection. Rack
+// uplinks are not separately modeled — loopback has no TOR switch — so
+// this runtime validates *correctness over a real network stack* and
+// coarse timing, while `runtime::Testbed` and `simnet` carry the
 // calibrated cost models.
+//
+// Connection reuse: sends to the same peer share a pooled TCP connection —
+// a completed send parks its socket keyed by (sender, receiver) and the
+// next op over that edge rides it, with frames delivered back to back
+// into the receiver's per-connection frame loop. A stale pooled socket
+// (peer tore it down while idle) is replaced immediately at no retry or
+// backoff cost, and an active fabric partition severs every pooled
+// connection crossing the cut. `tcp.conn.opened` / `tcp.conn.reused`
+// counters in the metrics registry expose the reuse rate.
 //
 // Fault injection mirrors runtime::Testbed (same FaultSchedule, same
 // TestbedResult/TestbedAbort contract) but failures manifest through the
@@ -77,8 +86,9 @@ struct TcpRuntimeParams {
   /// and simnet. 0 = whole-block store-and-forward (historical behavior).
   /// Defaults from the RPR_SLICE_SIZE environment variable.
   std::size_t slice_size = runtime::default_slice_size();
-  /// Optional registry for per-slice latency histograms, slice counters and
-  /// the peak bytes-in-flight gauge (under "tcp."). Must outlive execute().
+  /// Optional registry for per-slice latency histograms, slice counters,
+  /// the peak bytes-in-flight gauge, and the connection-pool
+  /// opened/reused counters (under "tcp."). Must outlive execute().
   obs::MetricsRegistry* metrics = nullptr;
 };
 

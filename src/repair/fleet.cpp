@@ -1,5 +1,6 @@
 #include "repair/fleet.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -9,6 +10,17 @@
 
 namespace rpr::repair {
 
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0.0) return samples.front();
+  if (q >= 1.0) return samples.back();
+  // Nearest-rank: the smallest value with at least q * n samples <= it.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
 FleetOutcome simulate_fleet(const Planner& planner,
                             const FleetProblem& problem,
                             const topology::Cluster& cluster,
@@ -16,6 +28,9 @@ FleetOutcome simulate_fleet(const Planner& planner,
                             const obs::Probe& probe) {
   simnet::SimNetwork net(cluster, params);
   std::size_t stripe_no = 0;
+  /// Half-open [first, last) task-id range each stripe lowered to.
+  std::vector<std::pair<simnet::TaskId, simnet::TaskId>> stripe_tasks;
+  stripe_tasks.reserve(problem.stripes.size());
 
   for (const RepairProblem& stripe : problem.stripes) {
     const PlannedRepair planned = planner.plan(stripe);
@@ -26,6 +41,7 @@ FleetOutcome simulate_fleet(const Planner& planner,
     // purely through ports). Labels keep their phase prefixes and gain a
     // stripe tag so merged traces stay attributable.
     const std::string tag = " s" + std::to_string(stripe_no++);
+    const simnet::TaskId first_task = net.task_count();
     std::vector<simnet::TaskId> task_of(planned.plan.ops.size());
     for (OpId id = 0; id < planned.plan.ops.size(); ++id) {
       const PlanOp& op = planned.plan.ops[id];
@@ -55,6 +71,7 @@ FleetOutcome simulate_fleet(const Planner& planner,
         }
       }
     }
+    stripe_tasks.emplace_back(first_task, net.task_count());
   }
 
   const simnet::RunResult r = net.run();
@@ -86,6 +103,18 @@ FleetOutcome simulate_fleet(const Planner& planner,
   };
   stats(out.rack_upload_bytes, out.upload_imbalance, out.upload_cv);
   stats(out.rack_download_bytes, out.download_imbalance, out.download_cv);
+
+  out.stripe_completion_s.reserve(stripe_tasks.size());
+  for (const auto& [first, last] : stripe_tasks) {
+    util::SimTime done = 0;
+    for (simnet::TaskId id = first; id < last; ++id) {
+      done = std::max(done, r.tasks[id].finish);
+    }
+    out.stripe_completion_s.push_back(util::to_sec(done));
+  }
+  out.completion_p50_s = percentile(out.stripe_completion_s, 0.50);
+  out.completion_p95_s = percentile(out.stripe_completion_s, 0.95);
+  out.completion_p99_s = percentile(out.stripe_completion_s, 0.99);
   return out;
 }
 

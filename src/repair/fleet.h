@@ -43,7 +43,20 @@ struct FleetOutcome {
   double upload_cv = 0.0;
   double download_imbalance = 0.0;
   double download_cv = 0.0;
+  /// Per-stripe completion time (seconds): when the last task lowered from
+  /// that stripe's plan finished. Indexed like FleetProblem::stripes.
+  std::vector<double> stripe_completion_s;
+  /// Nearest-rank percentiles over stripe_completion_s. A wave's makespan
+  /// is its p100; the spread between p50 and p99 is the queueing/port
+  /// contention tail individual stripes see inside the wave.
+  double completion_p50_s = 0.0;
+  double completion_p95_s = 0.0;
+  double completion_p99_s = 0.0;
 };
+
+/// Nearest-rank percentile over an unsorted sample set (q in [0,1]).
+/// Returns 0 for an empty sample. Shared by fleet and scheduler stats.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
 
 /// Plans every stripe with `planner` and runs all plans concurrently on one
 /// simulation of `cluster`. Per-stripe plans share ports, so the simulator

@@ -139,11 +139,38 @@ struct PlannedRead {
   RepairPlan plan;
   OpId output = kNoOp;
   bool used_decoding_matrix = false;
+  /// The target's sub-equation (what the plan evaluates) and the survivor
+  /// selection behind it — enough to hand the read to the resilient driver
+  /// as a one-equation repair so helper failures mid-read re-plan instead
+  /// of failing the read.
+  rs::RepairEquation equation;
+  std::vector<std::size_t> selected;
 };
 [[nodiscard]] PlannedRead plan_degraded_read(
     const rs::RSCode& code, const topology::Placement& placement,
     std::uint64_t block_size, std::span<const std::size_t> lost,
     std::size_t target, topology::NodeId destination, RprOptions opts = {});
+
+/// Presents a degraded read as a one-equation repair so the resilient
+/// driver (repair/resilient.h) can execute it: a helper that dies
+/// mid-read triggers the driver's equation-patching re-plan instead of
+/// failing the read. The caller passes the FULL lost set here (none of
+/// those blocks may serve as a source); the driven problem must then name
+/// exactly one failed block — the read target — with the reader node as
+/// its "replacement", and list the remaining lost blocks' nodes in
+/// ResilientOptions::unavailable.
+class DegradedReadPlanner final : public Planner {
+ public:
+  explicit DegradedReadPlanner(std::vector<std::size_t> lost,
+                               RprOptions opts = {})
+      : lost_(std::move(lost)), opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "degraded-read"; }
+  [[nodiscard]] PlannedRepair plan(const RepairProblem& p) const override;
+
+ private:
+  std::vector<std::size_t> lost_;
+  RprOptions opts_;
+};
 
 /// Survivor selection that minimizes the number of non-recovery racks
 /// involved (and therefore cross-rack traffic): recovery-rack survivors are

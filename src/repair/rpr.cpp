@@ -140,6 +140,8 @@ PlannedRead plan_degraded_read(const rs::RSCode& code,
 
   PlannedRead out;
   out.plan.block_size = block_size;
+  out.equation = *it;
+  out.selected = selected;
   out.used_decoding_matrix = !(opts.prefer_xor_set && it->xor_only());
   out.output = plan_one_equation(out.plan, p, *it, destination, opts,
                                  out.used_decoding_matrix, 0);
@@ -149,6 +151,32 @@ PlannedRead plan_degraded_read(const rs::RSCode& code,
                                     destination),
         "plan_degraded_read b" + std::to_string(target));
   }
+  return out;
+}
+
+PlannedRepair DegradedReadPlanner::plan(const RepairProblem& p) const {
+  if (p.code == nullptr || p.placement == nullptr) {
+    throw std::invalid_argument("degraded-read: problem not fully specified");
+  }
+  if (p.failed.size() != 1 || p.replacements.size() != 1) {
+    throw std::invalid_argument(
+        "degraded-read: exactly one failed block (the read target) with the "
+        "reader as its replacement");
+  }
+  const std::size_t target = p.failed[0];
+  if (std::find(lost_.begin(), lost_.end(), target) == lost_.end()) {
+    throw std::invalid_argument(
+        "degraded-read: target must be in the lost set");
+  }
+  PlannedRead read = plan_degraded_read(*p.code, *p.placement, p.block_size,
+                                        lost_, target, p.replacements[0],
+                                        opts_);
+  PlannedRepair out;
+  out.plan = std::move(read.plan);
+  out.outputs = {read.output};
+  out.equations = {std::move(read.equation)};
+  out.used_decoding_matrix = read.used_decoding_matrix;
+  out.selected = std::move(read.selected);
   return out;
 }
 

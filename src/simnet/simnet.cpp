@@ -1,6 +1,7 @@
 #include "simnet/simnet.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <stdexcept>
 
@@ -86,6 +87,42 @@ void SimNetwork::slow_node(NodeId node, double factor) {
   tx_slowdown_[node] = factor;
 }
 
+void SimNetwork::set_class(TaskId id, TrafficClass cls) {
+  if (id >= tasks_.size()) {
+    throw std::invalid_argument("set_class: unknown task");
+  }
+  tasks_[id].cls = cls;
+}
+
+void SimNetwork::set_priority(TaskId id, int priority) {
+  if (id >= tasks_.size()) {
+    throw std::invalid_argument("set_priority: unknown task");
+  }
+  tasks_[id].priority = priority;
+}
+
+void SimNetwork::set_earliest_start(TaskId id, SimTime at) {
+  if (id >= tasks_.size()) {
+    throw std::invalid_argument("set_earliest_start: unknown task");
+  }
+  tasks_[id].earliest_start = at;
+}
+
+void SimNetwork::set_arbiter(ArbiterConfig cfg) {
+  if (!(cfg.repair_share > 0.0) || cfg.repair_share > 1.0) {
+    throw std::invalid_argument("set_arbiter: repair_share must be in (0,1]");
+  }
+  if (cfg.burst_s < 0.0) {
+    throw std::invalid_argument("set_arbiter: burst_s must be >= 0");
+  }
+  arbiter_ = cfg;
+  arbiter_enabled_ = cfg.repair_share < 1.0;
+}
+
+void SimNetwork::set_finish_hook(FinishHook hook) {
+  finish_hook_ = std::move(hook);
+}
+
 void SimNetwork::slow_compute(NodeId node, double factor) {
   if (node >= cluster_.total_nodes()) {
     throw std::invalid_argument("slow_compute: node out of range");
@@ -110,6 +147,7 @@ SimTime SimNetwork::decode_duration(std::uint64_t bytes,
 RunResult SimNetwork::run() {
   if (ran_) throw std::logic_error("SimNetwork::run may only be called once");
   ran_ = true;
+  running_phase_ = true;
 
   // Port state: the time at which each port becomes free.
   std::vector<SimTime> node_tx(cluster_.total_nodes(), 0);
@@ -118,26 +156,61 @@ RunResult SimNetwork::run() {
   std::vector<SimTime> rack_tx(cluster_.racks(), 0);
   std::vector<SimTime> rack_rx(cluster_.racks(), 0);
 
+  // Deficit token buckets for the repair class, one per port (node TX/RX
+  // and rack cross TX/RX). `credit` is in port-seconds; see ArbiterConfig.
+  struct Bucket {
+    double credit = 0.0;
+    SimTime last = 0;
+  };
+  const double burst_ns =
+      arbiter_.burst_s * static_cast<double>(util::kNsPerSec);
+  std::vector<Bucket> tok_node_tx, tok_node_rx, tok_rack_tx, tok_rack_rx;
+  if (arbiter_enabled_) {
+    tok_node_tx.assign(cluster_.total_nodes(), Bucket{burst_ns, 0});
+    tok_node_rx.assign(cluster_.total_nodes(), Bucket{burst_ns, 0});
+    tok_rack_tx.assign(cluster_.racks(), Bucket{burst_ns, 0});
+    tok_rack_rx.assign(cluster_.racks(), Bucket{burst_ns, 0});
+  }
+  const double rate = arbiter_.repair_share;  // credit ns per elapsed ns
+  auto refill = [&](Bucket& b, SimTime now) {
+    if (b.last < now) {
+      b.credit = std::min(
+          burst_ns, b.credit + static_cast<double>(now - b.last) * rate);
+      b.last = now;
+    }
+  };
+
   RunResult result;
   result.tasks.resize(tasks_.size());
   result.rack_upload_bytes.assign(cluster_.racks(), 0);
   result.rack_download_bytes.assign(cluster_.racks(), 0);
+  std::vector<char> done(tasks_.size(), 0);
   // Static identity is copied up front (timing fields are filled as tasks
-  // are scheduled below).
-  for (TaskId id = 0; id < tasks_.size(); ++id) {
+  // are scheduled below). Tasks added mid-run by the finish hook get the
+  // same treatment in integrate_new below.
+  auto copy_identity = [&](TaskId id) {
     result.tasks[id].op = tasks_[id].op;
     result.tasks[id].slice = tasks_[id].slice;
     result.tasks[id].deps = tasks_[id].deps;
-  }
+    result.tasks[id].cls = tasks_[id].cls;
+    result.tasks[id].priority = tasks_[id].priority;
+  };
+  for (TaskId id = 0; id < tasks_.size(); ++id) copy_identity(id);
 
   struct Pending {
     SimTime ready;
+    int priority;
     TaskId id;
+    /// Start order: earliest ready first, then highest priority, then
+    /// submission order. With default priorities this is the original
+    /// FIFO-by-(ready, id) greedy order.
     bool operator<(const Pending& o) const {
-      return ready != o.ready ? ready < o.ready : id < o.id;
+      if (ready != o.ready) return ready < o.ready;
+      if (priority != o.priority) return priority > o.priority;
+      return id < o.id;
     }
   };
-  std::vector<Pending> pending;  // kept sorted; FIFO by (ready, id)
+  std::vector<Pending> pending;  // min-heap by the order above
 
   struct Completion {
     SimTime finish;
@@ -150,28 +223,32 @@ RunResult SimNetwork::run() {
                       std::greater<Completion>>
       running;
 
+  auto heap_less = [](const Pending& a, const Pending& b) { return b < a; };
   auto enqueue_ready = [&](TaskId id, SimTime when) {
     RPR_INVARIANT(tasks_[id].unmet_deps == 0,
                   "a task becomes ready only once all dependencies finished");
     result.tasks[id].ready = when;
-    pending.push_back(Pending{when, id});
-    std::push_heap(pending.begin(), pending.end(),
-                   [](const Pending& a, const Pending& b) { return b < a; });
+    pending.push_back(Pending{when, tasks_[id].priority, id});
+    std::push_heap(pending.begin(), pending.end(), heap_less);
   };
 
   for (TaskId id = 0; id < tasks_.size(); ++id) {
-    if (tasks_[id].unmet_deps == 0) enqueue_ready(id, 0);
+    if (tasks_[id].unmet_deps == 0) {
+      enqueue_ready(id, tasks_[id].earliest_start);
+    }
   }
 
-  // pending is a min-heap on (ready, id); tasks whose ports are busy are
-  // re-examined after every completion event. We pop into a scratch list,
-  // attempt starts in FIFO order, and push back whatever could not start.
+  // pending is a min-heap on (ready, -priority, id); tasks whose ports are
+  // busy are re-examined after every completion event. We pop into a
+  // scratch list, attempt starts in order, and push back whatever could
+  // not start. Tasks throttled by the arbiter are re-enqueued with their
+  // token-availability time as the new ready time, so the event loop can
+  // sleep until then instead of spinning.
   std::vector<Pending> blocked;
 
   auto try_start_all = [&](SimTime now) {
     blocked.clear();
-    auto heap_less = [](const Pending& a, const Pending& b) { return b < a; };
-    while (!pending.empty()) {
+    while (!pending.empty() && pending.front().ready <= now) {
       std::pop_heap(pending.begin(), pending.end(), heap_less);
       const Pending p = pending.back();
       pending.pop_back();
@@ -221,12 +298,36 @@ RunResult SimNetwork::run() {
         continue;
       }
       const util::Bandwidth bw = cross ? params_.cross : params_.inner;
-      st.start = now;
       SimTime duration = bw.time_for(t.bytes);
       if (!tx_slowdown_.empty() && tx_slowdown_[t.from] > 1.0) {
         duration = static_cast<SimTime>(
             static_cast<double>(duration) * tx_slowdown_[t.from]);
       }
+
+      if (arbiter_enabled_ && t.cls == TrafficClass::kRepair) {
+        Bucket* buckets[4] = {&tok_node_tx[t.from], &tok_node_rx[t.to],
+                              cross ? &tok_rack_tx[rf] : nullptr,
+                              cross ? &tok_rack_rx[rt] : nullptr};
+        double worst = 0.0;  // most negative credit across involved ports
+        for (Bucket* b : buckets) {
+          if (b == nullptr) continue;
+          refill(*b, now);
+          worst = std::min(worst, b->credit);
+        }
+        if (worst < 0.0) {
+          const auto wait = static_cast<SimTime>(std::ceil(-worst / rate));
+          if (wait > 0) {
+            pending.push_back(Pending{now + wait, p.priority, p.id});
+            std::push_heap(pending.begin(), pending.end(), heap_less);
+            continue;
+          }
+        }
+        for (Bucket* b : buckets) {
+          if (b != nullptr) b->credit -= static_cast<double>(duration);
+        }
+      }
+
+      st.start = now;
       st.finish = now + duration;
       node_tx[t.from] = st.finish;
       node_rx[t.to] = st.finish;
@@ -241,6 +342,11 @@ RunResult SimNetwork::run() {
         result.inner_rack_bytes += t.bytes;
         ++result.inner_rack_transfers;
       }
+      if (t.cls == TrafficClass::kRepair) {
+        result.repair_bytes += t.bytes;
+      } else {
+        result.foreground_bytes += t.bytes;
+      }
       running.push(Completion{st.finish, p.id});
     }
     for (const Pending& p : blocked) {
@@ -249,23 +355,65 @@ RunResult SimNetwork::run() {
     }
   };
 
+  // Integrates tasks the finish hook just added: count only unfinished
+  // dependencies and enqueue the immediately-ready ones at `now` (or their
+  // earliest_start if later).
+  auto integrate_new = [&](std::size_t first_new, SimTime now) {
+    if (tasks_.size() == first_new) return;
+    result.tasks.resize(tasks_.size());
+    done.resize(tasks_.size(), 0);
+    for (TaskId id = first_new; id < tasks_.size(); ++id) {
+      copy_identity(id);
+      std::size_t unmet = 0;
+      for (TaskId d : tasks_[id].deps) {
+        if (!done[d]) ++unmet;
+      }
+      tasks_[id].unmet_deps = unmet;
+      if (unmet == 0) {
+        enqueue_ready(id, std::max(now, tasks_[id].earliest_start));
+      }
+    }
+  };
+
   SimTime now = 0;
   try_start_all(now);
   std::size_t completed = 0;
-  while (!running.empty()) {
-    now = running.top().finish;
+  std::vector<TaskId> batch;
+  while (!running.empty() || !pending.empty()) {
+    // Next event: the earliest completion, or the earliest strictly-future
+    // pending ready time (arrivals and arbiter-throttled tasks). Pending
+    // tasks whose ready time has passed only unblock via completions.
+    SimTime next = std::numeric_limits<SimTime>::max();
+    if (!running.empty()) next = running.top().finish;
+    if (!pending.empty() && pending.front().ready > now) {
+      next = std::min(next, pending.front().ready);
+    }
+    if (next == std::numeric_limits<SimTime>::max()) break;
+    RPR_INVARIANT(next >= now, "sim time must be monotonic");
+    now = next;
     // Drain every completion at this instant before attempting new starts,
     // so simultaneous finishes release all their ports atomically.
+    batch.clear();
     while (!running.empty() && running.top().finish == now) {
-      const TaskId done = running.top().id;
+      const TaskId done_id = running.top().id;
       running.pop();
       ++completed;
-      for (TaskId dep : tasks_[done].dependents) {
-        if (--tasks_[dep].unmet_deps == 0) enqueue_ready(dep, now);
+      done[done_id] = 1;
+      batch.push_back(done_id);
+      for (TaskId dep : tasks_[done_id].dependents) {
+        if (--tasks_[dep].unmet_deps == 0) {
+          enqueue_ready(dep, std::max(now, tasks_[dep].earliest_start));
+        }
       }
+    }
+    if (finish_hook_ && !batch.empty()) {
+      const std::size_t first_new = tasks_.size();
+      finish_hook_(now, std::span<const TaskId>(batch));
+      integrate_new(first_new, now);
     }
     try_start_all(now);
   }
+  running_phase_ = false;
 
   if (completed != tasks_.size()) {
     throw std::logic_error(

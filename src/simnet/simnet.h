@@ -25,7 +25,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,25 @@ inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
 
 enum class TaskKind { kTransfer, kCompute };
 
+/// Which workload a task belongs to. Repair traffic is the reconstruction
+/// DAG; foreground is the competing client-read workload the fleet
+/// scheduler injects. Only repair traffic is subject to the arbiter.
+enum class TrafficClass : std::uint8_t { kRepair = 0, kForeground = 1 };
+
+/// Hierarchical token-bucket bandwidth arbiter. Each node TX/RX port and
+/// each rack cross-TX/RX channel carries a deficit bucket for the repair
+/// class: credit accrues at `repair_share` port-seconds per second (capped
+/// at `burst_s`), a repair transfer may start once every port it occupies
+/// has non-negative credit, and starting deducts the full port occupancy
+/// (credit may go negative — the borrow is what throttles the *next*
+/// repair transfer, so arbitrary transfer sizes never starve). Long-run
+/// repair usage of every port is therefore at most `repair_share`,
+/// regardless of task granularity. Foreground traffic is never gated.
+struct ArbiterConfig {
+  double repair_share = 1.0;  ///< (0, 1]; 1.0 disables gating
+  double burst_s = 0.0;       ///< credit cap in port-seconds
+};
+
 struct TaskStats {
   TaskKind kind = TaskKind::kTransfer;
   std::string label;
@@ -51,6 +72,8 @@ struct TaskStats {
   util::SimTime finish = 0;  ///< done
   bool cross_rack = false;
   std::uint64_t bytes = 0;
+  TrafficClass cls = TrafficClass::kRepair;
+  int priority = 0;
   /// Plan-op / slice identity stamped by the lowering (tag_task); -1 when
   /// the task was submitted directly rather than lowered from a plan.
   std::int64_t op = -1;
@@ -71,6 +94,10 @@ struct RunResult {
   /// recovery rack).
   std::vector<std::uint64_t> rack_upload_bytes;
   std::vector<std::uint64_t> rack_download_bytes;
+  /// Transferred bytes split by workload class (both directions of split
+  /// sum to cross_rack_bytes + inner_rack_bytes).
+  std::uint64_t repair_bytes = 0;
+  std::uint64_t foreground_bytes = 0;
   std::vector<TaskStats> tasks;  ///< indexed by TaskId
 };
 
@@ -105,6 +132,33 @@ class SimNetwork {
   /// times longer (degraded storage feeding the GF kernels). factor >= 1.
   void slow_compute(topology::NodeId node, double factor);
 
+  /// Assigns a task to a workload class (default kRepair). Repair
+  /// transfers are gated by the arbiter when one is configured.
+  void set_class(TaskId id, TrafficClass cls);
+
+  /// Start-order priority among tasks that become ready at the same
+  /// instant (higher starts first; default 0). Never preempts.
+  void set_priority(TaskId id, int priority);
+
+  /// The task may not start before this absolute sim time even if its
+  /// dependencies are done — models arrival processes (stripe failures,
+  /// client reads) without fake dependency edges.
+  void set_earliest_start(TaskId id, util::SimTime at);
+
+  /// Installs the bandwidth arbiter (see ArbiterConfig). repair_share
+  /// must be in (0, 1]; 1.0 leaves repair ungated.
+  void set_arbiter(ArbiterConfig cfg);
+
+  /// Called during run() after each batch of simultaneous completions,
+  /// with the ids that just finished. The hook may add new tasks (and
+  /// set their class/priority/earliest_start); they are integrated into
+  /// the running simulation, starting no earlier than `now`. This is the
+  /// reactive entry point the fleet scheduler uses for admission control
+  /// and degraded-read resolution.
+  using FinishHook =
+      std::function<void(util::SimTime now, std::span<const TaskId> done)>;
+  void set_finish_hook(FinishHook hook);
+
   [[nodiscard]] const topology::Cluster& cluster() const noexcept {
     return cluster_;
   }
@@ -129,6 +183,9 @@ class SimNetwork {
     std::string label;
     std::int64_t op = -1;
     std::int64_t slice = -1;
+    TrafficClass cls = TrafficClass::kRepair;
+    int priority = 0;
+    util::SimTime earliest_start = 0;
     std::size_t unmet_deps = 0;
     std::vector<TaskId> dependents;
   };
@@ -142,6 +199,12 @@ class SimNetwork {
   std::vector<double> tx_slowdown_;
   /// Per-node compute slowdown (slow disk feeding decode); empty = unused.
   std::vector<double> compute_slowdown_;
+  ArbiterConfig arbiter_;
+  bool arbiter_enabled_ = false;
+  FinishHook finish_hook_;
+  /// Set while run() is active so add_task knows to defer dependency
+  /// accounting to the in-run integration step.
+  bool running_phase_ = false;
   bool ran_ = false;
 };
 

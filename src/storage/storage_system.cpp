@@ -404,6 +404,158 @@ std::vector<RepairReport> StorageSystem::repair_all() {
   return reports;
 }
 
+ReadReport StorageSystem::read_block(StripeId stripe, std::size_t block,
+                                     NodeId reader) {
+  const auto it = stripes_.find(stripe);
+  if (it == stripes_.end()) {
+    throw std::out_of_range("read_block: unknown stripe");
+  }
+  const Stripe& s = it->second;
+  if (block >= s.node_of_block.size()) {
+    throw std::out_of_range("read_block: bad block");
+  }
+  if (reader >= cluster_.total_nodes()) {
+    throw std::out_of_range("read_block: bad reader");
+  }
+
+  ReadReport report;
+  report.stripe = stripe;
+  report.block = block;
+  report.reader = reader;
+
+  apply_chaos_corruptions();
+  const auto lost = lost_blocks(stripe);
+  const bool block_lost =
+      std::find(lost.begin(), lost.end(), block) != lost.end();
+
+  if (!block_lost) {
+    // Healthy read: hand back the stored (digest-intact) bytes; the cost
+    // is one block transfer to the reader.
+    const NodeId src = s.node_of_block[block];
+    report.data = *store_[src].get(stripe, block);
+    repair::RepairPlan plan;
+    plan.block_size = opts_.block_size;
+    const auto r = plan.read(src, block, 1);
+    (void)plan.send(r, src, reader);
+    const auto sim =
+        repair::simulate(plan, cluster_, opts_.network, opts_.probe);
+    report.simulated_read_time = sim.total_repair_time;
+    report.cross_rack_bytes = sim.cross_rack_bytes;
+    report.inner_rack_bytes = sim.inner_rack_bytes;
+  } else {
+    if (lost.size() > code_.config().k) {
+      throw std::runtime_error("read_block: stripe unrecoverable");
+    }
+    report.degraded = true;
+    // One-equation repair whose "replacement" is the reader. Every other
+    // lost block is excluded as a source by the planner, and its node is
+    // marked unavailable so a mid-read re-plan never substitutes it back.
+    const topology::Placement placement(cluster_, code_.config(),
+                                        s.node_of_block);
+    repair::RepairProblem problem;
+    problem.code = &code_;
+    problem.placement = &placement;
+    problem.block_size = opts_.block_size;
+    problem.failed = {block};
+    problem.replacements = {reader};
+    const repair::DegradedReadPlanner planner(lost);
+    const auto view = stripe_view(stripe, s);
+
+    if (opts_.chaos.empty()) {
+      const repair::PlannedRepair planned = planner.plan(problem);
+      repair::validate(planned.plan, cluster_);
+      const auto rebuilt =
+          repair::execute_on_data(planned.plan, planned.outputs, view);
+      report.data = rebuilt[0];
+      const auto sim = repair::simulate(planned.plan, cluster_,
+                                        opts_.network, opts_.probe);
+      report.simulated_read_time = sim.total_repair_time;
+      report.cross_rack_bytes = sim.cross_rack_bytes;
+      report.inner_rack_bytes = sim.inner_rack_bytes;
+    } else {
+      // Chaos session: a helper killed mid-read re-plans the equation
+      // around the loss instead of failing the read.
+      repair::ResilientOptions ropts;
+      ropts.max_replans = opts_.max_replans;
+      ropts.probe = opts_.probe;
+      for (NodeId node = 0; node < cluster_.total_nodes(); ++node) {
+        if (!alive_[node]) ropts.unavailable.insert(node);
+      }
+      for (const std::size_t b : lost) {
+        if (b != block) ropts.unavailable.insert(s.node_of_block[b]);
+      }
+      const repair::ResilientOutcome out = repair::simulate_resilient(
+          problem, planner, view, opts_.network, opts_.chaos, ropts);
+      report.data = out.outputs[0];
+      report.simulated_read_time = static_cast<util::SimTime>(
+          out.total_time_s * static_cast<double>(util::kNsPerSec));
+      report.cross_rack_bytes = out.cross_rack_bytes;
+      report.inner_rack_bytes = out.inner_rack_bytes;
+      report.replans = out.replans;
+      report.retries = out.retries;
+      report.faults_injected = out.faults_injected;
+    }
+  }
+
+  // A read must never deliver wrong bytes: verify against the encode-time
+  // digest before handing the block to the client.
+  const auto dg = digest_.find({stripe, block});
+  if (dg != digest_.end() && util::fnv1a64(report.data) != dg->second) {
+    throw std::runtime_error("read_block: block " + std::to_string(block) +
+                             " failed digest verification");
+  }
+  report.verified = true;
+  return report;
+}
+
+FleetRepairReport StorageSystem::repair_all_scheduled(
+    const sched::SchedulerOptions& sopts,
+    const sched::ForegroundWorkload& foreground) {
+  apply_chaos_corruptions();
+  FleetRepairReport report;
+
+  // Placements must outlive run_fleet; RepairProblem holds pointers.
+  std::vector<std::unique_ptr<topology::Placement>> placements;
+  sched::FleetWorkload workload;
+  workload.foreground = foreground;
+  for (const auto& [id, s] : stripes_) {
+    const auto failed = lost_blocks(id);
+    if (failed.empty()) continue;
+    if (failed.size() > code_.config().k) {
+      throw std::runtime_error("repair_all_scheduled: stripe " +
+                               std::to_string(id) + " unrecoverable");
+    }
+    placements.push_back(std::make_unique<topology::Placement>(
+        cluster_, code_.config(), s.node_of_block));
+    sched::StripeArrival arrival;
+    arrival.problem.code = &code_;
+    arrival.problem.placement = placements.back().get();
+    arrival.problem.block_size = opts_.block_size;
+    arrival.problem.failed = failed;
+    std::set<NodeId> reserved;
+    for (const std::size_t f : failed) {
+      const NodeId repl =
+          pick_replacement(s, placements.back()->rack_of(f), reserved);
+      reserved.insert(repl);
+      arrival.problem.replacements.push_back(repl);
+    }
+    workload.stripes.push_back(std::move(arrival));
+    report.stripes.push_back(id);
+  }
+
+  if (!workload.stripes.empty() || foreground.qps > 0.0) {
+    report.schedule =
+        sched::run_fleet(workload, cluster_, opts_.network, sopts);
+  }
+  // Commit the data through the verified per-stripe path. The scheduler
+  // timed the wave; the repairs move and install the real bytes.
+  report.repairs.reserve(report.stripes.size());
+  for (const StripeId id : report.stripes) {
+    report.repairs.push_back(repair(id));
+  }
+  return report;
+}
+
 repair::SimOutcome StorageSystem::degraded_read_cost(
     StripeId stripe, std::size_t block, NodeId reader) const {
   const auto it = stripes_.find(stripe);

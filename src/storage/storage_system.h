@@ -52,6 +52,7 @@
 #include "repair/executor_sim.h"
 #include "repair/planner.h"
 #include "rs/rs_code.h"
+#include "sched/scheduler.h"
 #include "storage/block_store.h"
 #include "topology/placement.h"
 
@@ -106,6 +107,39 @@ struct RepairReport {
   std::size_t relocated_commits = 0;
 };
 
+/// One client block read served with real bytes (see read_block).
+struct ReadReport {
+  StripeId stripe = 0;
+  std::size_t block = 0;
+  topology::NodeId reader = 0;
+  /// True when the block was lost and had to be reconstructed in flight.
+  bool degraded = false;
+  /// The delivered bytes hashed to the encode-time digest (always true
+  /// when the report is returned — a mismatch throws).
+  bool verified = false;
+  rs::Block data;
+  util::SimTime simulated_read_time = 0;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t inner_rack_bytes = 0;
+  /// Chaos-session statistics (zero for fault-free / healthy reads).
+  std::size_t replans = 0;
+  std::size_t retries = 0;
+  std::size_t faults_injected = 0;
+};
+
+/// A whole recovery wave run through the fleet scheduler (see
+/// repair_all_scheduled): admission-controlled, bandwidth-arbitrated
+/// timing plus the per-stripe verified commits.
+struct FleetRepairReport {
+  /// Scheduler timing over the damaged stripes (admission waits,
+  /// completion percentiles, read latencies, class bandwidth split).
+  sched::FleetSchedOutcome schedule;
+  /// Stripe ids in workload order (schedule indices map through this).
+  std::vector<StripeId> stripes;
+  /// Committed repairs, parallel to `stripes`.
+  std::vector<RepairReport> repairs;
+};
+
 class StorageSystem {
  public:
   explicit StorageSystem(StorageOptions opts);
@@ -153,6 +187,28 @@ class StorageSystem {
 
   /// Repairs every damaged stripe; returns one report per repaired stripe.
   std::vector<RepairReport> repair_all();
+
+  /// Serves one block of `stripe` to a client at `reader` with REAL bytes:
+  /// a healthy block is returned from its store; a lost block is
+  /// reconstructed on the fly with a one-equation degraded-read plan
+  /// rooted at the reader. With a chaos schedule the reconstruction runs
+  /// as a resilient session — a helper killed mid-read triggers an
+  /// equation-patching re-plan (DegradedReadPlanner), so the read
+  /// completes byte-identical as long as the stripe stays recoverable.
+  /// Every delivered block is digest-verified against its encode-time
+  /// hash; a mismatch throws rather than returning wrong data.
+  [[nodiscard]] ReadReport read_block(StripeId stripe, std::size_t block,
+                                      topology::NodeId reader);
+
+  /// Repairs every damaged stripe through the fleet scheduler
+  /// (sched::run_fleet): stripes queue under `sopts` admission control and
+  /// bandwidth arbitration (plus the optional synthetic foreground load)
+  /// for timing, then each stripe's data repair commits through the same
+  /// verified path as repair(). The schedule's per-stripe indices map to
+  /// stripe ids via FleetRepairReport::stripes.
+  FleetRepairReport repair_all_scheduled(
+      const sched::SchedulerOptions& sopts,
+      const sched::ForegroundWorkload& foreground = {});
 
   /// Cost of serving one block of `stripe` to a client at `reader`:
   /// a healthy block is a plain transfer; a lost block is reconstructed

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "repair/planner.h"
+#include "sched/scheduler.h"
 #include "test_support.h"
 #include "topology/placement.h"
 #include "util/rng.h"
@@ -151,6 +152,174 @@ TEST(ChaosFuzz, RandomizedSchedulesNeverProduceAWrongBlock) {
   EXPECT_GE(recovered, kTrials / 2)
       << "RPR_FUZZ_SEED=" << seed << " recovered=" << recovered
       << " aborted=" << aborted;
+}
+
+namespace {
+
+/// Rack-rotated damaged fleet (the sched_test / fleet_test harness shape):
+/// node 0 dies and every stripe holding a block there needs repair.
+struct FuzzFleet {
+  rpr::rs::CodeConfig cfg{6, 3};
+  rpr::rs::RSCode code{cfg};
+  rpr::topology::Cluster cluster{cfg.racks_when_full(), cfg.k, cfg.k};
+  std::vector<rpr::topology::Placement> placements;
+  std::vector<rpr::repair::RepairProblem> damaged;
+  std::vector<std::size_t> lost_block;  ///< failed block, parallel to damaged
+
+  explicit FuzzFleet(std::size_t stripes) {
+    const auto base = rpr::topology::make_placement(
+        cluster, cfg, rpr::topology::PlacementPolicy::kRpr);
+    placements.reserve(stripes);
+    for (std::size_t s = 0; s < stripes; ++s) {
+      std::vector<NodeId> nodes(cfg.total());
+      for (std::size_t b = 0; b < cfg.total(); ++b) {
+        const auto node = base.node_of(b);
+        const auto rack = (cluster.rack_of(node) + s) % cluster.racks();
+        nodes[b] = rack * cluster.nodes_per_rack() +
+                   node % cluster.nodes_per_rack();
+      }
+      placements.emplace_back(cluster, cfg, std::move(nodes));
+    }
+    for (const auto& placement : placements) {
+      for (std::size_t b = 0; b < cfg.total(); ++b) {
+        if (placement.node_of(b) != 0) continue;
+        rpr::repair::RepairProblem p;
+        p.code = &code;
+        p.placement = &placement;
+        p.block_size = 4ull << 20;
+        p.failed = {b};
+        p.choose_default_replacements();
+        damaged.push_back(std::move(p));
+        lost_block.push_back(b);
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+// The scheduler is a fuzz axis of its own: randomized fleet workloads
+// (arrival times, priorities, read probes, foreground load) under
+// randomized scheduler knobs (admission bound, repair share, slicing,
+// aging, degraded policy, auto scheme) must always produce a structurally
+// sound schedule — every stripe commits, every read is answered and
+// classified, the queue never exceeds the backlog — and the same inputs
+// must reproduce the same schedule bit-for-bit.
+TEST(ChaosFuzz, RandomizedFleetSchedulesStayStructurallySound) {
+  const std::uint64_t seed = fuzz_seed();
+  rpr::util::Xoshiro256 rng(seed ^ 0xF1EE7);
+  const auto frac = [&rng](double lo, double hi) {
+    const double u =
+        static_cast<double>(rng() >> 11) / static_cast<double>(1ull << 53);
+    return lo + u * (hi - lo);
+  };
+
+  FuzzFleet fleet(8);
+  ASSERT_GE(fleet.damaged.size(), 3u);
+  const std::size_t nodes = fleet.cluster.total_nodes();
+
+  constexpr int kTrials = 12;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::size_t count =
+        2 + rng() % (fleet.damaged.size() - 1);  // 2..damaged.size()
+
+    rpr::sched::FleetWorkload w;
+    std::size_t probes = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+      rpr::sched::StripeArrival arrival;
+      arrival.problem = fleet.damaged[s];
+      arrival.arrival_s = frac(0.0, 0.05);
+      arrival.priority = static_cast<int>(rng() % 3);
+      w.stripes.push_back(std::move(arrival));
+      if (rng() % 2 == 0) {
+        // Half the probes target the lost block (degraded path), half a
+        // random block that is usually healthy.
+        const std::size_t block =
+            rng() % 2 == 0 ? fleet.lost_block[s] : rng() % fleet.cfg.total();
+        w.reads.push_back({frac(0.001, 0.1), s, block,
+                           static_cast<NodeId>(rng() % nodes)});
+        ++probes;
+      }
+    }
+    if (rng() % 2 == 0) {
+      w.foreground.qps = frac(10.0, 80.0);
+      w.foreground.duration_s = 0.05;
+      w.foreground.read_size = 1 << 16;
+      w.foreground.seed = rng();
+    }
+
+    rpr::sched::SchedulerOptions opts;
+    opts.max_inflight = 1 + rng() % 4;
+    const double shares[3] = {1.0, 0.5, 0.25};
+    opts.repair_share = shares[rng() % 3];
+    opts.slice_size = rng() % 2 == 0 ? 1 << 18 : 0;
+    opts.aging_priority_per_s = rng() % 2 == 0 ? 25.0 : 0.0;
+    opts.degraded = rng() % 2 == 0 ? rpr::sched::DegradedPolicy::kServe
+                                   : rpr::sched::DegradedPolicy::kWaitForCommit;
+    opts.auto_scheme = rng() % 2 == 0;
+
+    std::ostringstream ctx;
+    ctx << "RPR_FUZZ_SEED=" << seed << " trial=" << trial
+        << " stripes=" << count << " probes=" << probes
+        << " fg_qps=" << w.foreground.qps
+        << " max_inflight=" << opts.max_inflight
+        << " share=" << opts.repair_share
+        << " slice=" << opts.slice_size
+        << " aging=" << opts.aging_priority_per_s << " degraded="
+        << (opts.degraded == rpr::sched::DegradedPolicy::kServe ? "serve"
+                                                                : "wait")
+        << " auto=" << opts.auto_scheme;
+
+    const auto out = rpr::sched::run_fleet(
+        w, fleet.cluster, rpr::topology::NetworkParams{}, opts);
+
+    // Every stripe commits, after its arrival, within the makespan.
+    ASSERT_EQ(out.completion_s.size(), count) << ctx.str();
+    ASSERT_EQ(out.admission_wait_s.size(), count) << ctx.str();
+    ASSERT_EQ(out.scheme_of.size(), count) << ctx.str();
+    for (std::size_t s = 0; s < count; ++s) {
+      EXPECT_GE(out.admission_wait_s[s], 0.0) << ctx.str();
+      EXPECT_GE(out.completion_s[s],
+                w.stripes[s].arrival_s + out.admission_wait_s[s])
+          << ctx.str() << " stripe=" << s;
+      EXPECT_LE(out.completion_s[s], out.makespan_s + 1e-9)
+          << ctx.str() << " stripe=" << s;
+    }
+    EXPECT_LE(out.last_commit_s, out.makespan_s + 1e-9) << ctx.str();
+    EXPECT_GT(out.repair_bytes, 0u) << ctx.str();
+    EXPECT_LE(out.max_queue_depth, count) << ctx.str();
+
+    // Every read is answered and classified exactly once.
+    EXPECT_GE(out.reads.size(), probes) << ctx.str();
+    std::size_t classified = 0;
+    for (const auto& r : out.reads) {
+      EXPECT_GE(r.latency_s, 0.0) << ctx.str();
+      EXPECT_LT(static_cast<std::size_t>(r.path), rpr::sched::kReadPathCount)
+          << ctx.str();
+      if (opts.degraded == rpr::sched::DegradedPolicy::kWaitForCommit) {
+        EXPECT_NE(r.path, rpr::sched::ReadPath::kBanked) << ctx.str();
+        EXPECT_NE(r.path, rpr::sched::ReadPath::kPromoted) << ctx.str();
+      }
+    }
+    for (const std::size_t n : out.reads_by_path) classified += n;
+    EXPECT_EQ(classified, out.reads.size()) << ctx.str();
+    if (opts.auto_scheme) {
+      EXPECT_EQ(out.auto_star_picks + out.auto_chained_picks, count)
+          << ctx.str();
+    }
+
+    // Identical inputs replay to an identical schedule.
+    const auto replay = rpr::sched::run_fleet(
+        w, fleet.cluster, rpr::topology::NetworkParams{}, opts);
+    EXPECT_EQ(replay.makespan_s, out.makespan_s) << ctx.str();
+    EXPECT_EQ(replay.completion_s, out.completion_s) << ctx.str();
+    EXPECT_EQ(replay.reads.size(), out.reads.size()) << ctx.str();
+    EXPECT_EQ(replay.repair_bytes, out.repair_bytes) << ctx.str();
+    for (std::size_t p = 0; p < rpr::sched::kReadPathCount; ++p) {
+      EXPECT_EQ(replay.reads_by_path[p], out.reads_by_path[p]) << ctx.str();
+    }
+  }
 }
 
 TEST(ChaosFuzz, SameSeedIsBitReproducible) {

@@ -408,6 +408,45 @@ TEST(ChaosStorage, KilledHelperReplansAndCommitsVerifiedBlock) {
   EXPECT_NE(sys.stripe_nodes(id)[0], layout[3]);
 }
 
+TEST(ChaosStorage, DegradedReadSurvivesHelperDeathByteIdentical) {
+  const auto obj = random_object(6 << 20, 34);
+  rpr::storage::StorageSystem twin(chaos_storage_opts());
+  const auto layout = twin.stripe_nodes(twin.put(obj));
+
+  auto opts = chaos_storage_opts();
+  // Kill a selected helper mid-read (block 3's node serves in the XOR
+  // survivor set for a failed data block, and 0.5 ms lands inside its
+  // first transfer): the degraded read must re-plan around the loss and
+  // still deliver the exact bytes, never fail or serve garbage.
+  opts.chaos.kills.push_back({layout[3], 0.0005});
+  rpr::storage::StorageSystem sys(opts);
+  const auto id = sys.put(obj);
+  ASSERT_EQ(sys.stripe_nodes(id), layout);
+  sys.fail_node(layout[0]);
+
+  // A reader holding nothing of the stripe, and not the doomed helper.
+  NodeId reader = 0;
+  for (NodeId n = sys.cluster().total_nodes(); n-- > 0;) {
+    if (n != layout[3] &&
+        std::find(layout.begin(), layout.end(), n) == layout.end()) {
+      reader = n;
+      break;
+    }
+  }
+
+  const auto report = sys.read_block(id, 0, reader);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_TRUE(report.verified);
+  EXPECT_GE(report.replans, 1u);
+  EXPECT_GE(report.faults_injected, 1u);
+  const Block want(obj.begin(),
+                   obj.begin() + static_cast<std::ptrdiff_t>(1 << 20));
+  EXPECT_EQ(report.data, want);
+  // The read reconstructed in flight: nothing was committed, the block is
+  // still lost and a later repair is still required.
+  EXPECT_EQ(sys.lost_blocks(id), std::vector<std::size_t>{0});
+}
+
 TEST(ChaosStorage, ChaosCorruptionIsDetectedAndRepaired) {
   const auto obj = random_object(6 << 20, 32);
   auto opts = chaos_storage_opts();

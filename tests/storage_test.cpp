@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <set>
 
+#include "sched/scheduler.h"
 #include "storage/failure.h"
 #include "util/rng.h"
 
@@ -151,6 +152,75 @@ TEST(Storage, RepairAllTouchesEveryDamagedStripe) {
     EXPECT_TRUE(sys.lost_blocks(ids[i]).empty());
     EXPECT_EQ(sys.get(ids[i]), objs[i]);
   }
+}
+
+TEST(Storage, ReadBlockHealthyAndDegraded) {
+  StorageSystem sys(small_opts());
+  const auto obj = random_object(6 * 1024, 31);
+  const auto id = sys.put(obj);
+  const rpr::rs::Block want(obj.begin(), obj.begin() + 1024);
+  // Reader off the stripe so even the healthy read crosses the network.
+  rpr::topology::NodeId reader = 0;
+  const auto nodes = sys.stripe_nodes(id);
+  for (rpr::topology::NodeId n = sys.cluster().total_nodes(); n-- > 0;) {
+    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+      reader = n;
+      break;
+    }
+  }
+
+  auto healthy = sys.read_block(id, 0, reader);
+  EXPECT_FALSE(healthy.degraded);
+  EXPECT_TRUE(healthy.verified);
+  EXPECT_EQ(healthy.data, want);
+
+  sys.fail_node(nodes[0]);
+  auto degraded = sys.read_block(id, 0, reader);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_TRUE(degraded.verified);
+  EXPECT_EQ(degraded.data, want);
+  // Reconstruction pulls k helpers' worth of traffic, a plain read one
+  // block's worth.
+  EXPECT_GT(degraded.cross_rack_bytes + degraded.inner_rack_bytes,
+            healthy.cross_rack_bytes + healthy.inner_rack_bytes);
+  // A degraded read serves the client without committing a repair.
+  EXPECT_EQ(sys.lost_blocks(id), (std::vector<std::size_t>{0}));
+}
+
+TEST(Storage, RepairAllScheduledCommitsEverything) {
+  StorageSystem sys(small_opts());
+  std::vector<rpr::storage::StripeId> ids;
+  std::vector<std::vector<std::uint8_t>> objs;
+  for (int i = 0; i < 8; ++i) {
+    objs.push_back(random_object(4000, 300 + static_cast<std::uint64_t>(i)));
+    ids.push_back(sys.put(objs.back()));
+  }
+  sys.fail_node(sys.stripe_nodes(ids[0])[0]);
+
+  rpr::sched::SchedulerOptions sopts;
+  sopts.max_inflight = 2;
+  sopts.repair_share = 0.5;
+  rpr::sched::ForegroundWorkload fg;
+  fg.qps = 20.0;
+  fg.duration_s = 0.01;
+  fg.read_size = 512;
+  const auto report = sys.repair_all_scheduled(sopts, fg);
+
+  EXPECT_FALSE(report.stripes.empty());
+  ASSERT_EQ(report.repairs.size(), report.stripes.size());
+  ASSERT_EQ(report.schedule.completion_s.size(), report.stripes.size());
+  EXPECT_GT(report.schedule.makespan_s, 0.0);
+  for (std::size_t i = 0; i < report.stripes.size(); ++i) {
+    EXPECT_TRUE(report.repairs[i].verified);
+    EXPECT_GT(report.schedule.completion_s[i], 0.0);
+  }
+  // Every stripe in the system is healthy again and round-trips.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_TRUE(sys.lost_blocks(ids[i]).empty());
+    EXPECT_EQ(sys.get(ids[i]), objs[i]);
+  }
+  // Re-running finds nothing to do.
+  EXPECT_TRUE(sys.repair_all_scheduled(sopts).stripes.empty());
 }
 
 TEST(Storage, RepairNoopOnHealthyStripe) {

@@ -2,7 +2,9 @@
 //
 //   rpr_sim [options]
 //     --code n,k            RS configuration            (default 6,3)
-//     --scheme NAME         traditional | car | rpr | chained  (default rpr)
+//     --scheme NAME         traditional | car | rpr | chained | auto
+//                           (default rpr; auto picks star vs chained per
+//                           stripe from the makespan lower-bound floors)
 //     --failed i[,j...]     failed block indices        (default 0)
 //     --placement NAME      contiguous | rpr | flat     (default rpr)
 //     --block BYTES         block size in bytes         (default 256 MiB)
@@ -52,6 +54,31 @@
 //                           timings as bench_diff-compatible JSON (the CI
 //                           regression gate compares them to BENCH_verify.json)
 //
+//   Fleet mode (--fleet N): instead of one stripe, run N damaged stripes
+//   through the repair scheduler (admission control, bandwidth arbitration,
+//   degraded reads — see sched/scheduler.h) on one simulated network and
+//   print the wave's completion percentiles and read latencies.
+//     --fleet N             number of damaged stripes       (fleet mode on)
+//     --arrival RATE        stripe failure arrivals per second, seeded
+//                           exponential gaps; 0 = all damaged at t=0
+//                           (default 0)
+//     --max-inflight N      concurrent repair bound         (default 4)
+//     --repair-share S      repair class's port share (0,1]; < 1 installs
+//                           the token-bucket arbiter        (default 1)
+//     --fg-qps Q            synthetic foreground read QPS   (default 0)
+//     --fg-duration T       foreground duration, seconds    (default 1)
+//     --fg-read-size B      bytes per healthy foreground read
+//                           (default: the block size)
+//     --degraded POLICY     serve | wait: answer lost-block reads from the
+//                           in-flight repair (banked slices / promoted
+//                           degraded-read plan) or block until the stripe
+//                           commits                         (default serve)
+//     --aging P             priority points a queued stripe gains per
+//                           second waited (starvation freedom; default 1)
+//     --seed S              workload seed                   (default 1)
+//   Fleet mode composes with --slice-size / --inner / --cross / --block /
+//   --trace / --metrics; it is exclusive with --tcp, --fluid and chaos.
+//
 // Prints repair time, traffic and the transfer schedule — the library's
 // planners and simulators behind a single adoptable command.
 //
@@ -71,6 +98,7 @@
 // Perfetto / chrome://tracing.
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -92,8 +120,10 @@
 #include "obs/sinks.h"
 #include "repair/executor_sim.h"
 #include "repair/planner.h"
+#include "repair/analysis.h"
 #include "repair/resilient.h"
 #include "runtime/region_net.h"
+#include "sched/scheduler.h"
 #include "simnet/fluid.h"
 #include "simnet/trace_export.h"
 #include "topology/placement.h"
@@ -106,7 +136,7 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: rpr_sim [--code n,k] [--scheme traditional|car|rpr|chained]\n"
+      "usage: rpr_sim [--code n,k] [--scheme traditional|car|rpr|chained|auto]\n"
       "               [--failed i,j,...] [--placement contiguous|rpr|flat]\n"
       "               [--block BYTES] [--inner GBPS] [--cross GBPS]\n"
       "               [--fluid | --tcp] [--time-scale X] [--slice-size BYTES]\n"
@@ -114,6 +144,10 @@ int usage() {
       "               [--critpath] [--prom-port N]\n"
       "               [--chaos SPEC] [--fail-helper-at T] [--max-replans N]\n"
       "               [--straggler NODE,FACTOR[,ATTEMPTS]]\n"
+      "       rpr_sim --fleet N [--arrival RATE] [--max-inflight N]\n"
+      "               [--repair-share S] [--fg-qps Q] [--fg-duration T]\n"
+      "               [--fg-read-size B] [--degraded serve|wait] [--aging P]\n"
+      "               [--seed S] [common options]\n"
       "       rpr_sim --verify [--verify-json FILE]\n"
       "chaos SPEC entries: kill:N@T  straggle:N*F[xA]  corrupt:B  rack:R@T\n"
       "                    partition:{A|B}@T[~D]  slowdisk:N*F  diskfull:N\n"
@@ -386,6 +420,165 @@ void report_critical_path(const rpr::obs::Recorder& recorder,
       .set(static_cast<double>(attr.bottleneck_rack));
 }
 
+/// --fleet: CLI-level knobs for the scheduler run.
+struct FleetCli {
+  std::size_t stripes = 0;
+  double arrival_rate = 0.0;  ///< 0 = everything damaged at t=0
+  double fg_qps = 0.0;
+  double fg_duration = 1.0;
+  std::uint64_t fg_read_size = 0;
+  std::uint64_t seed = 1;
+  rpr::sched::SchedulerOptions sopts;
+};
+
+/// Runs N rack-rotated damaged stripes (node 0 died; each stripe repairs
+/// whichever block it kept there) through sched::run_fleet and prints the
+/// wave's completion percentiles, read-path mix and latency numbers.
+int run_fleet_mode(const rpr::rs::CodeConfig& cfg, std::uint64_t block,
+                   const rpr::topology::NetworkParams& params, FleetCli fc,
+                   const std::string& trace_path,
+                   const std::string& metrics_path,
+                   const std::string& metrics_csv_path) {
+  using namespace rpr;
+
+  const rs::RSCode code(cfg);
+  topology::Cluster cluster(cfg.racks_when_full(), cfg.k, cfg.k);
+  const topology::Placement base =
+      topology::make_placement(cluster, cfg, topology::PlacementPolicy::kRpr);
+
+  std::vector<topology::Placement> placements;
+  placements.reserve(fc.stripes);
+  sched::FleetWorkload w;
+  util::Xoshiro256 rng(fc.seed);
+  double t = 0.0;
+  for (std::size_t s = 0; s < fc.stripes; ++s) {
+    std::vector<topology::NodeId> nodes(cfg.total());
+    std::size_t failed = s % cfg.total();
+    for (std::size_t b = 0; b < cfg.total(); ++b) {
+      const auto node = base.node_of(b);
+      const auto rack = (cluster.rack_of(node) + s) % cluster.racks();
+      nodes[b] =
+          rack * cluster.nodes_per_rack() + node % cluster.nodes_per_rack();
+      if (nodes[b] == 0) failed = b;
+    }
+    placements.emplace_back(cluster, cfg, std::move(nodes));
+    sched::StripeArrival arrival;
+    arrival.problem.code = &code;
+    arrival.problem.placement = &placements.back();
+    arrival.problem.block_size = block;
+    arrival.problem.failed = {failed};
+    arrival.problem.choose_default_replacements();
+    if (fc.arrival_rate > 0.0) {
+      // Seeded exponential inter-arrival gaps (Poisson failure process).
+      const double u =
+          (static_cast<double>(rng()) + 1.0) / 18446744073709551616.0;
+      t += -std::log(u) / fc.arrival_rate;
+      arrival.arrival_s = t;
+    }
+    w.stripes.push_back(std::move(arrival));
+  }
+  w.foreground.qps = fc.fg_qps;
+  w.foreground.duration_s = fc.fg_duration;
+  w.foreground.read_size = fc.fg_read_size;
+  w.foreground.seed = fc.seed;
+
+  obs::MetricsRegistry registry;
+  obs::Recorder recorder;
+  if (!metrics_path.empty() || !metrics_csv_path.empty()) {
+    fc.sopts.probe.metrics = &registry;
+  }
+  if (!trace_path.empty()) fc.sopts.probe.trace = &recorder;
+  fc.sopts.slice_size = static_cast<std::size_t>(params.slice_size);
+
+  const sched::FleetSchedOutcome out =
+      sched::run_fleet(w, cluster, params, fc.sopts);
+
+  std::printf(
+      "RS(%zu,%zu) fleet   : %zu stripes, max-inflight %zu, repair share "
+      "%.2f\n",
+      cfg.n, cfg.k, fc.stripes, fc.sopts.max_inflight,
+      fc.sopts.repair_share);
+  if (fc.arrival_rate > 0.0) {
+    std::printf("arrivals          : %.1f stripes/s (seed %llu)\n",
+                fc.arrival_rate, static_cast<unsigned long long>(fc.seed));
+  } else {
+    std::printf("arrivals          : all damaged at t=0\n");
+  }
+  if (fc.sopts.auto_scheme) {
+    std::printf("scheme            : auto (star %zu / chained %zu picks)\n",
+                out.auto_star_picks, out.auto_chained_picks);
+  } else {
+    std::printf("scheme            : %s\n",
+                repair::make_planner(fc.sopts.scheme)->name().c_str());
+  }
+  if (fc.fg_qps > 0.0) {
+    std::printf("foreground        : %.0f reads/s for %.2f s\n", fc.fg_qps,
+                fc.fg_duration);
+  }
+  std::printf("makespan          : %.3f s (last commit %.3f s)\n",
+              out.makespan_s, out.last_commit_s);
+  std::printf("stripe completion : p50 %.3f s  p95 %.3f s  p99 %.3f s\n",
+              out.completion_p50_s, out.completion_p95_s,
+              out.completion_p99_s);
+  double wait_sum = 0.0;
+  double wait_max = 0.0;
+  for (const double v : out.admission_wait_s) {
+    wait_sum += v;
+    wait_max = std::max(wait_max, v);
+  }
+  std::printf("admission wait    : mean %.3f s  max %.3f s  (queue depth "
+              "max %zu)\n",
+              out.admission_wait_s.empty()
+                  ? 0.0
+                  : wait_sum / static_cast<double>(out.admission_wait_s.size()),
+              wait_max, out.max_queue_depth);
+  std::printf("repair traffic    : %.1f MB (%.1f MB cross-rack, %.1f MB/s "
+              "rebuilt)\n",
+              static_cast<double>(out.repair_bytes) / 1e6,
+              static_cast<double>(out.cross_rack_bytes) / 1e6,
+              out.repair_throughput_bps / 8e6);
+  if (out.foreground_bytes > 0) {
+    std::printf("foreground traffic: %.1f MB\n",
+                static_cast<double>(out.foreground_bytes) / 1e6);
+  }
+  if (!out.reads.empty()) {
+    std::string mix;
+    for (std::size_t p = 0; p < sched::kReadPathCount; ++p) {
+      if (out.reads_by_path[p] == 0) continue;
+      if (!mix.empty()) mix += ", ";
+      mix += std::to_string(out.reads_by_path[p]);
+      mix += " ";
+      mix += sched::read_path_name(static_cast<sched::ReadPath>(p));
+    }
+    std::printf("reads             : %zu (%s)\n", out.reads.size(),
+                mix.c_str());
+    if (out.foreground_p99_s > 0.0) {
+      std::printf(
+          "foreground latency: p50 %.4f s  p95 %.4f s  p99 %.4f s\n",
+          out.foreground_p50_s, out.foreground_p95_s, out.foreground_p99_s);
+    }
+    if (out.degraded_p99_s > 0.0) {
+      std::printf("degraded latency  : p50 %.4f s  p99 %.4f s\n",
+                  out.degraded_p50_s, out.degraded_p99_s);
+    }
+  }
+
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace(recorder, trace_path);
+    std::printf("schedule trace    : %s (open in chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::write_json(registry, metrics_path);
+    std::printf("metrics (JSON)    : %s\n", metrics_path.c_str());
+  }
+  if (!metrics_csv_path.empty()) {
+    obs::write_csv(registry, metrics_csv_path);
+    std::printf("metrics (CSV)     : %s\n", metrics_csv_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -412,6 +605,8 @@ int main(int argc, char** argv) {
   fault::FaultSchedule chaos;
   double fail_helper_at = -1.0;
   std::uint64_t max_replans = 8;
+  FleetCli fc;
+  bool scheme_auto = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
@@ -432,6 +627,7 @@ int main(int argc, char** argv) {
       else if (s == "car") scheme = repair::Scheme::kCar;
       else if (s == "rpr") scheme = repair::Scheme::kRpr;
       else if (s == "chained") scheme = repair::Scheme::kRprChained;
+      else if (s == "auto") scheme_auto = true;
       else return usage();
     } else if (a == "--failed") {
       failed = parse_list("--failed", next());
@@ -502,6 +698,36 @@ int main(int argc, char** argv) {
       fail_helper_at = parse_nonneg("--fail-helper-at", next());
     } else if (a == "--max-replans") {
       max_replans = parse_u64("--max-replans", next());
+    } else if (a == "--fleet") {
+      fc.stripes = static_cast<std::size_t>(parse_u64("--fleet", next()));
+      if (fc.stripes == 0) die_bad_value("--fleet", "0");
+    } else if (a == "--arrival") {
+      fc.arrival_rate = parse_nonneg("--arrival", next());
+    } else if (a == "--max-inflight") {
+      const char* v = next();
+      fc.sopts.max_inflight =
+          static_cast<std::size_t>(parse_u64("--max-inflight", v));
+      if (fc.sopts.max_inflight == 0) die_bad_value("--max-inflight", v);
+    } else if (a == "--repair-share") {
+      const char* v = next();
+      fc.sopts.repair_share = parse_positive("--repair-share", v);
+      if (fc.sopts.repair_share > 1.0) die_bad_value("--repair-share", v);
+    } else if (a == "--fg-qps") {
+      fc.fg_qps = parse_nonneg("--fg-qps", next());
+    } else if (a == "--fg-duration") {
+      fc.fg_duration = parse_positive("--fg-duration", next());
+    } else if (a == "--fg-read-size") {
+      fc.fg_read_size = parse_u64("--fg-read-size", next());
+    } else if (a == "--degraded") {
+      const std::string_view s = next();
+      if (s == "serve") fc.sopts.degraded = sched::DegradedPolicy::kServe;
+      else if (s == "wait") {
+        fc.sopts.degraded = sched::DegradedPolicy::kWaitForCommit;
+      } else return usage();
+    } else if (a == "--aging") {
+      fc.sopts.aging_priority_per_s = parse_nonneg("--aging", next());
+    } else if (a == "--seed") {
+      fc.seed = parse_u64("--seed", next());
     } else if (a == "--verify") {
       verify_sweep = true;
     } else if (a == "--verify-json") {
@@ -544,6 +770,27 @@ int main(int argc, char** argv) {
                  "(use the port simulator or --tcp)\n");
     return usage();
   }
+  if (fc.stripes > 0) {
+    if (tcp || fluid || wants_chaos) {
+      std::fprintf(stderr,
+                   "rpr_sim: --fleet runs on the port simulator only "
+                   "(no --tcp, --fluid or chaos flags)\n");
+      return usage();
+    }
+    fc.sopts.scheme = scheme;
+    fc.sopts.auto_scheme = scheme_auto;
+    topology::NetworkParams params;
+    params.inner = util::Bandwidth::gbps(inner_gbps);
+    params.cross = util::Bandwidth::gbps(cross_gbps);
+    params.slice_size = static_cast<std::size_t>(slice_size);
+    try {
+      return run_fleet_mode(cfg, block, params, std::move(fc), trace_path,
+                            metrics_path, metrics_csv_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
 
   // Corrupt source blocks are checksum-detected at read time and treated as
   // erasures (the storage layer's convention), so they count against the
@@ -581,6 +828,29 @@ int main(int argc, char** argv) {
     params.cross = util::Bandwidth::gbps(cross_gbps);
     params.slice_size = static_cast<std::size_t>(slice_size);
 
+    if (scheme_auto) {
+      // Same adaptive pick the fleet scheduler makes per stripe: keep
+      // whichever of star / chained proves the smaller makespan floor for
+      // this cluster + slice geometry.
+      const auto star = repair::RprPlanner{}.plan(problem);
+      const auto chained = repair::RprChainedPlanner{}.plan(problem);
+      const double star_floor =
+          repair::analysis::makespan_lower_bound(
+              star.plan, placed.cluster, params,
+              static_cast<std::size_t>(slice_size))
+              .seconds();
+      const double chain_floor =
+          repair::analysis::makespan_lower_bound(
+              chained.plan, placed.cluster, params,
+              static_cast<std::size_t>(slice_size))
+              .seconds();
+      scheme = chain_floor < star_floor ? repair::Scheme::kRprChained
+                                        : repair::Scheme::kRpr;
+      std::printf("scheme auto       : floors star %.2f s / chained %.2f s "
+                  "-> %s\n",
+                  star_floor, chain_floor,
+                  scheme == repair::Scheme::kRprChained ? "chained" : "star");
+    }
     const auto planner = repair::make_planner(scheme);
     const auto planned = planner->plan(problem);
 
